@@ -1,0 +1,40 @@
+// Shared helpers for the PARALLOL benchmark suite.
+//
+// Every bench binary regenerates one artifact of the paper's evaluation
+// (a table, a figure, or a claim); see DESIGN.md §6 for the index and
+// EXPERIMENTS.md for paper-vs-measured notes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace bench {
+
+/// Prints the experiment banner once per binary.
+inline void banner(const char* experiment_id, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("PARALLOL reproduction — %s\n%s\n", experiment_id, what);
+  std::printf("==============================================================\n");
+}
+
+/// Compiles once; reuse across iterations.
+inline lol::CompiledProgram compile_once(const std::string& src) {
+  return lol::compile(src);
+}
+
+/// Runs a compiled program and aborts the benchmark on failure.
+inline lol::RunResult must_run(const lol::CompiledProgram& prog,
+                               const lol::RunConfig& cfg,
+                               benchmark::State& state) {
+  lol::RunResult r = lol::run(prog, cfg);
+  if (!r.ok) {
+    state.SkipWithError(r.first_error().c_str());
+  }
+  return r;
+}
+
+}  // namespace bench

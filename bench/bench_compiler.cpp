@@ -1,0 +1,92 @@
+// Experiment A4 — the compiler itself.
+//
+// Frontend and backend throughput on the paper's own n-body source:
+// lexing, parsing, semantic analysis, VM bytecode compilation, and
+// C emission, in bytes/second.
+#include "bench_common.hpp"
+#include "codegen/c_emitter.hpp"
+#include "core/paper_programs.hpp"
+#include "lex/lexer.hpp"
+#include "parse/parser.hpp"
+#include "sema/analyzer.hpp"
+#include "vm/compiler.hpp"
+
+namespace {
+
+const std::string& nbody_src() {
+  static const std::string src = lol::paper::nbody_listing();
+  return src;
+}
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::lex::tokenize(nbody_src()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::parse::parse_program(nbody_src()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+void BM_Sema(benchmark::State& state) {
+  auto prog = lol::parse::parse_program(nbody_src());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::sema::analyze(prog));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+void BM_VmCompile(benchmark::State& state) {
+  auto prog = lol::parse::parse_program(nbody_src());
+  auto analysis = lol::sema::analyze(prog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::vm::compile_program(prog, analysis));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+void BM_EmitC(benchmark::State& state) {
+  auto prog = lol::parse::parse_program(nbody_src());
+  auto analysis = lol::sema::analyze(prog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::codegen::emit_c(prog, analysis));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto prog = lol::parse::parse_program(nbody_src());
+    auto analysis = lol::sema::analyze(prog);
+    benchmark::DoNotOptimize(lol::codegen::emit_c(prog, analysis));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nbody_src().size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Lex)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Parse)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Sema)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VmCompile)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EmitC)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  bench::banner("A4 (the lcc compiler)",
+                "Frontend/backend throughput on the paper's n-body source "
+                "(lex / parse / sema / VM-compile / C-emit).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment A3 — contention behaviour of the implicit locks
+// (IM SHARIN IT / IM SRSLY MESIN WIF / IM MESIN WIF).
+//
+// Sweeps PE count x critical-section length and reports wall time plus
+// the trylock failure rate under contention — the behaviour students
+// observe when they move from one PE to many.
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "shmem/runtime.hpp"
+
+namespace {
+
+void BM_LockContention(benchmark::State& state) {
+  int n_pes = static_cast<int>(state.range(0));
+  int hold_work = static_cast<int>(state.range(1));
+  std::string src =
+      "HAI 1.2\n"
+      "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nHUGZ\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 100\n"
+      "  IM SRSLY MESIN WIF x\n"
+      "  I HAS A w ITZ 0\n"
+      "  IM IN YR h UPPIN YR j TIL BOTH SAEM j AN " +
+      std::to_string(hold_work) +
+      "\n    w R SUM OF w AN j\n  IM OUTTA YR h\n"
+      "  DUN MESIN WIF x\n"
+      "IM OUTTA YR l\nKTHXBYE\n";
+  auto prog = bench::compile_once(src);
+  lol::RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = lol::Backend::kVm;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel("pes=" + std::to_string(n_pes) +
+                 "/hold=" + std::to_string(hold_work));
+  state.SetItemsProcessed(state.iterations() * 100 * n_pes);
+}
+
+/// Trylock failure rate at the substrate level under contention.
+void BM_TrylockFailureRate(benchmark::State& state) {
+  int n_pes = static_cast<int>(state.range(0));
+  lol::shmem::Config scfg;
+  scfg.n_pes = n_pes;
+  scfg.n_locks = 1;
+  lol::shmem::Runtime rt(scfg);
+  std::atomic<long> attempts{0}, failures{0};
+  for (auto _ : state) {
+    auto r = rt.launch([&](lol::shmem::Pe& pe) {
+      for (int i = 0; i < 200; ++i) {
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        if (pe.test_lock(0)) {
+          volatile int sink = 0;
+          for (int w = 0; w < 50; ++w) sink = sink + w;
+          pe.clear_lock(0);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    if (!r.ok) state.SkipWithError("launch failed");
+  }
+  double rate =
+      attempts.load() > 0
+          ? static_cast<double>(failures.load()) / attempts.load()
+          : 0.0;
+  state.counters["trylock_fail_rate"] = rate;
+  state.SetLabel("pes=" + std::to_string(n_pes));
+}
+
+void register_all() {
+  for (int pes : {1, 2, 4, 8}) {
+    for (int hold : {0, 10, 50}) {
+      benchmark::RegisterBenchmark("Locks/contention", BM_LockContention)
+          ->Args({pes, hold})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.02);
+    }
+    benchmark::RegisterBenchmark("Locks/trylock_rate", BM_TrylockFailureRate)
+        ->Arg(pes)
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.02);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("A3 (implicit lock contention)",
+                "Global exclusive locks: cost vs PE count and critical-"
+                "section length; trylock failure rate under contention.");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Experiment E-D — the paper's §VI.D parallel 2-D n-body application.
+//
+// Strong scaling of the published algorithm over PE counts, on the VM
+// backend (wall clock) and with modeled Epiphany-III / XC40 communication
+// time. Also reports a native C++ reference implementation of the same
+// algorithm as the "perfect compiler" floor.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/paper_programs.hpp"
+#include "noc/machines.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+constexpr int kParticles = 32;
+constexpr int kSteps = 5;
+
+void BM_NBodyLolcode(benchmark::State& state) {
+  int n_pes = static_cast<int>(state.range(0));
+  auto prog = bench::compile_once(
+      lol::paper::nbody_program(kParticles, kSteps, false));
+  lol::RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = lol::Backend::kVm;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  // Work grows with PE count (each PE owns kParticles and interacts with
+  // every remote particle): interactions per step per PE = N*(N*n_pes-1).
+  state.SetLabel("pes=" + std::to_string(n_pes));
+  state.SetItemsProcessed(
+      state.iterations() * kSteps *
+      static_cast<std::int64_t>(kParticles) *
+      (static_cast<std::int64_t>(kParticles) * n_pes - 1) * n_pes);
+}
+
+void BM_NBodySimulatedTime(benchmark::State& state) {
+  int n_pes = static_cast<int>(state.range(0));
+  bool xc40 = state.range(1) != 0;
+  auto prog = bench::compile_once(
+      lol::paper::nbody_program(kParticles, kSteps, false));
+  lol::RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = lol::Backend::kVm;
+  cfg.machine = xc40 ? lol::noc::xc40_aries() : lol::noc::epiphany3();
+  double sim_us = 0.0;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    sim_us = r.max_sim_ns() / 1000.0;
+  }
+  state.counters["modeled_comm_us"] = sim_us;
+  state.SetLabel(std::string(xc40 ? "xc40" : "epiphany3") +
+                 "/pes=" + std::to_string(n_pes));
+}
+
+/// Native C++ reference of the same algorithm (single-threaded over all
+/// PEs' particles; gives the compute floor per interaction).
+void BM_NBodyNativeReference(benchmark::State& state) {
+  int n_pes = static_cast<int>(state.range(0));
+  const double dt = 0.001;
+  const int N = kParticles;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> px(n_pes, std::vector<double>(N)),
+        py = px, vx = px, vy = px;
+    for (int pe = 0; pe < n_pes; ++pe) {
+      lol::support::PeRng rng(20170529, pe);
+      for (int i = 0; i < N; ++i) {
+        px[pe][i] = pe + rng.next_numbar();
+        py[pe][i] = pe + rng.next_numbar();
+        vx[pe][i] = (pe + rng.next_numbar()) / 1000.0;
+        vy[pe][i] = (pe + rng.next_numbar()) / 1000.0;
+      }
+    }
+    auto tx = px, ty = py;
+    for (int step = 0; step < kSteps; ++step) {
+      for (int pe = 0; pe < n_pes; ++pe) {
+        for (int i = 0; i < N; ++i) {
+          double ax = 0, ay = 0;
+          for (int k = 0; k < n_pes; ++k) {
+            for (int j = 0; j < N; ++j) {
+              if (k == pe && j == i) continue;
+              double dx = px[pe][i] - px[k][j];
+              double dy = py[pe][i] - py[k][j];
+              dx *= dx;
+              dy *= dy;
+              double inv = 1.0 / std::sqrt(dx + dy);
+              double f = inv * inv * inv;
+              ax += dx * f;
+              ay += dy * f;
+            }
+          }
+          tx[pe][i] = px[pe][i] + vx[pe][i] * dt + 0.5 * ax * dt * dt;
+          ty[pe][i] = py[pe][i] + vy[pe][i] * dt + 0.5 * ay * dt * dt;
+          vx[pe][i] += ax * dt;
+          vy[pe][i] += ay * dt;
+        }
+      }
+      px = tx;
+      py = ty;
+    }
+    benchmark::DoNotOptimize(px[0][0]);
+  }
+  state.SetLabel("native/pes=" + std::to_string(n_pes));
+  state.SetItemsProcessed(
+      state.iterations() * kSteps *
+      static_cast<std::int64_t>(N) *
+      (static_cast<std::int64_t>(N) * n_pes - 1) * n_pes);
+}
+
+void register_all() {
+  for (int pes : {1, 2, 4}) {
+    benchmark::RegisterBenchmark("NBody/lolcode_vm", BM_NBodyLolcode)
+        ->Arg(pes)
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark("NBody/native_ref", BM_NBodyNativeReference)
+        ->Arg(pes)
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+  for (int pes : {2, 4, 8, 16}) {
+    for (long xc : {0L, 1L}) {
+      benchmark::RegisterBenchmark("NBody/simulated", BM_NBodySimulatedTime)
+          ->Args({pes, xc})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E-D (paper SVI.D)",
+                "Parallel 2-D n-body: strong scaling of the published "
+                "listing (items = pairwise interactions).");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

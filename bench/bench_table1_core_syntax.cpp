@@ -1,0 +1,85 @@
+// Experiment T1 — paper Table I (basic LOLCODE syntax).
+//
+// Every core construct of the language, timed on both in-process
+// backends. The paper's table is qualitative (it lists the syntax); this
+// bench regenerates it as "construct works + costs this much per
+// execution", and doubles as the conformance sweep for Table I.
+#include "bench_common.hpp"
+
+namespace {
+
+using lol::Backend;
+
+struct Construct {
+  const char* name;
+  const char* body;  // statement(s) exercised inside a 1000-iteration loop
+};
+
+// Each snippet runs inside `IM IN YR bench UPPIN YR it TIL BOTH SAEM it
+// AN 1000 ... IM OUTTA YR bench` so one program run measures 1000
+// executions of the construct.
+const Construct kConstructs[] = {
+    {"assignment", "x R 42\n"},
+    {"arith_sum", "x R SUM OF it AN 1\n"},
+    {"arith_chain", "x R SUM OF PRODUKT OF it AN 3 AN QUOSHUNT OF it AN 7\n"},
+    {"comparison", "x R BOTH SAEM it AN 500\n"},
+    {"boolean", "x R BOTH OF WIN AN DIFFRINT it AN 3\n"},
+    {"conditional",
+     "BOTH SAEM MOD OF it AN 2 AN 0, O RLY?\nYA RLY\n  x R 1\nNO WAI\n"
+     "  x R 2\nOIC\n"},
+    {"switch",
+     "MOD OF it AN 3, WTF?\nOMG 0\n  x R 1\n  GTFO\nOMG 1\n  x R 2\n"
+     "  GTFO\nOMGWTF\n  x R 3\nOIC\n"},
+    {"cast_maek", "x R MAEK it A YARN\n"},
+    {"string_smoosh", "x R SMOOSH \"n=\" it MKAY\n"},
+    {"function_call", "x R I IZ bump YR it MKAY\n"},
+    {"array_rw", "arr'Z MOD OF it AN 16 R it, x R arr'Z MOD OF it AN 16\n"},
+};
+
+std::string program_for(const Construct& c) {
+  return std::string("HAI 1.2\n") +
+         "HOW IZ I bump YR v\n  FOUND YR SUM OF v AN 1\nIF U SAY SO\n" +
+         "I HAS A x ITZ 0\n" +
+         "I HAS A arr ITZ LOTZ A NUMBRS AN THAR IZ 16\n" +
+         "IM IN YR bench UPPIN YR it TIL BOTH SAEM it AN 1000\n" + c.body +
+         "IM OUTTA YR bench\nKTHXBYE\n";
+}
+
+void BM_Construct(benchmark::State& state) {
+  const Construct& c = kConstructs[state.range(0)];
+  Backend backend = state.range(1) == 0 ? Backend::kInterp : Backend::kVm;
+  auto prog = bench::compile_once(program_for(c));
+  lol::RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = backend;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel(std::string(c.name) + "/" +
+                 (backend == Backend::kInterp ? "interp" : "vm"));
+  // Each program run executes the construct 1000 times.
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void register_all() {
+  for (std::size_t i = 0; i < std::size(kConstructs); ++i) {
+    for (int b = 0; b < 2; ++b) {
+      benchmark::RegisterBenchmark("Table1/construct", BM_Construct)
+          ->Args({static_cast<long>(i), b})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("T1 (paper Table I)",
+                "Basic LOLCODE syntax: per-construct execution cost, "
+                "interpreter vs bytecode VM (items = construct executions).");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Experiment T2 — paper Table II (parallel/distributed extensions).
+//
+// Cost of every extension over PE counts: HUGZ barriers, implicit locks
+// (acquire/release and trylock), remote scalar get/put through TXT MAH
+// BFF predication, and whole-array transfer. Real std::thread wall time.
+#include "bench_common.hpp"
+
+namespace {
+
+struct ParallelOp {
+  const char* name;
+  // Program body; the op must execute `reps` times per PE.
+  std::string (*make)(int reps);
+};
+
+std::string hugz_prog(int reps) {
+  return "HAI 1.2\nIM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) + "\n  HUGZ\nIM OUTTA YR l\nKTHXBYE\n";
+}
+
+std::string lock_prog(int reps) {
+  return "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nHUGZ\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  IM SRSLY MESIN WIF x\n  DUN MESIN WIF x\nIM OUTTA YR l\n"
+         "KTHXBYE\n";
+}
+
+std::string trylock_prog(int reps) {
+  return "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nHUGZ\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  IM MESIN WIF x\n  IT, O RLY?\n  YA RLY\n"
+         "    DUN MESIN WIF x\n  OIC\nIM OUTTA YR l\nKTHXBYE\n";
+}
+
+std::string remote_get_prog(int reps) {
+  return "HAI 1.2\nWE HAS A v ITZ SRSLY A NUMBR\nv R ME\nHUGZ\n"
+         "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH "
+         "FRENZ\nI HAS A got ITZ A NUMBR\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  TXT MAH BFF nxt, got R UR v\nIM OUTTA YR l\nKTHXBYE\n";
+}
+
+std::string remote_put_prog(int reps) {
+  return "HAI 1.2\nWE HAS A v ITZ SRSLY A NUMBR\nHUGZ\n"
+         "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH "
+         "FRENZ\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  TXT MAH BFF nxt, UR v R i\nIM OUTTA YR l\nHUGZ\nKTHXBYE\n";
+}
+
+std::string array_copy_prog(int reps) {
+  return "HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 256\n"
+         "I HAS A inbox ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 256\nHUGZ\n"
+         "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH "
+         "FRENZ\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  TXT MAH BFF nxt, MAH inbox R UR a\nIM OUTTA YR l\nKTHXBYE\n";
+}
+
+std::string enumeration_prog(int reps) {
+  return "HAI 1.2\nI HAS A s ITZ 0\n"
+         "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN " +
+         std::to_string(reps) +
+         "\n  s R SUM OF ME AN MAH FRENZ\nIM OUTTA YR l\nKTHXBYE\n";
+}
+
+const ParallelOp kOps[] = {
+    {"HUGZ_barrier", hugz_prog},
+    {"lock_unlock", lock_prog},
+    {"trylock", trylock_prog},
+    {"remote_get", remote_get_prog},
+    {"remote_put", remote_put_prog},
+    {"array_copy_256", array_copy_prog},
+    {"ME_MAH_FRENZ", enumeration_prog},
+};
+
+constexpr int kReps = 200;
+
+void BM_ParallelOp(benchmark::State& state) {
+  const ParallelOp& op = kOps[state.range(0)];
+  int n_pes = static_cast<int>(state.range(1));
+  auto prog = bench::compile_once(op.make(kReps));
+  lol::RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = lol::Backend::kVm;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel(std::string(op.name) + "/pes=" + std::to_string(n_pes));
+  state.SetItemsProcessed(state.iterations() * kReps);
+}
+
+void register_all() {
+  for (std::size_t i = 0; i < std::size(kOps); ++i) {
+    for (int pes : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark("Table2/op", BM_ParallelOp)
+          ->Args({static_cast<long>(i), pes})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.02);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("T2 (paper Table II)",
+                "Parallel/distributed extensions: per-op cost over PE "
+                "counts (items = op executions per PE).");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment T3 — paper Table III (math/RNG extensions).
+//
+// Throughput of WHATEVR / WHATEVAR / SQUAR OF / UNSQUAR OF / FLIP OF,
+// measured both through LOLCODE programs (VM backend) and directly at
+// the runtime layer, to show the language overhead on top of the math.
+#include "bench_common.hpp"
+#include "rt/ops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+struct MathOp {
+  const char* name;
+  const char* expr;  // uses loop variable `it` and NUMBAR variable `seed`
+};
+
+const MathOp kOps[] = {
+    {"WHATEVR", "WHATEVR"},
+    {"WHATEVAR", "WHATEVAR"},
+    {"SQUAR_OF", "SQUAR OF seed"},
+    {"UNSQUAR_OF", "UNSQUAR OF SUM OF seed AN it"},
+    {"FLIP_OF", "FLIP OF SUM OF seed AN it"},
+};
+
+constexpr int kReps = 2000;
+
+void BM_LolMathOp(benchmark::State& state) {
+  const MathOp& op = kOps[state.range(0)];
+  std::string src = std::string("HAI 1.2\n") +
+                    "I HAS A seed ITZ SRSLY A NUMBAR AN ITZ 1.5\n" +
+                    "I HAS A x ITZ SRSLY A NUMBAR\n" +
+                    "IM IN YR l UPPIN YR it TIL BOTH SAEM it AN " +
+                    std::to_string(kReps) + "\n  x R " + op.expr +
+                    "\nIM OUTTA YR l\nKTHXBYE\n";
+  auto prog = bench::compile_once(src);
+  lol::RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = lol::Backend::kVm;
+  for (auto _ : state) {
+    auto r = bench::must_run(prog, cfg, state);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.SetLabel(op.name);
+  state.SetItemsProcessed(state.iterations() * kReps);
+}
+
+// Runtime-layer baselines: the same operations without any language around
+// them. The gap between these and the LOLCODE numbers is interpretation
+// overhead, the paper's motivation for compiling.
+void BM_RuntimeRng(benchmark::State& state) {
+  lol::support::PeRng rng(42, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_numbr());
+    benchmark::DoNotOptimize(rng.next_numbar());
+  }
+  state.SetLabel("PeRng numbr+numbar");
+}
+
+void BM_RuntimeUnary(benchmark::State& state) {
+  using lol::rt::Value;
+  Value v = Value::numbar(2.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lol::rt::op_unary(lol::ast::UnOp::kSquar, v));
+    benchmark::DoNotOptimize(lol::rt::op_unary(lol::ast::UnOp::kUnsquar, v));
+    benchmark::DoNotOptimize(lol::rt::op_unary(lol::ast::UnOp::kFlip, v));
+  }
+  state.SetLabel("op_unary squar+unsquar+flip");
+}
+
+void register_all() {
+  for (std::size_t i = 0; i < std::size(kOps); ++i) {
+    benchmark::RegisterBenchmark("Table3/lolcode", BM_LolMathOp)
+        ->Arg(static_cast<long>(i))
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.02);
+  }
+  benchmark::RegisterBenchmark("Table3/runtime_rng", BM_RuntimeRng);
+  benchmark::RegisterBenchmark("Table3/runtime_unary", BM_RuntimeUnary);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("T3 (paper Table III)",
+                "Math/RNG extensions: WHATEVR, WHATEVAR, SQUAR OF, "
+                "UNSQUAR OF, FLIP OF throughput (language vs runtime).");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

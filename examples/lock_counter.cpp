@@ -1,0 +1,56 @@
+// Paper §VI.B: lock-protected remote updates of a shared counter, and a
+// demonstration of WHY the lock matters — the same program with the lock
+// statements removed loses updates.
+//
+//   $ ./lock_counter
+#include <iostream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+
+namespace {
+
+// The same remote-update loop without IM SRSLY MESIN WIF / DUN MESIN WIF:
+// a racy read-modify-write.
+const char* kUnlockedProgram = R"(HAI 1.2
+WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT
+HUGZ
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 200
+  TXT MAH BFF 0 AN STUFF
+    UR x R SUM OF UR x AN 1
+  TTYL
+IM OUTTA YR loop
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE "KOUNTER IZ " x
+OIC
+KTHXBYE
+)";
+
+}  // namespace
+
+int main() {
+  lol::RunConfig cfg;
+  cfg.n_pes = 8;
+  cfg.backend = lol::Backend::kVm;
+
+  auto locked = lol::run_source(lol::paper::lock_counter_listing(200), cfg);
+  if (!locked.ok) {
+    std::cerr << "error: " << locked.first_error() << "\n";
+    return 1;
+  }
+  std::cout << "WIF LOCKZ (paper SVI.B):   " << locked.pe_output[0];
+
+  auto racy = lol::run_source(kUnlockedProgram, cfg);
+  if (!racy.ok) {
+    std::cerr << "error: " << racy.first_error() << "\n";
+    return 1;
+  }
+  std::cout << "NO LOCKZ (lost updates):   " << racy.pe_output[0];
+  std::cout << "expected with 8 PEs x 200: KOUNTER IZ 1600\n"
+            << "The implicit lock (IM SHARIN IT) makes the remote\n"
+            << "read-modify-write atomic; without it updates are lost.\n";
+  return 0;
+}

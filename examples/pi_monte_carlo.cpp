@@ -1,0 +1,62 @@
+// Monte-Carlo pi estimation in parallel LOLCODE: every PE throws darts
+// with WHATEVAR (Table III), counts the hits in the unit quarter-circle,
+// then all counts are combined on PE 0 through symmetric memory — a
+// classic first SPMD exercise.
+//
+//   $ ./pi_monte_carlo [n_pes] [darts_per_pe]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace {
+
+std::string pi_program(int darts) {
+  return std::string(R"(HAI 1.2
+WE HAS A hits ITZ SRSLY A NUMBR
+I HAS A mine ITZ A NUMBR AN ITZ 0
+IM IN YR throwz UPPIN YR i TIL BOTH SAEM i AN )") +
+         std::to_string(darts) + R"(
+  I HAS A px ITZ A NUMBAR AN ITZ WHATEVAR
+  I HAS A py ITZ A NUMBAR AN ITZ WHATEVAR
+  SMALLR SUM OF SQUAR OF px AN SQUAR OF py AN 1.0, O RLY?
+  YA RLY
+    mine R SUM OF mine AN 1
+  OIC
+IM OUTTA YR throwz
+hits R mine
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  I HAS A total ITZ A NUMBR AN ITZ 0
+  IM IN YR gather UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    TXT MAH BFF k, total R SUM OF total AN UR hits
+  IM OUTTA YR gather
+  I HAS A n ITZ A NUMBR AN ITZ PRODUKT OF MAH FRENZ AN )" +
+         std::to_string(darts) + R"(
+  VISIBLE "PI IZ KINDA " QUOSHUNT OF PRODUKT OF 4.0 AN total AN n
+OIC
+KTHXBYE
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n_pes = argc > 1 ? std::atoi(argv[1]) : 4;
+  int darts = argc > 2 ? std::atoi(argv[2]) : 20000;
+
+  lol::RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = lol::Backend::kVm;
+  auto r = lol::run_source(pi_program(darts), cfg);
+  if (!r.ok) {
+    std::cerr << "error: " << r.first_error() << "\n";
+    return 1;
+  }
+  std::cout << r.pe_output[0];
+  std::cout << "(" << n_pes << " PEs x " << darts
+            << " darts; WHATEVAR streams are independent per PE)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: embed the PARALLOL engine, compile a parallel LOLCODE
+// program, run it SPMD on 4 PEs and read the per-PE output.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/engine.hpp"
+
+int main() {
+  const char* program = R"(HAI 1.2
+BTW every PE introduces itself, then PE 0 reports the team size
+VISIBLE "O HAI! I IZ PE " ME " OF " MAH FRENZ
+WE HAS A count ITZ SRSLY A NUMBR AN IM SHARIN IT
+HUGZ
+TXT MAH BFF 0 AN STUFF
+  IM SRSLY MESIN WIF UR count
+  UR count R SUM OF UR count AN 1
+  DUN MESIN WIF UR count
+TTYL
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE count " FRENZ CHECKED IN. KTHXBYE!"
+OIC
+KTHXBYE
+)";
+
+  try {
+    lol::CompiledProgram prog = lol::compile(program);
+
+    lol::RunConfig cfg;
+    cfg.n_pes = 4;
+    cfg.backend = lol::Backend::kVm;
+    lol::RunResult result = lol::run(prog, cfg);
+
+    if (!result.ok) {
+      std::cerr << "run failed: " << result.first_error() << "\n";
+      return 1;
+    }
+    for (int pe = 0; pe < cfg.n_pes; ++pe) {
+      std::cout << "--- PE " << pe << " ---\n"
+                << result.pe_output[static_cast<std::size_t>(pe)];
+    }
+  } catch (const lol::support::LolError& e) {
+    std::cerr << "compile error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,409 @@
+// AST node definitions for LOLCODE-1.2 + the parallel extensions.
+//
+// Ownership: every node owns its children through std::unique_ptr.
+// Dispatch: nodes carry a kind enum; consumers switch on it and
+// static_cast to the concrete type (LLVM-style), which keeps the node
+// classes free of visitor boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/types.hpp"
+#include "lex/token.hpp"
+#include "support/source_location.hpp"
+
+namespace lol::ast {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kNumbrLit,
+  kNumbarLit,
+  kTroofLit,
+  kNoobLit,
+  kYarnLit,
+  kVarRef,
+  kSrsRef,
+  kIndex,
+  kItRef,
+  kMe,
+  kMahFrenz,
+  kWhatevr,
+  kWhatevar,
+  kBinary,
+  kNary,
+  kUnary,
+  kCast,
+  kCall,
+};
+
+/// Base of all expression nodes.
+struct Expr {
+  explicit Expr(ExprKind k, support::SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  const ExprKind kind;
+  const support::SourceLoc loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer literal, e.g. `42`.
+struct NumbrLit : Expr {
+  NumbrLit(std::int64_t v, support::SourceLoc l)
+      : Expr(ExprKind::kNumbrLit, l), value(v) {}
+  std::int64_t value;
+};
+
+/// Floating-point literal, e.g. `0.001`.
+struct NumbarLit : Expr {
+  NumbarLit(double v, support::SourceLoc l)
+      : Expr(ExprKind::kNumbarLit, l), value(v) {}
+  double value;
+};
+
+/// WIN / FAIL.
+struct TroofLit : Expr {
+  TroofLit(bool v, support::SourceLoc l)
+      : Expr(ExprKind::kTroofLit, l), value(v) {}
+  bool value;
+};
+
+/// The NOOB literal.
+struct NoobLit : Expr {
+  explicit NoobLit(support::SourceLoc l) : Expr(ExprKind::kNoobLit, l) {}
+};
+
+/// String literal; may contain `:{var}` interpolation segments that are
+/// resolved against the environment at evaluation time.
+struct YarnLit : Expr {
+  YarnLit(std::vector<lex::YarnSegment> segs, support::SourceLoc l)
+      : Expr(ExprKind::kYarnLit, l), segments(std::move(segs)) {}
+  std::vector<lex::YarnSegment> segments;
+
+  /// True when the literal has no interpolations (a plain string).
+  [[nodiscard]] bool is_plain() const {
+    for (const auto& s : segments)
+      if (s.is_var) return false;
+    return true;
+  }
+  /// The literal text (only valid when is_plain()).
+  [[nodiscard]] std::string plain_text() const {
+    std::string out;
+    for (const auto& s : segments) out += s.text;
+    return out;
+  }
+};
+
+/// A named variable reference, optionally qualified with UR (remote
+/// address space under TXT MAH BFF predication) or MAH (explicitly local).
+struct VarRef : Expr {
+  VarRef(std::string n, Locality loc_q, support::SourceLoc l)
+      : Expr(ExprKind::kVarRef, l), name(std::move(n)), locality(loc_q) {}
+  std::string name;
+  Locality locality;
+};
+
+/// `SRS expr` — the value of expr (cast to YARN) names the variable.
+struct SrsRef : Expr {
+  SrsRef(ExprPtr e, Locality loc_q, support::SourceLoc l)
+      : Expr(ExprKind::kSrsRef, l), name_expr(std::move(e)),
+        locality(loc_q) {}
+  ExprPtr name_expr;
+  Locality locality;
+};
+
+/// `base'Z index` — array element access (paper array extension).
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr b, ExprPtr i, support::SourceLoc l)
+      : Expr(ExprKind::kIndex, l), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr base;   // VarRef or SrsRef
+  ExprPtr index;  // any expression
+};
+
+/// The implicit IT variable (most recent bare-expression value).
+struct ItRef : Expr {
+  explicit ItRef(support::SourceLoc l) : Expr(ExprKind::kItRef, l) {}
+};
+
+/// `ME` — the executing PE id (paper Table II).
+struct MeExpr : Expr {
+  explicit MeExpr(support::SourceLoc l) : Expr(ExprKind::kMe, l) {}
+};
+
+/// `MAH FRENZ` — total number of PEs (paper Table II).
+struct MahFrenzExpr : Expr {
+  explicit MahFrenzExpr(support::SourceLoc l) : Expr(ExprKind::kMahFrenz, l) {}
+};
+
+/// `WHATEVR` — random NUMBR (paper Table III).
+struct WhatevrExpr : Expr {
+  explicit WhatevrExpr(support::SourceLoc l) : Expr(ExprKind::kWhatevr, l) {}
+};
+
+/// `WHATEVAR` — random NUMBAR in [0,1) (paper Table III).
+struct WhatevarExpr : Expr {
+  explicit WhatevarExpr(support::SourceLoc l)
+      : Expr(ExprKind::kWhatevar, l) {}
+};
+
+/// Prefix binary operation: `SUM OF a AN b`.
+struct BinaryExpr : Expr {
+  BinaryExpr(BinOp o, ExprPtr a, ExprPtr b, support::SourceLoc l)
+      : Expr(ExprKind::kBinary, l), op(o), lhs(std::move(a)),
+        rhs(std::move(b)) {}
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// Variadic operation: `ALL OF a AN b AN c MKAY`.
+struct NaryExpr : Expr {
+  NaryExpr(NaryOp o, std::vector<ExprPtr> ops, support::SourceLoc l)
+      : Expr(ExprKind::kNary, l), op(o), operands(std::move(ops)) {}
+  NaryOp op;
+  std::vector<ExprPtr> operands;
+};
+
+/// Unary operation: `NOT x`, `SQUAR OF x`, ...
+struct UnaryExpr : Expr {
+  UnaryExpr(UnOp o, ExprPtr v, support::SourceLoc l)
+      : Expr(ExprKind::kUnary, l), op(o), operand(std::move(v)) {}
+  UnOp op;
+  ExprPtr operand;
+};
+
+/// `MAEK expr A type` — explicit cast.
+struct CastExpr : Expr {
+  CastExpr(ExprPtr v, TypeKind t, support::SourceLoc l)
+      : Expr(ExprKind::kCast, l), value(std::move(v)), type(t) {}
+  ExprPtr value;
+  TypeKind type;
+};
+
+/// `I IZ name [YR a [AN YR b ...]] MKAY` — function call.
+struct CallExpr : Expr {
+  CallExpr(std::string c, std::vector<ExprPtr> a, support::SourceLoc l)
+      : Expr(ExprKind::kCall, l), callee(std::move(c)), args(std::move(a)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kVarDecl,
+  kAssign,
+  kExpr,
+  kVisible,
+  kGimmeh,
+  kCastTo,  // IS NOW A
+  kORly,
+  kWtf,
+  kLoop,
+  kGtfo,
+  kFoundYr,
+  kFuncDef,
+  kCanHas,
+  kHugz,
+  kLock,
+  kTxt,
+};
+
+/// Base of all statement nodes.
+struct Stmt {
+  explicit Stmt(StmtKind k, support::SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  const StmtKind kind;
+  const support::SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// Declaration scope: `I HAS A` (private) vs `WE HAS A` (symmetric PGAS
+/// object, paper Table II).
+enum class DeclScope { kPrivate, kSymmetric };
+
+/// `I HAS A x [ITZ ...] [AN ITZ ...] [AN THAR IZ n] [AN IM SHARIN IT]`.
+/// One node covers plain variables, statically typed variables (SRSLY),
+/// arrays (LOTZ A), symmetric objects (WE HAS A) and lock attachment
+/// (IM SHARIN IT).
+struct VarDeclStmt : Stmt {
+  VarDeclStmt(support::SourceLoc l) : Stmt(StmtKind::kVarDecl, l) {}
+  DeclScope scope = DeclScope::kPrivate;
+  std::string name;
+  std::optional<TypeKind> declared_type;  // from ITZ A / ITZ SRSLY A
+  bool srsly = false;                     // statically typed (paper ext.)
+  bool is_array = false;                  // LOTZ A ... (paper ext.)
+  ExprPtr array_size;                     // from THAR IZ (paper ext.)
+  ExprPtr init;                           // from ITZ <expr>
+  bool sharin = false;                    // IM SHARIN IT (paper ext.)
+};
+
+/// `target R value`.
+struct AssignStmt : Stmt {
+  AssignStmt(ExprPtr t, ExprPtr v, support::SourceLoc l)
+      : Stmt(StmtKind::kAssign, l), target(std::move(t)),
+        value(std::move(v)) {}
+  ExprPtr target;  // VarRef / SrsRef / IndexExpr (validated by parser)
+  ExprPtr value;
+};
+
+/// A bare expression; its value lands in IT.
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr e, support::SourceLoc l)
+      : Stmt(StmtKind::kExpr, l), expr(std::move(e)) {}
+  ExprPtr expr;
+};
+
+/// `VISIBLE a b c [!]` / `INVISIBLE ...` — print args (cast to YARN,
+/// concatenated); `!` suppresses the trailing newline.
+struct VisibleStmt : Stmt {
+  VisibleStmt(support::SourceLoc l) : Stmt(StmtKind::kVisible, l) {}
+  std::vector<ExprPtr> args;
+  bool newline = true;
+  bool to_stderr = false;  // INVISIBLE
+};
+
+/// `GIMMEH target` — read a line of stdin into target as a YARN.
+struct GimmehStmt : Stmt {
+  GimmehStmt(ExprPtr t, support::SourceLoc l)
+      : Stmt(StmtKind::kGimmeh, l), target(std::move(t)) {}
+  ExprPtr target;
+};
+
+/// `var IS NOW A type` — in-place cast.
+struct CastToStmt : Stmt {
+  CastToStmt(ExprPtr t, TypeKind ty, support::SourceLoc l)
+      : Stmt(StmtKind::kCastTo, l), target(std::move(t)), type(ty) {}
+  ExprPtr target;
+  TypeKind type;
+};
+
+/// `O RLY? YA RLY ... [MEBBE e ...]* [NO WAI ...] OIC` — branches on IT.
+struct ORlyStmt : Stmt {
+  ORlyStmt(support::SourceLoc l) : Stmt(StmtKind::kORly, l) {}
+  StmtList ya_rly;
+  std::vector<std::pair<ExprPtr, StmtList>> mebbe;
+  StmtList no_wai;
+};
+
+/// `WTF? OMG lit ... [OMGWTF ...] OIC` — switches on IT with C-style
+/// fallthrough; GTFO breaks.
+struct WtfStmt : Stmt {
+  WtfStmt(support::SourceLoc l) : Stmt(StmtKind::kWtf, l) {}
+  struct Case {
+    ExprPtr literal;
+    StmtList body;
+  };
+  std::vector<Case> cases;
+  StmtList default_body;
+  bool has_default = false;
+};
+
+/// Loop update operation.
+enum class LoopUpdate { kNone, kUppin, kNerfin, kFunc };
+
+/// Loop condition kind.
+enum class LoopCond { kInfinite, kTil, kWile };
+
+/// `IM IN YR label [UPPIN|NERFIN|func YR var [TIL|WILE e]] ... IM OUTTA YR
+/// label`. The loop variable is implicitly declared local to the loop and
+/// starts at 0; the condition is checked before each iteration and the
+/// update applied after the body.
+struct LoopStmt : Stmt {
+  LoopStmt(support::SourceLoc l) : Stmt(StmtKind::kLoop, l) {}
+  std::string label;
+  LoopUpdate update = LoopUpdate::kNone;
+  std::string func;  // when update == kFunc
+  std::string var;
+  LoopCond cond_kind = LoopCond::kInfinite;
+  ExprPtr cond;
+  StmtList body;
+};
+
+/// `GTFO` — break the innermost loop / switch, or return NOOB.
+struct GtfoStmt : Stmt {
+  explicit GtfoStmt(support::SourceLoc l) : Stmt(StmtKind::kGtfo, l) {}
+};
+
+/// `FOUND YR expr` — return a value from a function.
+struct FoundYrStmt : Stmt {
+  FoundYrStmt(ExprPtr v, support::SourceLoc l)
+      : Stmt(StmtKind::kFoundYr, l), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+/// `HOW IZ I name [YR p [AN YR q ...]] ... IF U SAY SO`.
+struct FuncDefStmt : Stmt {
+  FuncDefStmt(support::SourceLoc l) : Stmt(StmtKind::kFuncDef, l) {}
+  std::string name;
+  std::vector<std::string> params;
+  StmtList body;
+};
+
+/// `CAN HAS LIB?` — library import (recorded; all builtins are always
+/// available in this implementation).
+struct CanHasStmt : Stmt {
+  CanHasStmt(std::string lib, support::SourceLoc l)
+      : Stmt(StmtKind::kCanHas, l), library(std::move(lib)) {}
+  std::string library;
+};
+
+/// `HUGZ` — collective barrier over all PEs (paper Table II).
+struct HugzStmt : Stmt {
+  explicit HugzStmt(support::SourceLoc l) : Stmt(StmtKind::kHugz, l) {}
+};
+
+/// Lock operation kind (paper Table II).
+enum class LockOp {
+  kAcquire,  // IM SRSLY MESIN WIF — blocking; IT := WIN
+  kTry,      // IM MESIN WIF       — non-blocking; IT := WIN/FAIL
+  kRelease,  // DUN MESIN WIF
+};
+
+/// Lock statement on the implicit lock of a shared variable.
+struct LockStmt : Stmt {
+  LockStmt(LockOp o, ExprPtr t, support::SourceLoc l)
+      : Stmt(StmtKind::kLock, l), op(o), target(std::move(t)) {}
+  LockOp op;
+  ExprPtr target;  // VarRef (possibly UR-qualified)
+};
+
+/// Thread predication (paper Table II):
+///   `TXT MAH BFF e, stmt`            (single statement)
+///   `TXT MAH BFF e AN STUFF ... TTYL` (block)
+/// Within the dynamic extent, UR references target PE `e`.
+struct TxtStmt : Stmt {
+  TxtStmt(support::SourceLoc l) : Stmt(StmtKind::kTxt, l) {}
+  ExprPtr target_pe;
+  StmtList body;
+  bool block_form = false;
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+/// A parsed compilation unit: `HAI [version] ... KTHXBYE`.
+struct Program {
+  std::optional<double> version;  // e.g. 1.2
+  StmtList body;
+};
+
+}  // namespace lol::ast

@@ -1,0 +1,521 @@
+#include "ast/printer.hpp"
+
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace lol::ast {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+std::string yarn_source(const YarnLit& y) {
+  std::string out = "\"";
+  for (const auto& seg : y.segments) {
+    if (seg.is_var) {
+      out += ":{" + seg.text + "}";
+      continue;
+    }
+    for (char c : seg.text) {
+      switch (c) {
+        case '\n':
+          out += ":)";
+          break;
+        case '\t':
+          out += ":>";
+          break;
+        case '\a':
+          out += ":o";
+          break;
+        case '"':
+          out += ":\"";
+          break;
+        case ':':
+          out += "::";
+          break;
+        default:
+          out += c;
+      }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string locality_prefix(Locality l) {
+  switch (l) {
+    case Locality::kRemote:
+      return "UR ";
+    case Locality::kLocal:
+      return "MAH ";
+    case Locality::kDefault:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string to_lolcode(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumbrLit:
+      return support::format_numbr(static_cast<const NumbrLit&>(e).value);
+    case ExprKind::kNumbarLit: {
+      std::ostringstream os;
+      os << static_cast<const NumbarLit&>(e).value;
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ExprKind::kTroofLit:
+      return static_cast<const TroofLit&>(e).value ? "WIN" : "FAIL";
+    case ExprKind::kNoobLit:
+      return "NOOB";
+    case ExprKind::kYarnLit:
+      return yarn_source(static_cast<const YarnLit&>(e));
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRef&>(e);
+      return locality_prefix(v.locality) + v.name;
+    }
+    case ExprKind::kSrsRef: {
+      const auto& v = static_cast<const SrsRef&>(e);
+      return locality_prefix(v.locality) + "SRS " + to_lolcode(*v.name_expr);
+    }
+    case ExprKind::kIndex: {
+      const auto& v = static_cast<const IndexExpr&>(e);
+      return to_lolcode(*v.base) + "'Z " + to_lolcode(*v.index);
+    }
+    case ExprKind::kItRef:
+      return "IT";
+    case ExprKind::kMe:
+      return "ME";
+    case ExprKind::kMahFrenz:
+      return "MAH FRENZ";
+    case ExprKind::kWhatevr:
+      return "WHATEVR";
+    case ExprKind::kWhatevar:
+      return "WHATEVAR";
+    case ExprKind::kBinary: {
+      const auto& v = static_cast<const BinaryExpr&>(e);
+      return std::string(bin_op_name(v.op)) + " " + to_lolcode(*v.lhs) +
+             " AN " + to_lolcode(*v.rhs);
+    }
+    case ExprKind::kNary: {
+      const auto& v = static_cast<const NaryExpr&>(e);
+      std::string out{nary_op_name(v.op)};
+      for (std::size_t i = 0; i < v.operands.size(); ++i) {
+        out += (i ? " AN " : " ") + to_lolcode(*v.operands[i]);
+      }
+      out += " MKAY";
+      return out;
+    }
+    case ExprKind::kUnary: {
+      const auto& v = static_cast<const UnaryExpr&>(e);
+      return std::string(un_op_name(v.op)) + " " + to_lolcode(*v.operand);
+    }
+    case ExprKind::kCast: {
+      const auto& v = static_cast<const CastExpr&>(e);
+      return "MAEK " + to_lolcode(*v.value) + " A " +
+             std::string(type_name(v.type));
+    }
+    case ExprKind::kCall: {
+      const auto& v = static_cast<const CallExpr&>(e);
+      std::string out = "I IZ " + v.callee;
+      for (std::size_t i = 0; i < v.args.size(); ++i) {
+        out += (i ? " AN YR " : " YR ") + to_lolcode(*v.args[i]);
+      }
+      out += " MKAY";
+      return out;
+    }
+  }
+  return "<expr>";
+}
+
+namespace {
+
+std::string body_to_lolcode(const StmtList& body, int indent) {
+  std::string out;
+  for (const auto& s : body) out += to_lolcode(*s, indent);
+  return out;
+}
+
+}  // namespace
+
+std::string to_lolcode(const Stmt& s, int indent) {
+  const std::string pad = ind(indent);
+  switch (s.kind) {
+    case StmtKind::kVarDecl: {
+      const auto& v = static_cast<const VarDeclStmt&>(s);
+      std::string out =
+          pad + (v.scope == DeclScope::kSymmetric ? "WE HAS A " : "I HAS A ") +
+          v.name;
+      bool first_clause = true;
+      auto clause = [&](const std::string& text) {
+        out += (first_clause ? " " : " AN ") + text;
+        first_clause = false;
+      };
+      if (v.is_array) {
+        std::string t = v.declared_type
+                            ? std::string(type_name(*v.declared_type)) + "S"
+                            : "NUMBRS";
+        clause(std::string("ITZ ") + (v.srsly ? "SRSLY " : "") + "LOTZ A " +
+               t);
+        if (v.array_size) clause("THAR IZ " + to_lolcode(*v.array_size));
+      } else if (v.declared_type) {
+        clause(std::string("ITZ ") + (v.srsly ? "SRSLY " : "") + "A " +
+               std::string(type_name(*v.declared_type)));
+      }
+      if (v.init) clause("ITZ " + to_lolcode(*v.init));
+      if (v.sharin) clause("IM SHARIN IT");
+      return out + "\n";
+    }
+    case StmtKind::kAssign: {
+      const auto& v = static_cast<const AssignStmt&>(s);
+      return pad + to_lolcode(*v.target) + " R " + to_lolcode(*v.value) +
+             "\n";
+    }
+    case StmtKind::kExpr:
+      return pad + to_lolcode(*static_cast<const ExprStmt&>(s).expr) + "\n";
+    case StmtKind::kVisible: {
+      const auto& v = static_cast<const VisibleStmt&>(s);
+      std::string out = pad + (v.to_stderr ? "INVISIBLE" : "VISIBLE");
+      for (const auto& a : v.args) out += " " + to_lolcode(*a);
+      if (!v.newline) out += "!";
+      return out + "\n";
+    }
+    case StmtKind::kGimmeh:
+      return pad + "GIMMEH " +
+             to_lolcode(*static_cast<const GimmehStmt&>(s).target) + "\n";
+    case StmtKind::kCastTo: {
+      const auto& v = static_cast<const CastToStmt&>(s);
+      return pad + to_lolcode(*v.target) + " IS NOW A " +
+             std::string(type_name(v.type)) + "\n";
+    }
+    case StmtKind::kORly: {
+      const auto& v = static_cast<const ORlyStmt&>(s);
+      std::string out = pad + "O RLY?\n" + pad + "YA RLY\n" +
+                        body_to_lolcode(v.ya_rly, indent + 1);
+      for (const auto& [cond, body] : v.mebbe) {
+        out += pad + "MEBBE " + to_lolcode(*cond) + "\n" +
+               body_to_lolcode(body, indent + 1);
+      }
+      if (!v.no_wai.empty()) {
+        out += pad + "NO WAI\n" + body_to_lolcode(v.no_wai, indent + 1);
+      }
+      return out + pad + "OIC\n";
+    }
+    case StmtKind::kWtf: {
+      const auto& v = static_cast<const WtfStmt&>(s);
+      std::string out = pad + "WTF?\n";
+      for (const auto& c : v.cases) {
+        out += pad + "OMG " + to_lolcode(*c.literal) + "\n" +
+               body_to_lolcode(c.body, indent + 1);
+      }
+      if (v.has_default) {
+        out += pad + "OMGWTF\n" + body_to_lolcode(v.default_body, indent + 1);
+      }
+      return out + pad + "OIC\n";
+    }
+    case StmtKind::kLoop: {
+      const auto& v = static_cast<const LoopStmt&>(s);
+      std::string out = pad + "IM IN YR " + v.label;
+      switch (v.update) {
+        case LoopUpdate::kUppin:
+          out += " UPPIN YR " + v.var;
+          break;
+        case LoopUpdate::kNerfin:
+          out += " NERFIN YR " + v.var;
+          break;
+        case LoopUpdate::kFunc:
+          out += " " + v.func + " YR " + v.var;
+          break;
+        case LoopUpdate::kNone:
+          break;
+      }
+      if (v.cond_kind == LoopCond::kTil) out += " TIL " + to_lolcode(*v.cond);
+      if (v.cond_kind == LoopCond::kWile)
+        out += " WILE " + to_lolcode(*v.cond);
+      out += "\n" + body_to_lolcode(v.body, indent + 1) + pad +
+             "IM OUTTA YR " + v.label + "\n";
+      return out;
+    }
+    case StmtKind::kGtfo:
+      return pad + "GTFO\n";
+    case StmtKind::kFoundYr:
+      return pad + "FOUND YR " +
+             to_lolcode(*static_cast<const FoundYrStmt&>(s).value) + "\n";
+    case StmtKind::kFuncDef: {
+      const auto& v = static_cast<const FuncDefStmt&>(s);
+      std::string out = pad + "HOW IZ I " + v.name;
+      for (std::size_t i = 0; i < v.params.size(); ++i) {
+        out += (i ? " AN YR " : " YR ") + v.params[i];
+      }
+      out += "\n" + body_to_lolcode(v.body, indent + 1) + pad +
+             "IF U SAY SO\n";
+      return out;
+    }
+    case StmtKind::kCanHas:
+      return pad + "CAN HAS " + static_cast<const CanHasStmt&>(s).library +
+             "?\n";
+    case StmtKind::kHugz:
+      return pad + "HUGZ\n";
+    case StmtKind::kLock: {
+      const auto& v = static_cast<const LockStmt&>(s);
+      const char* kw = v.op == LockOp::kAcquire  ? "IM SRSLY MESIN WIF "
+                       : v.op == LockOp::kTry    ? "IM MESIN WIF "
+                                                 : "DUN MESIN WIF ";
+      return pad + kw + to_lolcode(*v.target) + "\n";
+    }
+    case StmtKind::kTxt: {
+      const auto& v = static_cast<const TxtStmt&>(s);
+      if (v.block_form) {
+        return pad + "TXT MAH BFF " + to_lolcode(*v.target_pe) +
+               " AN STUFF\n" + body_to_lolcode(v.body, indent + 1) + pad +
+               "TTYL\n";
+      }
+      std::string inner = body_to_lolcode(v.body, 0);
+      if (!inner.empty() && inner.back() == '\n') inner.pop_back();
+      return pad + "TXT MAH BFF " + to_lolcode(*v.target_pe) + ", " + inner +
+             "\n";
+    }
+  }
+  return pad + "<stmt>\n";
+}
+
+std::string to_lolcode(const Program& p) {
+  std::string out = "HAI";
+  if (p.version) {
+    std::ostringstream os;
+    os << *p.version;
+    std::string v = os.str();
+    if (v.find('.') == std::string::npos) v += ".0";
+    out += " " + v;
+  }
+  out += "\n";
+  out += body_to_lolcode(p.body, 0);
+  out += "KTHXBYE\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural dump
+// ---------------------------------------------------------------------------
+
+std::string dump(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumbrLit:
+      return "(numbr " +
+             support::format_numbr(static_cast<const NumbrLit&>(e).value) +
+             ")";
+    case ExprKind::kNumbarLit: {
+      std::ostringstream os;
+      os << static_cast<const NumbarLit&>(e).value;
+      return "(numbar " + os.str() + ")";
+    }
+    case ExprKind::kTroofLit:
+      return static_cast<const TroofLit&>(e).value ? "(troof WIN)"
+                                                   : "(troof FAIL)";
+    case ExprKind::kNoobLit:
+      return "(noob)";
+    case ExprKind::kYarnLit: {
+      const auto& y = static_cast<const YarnLit&>(e);
+      std::string out = "(yarn";
+      for (const auto& seg : y.segments) {
+        out += seg.is_var ? " {" + seg.text + "}"
+                          : " \"" + support::c_escape(seg.text) + "\"";
+      }
+      return out + ")";
+    }
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRef&>(e);
+      std::string q = v.locality == Locality::kRemote  ? "ur "
+                      : v.locality == Locality::kLocal ? "mah "
+                                                       : "";
+      return "(var " + q + v.name + ")";
+    }
+    case ExprKind::kSrsRef: {
+      const auto& v = static_cast<const SrsRef&>(e);
+      return "(srs " + dump(*v.name_expr) + ")";
+    }
+    case ExprKind::kIndex: {
+      const auto& v = static_cast<const IndexExpr&>(e);
+      return "(index " + dump(*v.base) + " " + dump(*v.index) + ")";
+    }
+    case ExprKind::kItRef:
+      return "(it)";
+    case ExprKind::kMe:
+      return "(me)";
+    case ExprKind::kMahFrenz:
+      return "(mah-frenz)";
+    case ExprKind::kWhatevr:
+      return "(whatevr)";
+    case ExprKind::kWhatevar:
+      return "(whatevar)";
+    case ExprKind::kBinary: {
+      const auto& v = static_cast<const BinaryExpr&>(e);
+      static const char* names[] = {"sum",       "diff",    "produkt",
+                                    "quoshunt",  "mod",     "biggr",
+                                    "smallr",    "saem",    "diffrint",
+                                    "bigger",    "smallr<", "both",
+                                    "either",    "won"};
+      return std::string("(") + names[static_cast<int>(v.op)] + " " +
+             dump(*v.lhs) + " " + dump(*v.rhs) + ")";
+    }
+    case ExprKind::kNary: {
+      const auto& v = static_cast<const NaryExpr&>(e);
+      static const char* names[] = {"all", "any", "smoosh"};
+      std::string out = std::string("(") + names[static_cast<int>(v.op)];
+      for (const auto& o : v.operands) out += " " + dump(*o);
+      return out + ")";
+    }
+    case ExprKind::kUnary: {
+      const auto& v = static_cast<const UnaryExpr&>(e);
+      static const char* names[] = {"not", "squar", "unsquar", "flip"};
+      return std::string("(") + names[static_cast<int>(v.op)] + " " +
+             dump(*v.operand) + ")";
+    }
+    case ExprKind::kCast: {
+      const auto& v = static_cast<const CastExpr&>(e);
+      return "(maek " + dump(*v.value) + " " +
+             std::string(type_name(v.type)) + ")";
+    }
+    case ExprKind::kCall: {
+      const auto& v = static_cast<const CallExpr&>(e);
+      std::string out = "(call " + v.callee;
+      for (const auto& a : v.args) out += " " + dump(*a);
+      return out + ")";
+    }
+  }
+  return "(?)";
+}
+
+namespace {
+
+std::string dump_body(const StmtList& body) {
+  std::string out;
+  for (const auto& s : body) out += " " + dump(*s);
+  return out;
+}
+
+}  // namespace
+
+std::string dump(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kVarDecl: {
+      const auto& v = static_cast<const VarDeclStmt&>(s);
+      std::string out = "(decl ";
+      out += v.scope == DeclScope::kSymmetric ? "we " : "i ";
+      out += v.name;
+      if (v.declared_type)
+        out += std::string(" :") + std::string(type_name(*v.declared_type));
+      if (v.srsly) out += " srsly";
+      if (v.is_array) {
+        out += " array";
+        if (v.array_size) out += " size=" + dump(*v.array_size);
+      }
+      if (v.init) out += " init=" + dump(*v.init);
+      if (v.sharin) out += " sharin";
+      return out + ")";
+    }
+    case StmtKind::kAssign: {
+      const auto& v = static_cast<const AssignStmt&>(s);
+      return "(assign " + dump(*v.target) + " " + dump(*v.value) + ")";
+    }
+    case StmtKind::kExpr:
+      return "(expr " + dump(*static_cast<const ExprStmt&>(s).expr) + ")";
+    case StmtKind::kVisible: {
+      const auto& v = static_cast<const VisibleStmt&>(s);
+      std::string out = v.to_stderr ? "(invisible" : "(visible";
+      for (const auto& a : v.args) out += " " + dump(*a);
+      if (!v.newline) out += " !";
+      return out + ")";
+    }
+    case StmtKind::kGimmeh:
+      return "(gimmeh " + dump(*static_cast<const GimmehStmt&>(s).target) +
+             ")";
+    case StmtKind::kCastTo: {
+      const auto& v = static_cast<const CastToStmt&>(s);
+      return "(isnowa " + dump(*v.target) + " " +
+             std::string(type_name(v.type)) + ")";
+    }
+    case StmtKind::kORly: {
+      const auto& v = static_cast<const ORlyStmt&>(s);
+      std::string out = "(orly (ya" + dump_body(v.ya_rly) + ")";
+      for (const auto& [cond, body] : v.mebbe) {
+        out += " (mebbe " + dump(*cond) + dump_body(body) + ")";
+      }
+      if (!v.no_wai.empty()) out += " (nowai" + dump_body(v.no_wai) + ")";
+      return out + ")";
+    }
+    case StmtKind::kWtf: {
+      const auto& v = static_cast<const WtfStmt&>(s);
+      std::string out = "(wtf";
+      for (const auto& c : v.cases) {
+        out += " (omg " + dump(*c.literal) + dump_body(c.body) + ")";
+      }
+      if (v.has_default) out += " (omgwtf" + dump_body(v.default_body) + ")";
+      return out + ")";
+    }
+    case StmtKind::kLoop: {
+      const auto& v = static_cast<const LoopStmt&>(s);
+      std::string out = "(loop " + v.label;
+      switch (v.update) {
+        case LoopUpdate::kUppin:
+          out += " uppin:" + v.var;
+          break;
+        case LoopUpdate::kNerfin:
+          out += " nerfin:" + v.var;
+          break;
+        case LoopUpdate::kFunc:
+          out += " " + v.func + ":" + v.var;
+          break;
+        case LoopUpdate::kNone:
+          break;
+      }
+      if (v.cond_kind == LoopCond::kTil) out += " til=" + dump(*v.cond);
+      if (v.cond_kind == LoopCond::kWile) out += " wile=" + dump(*v.cond);
+      return out + dump_body(v.body) + ")";
+    }
+    case StmtKind::kGtfo:
+      return "(gtfo)";
+    case StmtKind::kFoundYr:
+      return "(found " + dump(*static_cast<const FoundYrStmt&>(s).value) +
+             ")";
+    case StmtKind::kFuncDef: {
+      const auto& v = static_cast<const FuncDefStmt&>(s);
+      std::string out = "(func " + v.name + " (";
+      for (std::size_t i = 0; i < v.params.size(); ++i) {
+        out += (i ? " " : "") + v.params[i];
+      }
+      return out + ")" + dump_body(v.body) + ")";
+    }
+    case StmtKind::kCanHas:
+      return "(canhas " + static_cast<const CanHasStmt&>(s).library + ")";
+    case StmtKind::kHugz:
+      return "(hugz)";
+    case StmtKind::kLock: {
+      const auto& v = static_cast<const LockStmt&>(s);
+      static const char* names[] = {"lock", "trylock", "unlock"};
+      return std::string("(") + names[static_cast<int>(v.op)] + " " +
+             dump(*v.target) + ")";
+    }
+    case StmtKind::kTxt: {
+      const auto& v = static_cast<const TxtStmt&>(s);
+      return std::string("(txt ") + (v.block_form ? "block " : "") +
+             dump(*v.target_pe) + dump_body(v.body) + ")";
+    }
+  }
+  return "(?)";
+}
+
+std::string dump(const Program& p) {
+  std::string out = "(program";
+  for (const auto& s : p.body) out += "\n  " + dump(*s);
+  return out + ")";
+}
+
+}  // namespace lol::ast

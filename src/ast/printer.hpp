@@ -1,0 +1,27 @@
+// AST rendering: canonical LOLCODE pretty-printing (round-trippable
+// through the parser) and a compact structural dump for golden tests.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace lol::ast {
+
+/// Renders an expression back to canonical LOLCODE source.
+std::string to_lolcode(const Expr& e);
+
+/// Renders a statement (and children) back to canonical LOLCODE source.
+/// `indent` is the current indentation depth in two-space units.
+std::string to_lolcode(const Stmt& s, int indent = 0);
+
+/// Renders a whole program (HAI ... KTHXBYE).
+std::string to_lolcode(const Program& p);
+
+/// Structural s-expression dump, e.g. `(sum (var x) (numbr 1))`. Used by
+/// parser golden tests; stable across formatting changes.
+std::string dump(const Expr& e);
+std::string dump(const Stmt& s);
+std::string dump(const Program& p);
+
+}  // namespace lol::ast

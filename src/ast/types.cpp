@@ -1,0 +1,81 @@
+#include "ast/types.hpp"
+
+namespace lol::ast {
+
+std::string_view type_name(TypeKind t) {
+  switch (t) {
+    case TypeKind::kNoob:
+      return "NOOB";
+    case TypeKind::kTroof:
+      return "TROOF";
+    case TypeKind::kNumbr:
+      return "NUMBR";
+    case TypeKind::kNumbar:
+      return "NUMBAR";
+    case TypeKind::kYarn:
+      return "YARN";
+  }
+  return "?";
+}
+
+std::string_view bin_op_name(BinOp op) {
+  switch (op) {
+    case BinOp::kSum:
+      return "SUM OF";
+    case BinOp::kDiff:
+      return "DIFF OF";
+    case BinOp::kProdukt:
+      return "PRODUKT OF";
+    case BinOp::kQuoshunt:
+      return "QUOSHUNT OF";
+    case BinOp::kMod:
+      return "MOD OF";
+    case BinOp::kBiggr:
+      return "BIGGR OF";
+    case BinOp::kSmallr:
+      return "SMALLR OF";
+    case BinOp::kBothSaem:
+      return "BOTH SAEM";
+    case BinOp::kDiffrint:
+      return "DIFFRINT";
+    case BinOp::kBigger:
+      return "BIGGER";
+    case BinOp::kSmallrCmp:
+      return "SMALLR";
+    case BinOp::kBothOf:
+      return "BOTH OF";
+    case BinOp::kEitherOf:
+      return "EITHER OF";
+    case BinOp::kWonOf:
+      return "WON OF";
+  }
+  return "?";
+}
+
+std::string_view nary_op_name(NaryOp op) {
+  switch (op) {
+    case NaryOp::kAllOf:
+      return "ALL OF";
+    case NaryOp::kAnyOf:
+      return "ANY OF";
+    case NaryOp::kSmoosh:
+      return "SMOOSH";
+  }
+  return "?";
+}
+
+std::string_view un_op_name(UnOp op) {
+  switch (op) {
+    case UnOp::kNot:
+      return "NOT";
+    case UnOp::kSquar:
+      return "SQUAR OF";
+    case UnOp::kUnsquar:
+      return "UNSQUAR OF";
+    case UnOp::kFlip:
+      return "FLIP OF";
+  }
+  return "?";
+}
+
+}  // namespace lol::ast

@@ -1,0 +1,60 @@
+// Shared enumerations for the AST: LOLCODE value types, address-space
+// qualifiers, and operator kinds.
+#pragma once
+
+#include <string_view>
+
+namespace lol::ast {
+
+/// The five LOLCODE-1.2 value types.
+enum class TypeKind { kNoob, kTroof, kNumbr, kNumbar, kYarn };
+
+/// Canonical LOLCODE spelling ("NUMBR", ...).
+std::string_view type_name(TypeKind t);
+
+/// Address-space qualifier on a variable reference (paper Table II):
+/// `UR x` refers to the predicated remote PE's instance of symmetric `x`;
+/// `MAH x` (or no qualifier) refers to the local instance.
+enum class Locality { kDefault, kLocal, kRemote };
+
+/// Binary operators (all prefix-form: `OP expr AN expr`).
+enum class BinOp {
+  kSum,       // SUM OF       — addition
+  kDiff,      // DIFF OF      — subtraction
+  kProdukt,   // PRODUKT OF   — multiplication
+  kQuoshunt,  // QUOSHUNT OF  — division
+  kMod,       // MOD OF       — modulo
+  kBiggr,     // BIGGR OF     — max
+  kSmallr,    // SMALLR OF    — min
+  kBothSaem,  // BOTH SAEM    — equality
+  kDiffrint,  // DIFFRINT     — inequality
+  kBigger,    // BIGGER       — strict greater-than (paper Table I)
+  kSmallrCmp, // SMALLR       — strict less-than (paper Table I)
+  kBothOf,    // BOTH OF      — logical and
+  kEitherOf,  // EITHER OF    — logical or
+  kWonOf,     // WON OF       — logical xor
+};
+
+/// Canonical spelling of a binary operator.
+std::string_view bin_op_name(BinOp op);
+
+/// Variadic operators terminated by MKAY.
+enum class NaryOp {
+  kAllOf,   // ALL OF — and-reduction
+  kAnyOf,   // ANY OF — or-reduction
+  kSmoosh,  // SMOOSH — string concatenation
+};
+
+std::string_view nary_op_name(NaryOp op);
+
+/// Unary operators.
+enum class UnOp {
+  kNot,      // NOT
+  kSquar,    // SQUAR OF   — x*x (paper Table III)
+  kUnsquar,  // UNSQUAR OF — sqrt(x) (paper Table III)
+  kFlip,     // FLIP OF    — 1/x (paper Table III)
+};
+
+std::string_view un_op_name(UnOp op);
+
+}  // namespace lol::ast

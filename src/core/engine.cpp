@@ -1,0 +1,82 @@
+#include "core/engine.hpp"
+
+#include "interp/interpreter.hpp"
+#include "parse/parser.hpp"
+#include "rt/exec_context.hpp"
+#include "shmem/runtime.hpp"
+#include "vm/vm.hpp"
+
+namespace lol {
+
+std::string RunResult::first_error() const {
+  for (const auto& e : errors)
+    if (!e.empty()) return e;
+  return {};
+}
+
+double RunResult::max_sim_ns() const {
+  double m = 0.0;
+  for (double v : sim_ns) m = v > m ? v : m;
+  return m;
+}
+
+CompiledProgram compile(std::string_view source) {
+  CompiledProgram out;
+  out.program = parse::parse_program(source);
+  out.analysis = sema::analyze(out.program);
+  return out;
+}
+
+RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
+  shmem::Config scfg;
+  scfg.n_pes = cfg.n_pes;
+  scfg.heap_bytes = cfg.heap_bytes;
+  scfg.n_locks = prog.analysis.lock_count;
+  scfg.model = cfg.machine;
+  shmem::Runtime runtime(scfg);
+
+  rt::CaptureSink capture(cfg.n_pes);
+  rt::OutputSink* sink = cfg.sink != nullptr ? cfg.sink : &capture;
+  rt::VectorInput input(cfg.stdin_lines, cfg.n_pes);
+
+  // Pre-compile once for the VM backend; shared read-only by all PEs.
+  std::shared_ptr<const vm::Chunk> chunk;
+  if (cfg.backend == Backend::kVm) {
+    chunk = std::make_shared<const vm::Chunk>(
+        vm::compile_program(prog.program, prog.analysis));
+  }
+
+  shmem::LaunchResult lr = runtime.launch([&](shmem::Pe& pe) {
+    rt::ExecContext ctx(pe, cfg.seed, *sink, input);
+    switch (cfg.backend) {
+      case Backend::kInterp:
+        interp::run_pe(prog.program, prog.analysis, ctx);
+        break;
+      case Backend::kVm:
+        vm::run_pe(*chunk, ctx);
+        break;
+    }
+  });
+
+  RunResult result;
+  result.ok = lr.ok;
+  result.errors = std::move(lr.errors);
+  result.sim_ns = std::move(lr.sim_ns);
+  if (cfg.sink == nullptr) {
+    result.pe_output = capture.take_out();
+    result.pe_errout = capture.take_err();
+  } else {
+    result.pe_output.assign(static_cast<std::size_t>(cfg.n_pes), "");
+    result.pe_errout.assign(static_cast<std::size_t>(cfg.n_pes), "");
+  }
+  return result;
+}
+
+RunResult run_source(std::string_view source, const RunConfig& cfg) {
+  CompiledProgram prog = compile(source);
+  return run(prog, cfg);
+}
+
+std::string_view version() { return "1.0.0"; }
+
+}  // namespace lol

@@ -1,0 +1,79 @@
+// PARALLOL public API.
+//
+// Typical embedding:
+//
+//   auto prog = lol::compile(source);                 // lex+parse+sema
+//   lol::RunConfig cfg;
+//   cfg.n_pes = 4;
+//   auto result = lol::run(prog, cfg);                // SPMD execution
+//   std::cout << result.pe_output[0];
+//
+// The paper's command-line flow (`lcc code.lol -o x && coprsh -np 16 ./x`)
+// is provided by the `lcc` and `lolrun` tools built on this API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "noc/model.hpp"
+#include "rt/io.hpp"
+#include "sema/analyzer.hpp"
+
+namespace lol {
+
+/// Which execution backend runs the program.
+enum class Backend {
+  kInterp,  // tree-walking interpreter (reference semantics)
+  kVm,      // bytecode VM (compiled dispatch; same semantics, faster)
+};
+
+/// A compiled (parsed + analyzed) program. Movable; the analysis borrows
+/// AST nodes owned by `program`, whose addresses are stable under moves.
+struct CompiledProgram {
+  ast::Program program;
+  sema::Analysis analysis;
+};
+
+/// SPMD run configuration.
+struct RunConfig {
+  int n_pes = 1;
+  Backend backend = Backend::kInterp;
+  std::size_t heap_bytes = 1 << 20;  // symmetric heap per PE
+  noc::ModelPtr machine;             // optional simulated-time model
+  std::uint64_t seed = 20170529;     // WHATEVR/WHATEVAR determinism
+  std::vector<std::string> stdin_lines;  // GIMMEH input (per-PE cursor)
+  rt::OutputSink* sink = nullptr;    // external sink; null => capture
+};
+
+/// Outcome of an SPMD run.
+struct RunResult {
+  bool ok = false;
+  std::vector<std::string> pe_output;  // per-PE captured stdout
+  std::vector<std::string> pe_errout;  // per-PE captured stderr
+  std::vector<std::string> errors;     // per-PE error ("" when fine)
+  std::vector<double> sim_ns;          // per-PE simulated time
+
+  /// First non-empty per-PE error.
+  [[nodiscard]] std::string first_error() const;
+  /// Modeled wall-clock: max simulated time across PEs.
+  [[nodiscard]] double max_sim_ns() const;
+};
+
+/// Lexes, parses and analyzes `source`. Throws support::LexError,
+/// support::ParseError or support::SemaError with source locations.
+CompiledProgram compile(std::string_view source);
+
+/// Runs a compiled program SPMD on cfg.n_pes PEs.
+RunResult run(const CompiledProgram& prog, const RunConfig& cfg = {});
+
+/// Convenience: compile + run.
+RunResult run_source(std::string_view source, const RunConfig& cfg = {});
+
+/// Library version string.
+std::string_view version();
+
+}  // namespace lol

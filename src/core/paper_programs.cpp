@@ -1,0 +1,249 @@
+#include "core/paper_programs.hpp"
+
+namespace lol::paper {
+
+std::string ring_listing() {
+  // Paper §VI.A, completed into a runnable program (the paper shows the
+  // fragment; HAI/HUGZ/KTHXBYE framing added, values seeded so the copy
+  // is observable).
+  //
+  // One deliberate fix: the paper copies into `array` itself
+  // (`TXT MAH BFF next_pe, MAH array R UR array`), but that races — a PE
+  // can overwrite its array while its predecessor is still reading it.
+  // We copy into a separate `inbox` array, which preserves the statement
+  // shape while making the transfer well-defined (see DESIGN.md §5).
+  return R"(HAI 1.2
+BTW paper SVI.A: circular message transfer of a symmetric array
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ
+WE HAS A array ITZ SRSLY LOTZ A NUMBRS ...
+  AN THAR IZ 32
+I HAS A inbox ITZ SRSLY LOTZ A NUMBRS ...
+  AN THAR IZ 32
+I HAS A next_pe ITZ A NUMBR ...
+  AN ITZ SUM OF pe AN 1
+next_pe R MOD OF next_pe AN n_pes
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32
+  array'Z i R SUM OF PRODUKT OF pe AN 1000 AN i
+IM OUTTA YR loop
+HUGZ
+TXT MAH BFF next_pe, MAH inbox R UR array
+HUGZ
+VISIBLE "PE " pe " HAZ " inbox'Z 0 " THRU " inbox'Z 31
+KTHXBYE
+)";
+}
+
+std::string lock_counter_listing(int iterations) {
+  // Paper §VI.B: symmetric shared counter protected by the implicit lock
+  // (IM SHARIN IT), updated remotely under TXT MAH BFF predication.
+  return R"(HAI 1.2
+BTW paper SVI.B: lock-protected remote update
+WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT
+HUGZ
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN )" +
+         std::to_string(iterations) + R"(
+  TXT MAH BFF 0 AN STUFF
+    IM SRSLY MESIN WIF UR x
+    UR x R SUM OF UR x AN 1
+    DUN MESIN WIF UR x
+  TTYL
+IM OUTTA YR loop
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  VISIBLE "KOUNTER IZ " x
+OIC
+KTHXBYE
+)";
+}
+
+std::string barrier_sum_listing() {
+  // Paper §VI.C / Figure 2: each PE copies its a into neighbour k's b;
+  // after HUGZ every PE computes c = a + b from fresh data.
+  return R"(HAI 1.2
+BTW paper SVI.C: barriers and message passing (Figure 2)
+WE HAS A a ITZ SRSLY A NUMBR
+WE HAS A b ITZ SRSLY A NUMBR
+a R SUM OF PRODUKT OF ME AN 10 AN 1
+HUGZ
+I HAS A k ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+TXT MAH BFF k, UR b R MAH a
+HUGZ
+I HAS A c ITZ A NUMBR AN ITZ SUM OF a AN b
+VISIBLE "PE " ME " C IZ " c
+KTHXBYE
+)";
+}
+
+std::string nbody_listing() { return nbody_program(32, 10, true); }
+
+std::string nbody_program(int particles, int steps, bool print_positions) {
+  // Paper §VI.D, verbatim modulo the two parameters (the paper hardcodes
+  // 32 particles and 10 steps). Note the listing's quirks are preserved:
+  // dx/dy are squared before being used in the accumulation, and the
+  // remote-interaction loop recomputes dx/dy per particle j of PE k.
+  const std::string n = std::to_string(particles);
+  const std::string t = std::to_string(steps);
+  std::string src = R"(HAI 1.2
+OBTW
+* 2D N-Body algorithm: propagate particles
+* subject to Newtonian dynamics written in
+* LOLCODE with parallel and other extensions.
+TLDR
+
+I HAS A little_time ITZ SRSLY A NUMBAR ...
+  AN ITZ 0.001
+
+I HAS A x ITZ SRSLY A NUMBAR
+I HAS A y ITZ SRSLY A NUMBAR
+I HAS A vx ITZ SRSLY A NUMBAR
+I HAS A vy ITZ SRSLY A NUMBAR
+I HAS A ax ITZ SRSLY A NUMBAR
+I HAS A ay ITZ SRSLY A NUMBAR
+I HAS A dx ITZ SRSLY A NUMBAR
+I HAS A dy ITZ SRSLY A NUMBAR
+I HAS A inv_d ITZ SRSLY A NUMBAR
+I HAS A f ITZ SRSLY A NUMBAR
+
+I HAS A vel_x ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@
+I HAS A vel_y ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@
+I HAS A tmppos_x ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@
+I HAS A tmppos_y ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@
+
+WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@ AN IM SHARIN IT
+WE HAS A pos_y ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ @N@ AN IM SHARIN IT
+
+VISIBLE "HAI ITZ " ME " I HAS PARTICLZ 2 MUV"
+
+HUGZ
+
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN @N@
+  pos_x'Z i R SUM OF ME AN WHATEVAR
+  pos_y'Z i R SUM OF ME AN WHATEVAR
+  vel_x'Z i R QUOSHUNT OF SUM OF ME ...
+    AN WHATEVAR AN 1000
+  vel_y'Z i R QUOSHUNT OF SUM OF ME ...
+    AN WHATEVAR AN 1000
+IM OUTTA YR loop
+
+IM IN YR loop UPPIN YR time TIL BOTH SAEM ...
+  time AN @T@
+
+  IM IN YR loop UPPIN YR i TIL BOTH SAEM ...
+    i AN @N@
+    x R pos_x'Z i
+    y R pos_y'Z i
+    vx R vel_x'Z i
+    vy R vel_y'Z i
+    ax R 0
+    ay R 0
+    IM IN YR loop UPPIN YR j TIL ...
+      BOTH SAEM j AN @N@
+      DIFFRINT i AN j, O RLY?
+      YA RLY,
+        dx R DIFF OF pos_x'Z i AN pos_x'Z j
+        dy R DIFF OF pos_y'Z i AN pos_y'Z j
+        dx R PRODUKT OF dx AN dx
+        dy R PRODUKT OF dy AN dy
+        inv_d R FLIP OF UNSQUAR OF ...
+          SUM OF dx AN dy
+        f R PRODUKT OF inv_d AN ...
+          SQUAR OF inv_d
+        ax R SUM OF ax AN PRODUKT OF dx AN f
+        ay R SUM OF ay AN PRODUKT OF dy AN f
+      OIC
+    IM OUTTA YR loop
+
+    IM IN YR loop UPPIN YR k TIL ...
+      BOTH SAEM k AN MAH FRENZ
+      DIFFRINT k AN ME, O RLY?
+        YA RLY,
+          IM IN YR loop UPPIN YR j TIL ...
+            BOTH SAEM j AN @N@
+            TXT MAH BFF k AN STUFF,
+              dx R DIFF OF pos_x'Z i AN ...
+                UR pos_x'Z j
+              dy R DIFF OF pos_y'Z i AN ...
+                UR pos_y'Z j
+            TTYL
+            dx R PRODUKT OF dx AN dx
+            dy R PRODUKT OF dy AN dy
+            inv_d R FLIP OF UNSQUAR OF ...
+              SUM OF dx AN dy
+            f R PRODUKT OF inv_d AN ...
+              SQUAR OF inv_d
+            ax R SUM OF ax AN PRODUKT OF ...
+              dx AN f
+            ay R SUM OF ay AN PRODUKT OF ...
+              dy AN f
+          IM OUTTA YR loop
+      OIC
+    IM OUTTA YR loop
+
+    x R SUM OF x AN SUM OF PRODUKT OF vx ...
+      AN little_time AN PRODUKT OF 0.5 ...
+      AN PRODUKT OF ax AN SQUAR OF ...
+      little_time
+    y R SUM OF y AN SUM OF PRODUKT OF vy ...
+      AN little_time AN PRODUKT OF 0.5 ...
+      AN PRODUKT OF ay AN SQUAR OF ...
+      little_time
+
+    vx R SUM OF vx AN PRODUKT OF ax AN ...
+      little_time
+    vy R SUM OF vy AN PRODUKT OF ay AN ...
+      little_time
+
+    tmppos_x'Z i R x
+    tmppos_y'Z i R y
+    vel_x'Z i R vx
+    vel_y'Z i R vy
+  IM OUTTA YR loop
+
+  HUGZ
+
+  IM IN YR loop UPPIN YR i TIL BOTH SAEM ...
+    i AN @N@
+    pos_x'Z i R tmppos_x'Z i
+    pos_y'Z i R tmppos_y'Z i
+  IM OUTTA YR loop
+
+  HUGZ
+
+IM OUTTA YR loop
+)";
+  // Note: the paper prints `", MAH PARTICLZ IZ:"`, but a trailing `:"` is
+  // a LOLCODE escape for a literal quote, leaving the YARN unterminated;
+  // we escape the colon (`::`) to keep the intended output.
+  if (print_positions) {
+    src += R"(VISIBLE "O HAI ITZ " ME ", MAH PARTICLZ IZ::"
+IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN @N@
+  VISIBLE pos_x'Z i " " pos_y'Z i
+IM OUTTA YR loop
+)";
+  }
+  src += "\nKTHXBYE\n";
+
+  // Substitute the parameters.
+  auto replace_all = [](std::string s, const std::string& from,
+                        const std::string& to) {
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+      s.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+    return s;
+  };
+  src = replace_all(std::move(src), "@N@", n);
+  src = replace_all(std::move(src), "@T@", t);
+  return src;
+}
+
+}  // namespace lol::paper

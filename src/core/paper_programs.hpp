@@ -1,0 +1,32 @@
+// The paper's example programs (§VI), shipped as library resources so
+// tests, examples and benches all exercise the exact published listings.
+#pragma once
+
+#include <string>
+
+namespace lol::paper {
+
+/// §VI.A — initialization and symmetric memory allocation: circular
+/// whole-array transfer between neighbouring PEs.
+std::string ring_listing();
+
+/// §VI.B — parallel synchronization with implicit locks: lock-protected
+/// remote update of a shared counter on PE `target` (default 0 per the
+/// paper's fragment shape; the fragment uses PE k).
+std::string lock_counter_listing(int iterations = 50);
+
+/// §VI.C — barriers and message passing (the Figure-2 pattern):
+/// `TXT MAH BFF k, UR b R MAH a` / `HUGZ` / `c R SUM OF a AN b`.
+std::string barrier_sum_listing();
+
+/// §VI.D — the complete parallel 2-D n-body listing, verbatim from the
+/// paper (32 particles per PE, 10 time steps).
+std::string nbody_listing();
+
+/// §VI.D parameterized: same algorithm with configurable particle count
+/// and step count (used by the scaling benches). `print_positions`
+/// controls the final VISIBLE loop.
+std::string nbody_program(int particles, int steps,
+                          bool print_positions = false);
+
+}  // namespace lol::paper

@@ -1,0 +1,66 @@
+#include "driver/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lol::driver {
+
+Cli::Cli(int argc, char** argv) {
+  prog_ = argc > 0 ? argv[0] : "tool";
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  used_.assign(args_.size(), false);
+}
+
+void Cli::consume(std::size_t i, std::size_t n) {
+  for (std::size_t k = i; k < i + n && k < used_.size(); ++k) used_[k] = true;
+}
+
+bool Cli::has_flag(const std::string& name, const std::string& alias) {
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (used_[i]) continue;
+    if (args_[i] == name || (!alias.empty() && args_[i] == alias)) {
+      consume(i, 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> Cli::option(const std::string& name,
+                                       const std::string& alias) {
+  for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+    if (used_[i]) continue;
+    if (args_[i] == name || (!alias.empty() && args_[i] == alias)) {
+      consume(i, 2);
+      return args_[i + 1];
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& Cli::positional() {
+  if (!positional_built_) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!used_[i]) positional_.push_back(args_[i]);
+    }
+    positional_built_ = true;
+  }
+  return positional_;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+}  // namespace lol::driver

@@ -1,0 +1,45 @@
+// Tiny argv helper shared by the lcc / lolrun command-line tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lol::driver {
+
+/// Minimal flag parser: supports `--flag`, `--key value`, `-k value` and
+/// positional arguments, in any order.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True when `--name` (or an alias) was present.
+  bool has_flag(const std::string& name, const std::string& alias = "");
+
+  /// Value of `--name <value>`; nullopt when absent.
+  std::optional<std::string> option(const std::string& name,
+                                    const std::string& alias = "");
+
+  /// Positional arguments remaining after flags/options are consumed.
+  [[nodiscard]] const std::vector<std::string>& positional();
+
+  /// The program name (argv[0]).
+  [[nodiscard]] const std::string& prog() const { return prog_; }
+
+ private:
+  void consume(std::size_t i, std::size_t n);
+
+  std::string prog_;
+  std::vector<std::string> args_;
+  std::vector<bool> used_;
+  std::vector<std::string> positional_;
+  bool positional_built_ = false;
+};
+
+/// Reads a whole file; returns nullopt when unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Writes a whole file; returns false on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace lol::driver

@@ -1,0 +1,90 @@
+// Variable storage and lexical scoping for the interpreter.
+//
+// LOLCODE variables are dynamically typed; the paper's extensions add
+// statically typed variables (ITZ SRSLY A), real arrays (LOTZ A), and
+// symmetric PGAS objects (WE HAS A) that live in the shmem symmetric heap
+// rather than in the environment.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/types.hpp"
+#include "rt/objects.hpp"
+#include "rt/value.hpp"
+#include "support/error.hpp"
+
+namespace lol::interp {
+
+using rt::PrivateArray;
+using rt::SymHandle;
+
+/// One named variable.
+struct Variable {
+  rt::Value value;                          // private scalar payload
+  std::optional<ast::TypeKind> static_type; // SRSLY static typing
+  std::shared_ptr<PrivateArray> array;      // private array payload
+  std::optional<SymHandle> sym;             // symmetric object
+
+  [[nodiscard]] bool is_array() const {
+    return array != nullptr || (sym && sym->is_array);
+  }
+};
+
+/// A lexical scope. The global scope owns the program's IT; function
+/// scopes own their own IT; loop/iteration scopes share their parent's.
+class Env {
+ public:
+  /// Root (global or function) scope with its own IT.
+  static Env make_root() { return Env(nullptr, /*own_it=*/true); }
+
+  /// Child scope (loop body, iteration) sharing the parent's IT.
+  static Env make_child(Env& parent) {
+    return Env(&parent, /*own_it=*/false);
+  }
+
+  /// Function scope: sees `globals` for lookups but has a fresh IT.
+  static Env make_function(Env& globals) {
+    return Env(&globals, /*own_it=*/true);
+  }
+
+  /// Finds a variable, walking the parent chain. Returns nullptr when the
+  /// name is not bound anywhere.
+  Variable* find(const std::string& name) {
+    for (Env* e = this; e != nullptr; e = e->parent_) {
+      auto it = e->vars_.find(name);
+      if (it != e->vars_.end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Declares a variable in this scope. Redeclaring a name that already
+  /// exists *in this same scope* is an error (matching lci).
+  Variable& declare(const std::string& name, support::SourceLoc loc = {}) {
+    auto [it, inserted] = vars_.emplace(name, Variable{});
+    if (!inserted) {
+      throw support::RuntimeError("variable '" + name +
+                                      "' is already declared in this scope",
+                                  loc);
+    }
+    return it->second;
+  }
+
+  /// The IT slot this scope uses (own or inherited).
+  rt::Value& it() { return *it_slot_; }
+
+ private:
+  Env(Env* parent, bool own_it) : parent_(parent) {
+    it_slot_ = own_it ? &own_it_ : &parent_->it();
+  }
+
+  Env* parent_;
+  std::unordered_map<std::string, Variable> vars_;
+  rt::Value own_it_;
+  rt::Value* it_slot_;
+};
+
+}  // namespace lol::interp

@@ -1,0 +1,159 @@
+#include "lex/keywords.hpp"
+
+#include <map>
+#include <memory>
+
+namespace lol::lex {
+
+const std::vector<std::pair<std::string_view, Keyword>>& keyword_phrases() {
+  static const std::vector<std::pair<std::string_view, Keyword>> kPhrases = {
+      {"HAI", Keyword::kHai},
+      {"KTHXBYE", Keyword::kKthxbye},
+      {"CAN HAS", Keyword::kCanHas},
+      {"VISIBLE", Keyword::kVisible},
+      {"INVISIBLE", Keyword::kInvisible},
+      {"GIMMEH", Keyword::kGimmeh},
+      {"I HAS A", Keyword::kIHasA},
+      {"WE HAS A", Keyword::kWeHasA},
+      {"ITZ", Keyword::kItz},
+      {"ITZ A", Keyword::kItzA},
+      {"ITZ SRSLY A", Keyword::kItzSrslyA},
+      {"ITZ LOTZ A", Keyword::kItzLotzA},
+      {"ITZ SRSLY LOTZ A", Keyword::kItzSrslyLotzA},
+      {"THAR IZ", Keyword::kTharIz},
+      {"IM SHARIN IT", Keyword::kImSharinIt},
+      {"AN", Keyword::kAn},
+      {"R", Keyword::kR},
+      {"IS NOW A", Keyword::kIsNowA},
+      {"MAEK", Keyword::kMaek},
+      {"A", Keyword::kA},
+      {"SRS", Keyword::kSrs},
+      {"IT", Keyword::kIt},
+      {"SUM OF", Keyword::kSumOf},
+      {"DIFF OF", Keyword::kDiffOf},
+      {"PRODUKT OF", Keyword::kProduktOf},
+      {"QUOSHUNT OF", Keyword::kQuoshuntOf},
+      {"MOD OF", Keyword::kModOf},
+      {"BIGGR OF", Keyword::kBiggrOf},
+      {"SMALLR OF", Keyword::kSmallrOf},
+      {"BOTH SAEM", Keyword::kBothSaem},
+      {"DIFFRINT", Keyword::kDiffrint},
+      {"BIGGER", Keyword::kBigger},
+      {"SMALLR", Keyword::kSmallr},
+      {"BOTH OF", Keyword::kBothOf},
+      {"EITHER OF", Keyword::kEitherOf},
+      {"WON OF", Keyword::kWonOf},
+      {"NOT", Keyword::kNot},
+      {"ALL OF", Keyword::kAllOf},
+      {"ANY OF", Keyword::kAnyOf},
+      {"SMOOSH", Keyword::kSmoosh},
+      {"MKAY", Keyword::kMkay},
+      {"O RLY", Keyword::kORly},
+      {"YA RLY", Keyword::kYaRly},
+      {"NO WAI", Keyword::kNoWai},
+      {"MEBBE", Keyword::kMebbe},
+      {"OIC", Keyword::kOic},
+      {"WTF", Keyword::kWtf},
+      {"OMG", Keyword::kOmg},
+      {"OMGWTF", Keyword::kOmgwtf},
+      {"GTFO", Keyword::kGtfo},
+      {"IM IN YR", Keyword::kImInYr},
+      {"UPPIN", Keyword::kUppin},
+      {"NERFIN", Keyword::kNerfin},
+      {"YR", Keyword::kYr},
+      {"TIL", Keyword::kTil},
+      {"WILE", Keyword::kWile},
+      {"IM OUTTA YR", Keyword::kImOuttaYr},
+      {"HOW IZ I", Keyword::kHowIzI},
+      {"IF U SAY SO", Keyword::kIfUSaySo},
+      {"I IZ", Keyword::kIIz},
+      {"FOUND YR", Keyword::kFoundYr},
+      {"ME", Keyword::kMe},
+      {"MAH FRENZ", Keyword::kMahFrenz},
+      {"MAH", Keyword::kMah},
+      {"UR", Keyword::kUr},
+      {"HUGZ", Keyword::kHugz},
+      {"TXT MAH BFF", Keyword::kTxtMahBff},
+      {"AN STUFF", Keyword::kAnStuff},
+      {"TTYL", Keyword::kTtyl},
+      {"IM SRSLY MESIN WIF", Keyword::kImSrslyMesinWif},
+      {"IM MESIN WIF", Keyword::kImMesinWif},
+      {"DUN MESIN WIF", Keyword::kDunMesinWif},
+      {"NUMBR", Keyword::kNumbr},
+      {"NUMBRS", Keyword::kNumbrs},
+      {"NUMBAR", Keyword::kNumbar},
+      {"NUMBARS", Keyword::kNumbars},
+      {"YARN", Keyword::kYarn},
+      {"YARNS", Keyword::kYarns},
+      {"TROOF", Keyword::kTroof},
+      {"TROOFS", Keyword::kTroofs},
+      {"NOOB", Keyword::kNoob},
+      {"WIN", Keyword::kWin},
+      {"FAIL", Keyword::kFail},
+      {"WHATEVR", Keyword::kWhatevr},
+      {"WHATEVAR", Keyword::kWhatevar},
+      {"SQUAR OF", Keyword::kSquarOf},
+      {"UNSQUAR OF", Keyword::kUnsquarOf},
+      {"FLIP OF", Keyword::kFlipOf},
+  };
+  return kPhrases;
+}
+
+std::string_view keyword_spelling(Keyword k) {
+  for (const auto& [spelling, kw] : keyword_phrases()) {
+    if (kw == k) return spelling;
+  }
+  return "<keyword>";
+}
+
+namespace {
+
+/// Word-level trie for longest-phrase matching.
+struct TrieNode {
+  std::optional<Keyword> terminal;
+  std::map<std::string_view, std::unique_ptr<TrieNode>> children;
+};
+
+const TrieNode& phrase_trie() {
+  static const std::unique_ptr<TrieNode> root = [] {
+    auto r = std::make_unique<TrieNode>();
+    for (const auto& [spelling, kw] : keyword_phrases()) {
+      TrieNode* node = r.get();
+      std::size_t start = 0;
+      while (start <= spelling.size()) {
+        std::size_t space = spelling.find(' ', start);
+        std::string_view word = spelling.substr(
+            start, space == std::string_view::npos ? std::string_view::npos
+                                                   : space - start);
+        auto it = node->children.find(word);
+        if (it == node->children.end()) {
+          it = node->children.emplace(word, std::make_unique<TrieNode>())
+                   .first;
+        }
+        node = it->second.get();
+        if (space == std::string_view::npos) break;
+        start = space + 1;
+      }
+      node->terminal = kw;
+    }
+    return r;
+  }();
+  return *root;
+}
+
+}  // namespace
+
+std::optional<std::pair<Keyword, std::size_t>> match_keyword_phrase(
+    const std::vector<std::string_view>& words) {
+  const TrieNode* node = &phrase_trie();
+  std::optional<std::pair<Keyword, std::size_t>> best;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto it = node->children.find(words[i]);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    if (node->terminal) best = {*node->terminal, i + 1};
+  }
+  return best;
+}
+
+}  // namespace lol::lex

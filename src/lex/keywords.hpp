@@ -1,0 +1,153 @@
+// The LOLCODE keyword inventory: LOLCODE-1.2 plus the parallel/distributed
+// extensions of Richie & Ross 2017 (paper Tables I, II and III).
+//
+// LOLCODE keywords are *phrases* — sequences of upper-case words such as
+// "I HAS A" or "IM SRSLY MESIN WIF". The lexer scans words and then merges
+// them into keyword tokens with longest-phrase matching (see PhraseTrie).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace lol::lex {
+
+/// Every keyword phrase recognised by the frontend.
+enum class Keyword {
+  // Program structure.
+  kHai,        // HAI           — begins a program
+  kKthxbye,    // KTHXBYE       — ends a program
+  kCanHas,     // CAN HAS       — library import (CAN HAS STDIO?)
+
+  // IO.
+  kVisible,    // VISIBLE       — print to stdout
+  kInvisible,  // INVISIBLE     — print to stderr
+  kGimmeh,     // GIMMEH        — read line from stdin
+
+  // Declarations.
+  kIHasA,           // I HAS A            — private variable declaration
+  kWeHasA,          // WE HAS A           — symmetric (PGAS) declaration
+  kItz,             // ITZ                — initializer clause
+  kItzA,            // ITZ A              — dynamic-typed clause
+  kItzSrslyA,       // ITZ SRSLY A        — statically typed clause (ext.)
+  kItzLotzA,        // ITZ LOTZ A         — array clause (ext.)
+  kItzSrslyLotzA,   // ITZ SRSLY LOTZ A   — statically typed array (ext.)
+  kTharIz,          // THAR IZ            — array size clause (ext.)
+  kImSharinIt,      // IM SHARIN IT       — attach a global lock (ext.)
+  kAn,              // AN                 — clause/operand separator
+
+  // Assignment and casts.
+  kR,        // R          — assignment
+  kIsNowA,   // IS NOW A   — in-place cast
+  kMaek,     // MAEK       — cast expression
+  kA,        // A          — type introducer in MAEK
+  kSrs,      // SRS        — string-as-identifier indirection
+  kIt,       // IT         — the implicit result variable
+
+  // Arithmetic (Table I).
+  kSumOf,       // SUM OF
+  kDiffOf,      // DIFF OF
+  kProduktOf,   // PRODUKT OF
+  kQuoshuntOf,  // QUOSHUNT OF
+  kModOf,       // MOD OF
+  kBiggrOf,     // BIGGR OF   — max (LOLCODE-1.2)
+  kSmallrOf,    // SMALLR OF  — min (LOLCODE-1.2)
+
+  // Comparison (Table I; BIGGER/SMALLR are the paper's spellings for
+  // strict greater-/less-than).
+  kBothSaem,  // BOTH SAEM
+  kDiffrint,  // DIFFRINT
+  kBigger,    // BIGGER     — greater-than (paper ext.)
+  kSmallr,    // SMALLR     — less-than (paper ext.)
+
+  // Boolean.
+  kBothOf,    // BOTH OF    — and
+  kEitherOf,  // EITHER OF  — or
+  kWonOf,     // WON OF     — xor
+  kNot,       // NOT
+  kAllOf,     // ALL OF ... MKAY — variadic and
+  kAnyOf,     // ANY OF ... MKAY — variadic or
+
+  // Strings.
+  kSmoosh,  // SMOOSH ... MKAY — concatenation
+  kMkay,    // MKAY            — variadic terminator
+
+  // Conditionals.
+  kORly,   // O RLY?
+  kYaRly,  // YA RLY
+  kNoWai,  // NO WAI
+  kMebbe,  // MEBBE — else-if
+  kOic,    // OIC
+
+  // Switch.
+  kWtf,     // WTF?
+  kOmg,     // OMG literal
+  kOmgwtf,  // OMGWTF — default
+  kGtfo,    // GTFO — break / return NOOB
+
+  // Loops.
+  kImInYr,     // IM IN YR
+  kUppin,      // UPPIN
+  kNerfin,     // NERFIN
+  kYr,         // YR
+  kTil,        // TIL
+  kWile,       // WILE
+  kImOuttaYr,  // IM OUTTA YR
+
+  // Functions.
+  kHowIzI,    // HOW IZ I
+  kIfUSaySo,  // IF U SAY SO
+  kIIz,       // I IZ name YR args MKAY — call
+  kFoundYr,   // FOUND YR — return
+
+  // Parallel extensions (Table II).
+  kMe,               // ME                  — executing PE id
+  kMahFrenz,         // MAH FRENZ           — total PE count
+  kMah,              // MAH                 — local address-space qualifier
+  kUr,               // UR                  — remote address-space qualifier
+  kHugz,             // HUGZ                — collective barrier
+  kTxtMahBff,        // TXT MAH BFF         — thread predication
+  kAnStuff,          // AN STUFF            — begin predicated block
+  kTtyl,             // TTYL                — end predicated block
+  kImSrslyMesinWif,  // IM SRSLY MESIN WIF  — blocking lock acquire
+  kImMesinWif,       // IM MESIN WIF        — non-blocking trylock
+  kDunMesinWif,      // DUN MESIN WIF       — lock release
+
+  // Types (singular and plural forms; plural appears in LOTZ A NUMBRS).
+  kNumbr,
+  kNumbrs,
+  kNumbar,
+  kNumbars,
+  kYarn,
+  kYarns,
+  kTroof,
+  kTroofs,
+  kNoob,
+
+  // Literals.
+  kWin,   // WIN  — TROOF true
+  kFail,  // FAIL — TROOF false
+
+  // Math/RNG extensions (Table III).
+  kWhatevr,    // WHATEVR     — random NUMBR
+  kWhatevar,   // WHATEVAR    — random NUMBAR
+  kSquarOf,    // SQUAR OF    — x*x
+  kUnsquarOf,  // UNSQUAR OF  — sqrt(x)
+  kFlipOf,     // FLIP OF     — 1/x
+};
+
+/// Canonical spelling of a keyword ("I HAS A"), for diagnostics and for
+/// the AST pretty-printer.
+std::string_view keyword_spelling(Keyword k);
+
+/// The full phrase inventory as (spelling, keyword) pairs.
+const std::vector<std::pair<std::string_view, Keyword>>& keyword_phrases();
+
+/// Longest-match phrase recognizer over a window of scanned words.
+/// `words` is the lookahead window starting at the current word. Returns
+/// the matched keyword and how many words it consumed, or nullopt when the
+/// current word starts no keyword phrase.
+std::optional<std::pair<Keyword, std::size_t>> match_keyword_phrase(
+    const std::vector<std::string_view>& words);
+
+}  // namespace lol::lex

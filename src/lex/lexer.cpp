@@ -1,0 +1,347 @@
+#include "lex/lexer.hpp"
+
+#include <cctype>
+
+#include "support/string_util.hpp"
+
+namespace lol::lex {
+
+namespace {
+
+bool is_word_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skip_line_comment() {
+  while (!at_end() && peek() != '\n') advance();
+}
+
+void Lexer::skip_block_comment(support::SourceLoc loc) {
+  // Scan forward for the standalone word TLDR, swallowing newlines.
+  while (!at_end()) {
+    if (is_word_start(peek())) {
+      std::string word;
+      while (!at_end() && is_word_char(peek())) word += advance();
+      if (word == "TLDR") return;
+    } else {
+      advance();
+    }
+  }
+  throw support::LexError("OBTW comment is never closed by TLDR", loc);
+}
+
+void Lexer::handle_continuation(support::SourceLoc loc) {
+  // Swallow trailing whitespace, an optional BTW comment, and the newline.
+  while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) {
+    advance();
+  }
+  if (!at_end() && is_word_start(peek())) {
+    std::size_t save_pos = pos_;
+    std::uint32_t save_line = line_, save_col = col_;
+    std::string word;
+    while (!at_end() && is_word_char(peek())) word += advance();
+    if (word == "BTW") {
+      skip_line_comment();
+    } else {
+      pos_ = save_pos;
+      line_ = save_line;
+      col_ = save_col;
+      throw support::LexError(
+          "line continuation '...' must end the line (found '" + word + "')",
+          loc);
+    }
+  }
+  if (at_end()) return;
+  if (peek() != '\n') {
+    throw support::LexError("line continuation '...' must end the line", loc);
+  }
+  advance();  // swallow the newline: the statement continues
+}
+
+Lexer::Raw Lexer::scan_yarn(support::SourceLoc loc) {
+  Raw out{TokKind::kYarn, {}, 0, 0.0, {}, loc};
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.segments.push_back({false, current});
+      current.clear();
+    }
+  };
+  while (true) {
+    if (at_end() || peek() == '\n') {
+      throw support::LexError("unterminated YARN literal", loc);
+    }
+    char c = advance();
+    if (c == '"') break;
+    if (c != ':') {
+      current += c;
+      continue;
+    }
+    if (at_end()) throw support::LexError("unterminated YARN escape", loc);
+    char e = advance();
+    switch (e) {
+      case ')':
+        current += '\n';
+        break;
+      case '>':
+        current += '\t';
+        break;
+      case 'o':
+        current += '\a';
+        break;
+      case '"':
+        current += '"';
+        break;
+      case ':':
+        current += ':';
+        break;
+      case '{': {
+        std::string name;
+        while (!at_end() && peek() != '}' && peek() != '\n') name += advance();
+        if (at_end() || peek() != '}') {
+          throw support::LexError("unterminated :{var} interpolation", loc);
+        }
+        advance();  // '}'
+        if (name.empty() || !is_word_start(name[0])) {
+          throw support::LexError(
+              "bad variable name in :{var} interpolation: '" + name + "'",
+              loc);
+        }
+        flush();
+        out.segments.push_back({true, name});
+        break;
+      }
+      case '(': {
+        // :(<hex>) — Unicode code point, encoded as UTF-8.
+        std::string hex;
+        while (!at_end() && peek() != ')' && peek() != '\n') hex += advance();
+        if (at_end() || peek() != ')') {
+          throw support::LexError("unterminated :(<hex>) escape", loc);
+        }
+        advance();  // ')'
+        char32_t cp = 0;
+        if (hex.empty()) throw support::LexError("empty :(<hex>) escape", loc);
+        for (char h : hex) {
+          int v;
+          if (h >= '0' && h <= '9')
+            v = h - '0';
+          else if (h >= 'a' && h <= 'f')
+            v = h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F')
+            v = h - 'A' + 10;
+          else
+            throw support::LexError("bad hex digit in :(<hex>) escape", loc);
+          cp = cp * 16 + static_cast<char32_t>(v);
+        }
+        // UTF-8 encode.
+        if (cp < 0x80) {
+          current += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          current += static_cast<char>(0xC0 | (cp >> 6));
+          current += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+          current += static_cast<char>(0xE0 | (cp >> 12));
+          current += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          current += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          current += static_cast<char>(0xF0 | (cp >> 18));
+          current += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+          current += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          current += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        break;
+      }
+      default:
+        throw support::LexError(std::string("unknown YARN escape ':") + e +
+                                    "'",
+                                loc);
+    }
+  }
+  flush();
+  if (out.segments.empty()) out.segments.push_back({false, ""});
+  return out;
+}
+
+Lexer::Raw Lexer::scan_number(support::SourceLoc loc) {
+  std::string digits;
+  if (peek() == '-') digits += advance();
+  while (!at_end() && is_digit(peek())) digits += advance();
+  bool is_float = false;
+  if (!at_end() && peek() == '.' && is_digit(peek(1))) {
+    is_float = true;
+    digits += advance();  // '.'
+    while (!at_end() && is_digit(peek())) digits += advance();
+  }
+  Raw out{is_float ? TokKind::kNumbar : TokKind::kNumbr, {}, 0, 0.0, {}, loc};
+  if (is_float) {
+    auto v = support::parse_numbar(digits);
+    if (!v) throw support::LexError("bad NUMBAR literal '" + digits + "'", loc);
+    out.numbar = *v;
+  } else {
+    auto v = support::parse_numbr(digits);
+    if (!v) throw support::LexError("bad NUMBR literal '" + digits + "'", loc);
+    out.numbr = *v;
+  }
+  return out;
+}
+
+std::vector<Lexer::Raw> Lexer::scan_raw() {
+  std::vector<Raw> out;
+  while (!at_end()) {
+    support::SourceLoc loc = here();
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      continue;
+    }
+    if (c == '\n' || c == ',') {
+      advance();
+      out.push_back({TokKind::kNewline, {}, 0, 0.0, {}, loc});
+      continue;
+    }
+    if (c == '?') {
+      advance();
+      out.push_back({TokKind::kQuestion, {}, 0, 0.0, {}, loc});
+      continue;
+    }
+    if (c == '!') {
+      advance();
+      out.push_back({TokKind::kBang, {}, 0, 0.0, {}, loc});
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      out.push_back(scan_yarn(loc));
+      continue;
+    }
+    if (is_digit(c) || (c == '-' && is_digit(peek(1)))) {
+      out.push_back(scan_number(loc));
+      continue;
+    }
+    if (c == '\'') {
+      if (peek(1) == 'Z' && !is_word_char(peek(2))) {
+        advance();
+        advance();
+        out.push_back({TokKind::kTickZ, {}, 0, 0.0, {}, loc});
+        continue;
+      }
+      throw support::LexError("stray ' (expected 'Z array index)", loc);
+    }
+    if (c == '.') {
+      if (peek(1) == '.' && peek(2) == '.') {
+        advance();
+        advance();
+        advance();
+        handle_continuation(loc);
+        continue;
+      }
+      throw support::LexError("stray '.' (expected '...' continuation)", loc);
+    }
+    // UTF-8 ellipsis '…' (E2 80 A6).
+    if (static_cast<unsigned char>(c) == 0xE2 &&
+        static_cast<unsigned char>(peek(1)) == 0x80 &&
+        static_cast<unsigned char>(peek(2)) == 0xA6) {
+      advance();
+      advance();
+      advance();
+      handle_continuation(loc);
+      continue;
+    }
+    if (is_word_start(c)) {
+      std::string word;
+      while (!at_end() && is_word_char(peek())) word += advance();
+      if (word == "BTW") {
+        skip_line_comment();
+        continue;
+      }
+      if (word == "OBTW") {
+        skip_block_comment(loc);
+        continue;
+      }
+      out.push_back({TokKind::kIdentifier, std::move(word), 0, 0.0, {}, loc});
+      continue;
+    }
+    throw support::LexError(std::string("unexpected character '") + c + "'",
+                            loc);
+  }
+  return out;
+}
+
+std::vector<Token> Lexer::merge_phrases(std::vector<Raw> raw) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    Raw& r = raw[i];
+    if (r.kind == TokKind::kIdentifier) {
+      // Build the lookahead window of consecutive words (phrases never
+      // cross literals or separators). Longest phrase is four words.
+      std::vector<std::string_view> window;
+      for (std::size_t j = i;
+           j < raw.size() && window.size() < 4 &&
+           raw[j].kind == TokKind::kIdentifier;
+           ++j) {
+        window.push_back(raw[j].text);
+      }
+      if (auto m = match_keyword_phrase(window)) {
+        Token t;
+        t.kind = TokKind::kKeyword;
+        t.keyword = m->first;
+        t.loc = r.loc;
+        out.push_back(std::move(t));
+        i += m->second;
+        continue;
+      }
+      Token t;
+      t.kind = TokKind::kIdentifier;
+      t.text = std::move(r.text);
+      t.loc = r.loc;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    Token t;
+    t.kind = r.kind;
+    t.numbr = r.numbr;
+    t.numbar = r.numbar;
+    t.segments = std::move(r.segments);
+    t.loc = r.loc;
+    out.push_back(std::move(t));
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Token> Lexer::lex() {
+  std::vector<Token> toks = merge_phrases(scan_raw());
+  support::SourceLoc end = here();
+  if (toks.empty() || toks.back().kind != TokKind::kNewline) {
+    toks.push_back(Token{TokKind::kNewline, {}, "", 0, 0.0, {}, end});
+  }
+  toks.push_back(Token{TokKind::kEof, {}, "", 0, 0.0, {}, end});
+  return toks;
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).lex();
+}
+
+}  // namespace lol::lex

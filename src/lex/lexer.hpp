@@ -1,0 +1,67 @@
+// The LOLCODE lexer.
+//
+// Phase 1 scans characters into raw tokens (words, literals, separators),
+// handling YARN escapes/interpolation, BTW / OBTW..TLDR comments, and
+// `...`/`…` line continuations. Phase 2 merges consecutive words into
+// multi-word keyword tokens with longest-phrase matching.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lex/token.hpp"
+#include "support/error.hpp"
+
+namespace lol::lex {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Tokenizes the whole buffer. Throws support::LexError on malformed
+  /// input (unterminated YARN, bad escape, stray character). The returned
+  /// stream always ends with a kNewline followed by kEof so the parser
+  /// never needs to special-case the last statement.
+  std::vector<Token> lex();
+
+ private:
+  struct Raw {
+    TokKind kind;
+    std::string text;  // word spelling / identifier
+    std::int64_t numbr = 0;
+    double numbar = 0.0;
+    std::vector<YarnSegment> segments;
+    support::SourceLoc loc;
+  };
+
+  // Phase 1.
+  std::vector<Raw> scan_raw();
+  Raw scan_yarn(support::SourceLoc loc);
+  Raw scan_number(support::SourceLoc loc);
+  void skip_line_comment();
+  void skip_block_comment(support::SourceLoc loc);
+  void handle_continuation(support::SourceLoc loc);
+
+  // Phase 2.
+  static std::vector<Token> merge_phrases(std::vector<Raw> raw);
+
+  // Character cursor helpers.
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance();
+  [[nodiscard]] support::SourceLoc here() const {
+    return {line_, col_, static_cast<std::uint32_t>(pos_)};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+/// Convenience: tokenize `source` in one call.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace lol::lex

@@ -1,0 +1,48 @@
+#include "lex/token.hpp"
+
+namespace lol::lex {
+
+std::string_view tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::kEof:
+      return "end of input";
+    case TokKind::kNewline:
+      return "end of line";
+    case TokKind::kIdentifier:
+      return "identifier";
+    case TokKind::kKeyword:
+      return "keyword";
+    case TokKind::kNumbr:
+      return "NUMBR literal";
+    case TokKind::kNumbar:
+      return "NUMBAR literal";
+    case TokKind::kYarn:
+      return "YARN literal";
+    case TokKind::kTickZ:
+      return "'Z";
+    case TokKind::kQuestion:
+      return "?";
+    case TokKind::kBang:
+      return "!";
+  }
+  return "token";
+}
+
+std::string Token::describe() const {
+  switch (kind) {
+    case TokKind::kKeyword:
+      return "'" + std::string(keyword_spelling(keyword)) + "'";
+    case TokKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokKind::kNumbr:
+      return "NUMBR literal " + std::to_string(numbr);
+    case TokKind::kNumbar:
+      return "NUMBAR literal";
+    case TokKind::kYarn:
+      return "YARN literal";
+    default:
+      return std::string(tok_kind_name(kind));
+  }
+}
+
+}  // namespace lol::lex

@@ -1,0 +1,60 @@
+// Token definitions produced by the lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lex/keywords.hpp"
+#include "support/source_location.hpp"
+
+namespace lol::lex {
+
+/// Kinds of token the parser consumes.
+enum class TokKind {
+  kEof,
+  kNewline,     // statement separator: physical newline or ','
+  kIdentifier,  // a word that is not a keyword phrase
+  kKeyword,
+  kNumbr,   // integer literal
+  kNumbar,  // floating-point literal
+  kYarn,    // string literal (with interpolation segments)
+  kTickZ,   // 'Z — array index marker (paper array extension)
+  kQuestion,  // ? — terminates O RLY / WTF / CAN HAS
+  kBang,      // ! — VISIBLE newline suppressor
+};
+
+/// Stable display name for diagnostics.
+std::string_view tok_kind_name(TokKind k);
+
+/// One piece of a YARN literal: either literal text or a `:{var}`
+/// interpolation that is resolved against the environment at runtime.
+struct YarnSegment {
+  bool is_var = false;
+  std::string text;  // literal text, or the variable name when is_var
+
+  friend bool operator==(const YarnSegment&, const YarnSegment&) = default;
+};
+
+/// A lexed token. Exactly one of the payload fields is meaningful,
+/// selected by `kind`.
+struct Token {
+  TokKind kind = TokKind::kEof;
+  Keyword keyword{};                  // when kind == kKeyword
+  std::string text;                   // identifier spelling
+  std::int64_t numbr = 0;             // NUMBR literal value
+  double numbar = 0.0;                // NUMBAR literal value
+  std::vector<YarnSegment> segments;  // YARN literal pieces
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+  [[nodiscard]] bool is_keyword(Keyword k) const {
+    return kind == TokKind::kKeyword && keyword == k;
+  }
+
+  /// Human-readable description used in parse errors, e.g. `'SUM OF'`,
+  /// `identifier 'x'`, `end of line`.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace lol::lex

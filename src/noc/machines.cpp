@@ -1,0 +1,39 @@
+#include "noc/machines.hpp"
+
+namespace lol::noc {
+
+ModelPtr epiphany3() { return std::make_shared<MeshModel>(MeshParams{}); }
+
+ModelPtr epiphany_mesh(int rows, int cols) {
+  MeshParams p;
+  p.rows = rows;
+  p.cols = cols;
+  return std::make_shared<MeshModel>(p);
+}
+
+ModelPtr xc40_aries() {
+  return std::make_shared<UniformModel>(UniformParams{}, "xc40-aries");
+}
+
+ModelPtr shared_memory() {
+  UniformParams p;
+  p.put_latency_ns = 90.0;
+  p.get_latency_ns = 90.0;
+  p.bandwidth_gbs = 20.0;
+  p.local_latency_ns = 40.0;
+  p.local_bandwidth_gbs = 30.0;
+  p.barrier_round_ns = 180.0;
+  p.lock_ns = 160.0;
+  return std::make_shared<UniformModel>(p, "shared-memory");
+}
+
+ModelPtr by_name(const std::string& name) {
+  if (name == "epiphany3" || name == "parallella") return epiphany3();
+  if (name == "xc40" || name == "aries" || name == "cray") return xc40_aries();
+  if (name == "smp" || name == "shared" || name == "shared-memory") {
+    return shared_memory();
+  }
+  return nullptr;
+}
+
+}  // namespace lol::noc

@@ -1,0 +1,31 @@
+// Preset machine models for the paper's two demonstration platforms plus
+// a plain laptop-style shared-memory baseline.
+#pragma once
+
+#include "noc/mesh.hpp"
+#include "noc/model.hpp"
+#include "noc/uniform.hpp"
+
+namespace lol::noc {
+
+/// The 16-core Adapteva Epiphany-III on the $99 Parallella board:
+/// 4x4 XY-routed mesh at 600 MHz (paper §II).
+ModelPtr epiphany3();
+
+/// A larger Epiphany-style mesh (the architecture the paper's authors
+/// argue scales to HPC); useful for mesh-scaling ablations.
+ModelPtr epiphany_mesh(int rows, int cols);
+
+/// One cabinet-slice of the Cray XC40 (Aries fabric) the paper runs on:
+/// flat high-latency, high-bandwidth network.
+ModelPtr xc40_aries();
+
+/// A laptop-style shared-memory machine: near-flat and fast. This is what
+/// the tests run "for real", so its model is also the near-zero baseline.
+ModelPtr shared_memory();
+
+/// Looks a preset up by name ("epiphany3", "xc40", "smp"); returns nullptr
+/// for unknown names.
+ModelPtr by_name(const std::string& name);
+
+}  // namespace lol::noc

@@ -1,0 +1,74 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lol::noc {
+
+MeshModel::MeshModel(MeshParams p) : p_(p) {
+  if (p_.rows <= 0 || p_.cols <= 0) {
+    throw std::invalid_argument("MeshModel: rows/cols must be positive");
+  }
+  if (p_.clock_ghz <= 0) {
+    throw std::invalid_argument("MeshModel: clock must be positive");
+  }
+}
+
+std::string MeshModel::name() const {
+  return "mesh" + std::to_string(p_.rows) + "x" + std::to_string(p_.cols);
+}
+
+std::pair<int, int> MeshModel::coords(int pe) const {
+  int n = p_.rows * p_.cols;
+  // PEs beyond the physical mesh (oversubscription) wrap around; this
+  // keeps the model total when the runtime launches more PEs than cores.
+  int idx = ((pe % n) + n) % n;
+  return {idx / p_.cols, idx % p_.cols};
+}
+
+int MeshModel::hops(int src, int dst) const {
+  auto [sr, sc] = coords(src);
+  auto [dr, dc] = coords(dst);
+  return std::abs(sr - dr) + std::abs(sc - dc);
+}
+
+double MeshModel::put_ns(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return local_ns(bytes);
+  double cycles = p_.write_overhead_cycles +
+                  p_.hop_cycles * static_cast<double>(hops(src, dst)) +
+                  static_cast<double>(bytes) / p_.link_bytes_per_cycle;
+  return cycles_to_ns(cycles);
+}
+
+double MeshModel::get_ns(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return local_ns(bytes);
+  // Request travels to the target, payload travels back: the mesh is
+  // traversed twice and the read engine adds protocol overhead.
+  double h = static_cast<double>(hops(src, dst));
+  double cycles = p_.read_overhead_cycles + 2.0 * p_.hop_cycles * h +
+                  static_cast<double>(bytes) / p_.link_bytes_per_cycle;
+  return cycles_to_ns(cycles);
+}
+
+double MeshModel::local_ns(std::size_t bytes) const {
+  double cycles =
+      1.0 + static_cast<double>(bytes) / p_.local_bytes_per_cycle;
+  return cycles_to_ns(cycles);
+}
+
+double MeshModel::barrier_ns(int n_pes) const {
+  if (n_pes <= 1) return 0.0;
+  // Dissemination barrier: ceil(log2 n) rounds, each bounded by the
+  // farthest partner (diameter hops) plus per-round overhead.
+  double rounds = std::ceil(std::log2(static_cast<double>(n_pes)));
+  double cycles = rounds * (p_.barrier_cycles_per_round +
+                            p_.hop_cycles * static_cast<double>(diameter()));
+  return cycles_to_ns(cycles);
+}
+
+double MeshModel::lock_ns(int src, int home) const {
+  double h = static_cast<double>(hops(src, home));
+  return cycles_to_ns(p_.lock_overhead_cycles + 2.0 * p_.hop_cycles * h);
+}
+
+}  // namespace lol::noc

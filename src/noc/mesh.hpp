@@ -1,0 +1,64 @@
+// 2-D mesh network-on-chip model (Epiphany-III style).
+#pragma once
+
+#include <cstdint>
+
+#include "noc/model.hpp"
+
+namespace lol::noc {
+
+/// Parameters of a 2-D mesh NoC with dimension-ordered (XY) routing.
+/// Defaults approximate the 16-core Adapteva Epiphany-III that ships on
+/// the Parallella board the paper targets: 600 MHz cores, single-cycle
+/// per-hop routers with ~1.5 cycles effective hop latency, 8-byte-wide
+/// write links (4.8 GB/s per link at 600 MHz), and read transactions that
+/// traverse the mesh twice (request + response) with extra protocol
+/// overhead — on real silicon remote reads are several times slower than
+/// remote writes, which this reproduces.
+struct MeshParams {
+  int rows = 4;
+  int cols = 4;
+  double clock_ghz = 0.6;          // 600 MHz
+  double hop_cycles = 1.5;         // per-router forwarding latency
+  double link_bytes_per_cycle = 8; // write-network width
+  double write_overhead_cycles = 6;  // injection + ejection
+  double read_overhead_cycles = 16;  // read transaction setup
+  double local_bytes_per_cycle = 8;
+  double barrier_cycles_per_round = 12;  // per dissemination round
+  double lock_overhead_cycles = 24;      // test-and-set round trip
+};
+
+/// XY-routed 2-D mesh cost model.
+class MeshModel final : public MachineModel {
+ public:
+  explicit MeshModel(MeshParams p = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double put_ns(int src, int dst,
+                              std::size_t bytes) const override;
+  [[nodiscard]] double get_ns(int src, int dst,
+                              std::size_t bytes) const override;
+  [[nodiscard]] double local_ns(std::size_t bytes) const override;
+  [[nodiscard]] double barrier_ns(int n_pes) const override;
+  [[nodiscard]] double lock_ns(int src, int home) const override;
+
+  /// Manhattan hop count between two PEs under XY routing (0 for self).
+  [[nodiscard]] int hops(int src, int dst) const;
+
+  /// PE id -> (row, col), row-major.
+  [[nodiscard]] std::pair<int, int> coords(int pe) const;
+
+  [[nodiscard]] const MeshParams& params() const { return p_; }
+
+  /// The worst-case hop distance in the mesh (corner to corner).
+  [[nodiscard]] int diameter() const { return (p_.rows - 1) + (p_.cols - 1); }
+
+ private:
+  [[nodiscard]] double cycles_to_ns(double cycles) const {
+    return cycles / p_.clock_ghz;
+  }
+
+  MeshParams p_;
+};
+
+}  // namespace lol::noc

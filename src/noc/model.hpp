@@ -1,0 +1,50 @@
+// Machine/network cost models.
+//
+// The paper demonstrates the same parallel LOLCODE program on two very
+// different machines: a $99 Parallella board whose 16-core Epiphany-III
+// coprocessor is a 2-D mesh network-on-chip, and a Cray XC40 with an
+// Aries fabric. We cannot execute on either, so the shmem substrate
+// supports an optional *simulated-time* mode: every remote operation
+// charges the executing PE the modeled cost of that operation on the
+// selected machine. Benches then reproduce the paper's platform story
+// (topology-dependent cost on the mesh, flat-but-slower cost on the
+// supercomputer fabric) deterministically on a laptop.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace lol::noc {
+
+/// Abstract cost model for one-sided remote memory operations.
+/// All costs are in nanoseconds of simulated time.
+class MachineModel {
+ public:
+  virtual ~MachineModel() = default;
+
+  /// Human-readable machine name ("epiphany3-mesh", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cost of a one-sided put of `bytes` from PE `src` into PE `dst`.
+  [[nodiscard]] virtual double put_ns(int src, int dst,
+                                      std::size_t bytes) const = 0;
+
+  /// Cost of a one-sided get (round trip: request + payload back).
+  [[nodiscard]] virtual double get_ns(int src, int dst,
+                                      std::size_t bytes) const = 0;
+
+  /// Cost of touching `bytes` of the PE's own memory.
+  [[nodiscard]] virtual double local_ns(std::size_t bytes) const = 0;
+
+  /// Cost of a barrier over `n_pes` PEs (charged after all arrive).
+  [[nodiscard]] virtual double barrier_ns(int n_pes) const = 0;
+
+  /// Cost of one lock acquire/release round trip from `src` to the lock's
+  /// home PE `home`.
+  [[nodiscard]] virtual double lock_ns(int src, int home) const = 0;
+};
+
+using ModelPtr = std::shared_ptr<const MachineModel>;
+
+}  // namespace lol::noc

@@ -1,0 +1,34 @@
+#include "noc/uniform.hpp"
+
+#include <cmath>
+
+namespace lol::noc {
+
+UniformModel::UniformModel(UniformParams p, std::string label)
+    : p_(p), label_(std::move(label)) {}
+
+double UniformModel::put_ns(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return local_ns(bytes);
+  return p_.put_latency_ns + static_cast<double>(bytes) / p_.bandwidth_gbs;
+}
+
+double UniformModel::get_ns(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return local_ns(bytes);
+  return p_.get_latency_ns + static_cast<double>(bytes) / p_.bandwidth_gbs;
+}
+
+double UniformModel::local_ns(std::size_t bytes) const {
+  return p_.local_latency_ns +
+         static_cast<double>(bytes) / p_.local_bandwidth_gbs;
+}
+
+double UniformModel::barrier_ns(int n_pes) const {
+  if (n_pes <= 1) return 0.0;
+  return p_.barrier_round_ns * std::ceil(std::log2(static_cast<double>(n_pes)));
+}
+
+double UniformModel::lock_ns(int /*src*/, int /*home*/) const {
+  return p_.lock_ns;
+}
+
+}  // namespace lol::noc

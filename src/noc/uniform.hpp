@@ -1,0 +1,44 @@
+// Uniform-latency fabric model (Cray XC40 / Aries style) and a plain
+// shared-memory model.
+#pragma once
+
+#include "noc/model.hpp"
+
+namespace lol::noc {
+
+/// Parameters of a flat fabric where every remote PE is (roughly) the same
+/// distance away. Defaults approximate a Cray XC40's Aries interconnect
+/// as the paper's supercomputer target: ~1.3 us one-sided latency,
+/// ~10 GB/s per-PE bandwidth, logarithmic-tree barriers.
+struct UniformParams {
+  double put_latency_ns = 1300.0;
+  double get_latency_ns = 1700.0;  // reads pay the round trip
+  double bandwidth_gbs = 10.0;     // payload streaming rate
+  double local_latency_ns = 60.0;
+  double local_bandwidth_gbs = 25.0;
+  double barrier_round_ns = 1500.0;  // per log2(n) round
+  double lock_ns = 2600.0;           // AMO round trip
+};
+
+/// Flat-topology cost model: distance-independent remote costs.
+class UniformModel final : public MachineModel {
+ public:
+  explicit UniformModel(UniformParams p = {}, std::string label = "uniform");
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] double put_ns(int src, int dst,
+                              std::size_t bytes) const override;
+  [[nodiscard]] double get_ns(int src, int dst,
+                              std::size_t bytes) const override;
+  [[nodiscard]] double local_ns(std::size_t bytes) const override;
+  [[nodiscard]] double barrier_ns(int n_pes) const override;
+  [[nodiscard]] double lock_ns(int src, int home) const override;
+
+  [[nodiscard]] const UniformParams& params() const { return p_; }
+
+ private:
+  UniformParams p_;
+  std::string label_;
+};
+
+}  // namespace lol::noc

@@ -1,0 +1,23 @@
+// The bundle of services one PE's execution backend runs against.
+#pragma once
+
+#include "rt/io.hpp"
+#include "shmem/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace lol::rt {
+
+/// Everything a backend needs to execute one PE of a parallel LOLCODE
+/// program: the shmem handle (PE id, symmetric heap, sync), the
+/// deterministic per-PE RNG behind WHATEVR/WHATEVAR, and IO.
+struct ExecContext {
+  shmem::Pe* pe = nullptr;
+  support::PeRng rng;
+  OutputSink* out = nullptr;
+  InputSource* in = nullptr;
+
+  ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i)
+      : pe(&p), rng(seed, p.id()), out(&o), in(&i) {}
+};
+
+}  // namespace lol::rt

@@ -1,0 +1,41 @@
+#include "rt/io.hpp"
+
+#include <iostream>
+
+namespace lol::rt {
+
+void StdioSink::emit(int pe, std::string_view text, bool err) {
+  std::lock_guard<std::mutex> g(m_);
+  std::ostream& os = err ? std::cerr : std::cout;
+  if (!tag_pe_) {
+    os << text;
+    os.flush();
+    return;
+  }
+  // Tag each line with the producing PE.
+  std::string& pending = err ? pending_err_[pe] : pending_out_[pe];
+  pending.append(text);
+  std::size_t nl;
+  while ((nl = pending.find('\n')) != std::string::npos) {
+    os << "[pe" << pe << "] " << pending.substr(0, nl + 1);
+    pending.erase(0, nl + 1);
+  }
+  os.flush();
+}
+
+void StdioSink::write(int pe, std::string_view text) {
+  emit(pe, text, false);
+}
+
+void StdioSink::write_err(int pe, std::string_view text) {
+  emit(pe, text, true);
+}
+
+std::optional<std::string> StdinInput::read_line(int /*pe*/) {
+  std::lock_guard<std::mutex> g(m_);
+  std::string line;
+  if (!std::getline(std::cin, line)) return std::nullopt;
+  return line;
+}
+
+}  // namespace lol::rt

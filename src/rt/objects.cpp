@@ -1,0 +1,71 @@
+#include "rt/objects.hpp"
+
+namespace lol::rt {
+
+using support::RuntimeError;
+
+Value sym_read(shmem::Pe& pe, const SymHandle& h, std::size_t idx,
+               int target_pe) {
+  int target = target_pe < 0 ? pe.id() : target_pe;
+  std::size_t off = h.offset + idx * 8;
+  switch (h.elem) {
+    case ast::TypeKind::kNumbar:
+      return Value::numbar(pe.get_f64(target, off));
+    case ast::TypeKind::kTroof:
+      return Value::troof(pe.get_i64(target, off) != 0);
+    default:
+      return Value::numbr(pe.get_i64(target, off));
+  }
+}
+
+void sym_write(shmem::Pe& pe, const SymHandle& h, std::size_t idx,
+               int target_pe, const Value& v) {
+  int target = target_pe < 0 ? pe.id() : target_pe;
+  std::size_t off = h.offset + idx * 8;
+  switch (h.elem) {
+    case ast::TypeKind::kNumbar:
+      pe.put_f64(target, off, v.to_numbar());
+      return;
+    case ast::TypeKind::kTroof:
+      pe.put_i64(target, off, v.to_troof() ? 1 : 0);
+      return;
+    default:
+      pe.put_i64(target, off, v.to_numbr());
+      return;
+  }
+}
+
+void copy_arrays(shmem::Pe& pe, const ArrayLike& dst, int dst_pe,
+                 const ArrayLike& src, int src_pe, support::SourceLoc loc) {
+  std::size_t dst_n = dst.count();
+  std::size_t src_n = src.count();
+  if (dst_n != src_n) {
+    throw RuntimeError("array copy size mismatch: destination has " +
+                           std::to_string(dst_n) + " elements, source has " +
+                           std::to_string(src_n),
+                       loc);
+  }
+
+  if (dst.sym != nullptr && src.sym != nullptr &&
+      dst.sym->elem == src.sym->elem) {
+    int from = src_pe < 0 ? pe.id() : src_pe;
+    int to = dst_pe < 0 ? pe.id() : dst_pe;
+    std::vector<std::byte> tmp(dst_n * 8);
+    pe.get(tmp.data(), from, src.sym->offset, tmp.size());
+    pe.put(to, dst.sym->offset, tmp.data(), tmp.size());
+    return;
+  }
+
+  for (std::size_t i = 0; i < dst_n; ++i) {
+    Value v = src.sym != nullptr ? sym_read(pe, *src.sym, i, src_pe)
+                                 : src.priv->elems[i];
+    if (dst.sym != nullptr) {
+      sym_write(pe, *dst.sym, i, dst_pe, v);
+    } else {
+      if (dst.priv->srsly) v = v.cast_to(dst.priv->elem, false);
+      dst.priv->elems[i] = std::move(v);
+    }
+  }
+}
+
+}  // namespace lol::rt

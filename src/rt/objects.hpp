@@ -1,0 +1,66 @@
+// Array/symmetric-object storage shared by the interpreter and the VM.
+//
+// Keeping the accessors here guarantees the two backends implement the
+// paper's PGAS semantics identically: an 8-byte slot per element, local
+// access through the PE's own arena, remote access through one-sided
+// get/put against the predicated PE.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ast/types.hpp"
+#include "rt/value.hpp"
+#include "shmem/runtime.hpp"
+
+namespace lol::rt {
+
+/// A private (per-PE) array from `I HAS A x ITZ [SRSLY] LOTZ A ...`.
+struct PrivateArray {
+  ast::TypeKind elem = ast::TypeKind::kNumbr;
+  bool srsly = false;  // statically typed elements
+  std::vector<Value> elems;
+};
+
+/// A symmetric object from `WE HAS A ...`: identical offset on every PE's
+/// symmetric heap; elements are fixed-width 8-byte slots.
+struct SymHandle {
+  int slot = -1;            // sema registry slot (program order)
+  std::size_t offset = 0;   // byte offset in the symmetric heap
+  ast::TypeKind elem = ast::TypeKind::kNumbr;
+  std::size_t count = 1;    // 1 for scalars
+  int lock_id = -1;         // global lock id when IM SHARIN IT
+  bool is_array = false;
+};
+
+/// Reads element `idx` of a symmetric object. `target_pe < 0` means the
+/// local PE; otherwise the one-sided read targets that PE's arena.
+Value sym_read(shmem::Pe& pe, const SymHandle& h, std::size_t idx,
+               int target_pe);
+
+/// Writes element `idx` of a symmetric object (casting `v` to the element
+/// type with implicit-cast rules).
+void sym_write(shmem::Pe& pe, const SymHandle& h, std::size_t idx,
+               int target_pe, const Value& v);
+
+/// A view of "some array", private or symmetric, used by whole-array copy.
+struct ArrayLike {
+  PrivateArray* priv = nullptr;
+  const SymHandle* sym = nullptr;
+
+  [[nodiscard]] bool valid() const { return priv != nullptr || sym != nullptr; }
+  [[nodiscard]] std::size_t count() const {
+    return sym != nullptr ? sym->count : priv->elems.size();
+  }
+};
+
+/// Whole-array copy (`MAH array R UR array`, paper §VI.A). Symmetric-to-
+/// symmetric copies with matching element types move raw slots in one
+/// get+put pair; everything else copies element-wise with casts.
+/// `dst_pe`/`src_pe` are the resolved target PEs (< 0 = local).
+void copy_arrays(shmem::Pe& pe, const ArrayLike& dst, int dst_pe,
+                 const ArrayLike& src, int src_pe,
+                 support::SourceLoc loc = {});
+
+}  // namespace lol::rt

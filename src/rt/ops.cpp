@@ -1,0 +1,193 @@
+#include "rt/ops.hpp"
+
+#include <cmath>
+
+#include "support/string_util.hpp"
+
+namespace lol::rt {
+
+using support::RuntimeError;
+
+namespace {
+
+/// A numeric operand after LOLCODE coercion.
+struct Num {
+  bool is_float = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  [[nodiscard]] double as_f() const {
+    return is_float ? f : static_cast<double>(i);
+  }
+};
+
+Num to_num(const Value& v, const char* op_name) {
+  switch (v.type()) {
+    case ast::TypeKind::kNumbr:
+      return {false, v.numbr_raw(), 0.0};
+    case ast::TypeKind::kNumbar:
+      return {true, 0, v.numbar_raw()};
+    case ast::TypeKind::kYarn: {
+      const std::string& s = v.yarn_raw();
+      if (s.find('.') != std::string::npos) {
+        auto f = support::parse_numbar(s);
+        if (f) return {true, 0, *f};
+      } else {
+        auto i = support::parse_numbr(s);
+        if (i) return {false, *i, 0.0};
+      }
+      throw RuntimeError(std::string(op_name) + ": YARN \"" + s +
+                         "\" is not numeric");
+    }
+    case ast::TypeKind::kTroof:
+      throw RuntimeError(std::string(op_name) +
+                         ": TROOF operands are not allowed in math");
+    case ast::TypeKind::kNoob:
+      throw RuntimeError(std::string(op_name) +
+                         ": NOOB operands are not allowed in math");
+  }
+  return {};
+}
+
+Value arith(ast::BinOp op, const Value& va, const Value& vb) {
+  const char* name = ast::bin_op_name(op).data();
+  Num a = to_num(va, name);
+  Num b = to_num(vb, name);
+  bool flt = a.is_float || b.is_float;
+  if (flt) {
+    double x = a.as_f();
+    double y = b.as_f();
+    switch (op) {
+      case ast::BinOp::kSum:
+        return Value::numbar(x + y);
+      case ast::BinOp::kDiff:
+        return Value::numbar(x - y);
+      case ast::BinOp::kProdukt:
+        return Value::numbar(x * y);
+      case ast::BinOp::kQuoshunt:
+        if (y == 0.0) throw RuntimeError("QUOSHUNT OF: division by zero");
+        return Value::numbar(x / y);
+      case ast::BinOp::kMod:
+        if (y == 0.0) throw RuntimeError("MOD OF: modulo by zero");
+        return Value::numbar(std::fmod(x, y));
+      case ast::BinOp::kBiggr:
+        return Value::numbar(x > y ? x : y);
+      case ast::BinOp::kSmallr:
+        return Value::numbar(x < y ? x : y);
+      case ast::BinOp::kBigger:
+        return Value::troof(x > y);
+      case ast::BinOp::kSmallrCmp:
+        return Value::troof(x < y);
+      default:
+        break;
+    }
+  } else {
+    std::int64_t x = a.i;
+    std::int64_t y = b.i;
+    switch (op) {
+      case ast::BinOp::kSum:
+        return Value::numbr(x + y);
+      case ast::BinOp::kDiff:
+        return Value::numbr(x - y);
+      case ast::BinOp::kProdukt:
+        return Value::numbr(x * y);
+      case ast::BinOp::kQuoshunt:
+        if (y == 0) throw RuntimeError("QUOSHUNT OF: division by zero");
+        return Value::numbr(x / y);
+      case ast::BinOp::kMod:
+        if (y == 0) throw RuntimeError("MOD OF: modulo by zero");
+        return Value::numbr(x % y);
+      case ast::BinOp::kBiggr:
+        return Value::numbr(x > y ? x : y);
+      case ast::BinOp::kSmallr:
+        return Value::numbr(x < y ? x : y);
+      case ast::BinOp::kBigger:
+        return Value::troof(x > y);
+      case ast::BinOp::kSmallrCmp:
+        return Value::troof(x < y);
+      default:
+        break;
+    }
+  }
+  throw RuntimeError("internal: unhandled arithmetic operator");
+}
+
+}  // namespace
+
+Value op_binary(ast::BinOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case ast::BinOp::kSum:
+    case ast::BinOp::kDiff:
+    case ast::BinOp::kProdukt:
+    case ast::BinOp::kQuoshunt:
+    case ast::BinOp::kMod:
+    case ast::BinOp::kBiggr:
+    case ast::BinOp::kSmallr:
+    case ast::BinOp::kBigger:
+    case ast::BinOp::kSmallrCmp:
+      return arith(op, a, b);
+    case ast::BinOp::kBothSaem:
+      return Value::troof(Value::saem(a, b));
+    case ast::BinOp::kDiffrint:
+      return Value::troof(!Value::saem(a, b));
+    case ast::BinOp::kBothOf:
+      return Value::troof(a.to_troof() && b.to_troof());
+    case ast::BinOp::kEitherOf:
+      return Value::troof(a.to_troof() || b.to_troof());
+    case ast::BinOp::kWonOf:
+      return Value::troof(a.to_troof() != b.to_troof());
+  }
+  throw RuntimeError("internal: unhandled binary operator");
+}
+
+Value op_unary(ast::UnOp op, const Value& v) {
+  switch (op) {
+    case ast::UnOp::kNot:
+      return Value::troof(!v.to_troof());
+    case ast::UnOp::kSquar: {
+      Num n = to_num(v, "SQUAR OF");
+      if (n.is_float) return Value::numbar(n.f * n.f);
+      return Value::numbr(n.i * n.i);
+    }
+    case ast::UnOp::kUnsquar: {
+      Num n = to_num(v, "UNSQUAR OF");
+      double x = n.as_f();
+      if (x < 0.0) {
+        throw RuntimeError("UNSQUAR OF: negative operand has no NUMBAR root");
+      }
+      return Value::numbar(std::sqrt(x));
+    }
+    case ast::UnOp::kFlip: {
+      Num n = to_num(v, "FLIP OF");
+      double x = n.as_f();
+      if (x == 0.0) throw RuntimeError("FLIP OF: reciprocal of zero");
+      return Value::numbar(1.0 / x);
+    }
+  }
+  throw RuntimeError("internal: unhandled unary operator");
+}
+
+Value op_nary(ast::NaryOp op, std::span<const Value> operands) {
+  switch (op) {
+    case ast::NaryOp::kAllOf: {
+      for (const Value& v : operands) {
+        if (!v.to_troof()) return Value::troof(false);
+      }
+      return Value::troof(true);
+    }
+    case ast::NaryOp::kAnyOf: {
+      for (const Value& v : operands) {
+        if (v.to_troof()) return Value::troof(true);
+      }
+      return Value::troof(false);
+    }
+    case ast::NaryOp::kSmoosh: {
+      std::string out;
+      for (const Value& v : operands) out += v.to_yarn();
+      return Value::yarn(std::move(out));
+    }
+  }
+  throw RuntimeError("internal: unhandled variadic operator");
+}
+
+}  // namespace lol::rt

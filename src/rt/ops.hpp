@@ -1,0 +1,27 @@
+// Operator semantics shared by all execution backends.
+//
+// LOLCODE-1.2 math: integer math when both operands are NUMBRs, floating
+// point when either is a NUMBAR; YARN operands are parsed as numbers
+// (NUMBAR when they contain '.', NUMBR otherwise); TROOF and NOOB operands
+// in math are errors. Boolean operators use truthiness and return TROOFs.
+#pragma once
+
+#include <span>
+
+#include "ast/types.hpp"
+#include "rt/value.hpp"
+
+namespace lol::rt {
+
+/// Applies a binary operator. Throws support::RuntimeError on type errors
+/// and on QUOSHUNT/MOD by zero.
+Value op_binary(ast::BinOp op, const Value& a, const Value& b);
+
+/// Applies NOT / SQUAR OF / UNSQUAR OF / FLIP OF.
+/// UNSQUAR OF of a negative number and FLIP OF zero are errors.
+Value op_unary(ast::UnOp op, const Value& v);
+
+/// Applies ALL OF / ANY OF / SMOOSH over already-evaluated operands.
+Value op_nary(ast::NaryOp op, std::span<const Value> operands);
+
+}  // namespace lol::rt

@@ -1,0 +1,148 @@
+#include "rt/value.hpp"
+
+#include "support/string_util.hpp"
+
+namespace lol::rt {
+
+using support::RuntimeError;
+
+Value Value::zero_of(ast::TypeKind t) {
+  switch (t) {
+    case ast::TypeKind::kNoob:
+      return noob();
+    case ast::TypeKind::kTroof:
+      return troof(false);
+    case ast::TypeKind::kNumbr:
+      return numbr(0);
+    case ast::TypeKind::kNumbar:
+      return numbar(0.0);
+    case ast::TypeKind::kYarn:
+      return yarn("");
+  }
+  return noob();
+}
+
+ast::TypeKind Value::type() const {
+  if (is_noob()) return ast::TypeKind::kNoob;
+  if (is_troof()) return ast::TypeKind::kTroof;
+  if (is_numbr()) return ast::TypeKind::kNumbr;
+  if (is_numbar()) return ast::TypeKind::kNumbar;
+  return ast::TypeKind::kYarn;
+}
+
+bool Value::to_troof() const {
+  if (is_noob()) return false;
+  if (is_troof()) return troof_raw();
+  if (is_numbr()) return numbr_raw() != 0;
+  if (is_numbar()) return numbar_raw() != 0.0;
+  return !yarn_raw().empty();
+}
+
+std::int64_t Value::to_numbr(bool explicit_cast) const {
+  switch (type()) {
+    case ast::TypeKind::kNoob:
+      if (explicit_cast) return 0;
+      throw RuntimeError("cannot implicitly cast NOOB to NUMBR");
+    case ast::TypeKind::kTroof:
+      return troof_raw() ? 1 : 0;
+    case ast::TypeKind::kNumbr:
+      return numbr_raw();
+    case ast::TypeKind::kNumbar:
+      return static_cast<std::int64_t>(numbar_raw());
+    case ast::TypeKind::kYarn: {
+      auto v = support::parse_numbr(yarn_raw());
+      if (!v) {
+        throw RuntimeError("cannot cast YARN \"" + yarn_raw() +
+                           "\" to NUMBR");
+      }
+      return *v;
+    }
+  }
+  return 0;
+}
+
+double Value::to_numbar(bool explicit_cast) const {
+  switch (type()) {
+    case ast::TypeKind::kNoob:
+      if (explicit_cast) return 0.0;
+      throw RuntimeError("cannot implicitly cast NOOB to NUMBAR");
+    case ast::TypeKind::kTroof:
+      return troof_raw() ? 1.0 : 0.0;
+    case ast::TypeKind::kNumbr:
+      return static_cast<double>(numbr_raw());
+    case ast::TypeKind::kNumbar:
+      return numbar_raw();
+    case ast::TypeKind::kYarn: {
+      auto v = support::parse_numbar(yarn_raw());
+      if (!v) {
+        throw RuntimeError("cannot cast YARN \"" + yarn_raw() +
+                           "\" to NUMBAR");
+      }
+      return *v;
+    }
+  }
+  return 0.0;
+}
+
+std::string Value::to_yarn(bool explicit_cast) const {
+  switch (type()) {
+    case ast::TypeKind::kNoob:
+      if (explicit_cast) return "";
+      throw RuntimeError("cannot implicitly cast NOOB to YARN");
+    case ast::TypeKind::kTroof:
+      return troof_raw() ? "WIN" : "FAIL";
+    case ast::TypeKind::kNumbr:
+      return support::format_numbr(numbr_raw());
+    case ast::TypeKind::kNumbar:
+      return support::format_numbar(numbar_raw());
+    case ast::TypeKind::kYarn:
+      return yarn_raw();
+  }
+  return "";
+}
+
+Value Value::cast_to(ast::TypeKind t, bool explicit_cast) const {
+  switch (t) {
+    case ast::TypeKind::kNoob:
+      return noob();
+    case ast::TypeKind::kTroof:
+      return troof(to_troof());
+    case ast::TypeKind::kNumbr:
+      return numbr(to_numbr(explicit_cast));
+    case ast::TypeKind::kNumbar:
+      return numbar(to_numbar(explicit_cast));
+    case ast::TypeKind::kYarn:
+      return yarn(to_yarn(explicit_cast));
+  }
+  return noob();
+}
+
+bool Value::saem(const Value& a, const Value& b) {
+  if (a.type() == b.type()) return a == b;
+  // NUMBR vs NUMBAR compare numerically.
+  if (a.is_numbr() && b.is_numbar()) {
+    return static_cast<double>(a.numbr_raw()) == b.numbar_raw();
+  }
+  if (a.is_numbar() && b.is_numbr()) {
+    return a.numbar_raw() == static_cast<double>(b.numbr_raw());
+  }
+  return false;
+}
+
+std::string Value::debug_str() const {
+  switch (type()) {
+    case ast::TypeKind::kNoob:
+      return "NOOB";
+    case ast::TypeKind::kTroof:
+      return std::string("TROOF:") + (troof_raw() ? "WIN" : "FAIL");
+    case ast::TypeKind::kNumbr:
+      return "NUMBR:" + support::format_numbr(numbr_raw());
+    case ast::TypeKind::kNumbar:
+      return "NUMBAR:" + support::format_numbar(numbar_raw());
+    case ast::TypeKind::kYarn:
+      return "YARN:\"" + yarn_raw() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace lol::rt

@@ -1,0 +1,101 @@
+// The LOLCODE value model: NOOB, TROOF, NUMBR, NUMBAR, YARN, with the
+// LOLCODE-1.2 cast matrix. Shared by the interpreter, the VM, and the
+// C-codegen runtime so all backends agree on semantics by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "ast/types.hpp"
+#include "support/error.hpp"
+
+namespace lol::rt {
+
+/// A dynamically typed LOLCODE value.
+///
+/// Cast rules follow the LOLCODE-1.2 spec:
+///   * NOOB implicitly casts only to TROOF (FAIL); implicit casts to any
+///     other type are errors. Explicit casts (MAEK) yield zero values.
+///   * TROOF: WIN <-> 1 / "WIN"; FAIL <-> 0 / "" is FAIL, etc.
+///   * NUMBAR -> YARN truncates to two decimal places ("3.14").
+///   * YARN -> NUMBR/NUMBAR parse the string and error when malformed.
+class Value {
+ public:
+  /// Constructs NOOB.
+  Value() = default;
+
+  static Value noob() { return Value(); }
+  static Value troof(bool b) { return Value(Payload(b)); }
+  static Value numbr(std::int64_t v) { return Value(Payload(v)); }
+  static Value numbar(double v) { return Value(Payload(v)); }
+  static Value yarn(std::string s) { return Value(Payload(std::move(s))); }
+
+  /// Zero value of a type: NOOB, FAIL, 0, 0.0 or "".
+  static Value zero_of(ast::TypeKind t);
+
+  [[nodiscard]] ast::TypeKind type() const;
+
+  [[nodiscard]] bool is_noob() const {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool is_troof() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_numbr() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_numbar() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_yarn() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+
+  /// Unchecked accessors (call only after the matching is_*()).
+  [[nodiscard]] bool troof_raw() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t numbr_raw() const {
+    return std::get<std::int64_t>(v_);
+  }
+  [[nodiscard]] double numbar_raw() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& yarn_raw() const {
+    return std::get<std::string>(v_);
+  }
+
+  // -- casts -----------------------------------------------------------------
+
+  /// Truthiness (implicit cast to TROOF; always succeeds).
+  [[nodiscard]] bool to_troof() const;
+
+  /// Cast to NUMBR. `explicit_cast` selects MAEK semantics (NOOB -> 0);
+  /// implicit NOOB conversion throws. Malformed YARNs always throw.
+  [[nodiscard]] std::int64_t to_numbr(bool explicit_cast = false) const;
+
+  /// Cast to NUMBAR (same conventions as to_numbr).
+  [[nodiscard]] double to_numbar(bool explicit_cast = false) const;
+
+  /// Cast to YARN. Implicit NOOB conversion throws; explicit yields "".
+  [[nodiscard]] std::string to_yarn(bool explicit_cast = false) const;
+
+  /// Full cast to an arbitrary type (implements MAEK / IS NOW A).
+  [[nodiscard]] Value cast_to(ast::TypeKind t, bool explicit_cast) const;
+
+  /// BOTH SAEM equality: same type => value equality; NUMBR vs NUMBAR
+  /// compare numerically; any other cross-type comparison is FAIL.
+  [[nodiscard]] static bool saem(const Value& a, const Value& b);
+
+  /// Debug rendering, e.g. `NUMBR:42`, used in error messages and tests.
+  [[nodiscard]] std::string debug_str() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, std::int64_t, double, std::string>;
+  explicit Value(Payload p) : v_(std::move(p)) {}
+  Payload v_;
+};
+
+}  // namespace lol::rt

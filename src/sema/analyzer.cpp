@@ -1,0 +1,279 @@
+#include "sema/analyzer.hpp"
+
+namespace lol::sema {
+
+using support::SemaError;
+
+namespace {
+
+/// Walk context tracking the statically-known nesting.
+struct Context {
+  bool in_function = false;
+  int loop_depth = 0;
+  int switch_depth = 0;
+  bool in_control = false;  // inside any conditional/loop/switch/txt body
+};
+
+class Checker {
+ public:
+  explicit Checker(const ast::Program& prog) : prog_(prog) {}
+
+  Analysis run() {
+    collect_functions(prog_.body);
+    Context ctx;
+    check_body(prog_.body, ctx, /*top_level=*/true);
+    return std::move(out_);
+  }
+
+ private:
+  void collect_functions(const ast::StmtList& body) {
+    for (const auto& s : body) {
+      if (s->kind != ast::StmtKind::kFuncDef) continue;
+      const auto& f = static_cast<const ast::FuncDefStmt&>(*s);
+      if (out_.functions.count(f.name)) {
+        throw SemaError("function '" + f.name + "' is defined twice", f.loc);
+      }
+      for (std::size_t i = 0; i < f.params.size(); ++i) {
+        for (std::size_t j = i + 1; j < f.params.size(); ++j) {
+          if (f.params[i] == f.params[j]) {
+            throw SemaError("function '" + f.name +
+                                "' repeats parameter '" + f.params[i] + "'",
+                            f.loc);
+          }
+        }
+      }
+      out_.functions[f.name] = FuncInfo{&f};
+    }
+  }
+
+  void check_body(const ast::StmtList& body, Context ctx, bool top_level) {
+    for (const auto& s : body) check_stmt(*s, ctx, top_level);
+  }
+
+  void check_stmt(const ast::Stmt& s, Context ctx, bool top_level) {
+    switch (s.kind) {
+      case ast::StmtKind::kVarDecl: {
+        const auto& d = static_cast<const ast::VarDeclStmt&>(s);
+        check_decl(d, ctx, top_level);
+        return;
+      }
+      case ast::StmtKind::kAssign: {
+        const auto& a = static_cast<const ast::AssignStmt&>(s);
+        check_expr(*a.target, ctx);
+        check_expr(*a.value, ctx);
+        return;
+      }
+      case ast::StmtKind::kExpr:
+        check_expr(*static_cast<const ast::ExprStmt&>(s).expr, ctx);
+        return;
+      case ast::StmtKind::kVisible: {
+        const auto& v = static_cast<const ast::VisibleStmt&>(s);
+        for (const auto& a : v.args) check_expr(*a, ctx);
+        return;
+      }
+      case ast::StmtKind::kGimmeh:
+        check_expr(*static_cast<const ast::GimmehStmt&>(s).target, ctx);
+        return;
+      case ast::StmtKind::kCastTo:
+        check_expr(*static_cast<const ast::CastToStmt&>(s).target, ctx);
+        return;
+      case ast::StmtKind::kORly: {
+        const auto& o = static_cast<const ast::ORlyStmt&>(s);
+        Context inner = ctx;
+        inner.in_control = true;
+        check_body(o.ya_rly, inner, false);
+        for (const auto& [cond, body] : o.mebbe) {
+          check_expr(*cond, ctx);
+          check_body(body, inner, false);
+        }
+        check_body(o.no_wai, inner, false);
+        return;
+      }
+      case ast::StmtKind::kWtf: {
+        const auto& w = static_cast<const ast::WtfStmt&>(s);
+        Context inner = ctx;
+        inner.in_control = true;
+        ++inner.switch_depth;
+        for (const auto& c : w.cases) {
+          check_expr(*c.literal, ctx);
+          check_body(c.body, inner, false);
+        }
+        check_body(w.default_body, inner, false);
+        return;
+      }
+      case ast::StmtKind::kLoop: {
+        const auto& l = static_cast<const ast::LoopStmt&>(s);
+        if (l.update == ast::LoopUpdate::kFunc &&
+            !out_.functions.count(l.func)) {
+          throw SemaError("loop update names unknown function '" + l.func +
+                              "'",
+                          l.loc);
+        }
+        if (l.cond) check_expr(*l.cond, ctx);
+        Context inner = ctx;
+        inner.in_control = true;
+        ++inner.loop_depth;
+        check_body(l.body, inner, false);
+        return;
+      }
+      case ast::StmtKind::kGtfo:
+        if (ctx.loop_depth == 0 && ctx.switch_depth == 0 &&
+            !ctx.in_function) {
+          throw SemaError(
+              "GTFO must appear inside a loop, a WTF? block, or a function",
+              s.loc);
+        }
+        return;
+      case ast::StmtKind::kFoundYr:
+        if (!ctx.in_function) {
+          throw SemaError("FOUND YR is only valid inside a function", s.loc);
+        }
+        check_expr(*static_cast<const ast::FoundYrStmt&>(s).value, ctx);
+        return;
+      case ast::StmtKind::kFuncDef: {
+        const auto& f = static_cast<const ast::FuncDefStmt&>(s);
+        if (ctx.in_function || ctx.in_control) {
+          throw SemaError("functions must be defined at the top level",
+                          f.loc);
+        }
+        Context inner;
+        inner.in_function = true;
+        check_body(f.body, inner, false);
+        return;
+      }
+      case ast::StmtKind::kCanHas:
+        return;
+      case ast::StmtKind::kHugz:
+        return;
+      case ast::StmtKind::kLock: {
+        const auto& l = static_cast<const ast::LockStmt&>(s);
+        check_expr(*l.target, ctx);
+        return;
+      }
+      case ast::StmtKind::kTxt: {
+        const auto& t = static_cast<const ast::TxtStmt&>(s);
+        check_expr(*t.target_pe, ctx);
+        Context inner = ctx;
+        inner.in_control = true;
+        check_body(t.body, inner, false);
+        return;
+      }
+    }
+  }
+
+  void check_decl(const ast::VarDeclStmt& d, Context ctx, bool top_level) {
+    if (d.sharin && d.scope != ast::DeclScope::kSymmetric) {
+      throw SemaError(
+          "'IM SHARIN IT' requires a symmetric declaration (WE HAS A)",
+          d.loc);
+    }
+    if (d.is_array && !d.array_size) {
+      throw SemaError("array declaration needs a size ('AN THAR IZ n')",
+                      d.loc);
+    }
+    if (d.init) check_expr(*d.init, ctx);
+    if (d.array_size) check_expr(*d.array_size, ctx);
+    if (d.scope != ast::DeclScope::kSymmetric) return;
+
+    // Symmetric objects: SPMD allocation must be collective and identical
+    // on all PEs, so the declaration must be top-level straight-line code.
+    if (!top_level || ctx.in_control || ctx.in_function) {
+      throw SemaError(
+          "symmetric declarations (WE HAS A) must appear at the top level, "
+          "outside loops/conditionals/functions: every PE must execute them "
+          "in the same order",
+          d.loc);
+    }
+    ast::TypeKind ty = d.declared_type.value_or(ast::TypeKind::kNumbr);
+    if (!d.declared_type && !d.is_array) {
+      // `WE HAS A x AN IM SHARIN IT` without a type: the paper's §VI.B
+      // fragment writes `WE HAS A x ITZ A NUMBR`; require a type clause so
+      // the symmetric layout is fixed.
+      throw SemaError(
+          "symmetric variable '" + d.name +
+              "' needs a type clause (ITZ [SRSLY] A NUMBR/NUMBAR/TROOF)",
+          d.loc);
+    }
+    if (ty != ast::TypeKind::kNumbr && ty != ast::TypeKind::kNumbar &&
+        ty != ast::TypeKind::kTroof) {
+      throw SemaError(
+          "symmetric objects must have a fixed-width type (NUMBR, NUMBAR or "
+          "TROOF); '" +
+              std::string(ast::type_name(ty)) +
+              "' cannot live in the symmetric heap",
+          d.loc);
+    }
+    if (d.is_array && d.init) {
+      throw SemaError("symmetric arrays cannot have an ITZ initializer",
+                      d.loc);
+    }
+    SymInfo info;
+    info.decl = &d;
+    info.slot = static_cast<int>(out_.symmetric.size());
+    if (d.sharin) info.lock_id = out_.lock_count++;
+    out_.sym_slot_of_decl[&d] = info.slot;
+    out_.symmetric.push_back(info);
+  }
+
+  void check_expr(const ast::Expr& e, Context ctx) {
+    switch (e.kind) {
+      case ast::ExprKind::kCall: {
+        const auto& c = static_cast<const ast::CallExpr&>(e);
+        auto it = out_.functions.find(c.callee);
+        if (it == out_.functions.end()) {
+          throw SemaError("call to unknown function '" + c.callee + "'",
+                          c.loc);
+        }
+        if (it->second.def->params.size() != c.args.size()) {
+          throw SemaError(
+              "function '" + c.callee + "' takes " +
+                  std::to_string(it->second.def->params.size()) +
+                  " argument(s) but is called with " +
+                  std::to_string(c.args.size()),
+              c.loc);
+        }
+        for (const auto& a : c.args) check_expr(*a, ctx);
+        return;
+      }
+      case ast::ExprKind::kBinary: {
+        const auto& b = static_cast<const ast::BinaryExpr&>(e);
+        check_expr(*b.lhs, ctx);
+        check_expr(*b.rhs, ctx);
+        return;
+      }
+      case ast::ExprKind::kNary: {
+        const auto& n = static_cast<const ast::NaryExpr&>(e);
+        for (const auto& o : n.operands) check_expr(*o, ctx);
+        return;
+      }
+      case ast::ExprKind::kUnary:
+        check_expr(*static_cast<const ast::UnaryExpr&>(e).operand, ctx);
+        return;
+      case ast::ExprKind::kCast:
+        check_expr(*static_cast<const ast::CastExpr&>(e).value, ctx);
+        return;
+      case ast::ExprKind::kIndex: {
+        const auto& i = static_cast<const ast::IndexExpr&>(e);
+        check_expr(*i.base, ctx);
+        check_expr(*i.index, ctx);
+        return;
+      }
+      case ast::ExprKind::kSrsRef:
+        check_expr(*static_cast<const ast::SrsRef&>(e).name_expr, ctx);
+        return;
+      default:
+        return;  // leaves
+    }
+  }
+
+  const ast::Program& prog_;
+  Analysis out_;
+};
+
+}  // namespace
+
+Analysis analyze(const ast::Program& program) {
+  return Checker(program).run();
+}
+
+}  // namespace lol::sema

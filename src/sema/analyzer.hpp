@@ -1,0 +1,56 @@
+// Semantic analysis.
+//
+// LOLCODE is dynamically typed, so most type checking happens at run time;
+// sema's job is the static structure:
+//   * function table (two-pass so calls may precede definitions), arity
+//     checks, duplicate-definition checks
+//   * the symmetric-object registry: every `WE HAS A` declaration gets a
+//     stable slot id (program order) so all PEs allocate identically, and
+//     every `IM SHARIN IT` clause gets a global lock id (paper Table II)
+//   * placement rules: symmetric declarations must be top-level,
+//     straight-line code (SPMD allocation must not diverge across PEs)
+//   * statement legality: GTFO only inside loop/switch/function, FOUND YR
+//     only inside functions, symmetric element types must be fixed-width
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "support/error.hpp"
+
+namespace lol::sema {
+
+/// A resolved user function.
+struct FuncInfo {
+  const ast::FuncDefStmt* def = nullptr;
+};
+
+/// A resolved symmetric (PGAS) object from a `WE HAS A` declaration.
+struct SymInfo {
+  const ast::VarDeclStmt* decl = nullptr;
+  int slot = -1;     // dense program-order index; identical on all PEs
+  int lock_id = -1;  // global lock id when IM SHARIN IT, else -1
+};
+
+/// The result of analyzing one program. Owns nothing; borrows the AST.
+struct Analysis {
+  std::unordered_map<std::string, FuncInfo> functions;
+  std::vector<SymInfo> symmetric;  // in declaration order
+  std::unordered_map<const ast::VarDeclStmt*, int> sym_slot_of_decl;
+  int lock_count = 0;
+
+  [[nodiscard]] const SymInfo* sym_for_decl(
+      const ast::VarDeclStmt* decl) const {
+    auto it = sym_slot_of_decl.find(decl);
+    if (it == sym_slot_of_decl.end()) return nullptr;
+    return &symmetric[static_cast<std::size_t>(it->second)];
+  }
+};
+
+/// Analyzes `program`. Throws support::SemaError on the first violation.
+/// The returned Analysis borrows `program`, which must outlive it.
+Analysis analyze(const ast::Program& program);
+
+}  // namespace lol::sema

@@ -1,0 +1,371 @@
+#include "shmem/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace lol::shmem {
+
+using support::RuntimeError;
+
+namespace {
+
+constexpr std::size_t kAlign = 8;
+
+/// Relaxed word-atomic copy *into* an arena. Tears at word granularity
+/// under races (like real one-sided hardware) but is never UB.
+void arena_write(std::byte* dst, const void* src, std::size_t n) {
+  const auto* s = static_cast<const std::byte*>(src);
+  auto dst_addr = reinterpret_cast<std::uintptr_t>(dst);
+  while (n >= 8 && (dst_addr % 8) == 0) {
+    std::uint64_t word;
+    std::memcpy(&word, s, 8);
+    std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(dst))
+        .store(word, std::memory_order_relaxed);
+    dst += 8;
+    dst_addr += 8;
+    s += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::atomic_ref<std::uint8_t>(*reinterpret_cast<std::uint8_t*>(dst + i))
+        .store(static_cast<std::uint8_t>(s[i]), std::memory_order_relaxed);
+  }
+}
+
+/// Relaxed word-atomic copy *out of* an arena.
+void arena_read(void* dst, const std::byte* src, std::size_t n) {
+  auto* d = static_cast<std::byte*>(dst);
+  auto src_addr = reinterpret_cast<std::uintptr_t>(src);
+  while (n >= 8 && (src_addr % 8) == 0) {
+    std::uint64_t word =
+        std::atomic_ref<const std::uint64_t>(
+            *reinterpret_cast<const std::uint64_t*>(src))
+            .load(std::memory_order_relaxed);
+    std::memcpy(d, &word, 8);
+    src += 8;
+    src_addr += 8;
+    d += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = static_cast<std::byte>(
+        std::atomic_ref<const std::uint8_t>(
+            *reinterpret_cast<const std::uint8_t*>(src + i))
+            .load(std::memory_order_relaxed));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pe
+// ---------------------------------------------------------------------------
+
+int Pe::n_pes() const { return rt_->n_pes(); }
+
+void Pe::check_target(int target) const {
+  if (target < 0 || target >= rt_->n_pes()) {
+    throw RuntimeError("remote PE " + std::to_string(target) +
+                       " is out of range (MAH FRENZ = " +
+                       std::to_string(rt_->n_pes()) + ")");
+  }
+}
+
+void Pe::check_range(std::size_t offset, std::size_t n) const {
+  if (offset + n > rt_->heap_bytes() || offset + n < offset) {
+    throw RuntimeError("symmetric access [" + std::to_string(offset) + ", " +
+                       std::to_string(offset + n) +
+                       ") exceeds the symmetric heap (" +
+                       std::to_string(rt_->heap_bytes()) + " bytes)");
+  }
+}
+
+std::size_t Pe::shmalloc(std::size_t bytes) {
+  std::size_t rounded = (bytes + kAlign - 1) & ~(kAlign - 1);
+  if (bump_ + rounded > rt_->heap_bytes()) {
+    throw RuntimeError(
+        "symmetric heap exhausted: need " + std::to_string(rounded) +
+        " more bytes, " + std::to_string(rt_->heap_bytes() - bump_) +
+        " available (configure a larger heap)");
+  }
+  std::size_t off = bump_;
+  bump_ += rounded;
+  return off;
+}
+
+std::byte* Pe::local_addr(std::size_t offset) {
+  return rt_->arena(id_) + offset;
+}
+
+void Pe::put(int target, std::size_t offset, const void* src, std::size_t n) {
+  check_target(target);
+  check_range(offset, n);
+  arena_write(rt_->arena(target) + offset, src, n);
+  if (const auto* m = rt_->model()) sim_ns_ += m->put_ns(id_, target, n);
+}
+
+void Pe::get(void* dst, int target, std::size_t offset, std::size_t n) {
+  check_target(target);
+  check_range(offset, n);
+  arena_read(dst, rt_->arena(target) + offset, n);
+  if (const auto* m = rt_->model()) sim_ns_ += m->get_ns(id_, target, n);
+}
+
+void Pe::put_i64(int target, std::size_t offset, std::int64_t v) {
+  put(target, offset, &v, sizeof v);
+}
+
+std::int64_t Pe::get_i64(int target, std::size_t offset) {
+  std::int64_t v;
+  get(&v, target, offset, sizeof v);
+  return v;
+}
+
+void Pe::put_f64(int target, std::size_t offset, double v) {
+  put(target, offset, &v, sizeof v);
+}
+
+double Pe::get_f64(int target, std::size_t offset) {
+  double v;
+  get(&v, target, offset, sizeof v);
+  return v;
+}
+
+std::int64_t Pe::atomic_fetch_add_i64(int target, std::size_t offset,
+                                      std::int64_t delta) {
+  check_target(target);
+  check_range(offset, sizeof(std::int64_t));
+  auto* word =
+      reinterpret_cast<std::int64_t*>(rt_->arena(target) + offset);
+  std::int64_t old = std::atomic_ref<std::int64_t>(*word).fetch_add(
+      delta, std::memory_order_acq_rel);
+  if (const auto* m = rt_->model()) sim_ns_ += m->get_ns(id_, target, 8);
+  return old;
+}
+
+void Pe::barrier_all() { rt_->barrier(*this); }
+
+void Pe::set_lock(int lock_id) {
+  if (lock_id < 0 || lock_id >= rt_->n_locks()) {
+    throw RuntimeError("lock id " + std::to_string(lock_id) +
+                       " is out of range");
+  }
+  auto& lock = rt_->locks_[static_cast<std::size_t>(lock_id)];
+  if (lock.owner.load(std::memory_order_acquire) == id_) {
+    throw RuntimeError("PE " + std::to_string(id_) +
+                       " already holds this lock (IM SRSLY MESIN WIF is not "
+                       "recursive)");
+  }
+  // Spin with yield so a runtime abort() can interrupt the wait.
+  while (!lock.m.try_lock()) {
+    if (rt_->aborted()) throw RuntimeError("SPMD aborted while waiting for lock");
+    std::this_thread::yield();
+  }
+  lock.owner.store(id_, std::memory_order_release);
+  if (const auto* m = rt_->model()) {
+    sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
+  }
+}
+
+bool Pe::test_lock(int lock_id) {
+  if (lock_id < 0 || lock_id >= rt_->n_locks()) {
+    throw RuntimeError("lock id " + std::to_string(lock_id) +
+                       " is out of range");
+  }
+  auto& lock = rt_->locks_[static_cast<std::size_t>(lock_id)];
+  if (lock.owner.load(std::memory_order_acquire) == id_) {
+    throw RuntimeError("PE " + std::to_string(id_) +
+                       " already holds this lock");
+  }
+  bool got = lock.m.try_lock();
+  if (got) lock.owner.store(id_, std::memory_order_release);
+  if (const auto* m = rt_->model()) {
+    sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
+  }
+  return got;
+}
+
+void Pe::clear_lock(int lock_id) {
+  if (lock_id < 0 || lock_id >= rt_->n_locks()) {
+    throw RuntimeError("lock id " + std::to_string(lock_id) +
+                       " is out of range");
+  }
+  auto& lock = rt_->locks_[static_cast<std::size_t>(lock_id)];
+  if (lock.owner.load(std::memory_order_acquire) != id_) {
+    throw RuntimeError("PE " + std::to_string(id_) +
+                       " releases a lock it does not hold (DUN MESIN WIF "
+                       "without IM ... MESIN WIF)");
+  }
+  lock.owner.store(-1, std::memory_order_release);
+  lock.m.unlock();
+  if (const auto* m = rt_->model()) {
+    sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
+  }
+}
+
+void Pe::charge_local(std::size_t bytes) {
+  if (const auto* m = rt_->model()) sim_ns_ += m->local_ns(bytes);
+}
+
+// Collectives: contribute to scratch, barrier, reduce, barrier.
+namespace {
+template <typename T, typename Fn>
+T all_reduce(Pe& pe, std::vector<T>& scratch, T v, Fn combine) {
+  scratch[static_cast<std::size_t>(pe.id())] = v;
+  pe.barrier_all();
+  T acc = scratch[0];
+  for (int i = 1; i < pe.n_pes(); ++i) {
+    acc = combine(acc, scratch[static_cast<std::size_t>(i)]);
+  }
+  pe.barrier_all();
+  return acc;
+}
+}  // namespace
+
+std::int64_t Pe::all_reduce_sum_i64(std::int64_t v) {
+  return all_reduce(*this, rt_->scratch_i64_, v,
+                    [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+double Pe::all_reduce_sum_f64(double v) {
+  return all_reduce(*this, rt_->scratch_f64_, v,
+                    [](double a, double b) { return a + b; });
+}
+
+std::int64_t Pe::all_reduce_max_i64(std::int64_t v) {
+  return all_reduce(*this, rt_->scratch_i64_, v,
+                    [](std::int64_t a, std::int64_t b) {
+                      return a > b ? a : b;
+                    });
+}
+
+double Pe::all_reduce_max_f64(double v) {
+  return all_reduce(*this, rt_->scratch_f64_, v,
+                    [](double a, double b) { return a > b ? a : b; });
+}
+
+std::int64_t Pe::broadcast_i64(std::int64_t v, int root) {
+  check_target(root);
+  if (id_ == root) rt_->scratch_i64_[static_cast<std::size_t>(root)] = v;
+  barrier_all();
+  std::int64_t out = rt_->scratch_i64_[static_cast<std::size_t>(root)];
+  barrier_all();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  if (cfg_.n_pes < 1 || cfg_.n_pes > 1024) {
+    throw RuntimeError("n_pes must be in [1, 1024], got " +
+                       std::to_string(cfg_.n_pes));
+  }
+  if (cfg_.heap_bytes % kAlign != 0) {
+    cfg_.heap_bytes = (cfg_.heap_bytes + kAlign - 1) & ~(kAlign - 1);
+  }
+  arenas_.resize(static_cast<std::size_t>(cfg_.n_pes));
+  for (auto& a : arenas_) a.resize(cfg_.heap_bytes);
+  scratch_i64_.resize(static_cast<std::size_t>(cfg_.n_pes));
+  scratch_f64_.resize(static_cast<std::size_t>(cfg_.n_pes));
+}
+
+std::byte* Runtime::arena(int pe) {
+  return arenas_[static_cast<std::size_t>(pe)].data();
+}
+
+void Runtime::abort() {
+  abort_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> g(bar_m_);
+  bar_cv_.notify_all();
+}
+
+void Runtime::reset_for_launch() {
+  abort_.store(false, std::memory_order_release);
+  bar_count_ = 0;
+  bar_gen_ = 0;
+  bar_max_ns_ = 0.0;
+  bar_release_ns_[0] = bar_release_ns_[1] = 0.0;
+  // Locks are recreated so a previous aborted launch cannot leave one held.
+  locks_.clear();
+  for (int i = 0; i < cfg_.n_locks; ++i) locks_.emplace_back();
+  for (auto& a : arenas_) std::fill(a.begin(), a.end(), std::byte{0});
+  std::fill(scratch_i64_.begin(), scratch_i64_.end(), 0);
+  std::fill(scratch_f64_.begin(), scratch_f64_.end(), 0.0);
+  ++launch_counter_;
+}
+
+void Runtime::barrier(Pe& pe) {
+  std::unique_lock<std::mutex> g(bar_m_);
+  if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
+  std::uint64_t my_gen = bar_gen_;
+  bar_max_ns_ = std::max(bar_max_ns_, pe.sim_ns_);
+  if (++bar_count_ == cfg_.n_pes) {
+    double release = bar_max_ns_;
+    if (cfg_.model) release += cfg_.model->barrier_ns(cfg_.n_pes);
+    bar_release_ns_[my_gen & 1] = release;
+    bar_count_ = 0;
+    bar_max_ns_ = 0.0;
+    ++bar_gen_;
+    bar_cv_.notify_all();
+  } else {
+    bar_cv_.wait(g, [&] { return bar_gen_ != my_gen || aborted(); });
+    if (bar_gen_ == my_gen && aborted()) {
+      throw RuntimeError("SPMD aborted while waiting in barrier (HUGZ)");
+    }
+  }
+  pe.sim_ns_ = bar_release_ns_[my_gen & 1];
+}
+
+LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
+  reset_for_launch();
+  const int n = cfg_.n_pes;
+  std::vector<Pe> pes(static_cast<std::size_t>(n));
+  LaunchResult result;
+  result.errors.assign(static_cast<std::size_t>(n), "");
+  result.sim_ns.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (int i = 0; i < n; ++i) {
+    pes[static_cast<std::size_t>(i)].rt_ = this;
+    pes[static_cast<std::size_t>(i)].id_ = i;
+    pes[static_cast<std::size_t>(i)].launch_seed_ =
+        launch_counter_ * 0x9E3779B97F4A7C15ULL;
+  }
+
+  auto body = [&](int i) {
+    Pe& pe = pes[static_cast<std::size_t>(i)];
+    try {
+      fn(pe);
+    } catch (const std::exception& e) {
+      result.errors[static_cast<std::size_t>(i)] =
+          "PE " + std::to_string(i) + ": " + e.what();
+      abort();
+    } catch (...) {
+      result.errors[static_cast<std::size_t>(i)] =
+          "PE " + std::to_string(i) + ": unknown exception";
+      abort();
+    }
+  };
+
+  if (n == 1) {
+    body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) threads.emplace_back(body, i);
+    for (auto& t : threads) t.join();
+  }
+
+  for (int i = 0; i < n; ++i) {
+    result.sim_ns[static_cast<std::size_t>(i)] =
+        pes[static_cast<std::size_t>(i)].sim_ns_;
+    if (!result.errors[static_cast<std::size_t>(i)].empty()) {
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace lol::shmem

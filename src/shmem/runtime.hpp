@@ -1,0 +1,225 @@
+// An OpenSHMEM-like SPMD runtime on std::thread.
+//
+// This is the substrate the paper's language extensions compile onto.
+// The paper uses a real OpenSHMEM library (ARL's Epiphany implementation
+// on the Parallella; Cray SHMEM on the XC40); we reproduce the subset its
+// backend needs, in-process:
+//
+//   * N processing elements (PEs) = N threads running the same function
+//     (SPMD), each with a private *symmetric heap* arena
+//   * collective, deterministic symmetric allocation: every PE performs
+//     the same shmalloc sequence, so an object has the same offset on
+//     every PE — exactly the property OpenSHMEM symmetric objects have —
+//     and remote addressing works by (target_pe, offset)
+//   * one-sided put/get between arenas. Transfers are performed with
+//     relaxed word-atomic accesses: concurrent conflicting transfers can
+//     tear (as on real hardware) but are not undefined behaviour, which
+//     lets the Figure-2 "races without barriers" experiment run cleanly
+//   * barrier_all, global exclusive locks (shmem_set/test/clear_lock),
+//     64-bit fetch-add atomics, and allreduce/broadcast collectives
+//   * optional simulated time: when a noc::MachineModel is configured,
+//     every remote operation charges the calling PE its modeled cost, so
+//     benches can compare Epiphany-mesh vs XC40 behaviour deterministically
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "noc/model.hpp"
+#include "support/error.hpp"
+
+namespace lol::shmem {
+
+/// Runtime configuration.
+struct Config {
+  int n_pes = 1;
+  std::size_t heap_bytes = 1 << 20;  // symmetric heap per PE
+  int n_locks = 0;                   // global locks (IM SHARIN IT)
+  noc::ModelPtr model;               // null => no simulated-time accounting
+};
+
+class Runtime;
+
+/// Per-PE handle: the view of the runtime a single SPMD thread uses.
+/// Not thread-safe across PEs by design — each thread owns exactly one Pe.
+class Pe {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int n_pes() const;
+  [[nodiscard]] Runtime& runtime() { return *rt_; }
+
+  // -- symmetric allocation -------------------------------------------------
+
+  /// Collective bump allocation: all PEs must call shmalloc in the same
+  /// order with the same sizes; the returned offset is then identical on
+  /// every PE. 8-byte aligned. Throws RuntimeError on heap exhaustion.
+  std::size_t shmalloc(std::size_t bytes);
+
+  /// Address of `offset` within this PE's own arena.
+  [[nodiscard]] std::byte* local_addr(std::size_t offset);
+
+  // -- one-sided remote memory access ---------------------------------------
+
+  /// Writes `n` bytes from local `src` into PE `target`'s arena at
+  /// `offset`. Charges modeled put cost to this PE.
+  void put(int target, std::size_t offset, const void* src, std::size_t n);
+
+  /// Reads `n` bytes from PE `target`'s arena at `offset` into `dst`.
+  /// Charges modeled get cost to this PE.
+  void get(void* dst, int target, std::size_t offset, std::size_t n);
+
+  /// 64-bit scalar conveniences.
+  void put_i64(int target, std::size_t offset, std::int64_t v);
+  [[nodiscard]] std::int64_t get_i64(int target, std::size_t offset);
+  void put_f64(int target, std::size_t offset, double v);
+  [[nodiscard]] double get_f64(int target, std::size_t offset);
+
+  /// Atomic fetch-add on a remote (or local) 64-bit symmetric word.
+  std::int64_t atomic_fetch_add_i64(int target, std::size_t offset,
+                                    std::int64_t delta);
+
+  // -- synchronization -------------------------------------------------------
+
+  /// Collective barrier over all PEs (shmem_barrier_all / HUGZ).
+  void barrier_all();
+
+  /// Blocking acquire of global lock `lock_id` (shmem_set_lock /
+  /// IM SRSLY MESIN WIF). Non-recursive: re-acquiring a held lock throws.
+  void set_lock(int lock_id);
+
+  /// Non-blocking acquire (shmem_test_lock / IM MESIN WIF). Returns true
+  /// when the lock was acquired.
+  bool test_lock(int lock_id);
+
+  /// Release (shmem_clear_lock / DUN MESIN WIF). Throws when this PE does
+  /// not hold the lock.
+  void clear_lock(int lock_id);
+
+  // -- collectives ------------------------------------------------------------
+
+  std::int64_t all_reduce_sum_i64(std::int64_t v);
+  double all_reduce_sum_f64(double v);
+  std::int64_t all_reduce_max_i64(std::int64_t v);
+  double all_reduce_max_f64(double v);
+  std::int64_t broadcast_i64(std::int64_t v, int root);
+
+  // -- simulated time ----------------------------------------------------------
+
+  /// Simulated nanoseconds accumulated by this PE (0 when no model).
+  [[nodiscard]] double sim_ns() const { return sim_ns_; }
+
+  /// Charges raw simulated time (used by backends to model compute).
+  void charge_ns(double ns) { sim_ns_ += ns; }
+
+  /// Charges the model's local-access cost for `bytes`.
+  void charge_local(std::size_t bytes);
+
+  // -- per-PE deterministic RNG seed support ------------------------------------
+
+  /// An arbitrary per-launch, per-PE stable tag backends may use.
+  [[nodiscard]] std::uint64_t launch_seed() const { return launch_seed_; }
+
+ private:
+  friend class Runtime;
+  Runtime* rt_ = nullptr;
+  int id_ = -1;
+  std::size_t bump_ = 0;
+  double sim_ns_ = 0.0;
+  std::uint64_t launch_seed_ = 0;
+
+  void check_target(int target) const;
+  void check_range(std::size_t offset, std::size_t n) const;
+};
+
+/// Outcome of one SPMD launch.
+struct LaunchResult {
+  bool ok = true;
+  /// Per-PE error message; empty string when that PE succeeded.
+  std::vector<std::string> errors;
+  /// Per-PE simulated time (ns); zeros when no machine model configured.
+  std::vector<double> sim_ns;
+
+  /// First non-empty error (convenience for tests/tools).
+  [[nodiscard]] std::string first_error() const {
+    for (const auto& e : errors)
+      if (!e.empty()) return e;
+    return {};
+  }
+  /// Maximum simulated time across PEs — the modeled wall-clock.
+  [[nodiscard]] double max_sim_ns() const {
+    double m = 0.0;
+    for (double v : sim_ns) m = v > m ? v : m;
+    return m;
+  }
+};
+
+/// The shared SPMD runtime: owns the arenas, the barrier, the locks and
+/// the collective scratch space. One Runtime can perform many launches;
+/// state is reset at the start of each launch.
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+
+  /// Runs `fn` on n_pes threads (SPMD). Exceptions thrown by a PE are
+  /// captured into the result; peers blocked in barriers/locks are woken
+  /// and abort with "SPMD aborted" errors so a failing PE cannot deadlock
+  /// the launch.
+  LaunchResult launch(const std::function<void(Pe&)>& fn);
+
+  [[nodiscard]] int n_pes() const { return cfg_.n_pes; }
+  [[nodiscard]] std::size_t heap_bytes() const { return cfg_.heap_bytes; }
+  [[nodiscard]] int n_locks() const { return cfg_.n_locks; }
+  [[nodiscard]] const noc::MachineModel* model() const {
+    return cfg_.model.get();
+  }
+
+  /// Direct arena access (tests and the Figure-1 bench use this to verify
+  /// symmetric layout).
+  [[nodiscard]] std::byte* arena(int pe);
+
+  /// Requests cooperative abort: wakes barrier waiters and lock spinners.
+  void abort();
+  [[nodiscard]] bool aborted() const {
+    return abort_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Pe;
+
+  struct GlobalLock {
+    std::mutex m;
+    std::atomic<int> owner{-1};
+  };
+
+  void reset_for_launch();
+  void barrier(Pe& pe);
+
+  Config cfg_;
+  std::vector<std::vector<std::byte>> arenas_;
+
+  // Central generation barrier.
+  std::mutex bar_m_;
+  std::condition_variable bar_cv_;
+  int bar_count_ = 0;
+  std::uint64_t bar_gen_ = 0;
+  double bar_max_ns_ = 0.0;
+  double bar_release_ns_[2] = {0.0, 0.0};
+
+  std::deque<GlobalLock> locks_;
+
+  // Collective scratch (one slot per PE), reused via double barrier.
+  std::vector<std::int64_t> scratch_i64_;
+  std::vector<double> scratch_f64_;
+
+  std::atomic<bool> abort_{false};
+  std::uint64_t launch_counter_ = 0;
+};
+
+}  // namespace lol::shmem

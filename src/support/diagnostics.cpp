@@ -1,0 +1,78 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace lol::support {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+DiagnosticEngine::DiagnosticEngine(std::string_view source,
+                                   std::string buffer_name)
+    : source_(source), buffer_name_(std::move(buffer_name)) {}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++errors_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  report(Severity::kError, loc, std::move(message));
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  report(Severity::kWarning, loc, std::move(message));
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  report(Severity::kNote, loc, std::move(message));
+}
+
+std::string_view DiagnosticEngine::line_text(std::uint32_t line) const {
+  if (line == 0) return {};
+  std::uint32_t current = 1;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= source_.size(); ++i) {
+    if (i == source_.size() || source_[i] == '\n') {
+      if (current == line) return source_.substr(start, i - start);
+      start = i + 1;
+      ++current;
+    }
+  }
+  return {};
+}
+
+std::string DiagnosticEngine::render_one(const Diagnostic& d) const {
+  std::ostringstream os;
+  os << buffer_name_ << ":" << d.loc.str() << ": " << severity_name(d.severity)
+     << ": " << d.message << "\n";
+  if (d.loc.valid()) {
+    std::string_view text = line_text(d.loc.line);
+    if (!text.empty()) {
+      os << "    " << text << "\n    ";
+      for (std::uint32_t i = 1; i < d.loc.col; ++i) {
+        os << (i - 1 < text.size() && text[i - 1] == '\t' ? '\t' : ' ');
+      }
+      os << "^\n";
+    }
+  }
+  return os.str();
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string out;
+  for (const auto& d : diags_) out += render_one(d);
+  return out;
+}
+
+}  // namespace lol::support

@@ -1,0 +1,64 @@
+// Diagnostic collection and rendering with source-line excerpts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace lol::support {
+
+/// Severity of a reported diagnostic.
+enum class Severity { kNote, kWarning, kError };
+
+/// Returns a stable lower-case name ("note", "warning", "error").
+std::string_view severity_name(Severity s);
+
+/// One reported issue.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Accumulates diagnostics for one compilation and renders them with the
+/// offending source line and a caret, e.g.
+///
+///   error 3:9: expected expression after 'R'
+///       x R
+///           ^
+class DiagnosticEngine {
+ public:
+  /// `source` is kept by reference for excerpt rendering; it must outlive
+  /// the engine. `buffer_name` labels the compilation unit in output.
+  explicit DiagnosticEngine(std::string_view source,
+                            std::string buffer_name = "<input>");
+
+  void report(Severity severity, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t error_count() const { return errors_; }
+  [[nodiscard]] bool has_errors() const { return errors_ > 0; }
+
+  /// Renders every collected diagnostic (with excerpt + caret) to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders a single diagnostic.
+  [[nodiscard]] std::string render_one(const Diagnostic& d) const;
+
+ private:
+  [[nodiscard]] std::string_view line_text(std::uint32_t line) const;
+
+  std::string_view source_;
+  std::string buffer_name_;
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace lol::support

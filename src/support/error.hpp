@@ -1,0 +1,55 @@
+// Exception types thrown by the compiler and the runtimes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/source_location.hpp"
+
+namespace lol::support {
+
+/// Base class for all errors raised by PARALLOL components. Carries the
+/// source location of the offending construct when one is known.
+class LolError : public std::runtime_error {
+ public:
+  LolError(std::string message, SourceLoc loc = {})
+      : std::runtime_error(loc.valid() ? loc.str() + ": " + message
+                                       : message),
+        loc_(loc),
+        raw_(std::move(message)) {}
+
+  /// Location of the offending token/statement ("?" when unknown).
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+  /// The message without the location prefix.
+  [[nodiscard]] const std::string& raw_message() const { return raw_; }
+
+ private:
+  SourceLoc loc_;
+  std::string raw_;
+};
+
+/// Raised by the lexer for malformed input (bad escapes, stray characters).
+class LexError : public LolError {
+  using LolError::LolError;
+};
+
+/// Raised by the parser for grammar violations.
+class ParseError : public LolError {
+  using LolError::LolError;
+};
+
+/// Raised by semantic analysis (type errors on SRSLY declarations,
+/// symmetric-object misuse, undeclared identifiers found statically).
+class SemaError : public LolError {
+  using LolError::LolError;
+};
+
+/// Raised during execution by any backend (cast failures, unknown
+/// variables, UR outside predication, out-of-bounds indexing, ...).
+class RuntimeError : public LolError {
+  using LolError::LolError;
+};
+
+}  // namespace lol::support

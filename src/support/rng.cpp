@@ -1,0 +1,5 @@
+#include "support/rng.hpp"
+
+// Header-only today; this TU anchors the library and keeps a home for any
+// future out-of-line RNG additions (e.g. jump-ahead).
+namespace lol::support {}

@@ -1,0 +1,63 @@
+// Deterministic per-PE random streams backing WHATEVR / WHATEVAR.
+//
+// Each processing element owns an independent, reproducible stream so
+// parallel LOLCODE programs (e.g. the paper's n-body, which seeds particle
+// state with WHATEVAR) can be verified bit-for-bit against a native
+// reference that replays the same stream.
+#pragma once
+
+#include <cstdint>
+
+namespace lol::support {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator. Used both directly
+/// and to seed per-PE streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The random stream exposed to LOLCODE programs on one PE.
+///
+/// WHATEVR  -> `next_numbr()`  : uniform integer in [0, 2^31)
+/// WHATEVAR -> `next_numbar()` : uniform double in [0, 1)
+class PeRng {
+ public:
+  /// Derives the PE stream from a global seed and the PE id; distinct PEs
+  /// get decorrelated streams, and (seed, pe) fully determines the stream.
+  PeRng(std::uint64_t global_seed, int pe)
+      : gen_(mix(global_seed, static_cast<std::uint64_t>(pe))) {}
+
+  /// Uniform NUMBR in [0, 2^31), matching C `rand()`-style ranges that the
+  /// paper's Table III describes.
+  std::int64_t next_numbr() {
+    return static_cast<std::int64_t>(gen_.next() >> 33);
+  }
+
+  /// Uniform NUMBAR in [0, 1).
+  double next_numbar() {
+    // 53 random mantissa bits.
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t pe) {
+    SplitMix64 s(seed ^ (pe * 0xA24BAED4963EE407ULL + 0x9FB21C651E98DF25ULL));
+    return s.next();
+  }
+
+  SplitMix64 gen_;
+};
+
+}  // namespace lol::support

@@ -1,0 +1,37 @@
+// Source positions and ranges used by every frontend diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lol::support {
+
+/// A position within a source buffer. Lines and columns are 1-based;
+/// `offset` is the 0-based byte offset into the buffer. A default
+/// constructed location (line 0) means "unknown".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::uint32_t offset = 0;
+
+  /// True when this location points at real source text.
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  /// Renders as "line:col" (or "?" when unknown).
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range [begin, end) over a source buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace lol::support

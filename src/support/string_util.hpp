@@ -1,0 +1,43 @@
+// Small string helpers shared across the frontend and runtimes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lol::support {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True when `s` consists only of ASCII upper-case letters (the shape of
+/// every LOLCODE keyword word).
+bool is_all_upper(std::string_view s);
+
+/// Parses a LOLCODE NUMBR literal (optionally signed decimal integer).
+std::optional<std::int64_t> parse_numbr(std::string_view s);
+
+/// Parses a LOLCODE NUMBAR literal (decimal floating point; requires a
+/// digit somewhere; accepts forms like "1.5", ".5", "2.", "1e3").
+std::optional<double> parse_numbar(std::string_view s);
+
+/// Formats a NUMBAR the way LOLCODE-1.2 casts NUMBAR->YARN: fixed point
+/// with two fractional digits ("3.14", "-0.50").
+std::string format_numbar(double v);
+
+/// Formats a NUMBR as decimal.
+std::string format_numbr(std::int64_t v);
+
+/// Escapes a string for embedding in a C string literal (used by codegen
+/// and by AST dumps).
+std::string c_escape(std::string_view s);
+
+}  // namespace lol::support

@@ -1,0 +1,15 @@
+// AST -> bytecode compiler.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "sema/analyzer.hpp"
+#include "vm/chunk.hpp"
+
+namespace lol::vm {
+
+/// Compiles an analyzed program to a chunk. Throws support::SemaError for
+/// constructs the compiler can reject statically.
+Chunk compile_program(const ast::Program& program,
+                      const sema::Analysis& analysis);
+
+}  // namespace lol::vm

@@ -1,0 +1,83 @@
+// The bytecode VM executor. One Vm instance runs one PE of the SPMD
+// launch, sharing the chunk (read-only) with every other PE.
+#pragma once
+
+#include "rt/exec_context.hpp"
+#include "rt/objects.hpp"
+#include "vm/chunk.hpp"
+#include "vm/compiler.hpp"
+
+namespace lol::vm {
+
+class Vm {
+ public:
+  Vm(const Chunk& chunk, rt::ExecContext& ctx) : chunk_(chunk), ctx_(ctx) {}
+
+  /// Executes the chunk from the top of main. Throws support::RuntimeError
+  /// on semantic errors.
+  void run();
+
+ private:
+  /// One variable slot: scalar value, private array, or symmetric handle.
+  struct Cell {
+    rt::Value v;
+    std::shared_ptr<rt::PrivateArray> arr;
+    std::optional<rt::SymHandle> sym;
+    std::optional<ast::TypeKind> stype;
+    bool bound = false;
+
+    [[nodiscard]] bool is_array() const {
+      return arr != nullptr || (sym && sym->is_array);
+    }
+  };
+
+  struct Frame {
+    std::vector<Cell> slots;
+    rt::Value it;
+    std::size_t ret_pc = 0;
+    std::size_t bff_depth = 0;
+    std::size_t name_map = 0;
+  };
+
+  rt::Value pop();
+  void push(rt::Value v);
+
+  Cell& static_cell(std::int32_t slot, std::uint32_t flags);
+  Cell& dynamic_cell(const std::string& name);
+  [[nodiscard]] std::string slot_name(const Frame& f,
+                                      std::int32_t slot) const;
+
+  /// Lazily renders a variable name for error messages only — computing
+  /// it eagerly on every access would dominate the dispatch loop.
+  struct NameRef {
+    const Vm* vm = nullptr;
+    const Frame* frame = nullptr;
+    std::int32_t slot = -1;
+    const std::string* dyn = nullptr;
+
+    [[nodiscard]] std::string str() const {
+      if (dyn != nullptr) return *dyn;
+      return vm->slot_name(*frame, slot);
+    }
+  };
+
+  rt::Value load_cell(Cell& c, bool indexed, bool remote,
+                      const rt::Value* index, const NameRef& name);
+  void store_cell(Cell& c, bool indexed, bool remote, const rt::Value* index,
+                  rt::Value v, const NameRef& name);
+
+  int current_bff() const;
+
+  const Chunk& chunk_;
+  rt::ExecContext& ctx_;
+  std::vector<rt::Value> stack_;
+  std::vector<Frame> frames_;
+  std::vector<int> bff_;
+
+  static constexpr std::size_t kMaxFrames = 2000;
+};
+
+/// Convenience used by the SPMD launcher.
+void run_pe(const Chunk& chunk, rt::ExecContext& ctx);
+
+}  // namespace lol::vm

@@ -1,0 +1,147 @@
+// End-to-end tests for the lolrun CLI (the in-process `coprsh -np N`
+// analogue): flag handling, backend/machine selection, AST/bytecode
+// dumps, and failure exit codes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "driver/cli.hpp"
+
+#ifndef LOLRUN_BIN
+#define LOLRUN_BIN "lolrun"
+#endif
+
+namespace {
+
+struct CmdResult {
+  int status = -1;
+  std::string output;  // stdout + stderr
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  r.status = pclose(pipe);
+  return r;
+}
+
+std::string write_program(const char* name, const std::string& src) {
+  std::string path = std::string("/tmp/parallol_cli_") + name + ".lol";
+  EXPECT_TRUE(lol::driver::write_file(path, src));
+  return path;
+}
+
+TEST(LolrunCli, RunsHelloOnNPes) {
+  std::string path = write_program(
+      "hello", "HAI 1.2\nVISIBLE \"PE \" ME \"/\" MAH FRENZ\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " -np 3 " + path);
+  EXPECT_EQ(r.status, 0);
+  int lines = 0;
+  for (char c : r.output) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(r.output.find("/3"), std::string::npos);
+}
+
+TEST(LolrunCli, BackendSelection) {
+  std::string path =
+      write_program("backend", "HAI 1.2\nVISIBLE SUM OF 1 AN 2\nKTHXBYE\n");
+  auto vm = run_cmd(std::string(LOLRUN_BIN) + " --backend vm " + path);
+  auto in = run_cmd(std::string(LOLRUN_BIN) + " --backend interp " + path);
+  EXPECT_EQ(vm.status, 0);
+  EXPECT_EQ(in.status, 0);
+  EXPECT_EQ(vm.output, in.output);
+  auto bad = run_cmd(std::string(LOLRUN_BIN) + " --backend turbo " + path);
+  EXPECT_NE(bad.status, 0);
+}
+
+TEST(LolrunCli, MachineSimReportsModeledTime) {
+  std::string path = write_program(
+      "sim",
+      "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\n"
+      "TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, UR x R ME\n"
+      "HUGZ\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) +
+                   " -np 4 --machine epiphany3 --sim " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("[sim] machine=mesh4x4"), std::string::npos);
+  auto bad =
+      run_cmd(std::string(LOLRUN_BIN) + " --machine cray-2 " + path);
+  EXPECT_NE(bad.status, 0);
+}
+
+TEST(LolrunCli, DumpAstPrintsStructure) {
+  std::string path =
+      write_program("ast", "HAI 1.2\nVISIBLE SUM OF 1 AN 2\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --dump-ast " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("(program"), std::string::npos);
+  EXPECT_NE(r.output.find("(sum (numbr 1) (numbr 2))"), std::string::npos);
+}
+
+TEST(LolrunCli, DumpBytecodePrintsDisassembly) {
+  std::string path =
+      write_program("bc", "HAI 1.2\nI HAS A x ITZ 5\nVISIBLE x\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --dump-bytecode " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("DECLARE x"), std::string::npos);
+  EXPECT_NE(r.output.find("HALT"), std::string::npos);
+}
+
+TEST(LolrunCli, TagPrefixesPeIds) {
+  std::string path =
+      write_program("tag", "HAI 1.2\nVISIBLE \"yo\"\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " -np 2 --tag " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("[pe0] yo"), std::string::npos);
+  EXPECT_NE(r.output.find("[pe1] yo"), std::string::npos);
+}
+
+TEST(LolrunCli, CompileErrorsExitNonZeroWithLocation) {
+  std::string path = write_program("bad", "HAI 1.2\nx R\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " " + path);
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("2:"), std::string::npos);  // line number
+}
+
+TEST(LolrunCli, RuntimeErrorsExitNonZero) {
+  std::string path = write_program(
+      "rt", "HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " " + path);
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("division by zero"), std::string::npos);
+}
+
+TEST(LolrunCli, MissingFileIsReported) {
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " /tmp/does_not_exist.lol");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos);
+}
+
+TEST(LolrunCli, UsageOnBadArgs) {
+  auto r = run_cmd(std::string(LOLRUN_BIN));
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(LolrunCli, SeedFlagControlsWhatevr) {
+  std::string path =
+      write_program("seed", "HAI 1.2\nVISIBLE WHATEVR\nKTHXBYE\n");
+  auto a1 = run_cmd(std::string(LOLRUN_BIN) + " --seed 7 " + path);
+  auto a2 = run_cmd(std::string(LOLRUN_BIN) + " --seed 7 " + path);
+  auto b = run_cmd(std::string(LOLRUN_BIN) + " --seed 8 " + path);
+  EXPECT_EQ(a1.output, a2.output);
+  EXPECT_NE(a1.output, b.output);
+}
+
+}  // namespace

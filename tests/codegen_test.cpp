@@ -1,0 +1,154 @@
+// C code generator tests: structural checks on the emitted translation
+// unit. Full compile-and-run coverage lives in lcc_e2e_test.cpp.
+#include <gtest/gtest.h>
+
+#include "codegen/c_emitter.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+std::string emit(const std::string& body) {
+  lol::CompiledProgram prog = lol::compile("HAI 1.2\n" + body + "KTHXBYE\n");
+  return lol::codegen::emit_c(prog.program, prog.analysis);
+}
+
+void expect_contains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "missing: " << needle << "\nin:\n"
+      << haystack;
+}
+
+TEST(Codegen, EmitsEntryPointsAndDriver) {
+  std::string c = emit("VISIBLE \"HAI\"\n");
+  expect_contains(c, "#include \"lolrt_c.h\"");
+  expect_contains(c, "void lol_user_main(lolrt_pe* pe)");
+  expect_contains(c, "lolrt_run_main(argc, argv, lol_user_main, 0)");
+  expect_contains(c, "lolrt_visible(pe, 1");
+}
+
+TEST(Codegen, LockCountFlowsToDriver) {
+  std::string c = emit(
+      "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "WE HAS A y ITZ SRSLY A NUMBR AN IM SHARIN IT\n");
+  expect_contains(c, "lolrt_run_main(argc, argv, lol_user_main, 2)");
+}
+
+TEST(Codegen, SrslyNumbarsLowerToNativeDoubles) {
+  std::string c = emit(
+      "I HAS A little_time ITZ SRSLY A NUMBAR AN ITZ 0.001\n"
+      "I HAS A x ITZ SRSLY A NUMBAR\n"
+      "x R PRODUKT OF x AN little_time\n");
+  expect_contains(c, "double v_little_time");
+  // Native multiply, not a boxed lolrt_binary call.
+  expect_contains(c, ") * (");
+}
+
+TEST(Codegen, SrslyNumbrArraysLowerToNativeArrays) {
+  std::string c = emit(
+      "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n"
+      "a'Z 2 R 5\nVISIBLE a'Z 2\n");
+  expect_contains(c, "long long* v_a");
+  expect_contains(c, "lolrt_idx(pe, ");
+}
+
+TEST(Codegen, SymmetricObjectsUseShmalloc) {
+  std::string c = emit(
+      "WE HAS A pos ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN IT\n"
+      "pos'Z 0 R 1.5\n");
+  expect_contains(c, "G->v_pos_off = lolrt_shmalloc(pe, ");
+  expect_contains(c, "lolrt_sym_store_f64(pe, G->v_pos_off");
+}
+
+TEST(Codegen, PredicationUsesBffStack) {
+  std::string c = emit(
+      "WE HAS A x ITZ SRSLY A NUMBR\n"
+      "TXT MAH BFF 0, x R UR x\n");
+  expect_contains(c, "lolrt_bff_push(pe, ");
+  expect_contains(c, "lolrt_bff_pop(pe, 1);");
+  expect_contains(c, "lolrt_sym_load_i64(pe, G->v_x_off, 1, 0, 1)");
+}
+
+TEST(Codegen, HugzAndLocks) {
+  std::string c = emit(
+      "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HUGZ\nIM SRSLY MESIN WIF x\nIM MESIN WIF x\nDUN MESIN WIF x\n");
+  expect_contains(c, "lolrt_hugz(pe);");
+  expect_contains(c, "lolrt_lock(pe, 0);");
+  expect_contains(c, "lolrt_trylock(pe, 0)");
+  expect_contains(c, "lolrt_unlock(pe, 0);");
+}
+
+TEST(Codegen, FunctionsBecomeStaticCFunctions) {
+  std::string c = emit(
+      "HOW IZ I addtwo YR a AN YR b\n  FOUND YR SUM OF a AN b\n"
+      "IF U SAY SO\n"
+      "VISIBLE I IZ addtwo YR 1 AN YR 2 MKAY\n");
+  expect_contains(c, "static lolv f_addtwo(lolrt_pe* pe, lolv v_a, lolv v_b)");
+  expect_contains(c, "f_addtwo(pe, ");
+}
+
+TEST(Codegen, GlobalsLiveInStructVisibleToFunctions) {
+  std::string c = emit(
+      "I HAS A g ITZ 7\n"
+      "HOW IZ I readg\n  FOUND YR g\nIF U SAY SO\n"
+      "VISIBLE I IZ readg MKAY\n");
+  expect_contains(c, "typedef struct lol_globals");
+  expect_contains(c, "lolv v_g;");
+  expect_contains(c, "G->v_g");
+}
+
+TEST(Codegen, WholeArrayCopyUsesSymCopy) {
+  std::string c = emit(
+      "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n"
+      "TXT MAH BFF 0, MAH a R UR a\n");
+  expect_contains(c, "lolrt_sym_copy(pe, G->v_a_off, 0, G->v_a_off, 1, ");
+}
+
+TEST(Codegen, RandomBuiltins) {
+  std::string c = emit("VISIBLE WHATEVR\nVISIBLE WHATEVAR\n");
+  expect_contains(c, "lolrt_whatevr(pe)");
+  expect_contains(c, "lolrt_whatevar(pe)");
+}
+
+TEST(Codegen, SrsIsRejectedWithClearMessage) {
+  try {
+    emit("I HAS A x ITZ 1\nI HAS A n ITZ \"x\"\nVISIBLE SRS n\n");
+    FAIL() << "expected SemaError";
+  } catch (const lol::support::SemaError& e) {
+    EXPECT_NE(std::string(e.what()).find("SRS is not supported"),
+              std::string::npos);
+  }
+}
+
+TEST(Codegen, PaperNBodyListingEmits) {
+  // The full §VI.D listing must lower (structure only; execution is
+  // covered by the e2e test and nbody_test).
+  std::string c = emit(
+      "I HAS A little_time ITZ SRSLY A NUMBAR AN ITZ 0.001\n"
+      "I HAS A x ITZ SRSLY A NUMBAR\n"
+      "I HAS A vx ITZ SRSLY A NUMBAR\n"
+      "I HAS A ax ITZ SRSLY A NUMBAR\n"
+      "I HAS A dx ITZ SRSLY A NUMBAR\n"
+      "I HAS A inv_d ITZ SRSLY A NUMBAR\n"
+      "I HAS A f ITZ SRSLY A NUMBAR\n"
+      "I HAS A vel_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32\n"
+      "WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n"
+      "  AN THAR IZ 32 AN IM SHARIN IT\n"
+      "IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32\n"
+      "  pos_x'Z i R SUM OF ME AN WHATEVAR\n"
+      "  vel_x'Z i R QUOSHUNT OF SUM OF ME AN WHATEVAR AN 1000\n"
+      "IM OUTTA YR loop\n"
+      "HUGZ\n"
+      "IM IN YR loop UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ\n"
+      "  DIFFRINT k AN ME, O RLY?\n"
+      "  YA RLY\n"
+      "    TXT MAH BFF k AN STUFF\n"
+      "      dx R DIFF OF pos_x'Z 0 AN UR pos_x'Z 0\n"
+      "    TTYL\n"
+      "  OIC\n"
+      "IM OUTTA YR loop\n");
+  expect_contains(c, "lol_user_main");
+  expect_contains(c, "lolrt_sym_load_f64");
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Public-API (core facade) tests: RunConfig knobs, sinks, simulated
+// time through the engine, error surfaces, and compile() diagnostics.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "noc/machines.hpp"
+#include "rt/io.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+
+TEST(Engine, CompileThrowsTypedErrors) {
+  EXPECT_THROW(lol::compile("\"unterminated"), lol::support::LexError);
+  EXPECT_THROW(lol::compile("HAI 1.2\nx R\nKTHXBYE\n"),
+               lol::support::ParseError);
+  EXPECT_THROW(lol::compile("HAI 1.2\nFOUND YR 1\nKTHXBYE\n"),
+               lol::support::SemaError);
+}
+
+TEST(Engine, CompiledProgramIsReusableAcrossRuns) {
+  auto prog = lol::compile("HAI 1.2\nVISIBLE ME\nKTHXBYE\n");
+  for (int n : {1, 2, 4}) {
+    RunConfig cfg;
+    cfg.n_pes = n;
+    auto r = lol::run(prog, cfg);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(static_cast<int>(r.pe_output.size()), n);
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(n - 1)],
+              std::to_string(n - 1) + "\n");
+  }
+}
+
+TEST(Engine, CompiledProgramIsMovable) {
+  // Analysis borrows AST nodes; moving the CompiledProgram must keep the
+  // borrowed pointers valid (nodes live behind unique_ptrs).
+  auto prog = lol::compile(
+      "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HOW IZ I f\n  FOUND YR 1\nIF U SAY SO\n"
+      "VISIBLE I IZ f MKAY\nKTHXBYE\n");
+  lol::CompiledProgram moved = std::move(prog);
+  auto r = lol::run(moved, RunConfig{});
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "1\n");
+}
+
+TEST(Engine, ExternalSinkReceivesOutput) {
+  lol::rt::CaptureSink sink(2);
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.sink = &sink;
+  auto r = lol::run_source("HAI 1.2\nVISIBLE ME\nKTHXBYE\n", cfg);
+  ASSERT_TRUE(r.ok);
+  // With an external sink, the result buffers stay empty...
+  EXPECT_EQ(r.pe_output[0], "");
+  // ...and the sink got the text.
+  EXPECT_EQ(sink.out(0), "0\n");
+  EXPECT_EQ(sink.out(1), "1\n");
+}
+
+TEST(Engine, SimulatedTimeFlowsThroughRunResult) {
+  RunConfig cfg;
+  cfg.n_pes = 4;
+  cfg.backend = Backend::kVm;
+  cfg.machine = lol::noc::epiphany3();
+  auto r = lol::run_source(
+      "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\n"
+      "TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, UR x R ME\n"
+      "HUGZ\nKTHXBYE\n",
+      cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_GT(r.max_sim_ns(), 0.0);
+  // All PEs leave the final barrier at the same simulated time.
+  for (double v : r.sim_ns) EXPECT_DOUBLE_EQ(v, r.sim_ns[0]);
+}
+
+TEST(Engine, MachineModelChangesModeledCost) {
+  const char* src =
+      "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\n"
+      "I HAS A g ITZ A NUMBR\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 50\n"
+      "  TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, g R UR x\n"
+      "IM OUTTA YR l\nHUGZ\nKTHXBYE\n";
+  RunConfig epi;
+  epi.n_pes = 4;
+  epi.machine = lol::noc::epiphany3();
+  RunConfig xc = epi;
+  xc.machine = lol::noc::xc40_aries();
+  auto re = lol::run_source(src, epi);
+  auto rx = lol::run_source(src, xc);
+  ASSERT_TRUE(re.ok && rx.ok);
+  // The XC40's flat ~1.7us get dwarfs the mesh's tens of ns.
+  EXPECT_GT(rx.max_sim_ns(), 10.0 * re.max_sim_ns());
+}
+
+TEST(Engine, SeedControlsRandomStreams) {
+  const char* src = "HAI 1.2\nVISIBLE WHATEVR\nKTHXBYE\n";
+  RunConfig a;
+  a.seed = 1;
+  RunConfig b;
+  b.seed = 2;
+  auto ra1 = lol::run_source(src, a);
+  auto ra2 = lol::run_source(src, a);
+  auto rb = lol::run_source(src, b);
+  ASSERT_TRUE(ra1.ok && ra2.ok && rb.ok);
+  EXPECT_EQ(ra1.pe_output[0], ra2.pe_output[0]);
+  EXPECT_NE(ra1.pe_output[0], rb.pe_output[0]);
+}
+
+TEST(Engine, PerPeErrorsAreReported) {
+  RunConfig cfg;
+  cfg.n_pes = 4;
+  auto r = lol::run_source(
+      "HAI 1.2\n"
+      "BOTH SAEM ME AN 2, O RLY?\n"
+      "YA RLY\n  VISIBLE QUOSHUNT OF 1 AN 0\nOIC\n"
+      "HUGZ\nKTHXBYE\n",
+      cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.errors[2].find("division by zero"), std::string::npos);
+  EXPECT_NE(r.errors[2].find("PE 2"), std::string::npos);
+}
+
+TEST(Engine, VersionIsExposed) { EXPECT_EQ(lol::version(), "1.0.0"); }
+
+TEST(Engine, HeapSizeKnobWorks) {
+  RunConfig small;
+  small.heap_bytes = 128;
+  auto r = lol::run_source(
+      "HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 64\n"
+      "KTHXBYE\n",
+      small);
+  EXPECT_FALSE(r.ok);
+  RunConfig big;
+  big.heap_bytes = 1024;
+  r = lol::run_source(
+      "HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 64\n"
+      "KTHXBYE\n",
+      big);
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Engine, StdinLinesHavePerPeCursors) {
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.stdin_lines = {"first", "second"};
+  auto r = lol::run_source(
+      "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE ME \"::\" x\nKTHXBYE\n", cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // Each PE reads from its own cursor over the same lines (SPMD).
+  EXPECT_EQ(r.pe_output[0], "0:first\n");
+  EXPECT_EQ(r.pe_output[1], "1:first\n");
+}
+
+}  // namespace

@@ -1,0 +1,413 @@
+// Interpreter semantics tests: whole programs on one PE via the public
+// API. Parallel behaviour is covered in parallel_test.cpp.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+using lol::RunResult;
+using lol::run_source;
+
+/// Runs `body` (wrapped in HAI/KTHXBYE) on one PE; returns PE 0 stdout.
+std::string out1(const std::string& body,
+                 std::vector<std::string> stdin_lines = {}) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = Backend::kInterp;
+  cfg.stdin_lines = std::move(stdin_lines);
+  RunResult r = run_source("HAI 1.2\n" + body + "KTHXBYE\n", cfg);
+  EXPECT_TRUE(r.ok) << r.first_error();
+  return r.pe_output.empty() ? "" : r.pe_output[0];
+}
+
+/// Runs and returns the first error string (empty when the program ran).
+std::string err1(const std::string& body) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = Backend::kInterp;
+  RunResult r = run_source("HAI 1.2\n" + body + "KTHXBYE\n", cfg);
+  return r.first_error();
+}
+
+TEST(Interp, VisibleBasics) {
+  EXPECT_EQ(out1("VISIBLE \"HAI WORLD!\"\n"), "HAI WORLD!\n");
+  EXPECT_EQ(out1("VISIBLE 42\n"), "42\n");
+  EXPECT_EQ(out1("VISIBLE 3.14159\n"), "3.14\n");
+  EXPECT_EQ(out1("VISIBLE WIN\n"), "WIN\n");
+  EXPECT_EQ(out1("VISIBLE \"a\" \"b\" 1\n"), "ab1\n");
+  EXPECT_EQ(out1("VISIBLE \"no newline\"!\n"), "no newline");
+}
+
+TEST(Interp, InvisibleGoesToStderr) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  auto r = run_source("HAI 1.2\nINVISIBLE \"oops\"\nKTHXBYE\n", cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.pe_output[0], "");
+  EXPECT_EQ(r.pe_errout[0], "oops\n");
+}
+
+TEST(Interp, VariablesAndAssignment) {
+  EXPECT_EQ(out1("I HAS A x ITZ 5\nVISIBLE x\n"), "5\n");
+  EXPECT_EQ(out1("I HAS A x\nx R \"later\"\nVISIBLE x\n"), "later\n");
+  EXPECT_EQ(out1("I HAS A x ITZ 1\nI HAS A y ITZ x\nx R 2\nVISIBLE y\n"),
+            "1\n");
+}
+
+TEST(Interp, UndeclaredVariableIsRuntimeError) {
+  EXPECT_NE(err1("VISIBLE nope\n").find("has not been declared"),
+            std::string::npos);
+  EXPECT_NE(err1("nope R 1\n").find("has not been declared"),
+            std::string::npos);
+}
+
+TEST(Interp, RedeclareInSameScopeIsError) {
+  EXPECT_NE(err1("I HAS A x\nI HAS A x\n").find("already declared"),
+            std::string::npos);
+}
+
+TEST(Interp, TypedDeclarationsZeroInitialize) {
+  EXPECT_EQ(out1("I HAS A n ITZ A NUMBR\nVISIBLE n\n"), "0\n");
+  EXPECT_EQ(out1("I HAS A f ITZ A NUMBAR\nVISIBLE f\n"), "0.00\n");
+  EXPECT_EQ(out1("I HAS A t ITZ A TROOF\nVISIBLE t\n"), "FAIL\n");
+  EXPECT_EQ(out1("I HAS A s ITZ A YARN\nVISIBLE SMOOSH \"[\" s \"]\" MKAY\n"),
+            "[]\n");
+}
+
+TEST(Interp, SrslyStaticTypingCoercesAssignments) {
+  // Paper: static typing as a transition to a compiled language.
+  EXPECT_EQ(out1("I HAS A x ITZ SRSLY A NUMBR\nx R \"42\"\nVISIBLE x\n"),
+            "42\n");
+  EXPECT_EQ(out1("I HAS A x ITZ SRSLY A NUMBAR AN ITZ 0.001\nVISIBLE x\n"),
+            "0.00\n");
+  // Assigning a non-numeric YARN to a SRSLY NUMBR errors.
+  EXPECT_NE(err1("I HAS A x ITZ SRSLY A NUMBR\nx R \"nah\"\n")
+                .find("cannot cast"),
+            std::string::npos);
+}
+
+TEST(Interp, ItAndBareExpressions) {
+  EXPECT_EQ(out1("SUM OF 1 AN 2\nVISIBLE IT\n"), "3\n");
+  EXPECT_EQ(out1("IT R 9\nVISIBLE IT\n"), "9\n");
+}
+
+TEST(Interp, OrlyBranches) {
+  std::string prog =
+      "BOTH SAEM x AN 1, O RLY?\n"
+      "YA RLY\n  VISIBLE \"one\"\n"
+      "MEBBE BOTH SAEM x AN 2\n  VISIBLE \"two\"\n"
+      "NO WAI\n  VISIBLE \"many\"\n"
+      "OIC\n";
+  EXPECT_EQ(out1("I HAS A x ITZ 1\n" + prog), "one\n");
+  EXPECT_EQ(out1("I HAS A x ITZ 2\n" + prog), "two\n");
+  EXPECT_EQ(out1("I HAS A x ITZ 3\n" + prog), "many\n");
+}
+
+TEST(Interp, OrlyWithoutElse) {
+  EXPECT_EQ(out1("FAIL, O RLY?\nYA RLY\n  VISIBLE \"yes\"\nOIC\n"
+                 "VISIBLE \"after\"\n"),
+            "after\n");
+}
+
+TEST(Interp, WtfSwitchWithFallthroughAndBreak) {
+  std::string prog =
+      "x, WTF?\n"
+      "OMG 1\n  VISIBLE \"one\"\n  GTFO\n"
+      "OMG 2\n  VISIBLE \"two\"\n"
+      "OMG 3\n  VISIBLE \"three\"\n  GTFO\n"
+      "OMGWTF\n  VISIBLE \"other\"\n"
+      "OIC\n";
+  EXPECT_EQ(out1("I HAS A x ITZ 1\n" + prog), "one\n");
+  // Case 2 falls through into case 3.
+  EXPECT_EQ(out1("I HAS A x ITZ 2\n" + prog), "two\nthree\n");
+  EXPECT_EQ(out1("I HAS A x ITZ 9\n" + prog), "other\n");
+}
+
+TEST(Interp, WtfComparesWithSaem) {
+  // YARN "1" does not match NUMBR 1.
+  std::string prog =
+      "x, WTF?\nOMG 1\n  VISIBLE \"num\"\n  GTFO\n"
+      "OMG \"1\"\n  VISIBLE \"yarn\"\n  GTFO\nOIC\n";
+  EXPECT_EQ(out1("I HAS A x ITZ \"1\"\n" + prog), "yarn\n");
+}
+
+TEST(Interp, LoopUppinTil) {
+  EXPECT_EQ(out1("IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 3\n"
+                 "  VISIBLE i\n"
+                 "IM OUTTA YR loop\n"),
+            "0\n1\n2\n");
+}
+
+TEST(Interp, LoopNerfinWile) {
+  EXPECT_EQ(out1("I HAS A k ITZ 3\n"
+                 "IM IN YR loop NERFIN YR i WILE BIGGER SUM OF i AN k AN 0\n"
+                 "  VISIBLE i\n"
+                 "IM OUTTA YR loop\n"),
+            "0\n-1\n-2\n");
+}
+
+TEST(Interp, InfiniteLoopWithGtfo) {
+  EXPECT_EQ(out1("I HAS A n ITZ 0\n"
+                 "IM IN YR loop\n"
+                 "  n R SUM OF n AN 1\n"
+                 "  BOTH SAEM n AN 4, O RLY?\n"
+                 "  YA RLY\n    GTFO\n  OIC\n"
+                 "IM OUTTA YR loop\n"
+                 "VISIBLE n\n"),
+            "4\n");
+}
+
+TEST(Interp, LoopFuncUpdate) {
+  EXPECT_EQ(out1("HOW IZ I doublin YR x\n"
+                 "  FOUND YR PRODUKT OF BIGGR OF x AN 1 AN 2\n"
+                 "IF U SAY SO\n"
+                 "IM IN YR loop doublin YR i TIL BIGGER i AN 10\n"
+                 "  VISIBLE i\n"
+                 "IM OUTTA YR loop\n"),
+            "0\n2\n4\n8\n");
+}
+
+TEST(Interp, LoopVariableIsScopedToLoop) {
+  EXPECT_NE(
+      err1("IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 2\n  VISIBLE i\n"
+           "IM OUTTA YR l\nVISIBLE i\n")
+          .find("has not been declared"),
+      std::string::npos);
+}
+
+TEST(Interp, NestedLoopsWithSameLabel) {
+  EXPECT_EQ(out1("IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 2\n"
+                 "  IM IN YR loop UPPIN YR j TIL BOTH SAEM j AN 2\n"
+                 "    VISIBLE SMOOSH i j MKAY\n"
+                 "  IM OUTTA YR loop\n"
+                 "IM OUTTA YR loop\n"),
+            "00\n01\n10\n11\n");
+}
+
+TEST(Interp, FunctionsReturnValues) {
+  EXPECT_EQ(out1("HOW IZ I addtwo YR a AN YR b\n"
+                 "  FOUND YR SUM OF a AN b\n"
+                 "IF U SAY SO\n"
+                 "VISIBLE I IZ addtwo YR 40 AN YR 2 MKAY\n"),
+            "42\n");
+}
+
+TEST(Interp, FunctionGtfoReturnsNoob) {
+  EXPECT_EQ(out1("HOW IZ I nuffin\n  GTFO\nIF U SAY SO\n"
+                 "I HAS A r ITZ I IZ nuffin MKAY\n"
+                 "BOTH SAEM r AN NOOB, O RLY?\n"
+                 "YA RLY\n  VISIBLE \"noob\"\nOIC\n"),
+            "noob\n");
+}
+
+TEST(Interp, FunctionImplicitReturnIsIt) {
+  EXPECT_EQ(out1("HOW IZ I implicit\n  SUM OF 20 AN 1\nIF U SAY SO\n"
+                 "VISIBLE I IZ implicit MKAY\n"),
+            "21\n");
+}
+
+TEST(Interp, FunctionsSeeGlobals) {
+  EXPECT_EQ(out1("I HAS A g ITZ 7\n"
+                 "HOW IZ I readg\n  FOUND YR g\nIF U SAY SO\n"
+                 "VISIBLE I IZ readg MKAY\n"),
+            "7\n");
+}
+
+TEST(Interp, FunctionLocalsDontLeak) {
+  EXPECT_NE(err1("HOW IZ I f\n  I HAS A secret ITZ 1\n  GTFO\nIF U SAY SO\n"
+                 "I IZ f MKAY\nVISIBLE secret\n")
+                .find("has not been declared"),
+            std::string::npos);
+}
+
+TEST(Interp, Recursion) {
+  EXPECT_EQ(out1("HOW IZ I fac YR n\n"
+                 "  BOTH SAEM n AN 0, O RLY?\n"
+                 "  YA RLY\n    FOUND YR 1\n"
+                 "  OIC\n"
+                 "  FOUND YR PRODUKT OF n AN I IZ fac YR DIFF OF n AN 1 "
+                 "MKAY\n"
+                 "IF U SAY SO\n"
+                 "VISIBLE I IZ fac YR 10 MKAY\n"),
+            "3628800\n");
+}
+
+TEST(Interp, RunawayRecursionIsCaught) {
+  EXPECT_NE(err1("HOW IZ I f YR n\n  FOUND YR I IZ f YR n MKAY\n"
+                 "IF U SAY SO\nI IZ f YR 1 MKAY\n")
+                .find("call depth exceeded"),
+            std::string::npos);
+}
+
+TEST(Interp, PrivateArrays) {
+  EXPECT_EQ(out1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 4\n"
+                 "a'Z 0 R 10\na'Z 3 R 13\n"
+                 "VISIBLE a'Z 0\nVISIBLE a'Z 1\nVISIBLE a'Z 3\n"),
+            "10\n0\n13\n");
+}
+
+TEST(Interp, ArrayIndexExpressions) {
+  EXPECT_EQ(out1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 4\n"
+                 "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 4\n"
+                 "  a'Z i R PRODUKT OF i AN i\n"
+                 "IM OUTTA YR l\n"
+                 "VISIBLE a'Z SUM OF 1 AN 2\n"),
+            "9\n");
+}
+
+TEST(Interp, ArrayBoundsChecked) {
+  EXPECT_NE(err1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE a'Z 5\n")
+                .find("out of bounds"),
+            std::string::npos);
+  EXPECT_NE(
+      err1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\na'Z -1 R 0\n")
+          .find("out of bounds"),
+      std::string::npos);
+}
+
+TEST(Interp, SrslyArraysCoerceElements) {
+  EXPECT_EQ(out1("I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 2\n"
+                 "a'Z 0 R 7\nVISIBLE a'Z 0\n"),
+            "7.00\n");
+}
+
+TEST(Interp, ArrayAsScalarIsError) {
+  EXPECT_NE(err1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE a\n")
+                .find("index it with 'Z"),
+            std::string::npos);
+  EXPECT_NE(err1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\na R 1\n")
+                .find("index it with 'Z"),
+            std::string::npos);
+}
+
+TEST(Interp, WholeArrayCopyPrivate) {
+  EXPECT_EQ(out1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 3\n"
+                 "I HAS A b ITZ LOTZ A NUMBRS AN THAR IZ 3\n"
+                 "a'Z 1 R 42\n"
+                 "b R a\n"
+                 "VISIBLE b'Z 1\n"),
+            "42\n");
+  EXPECT_NE(err1("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 3\n"
+                 "I HAS A b ITZ LOTZ A NUMBRS AN THAR IZ 2\nb R a\n")
+                .find("size mismatch"),
+            std::string::npos);
+}
+
+TEST(Interp, MaekAndIsNowA) {
+  EXPECT_EQ(out1("VISIBLE MAEK \"3.5\" A NUMBAR\n"), "3.50\n");
+  EXPECT_EQ(out1("I HAS A x ITZ 42\nx IS NOW A YARN\n"
+                 "VISIBLE SMOOSH x \"!\" MKAY\n"),
+            "42!\n");
+  EXPECT_EQ(out1("VISIBLE MAEK NOOB A NUMBR\n"), "0\n");
+}
+
+TEST(Interp, SrsIndirection) {
+  EXPECT_EQ(out1("I HAS A cat ITZ 9\nI HAS A name ITZ \"cat\"\n"
+                 "VISIBLE SRS name\n"),
+            "9\n");
+  EXPECT_EQ(out1("I HAS A cat ITZ 0\nI HAS A name ITZ \"cat\"\n"
+                 "SRS name R 5\nVISIBLE cat\n"),
+            "5\n");
+}
+
+TEST(Interp, YarnInterpolation) {
+  EXPECT_EQ(out1("I HAS A who ITZ \"WORLD\"\nVISIBLE \"HAI :{who}!\"\n"),
+            "HAI WORLD!\n");
+  EXPECT_EQ(out1("I HAS A n ITZ 3.5\nVISIBLE \"n=:{n}\"\n"), "n=3.50\n");
+  EXPECT_NE(err1("VISIBLE \":{ghost}\"\n").find("has not been declared"),
+            std::string::npos);
+}
+
+TEST(Interp, GimmehReadsLines) {
+  EXPECT_EQ(out1("I HAS A x\nGIMMEH x\nVISIBLE SMOOSH \">\" x MKAY\n",
+                 {"hello"}),
+            ">hello\n");
+  // EOF yields an empty YARN.
+  EXPECT_EQ(out1("I HAS A x\nGIMMEH x\nVISIBLE SMOOSH \"[\" x \"]\" MKAY\n"),
+            "[]\n");
+  // GIMMEH into an array element.
+  EXPECT_EQ(out1("I HAS A a ITZ LOTZ A YARNS AN THAR IZ 2\nGIMMEH a'Z 1\n"
+                 "VISIBLE a'Z 1\n",
+                 {"row"}),
+            "row\n");
+}
+
+TEST(Interp, CanHasIsNoOp) {
+  EXPECT_EQ(out1("CAN HAS STDIO?\nVISIBLE \"ok\"\n"), "ok\n");
+}
+
+TEST(Interp, WhatevrIsDeterministicPerSeed) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.seed = 7;
+  auto r1 = run_source("HAI 1.2\nVISIBLE WHATEVR\nVISIBLE WHATEVAR\nKTHXBYE\n",
+                       cfg);
+  auto r2 = run_source("HAI 1.2\nVISIBLE WHATEVR\nVISIBLE WHATEVAR\nKTHXBYE\n",
+                       cfg);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.pe_output[0], r2.pe_output[0]);
+  cfg.seed = 8;
+  auto r3 = run_source("HAI 1.2\nVISIBLE WHATEVR\nVISIBLE WHATEVAR\nKTHXBYE\n",
+                       cfg);
+  ASSERT_TRUE(r3.ok);
+  EXPECT_NE(r1.pe_output[0], r3.pe_output[0]);
+}
+
+TEST(Interp, ConditionalScopesDropDeclarations) {
+  EXPECT_NE(err1("WIN, O RLY?\nYA RLY\n  I HAS A tmp ITZ 1\nOIC\n"
+                 "VISIBLE tmp\n")
+                .find("has not been declared"),
+            std::string::npos);
+}
+
+TEST(Interp, MathErrorsCarryMessages) {
+  EXPECT_NE(err1("VISIBLE QUOSHUNT OF 1 AN 0\n").find("division by zero"),
+            std::string::npos);
+  EXPECT_NE(err1("VISIBLE UNSQUAR OF -4\n").find("negative"),
+            std::string::npos);
+  EXPECT_NE(err1("VISIBLE FLIP OF 0\n").find("reciprocal of zero"),
+            std::string::npos);
+  EXPECT_NE(err1("VISIBLE SUM OF WIN AN 1\n").find("TROOF"),
+            std::string::npos);
+}
+
+// Single-PE sanity for the parallel leaves: ME is 0, MAH FRENZ is 1, and
+// locks work uncontended.
+TEST(Interp, ParallelLeavesOnOnePe) {
+  EXPECT_EQ(out1("VISIBLE ME\nVISIBLE MAH FRENZ\n"), "0\n1\n");
+  EXPECT_EQ(out1("WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+                 "IM SRSLY MESIN WIF x\nx R 5\nDUN MESIN WIF x\n"
+                 "VISIBLE x\n"),
+            "5\n");
+}
+
+TEST(Interp, UrOutsidePredicationIsError) {
+  EXPECT_NE(err1("WE HAS A x ITZ SRSLY A NUMBR\nVISIBLE UR x\n")
+                .find("outside TXT MAH BFF"),
+            std::string::npos);
+}
+
+TEST(Interp, UrOnPrivateVariableIsError) {
+  EXPECT_NE(err1("I HAS A x ITZ 1\nTXT MAH BFF 0, VISIBLE UR x\n")
+                .find("requires a symmetric variable"),
+            std::string::npos);
+}
+
+TEST(Interp, LockOnUnsharedVariableIsError) {
+  EXPECT_NE(err1("WE HAS A x ITZ SRSLY A NUMBR\nIM SRSLY MESIN WIF x\n")
+                .find("no lock"),
+            std::string::npos);
+}
+
+TEST(Interp, TrylockSetsIt) {
+  EXPECT_EQ(out1("WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+                 "IM MESIN WIF x\n"
+                 "IT, O RLY?\nYA RLY\n  VISIBLE \"got it\"\nOIC\n"
+                 "DUN MESIN WIF x\n"),
+            "got it\n");
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// End-to-end tests of the paper's toolchain (§VI.E): lcc translates
+// LOLCODE to C, the host C compiler builds it against the lolrt runtime,
+// and the executable runs SPMD with -np N — exactly the
+// `lcc code.lol -o executable.x && coprsh -np 16 ./executable.x` flow.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+#include "driver/cli.hpp"
+
+#ifndef LCC_BIN
+#define LCC_BIN "lcc"
+#endif
+
+namespace {
+
+struct CmdResult {
+  int status = -1;
+  std::string output;  // stdout only
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  r.status = pclose(pipe);
+  return r;
+}
+
+std::string temp_dir() {
+  static std::string dir = [] {
+    std::string tmpl = "/tmp/parallol_e2e_XXXXXX";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s", tmpl.c_str());
+    char* made = mkdtemp(buf);
+    return std::string(made != nullptr ? made : "/tmp");
+  }();
+  return dir;
+}
+
+/// Compiles `src` with lcc and runs the result with `-np n_pes`.
+CmdResult compile_and_run(const std::string& name, const std::string& src,
+                          int n_pes, const std::string& extra_args = "") {
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/" + name + ".lol";
+  std::string exe_path = dir + "/" + name + ".x";
+  EXPECT_TRUE(lol::driver::write_file(lol_path, src));
+  CmdResult build = run_cmd(std::string(LCC_BIN) + " '" + lol_path +
+                            "' -o '" + exe_path + "' 2>&1");
+  EXPECT_EQ(build.status, 0) << "lcc failed:\n" << build.output;
+  if (build.status != 0) return build;
+  return run_cmd("'" + exe_path + "' -np " + std::to_string(n_pes) + " " +
+                 extra_args + " 2>/dev/null");
+}
+
+TEST(LccE2E, HelloWorld) {
+  auto r = compile_and_run("hello",
+                           "HAI 1.2\nVISIBLE \"HAI WORLD!\"\nKTHXBYE\n", 1);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.output, "HAI WORLD!\n");
+}
+
+TEST(LccE2E, EmitCProducesCompilableSource) {
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/emit.lol";
+  std::string c_path = dir + "/emit.c";
+  ASSERT_TRUE(lol::driver::write_file(
+      lol_path, "HAI 1.2\nVISIBLE SUM OF 1 AN 2\nKTHXBYE\n"));
+  auto r = run_cmd(std::string(LCC_BIN) + " '" + lol_path + "' --emit-c -o '" +
+                   c_path + "' 2>&1");
+  ASSERT_EQ(r.status, 0) << r.output;
+  auto c = lol::driver::read_file(c_path);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NE(c->find("lol_user_main"), std::string::npos);
+}
+
+TEST(LccE2E, SpmdVisibleRunsOnEveryPe) {
+  auto r = compile_and_run(
+      "spmd", "HAI 1.2\nVISIBLE \"PE \" ME \" OF \" MAH FRENZ\nKTHXBYE\n", 4);
+  EXPECT_EQ(r.status, 0);
+  // Output interleaving across PEs is unspecified; count the lines.
+  int lines = 0;
+  for (char ch : r.output) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(r.output.find("OF 4"), std::string::npos);
+}
+
+TEST(LccE2E, PaperRingListing) {
+  auto r = compile_and_run("ring", lol::paper::ring_listing(), 4);
+  EXPECT_EQ(r.status, 0);
+  // All four per-PE lines must appear with the rotated contents.
+  for (int pe = 0; pe < 4; ++pe) {
+    int next = (pe + 1) % 4;
+    std::string expect = "PE " + std::to_string(pe) + " HAZ " +
+                         std::to_string(next * 1000) + " THRU " +
+                         std::to_string(next * 1000 + 31);
+    EXPECT_NE(r.output.find(expect), std::string::npos) << r.output;
+  }
+}
+
+TEST(LccE2E, PaperLockCounterListing) {
+  auto r = compile_and_run("locks", lol::paper::lock_counter_listing(25), 4);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("KOUNTER IZ 100"), std::string::npos) << r.output;
+}
+
+TEST(LccE2E, PaperBarrierSumListing) {
+  auto r = compile_and_run("bsum", lol::paper::barrier_sum_listing(), 4);
+  EXPECT_EQ(r.status, 0);
+  for (int pe = 0; pe < 4; ++pe) {
+    int prev = (pe + 3) % 4;
+    int c = (10 * pe + 1) + (10 * prev + 1);
+    EXPECT_NE(r.output.find("PE " + std::to_string(pe) + " C IZ " +
+                            std::to_string(c)),
+              std::string::npos)
+        << r.output;
+  }
+}
+
+TEST(LccE2E, PaperNBodyListingMatchesInProcessBackends) {
+  // The generated-C backend must produce the same trajectories as the VM
+  // (same substrate, same RNG). One PE keeps stdout ordering exact.
+  auto r = compile_and_run("nbody", lol::paper::nbody_program(8, 3, true), 1,
+                           "--seed 20170529");
+  ASSERT_EQ(r.status, 0);
+
+  lol::RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = lol::Backend::kVm;
+  cfg.seed = 20170529;
+  auto vm = lol::run_source(lol::paper::nbody_program(8, 3, true), cfg);
+  ASSERT_TRUE(vm.ok) << vm.first_error();
+  EXPECT_EQ(r.output, vm.pe_output[0]);
+}
+
+TEST(LccE2E, RuntimeErrorsExitNonZero) {
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/bad.lol";
+  std::string exe_path = dir + "/bad.x";
+  ASSERT_TRUE(lol::driver::write_file(
+      lol_path, "HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE\n"));
+  auto build = run_cmd(std::string(LCC_BIN) + " '" + lol_path + "' -o '" +
+                       exe_path + "' 2>&1");
+  ASSERT_EQ(build.status, 0) << build.output;
+  auto run = run_cmd("'" + exe_path + "' 2>&1");
+  EXPECT_NE(run.status, 0);
+  EXPECT_NE(run.output.find("division by zero"), std::string::npos);
+}
+
+TEST(LccE2E, CompileErrorsAreReported) {
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/syntax.lol";
+  ASSERT_TRUE(lol::driver::write_file(lol_path, "HAI 1.2\nx R\nKTHXBYE\n"));
+  auto r = run_cmd(std::string(LCC_BIN) + " '" + lol_path + "' -o /tmp/x 2>&1");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("expected"), std::string::npos);
+}
+
+}  // namespace

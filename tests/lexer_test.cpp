@@ -1,0 +1,244 @@
+// Lexer tests: word scanning, multi-word keyword phrases, YARN escapes
+// and interpolation, comments, and line continuation.
+#include <gtest/gtest.h>
+
+#include "lex/lexer.hpp"
+
+namespace {
+
+using lol::lex::Keyword;
+using lol::lex::Token;
+using lol::lex::TokKind;
+using lol::lex::tokenize;
+
+std::vector<Token> lex_strip(std::string_view src) {
+  std::vector<Token> all = tokenize(src);
+  std::vector<Token> out;
+  for (auto& t : all) {
+    if (t.kind != TokKind::kNewline && t.kind != TokKind::kEof) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+TEST(Lexer, SingleWordKeywords) {
+  auto toks = lex_strip("HAI KTHXBYE HUGZ GTFO");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kHai));
+  EXPECT_TRUE(toks[1].is_keyword(Keyword::kKthxbye));
+  EXPECT_TRUE(toks[2].is_keyword(Keyword::kHugz));
+  EXPECT_TRUE(toks[3].is_keyword(Keyword::kGtfo));
+}
+
+TEST(Lexer, MultiWordPhrasesMergeLongest) {
+  auto toks = lex_strip("I HAS A pe ITZ A NUMBR AN ITZ ME");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kIHasA));
+  EXPECT_EQ(toks[1].text, "pe");
+  EXPECT_TRUE(toks[2].is_keyword(Keyword::kItzA));
+  EXPECT_TRUE(toks[3].is_keyword(Keyword::kNumbr));
+  EXPECT_TRUE(toks[4].is_keyword(Keyword::kAn));
+  EXPECT_TRUE(toks[5].is_keyword(Keyword::kItz));
+  EXPECT_TRUE(toks[6].is_keyword(Keyword::kMe));
+}
+
+TEST(Lexer, FourWordPhrases) {
+  auto toks = lex_strip("IM SRSLY MESIN WIF x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kImSrslyMesinWif));
+  EXPECT_EQ(toks[1].text, "x");
+
+  toks = lex_strip("ITZ SRSLY LOTZ A NUMBARS");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kItzSrslyLotzA));
+  EXPECT_TRUE(toks[1].is_keyword(Keyword::kNumbars));
+}
+
+TEST(Lexer, PhrasePrefixFallsBackToShorterKeyword) {
+  // "IM MESIN WIF" vs "IM SRSLY MESIN WIF"; "MAH" vs "MAH FRENZ".
+  auto toks = lex_strip("IM MESIN WIF x MAH FRENZ MAH y");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kImMesinWif));
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_TRUE(toks[2].is_keyword(Keyword::kMahFrenz));
+  EXPECT_TRUE(toks[3].is_keyword(Keyword::kMah));
+  EXPECT_EQ(toks[4].text, "y");
+}
+
+TEST(Lexer, UnknownWordsAreIdentifiers) {
+  auto toks = lex_strip("pos_x next_pe loop I");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[3].text, "I");  // bare "I" is no phrase by itself
+}
+
+TEST(Lexer, NumbrAndNumbarLiterals) {
+  auto toks = lex_strip("42 -17 0.001 -2.5 1.2");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::kNumbr);
+  EXPECT_EQ(toks[0].numbr, 42);
+  EXPECT_EQ(toks[1].numbr, -17);
+  EXPECT_EQ(toks[2].kind, TokKind::kNumbar);
+  EXPECT_DOUBLE_EQ(toks[2].numbar, 0.001);
+  EXPECT_DOUBLE_EQ(toks[3].numbar, -2.5);
+  EXPECT_DOUBLE_EQ(toks[4].numbar, 1.2);
+}
+
+TEST(Lexer, CommaIsSoftNewline) {
+  auto toks = tokenize("HUGZ, HUGZ");
+  // HUGZ newline HUGZ newline EOF
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1].kind, TokKind::kNewline);
+}
+
+TEST(Lexer, TickZIndexToken) {
+  auto toks = lex_strip("pos_x'Z i");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "pos_x");
+  EXPECT_EQ(toks[1].kind, TokKind::kTickZ);
+  EXPECT_EQ(toks[2].text, "i");
+}
+
+TEST(Lexer, QuestionAndBang) {
+  auto toks = lex_strip("O RLY? WTF? VISIBLE x!");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kORly));
+  EXPECT_EQ(toks[1].kind, TokKind::kQuestion);
+  EXPECT_TRUE(toks[2].is_keyword(Keyword::kWtf));
+  EXPECT_EQ(toks[3].kind, TokKind::kQuestion);
+  EXPECT_EQ(toks[6].kind, TokKind::kBang);
+}
+
+TEST(Lexer, YarnEscapes) {
+  auto toks = lex_strip(R"("a:)b:>c:"d::e:o")");
+  ASSERT_EQ(toks.size(), 1u);
+  ASSERT_EQ(toks[0].kind, TokKind::kYarn);
+  ASSERT_EQ(toks[0].segments.size(), 1u);
+  EXPECT_EQ(toks[0].segments[0].text, "a\nb\tc\"d:e\a");
+}
+
+TEST(Lexer, YarnInterpolation) {
+  auto toks = lex_strip(R"("hai :{name} bye")");
+  ASSERT_EQ(toks.size(), 1u);
+  ASSERT_EQ(toks[0].segments.size(), 3u);
+  EXPECT_FALSE(toks[0].segments[0].is_var);
+  EXPECT_EQ(toks[0].segments[0].text, "hai ");
+  EXPECT_TRUE(toks[0].segments[1].is_var);
+  EXPECT_EQ(toks[0].segments[1].text, "name");
+  EXPECT_EQ(toks[0].segments[2].text, " bye");
+}
+
+TEST(Lexer, YarnUnicodeEscape) {
+  auto toks = lex_strip(R"x(":(41):(1F63A)")x");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].segments[0].text, "A\xF0\x9F\x98\xBA");
+}
+
+TEST(Lexer, EmptyYarn) {
+  auto toks = lex_strip(R"("")");
+  ASSERT_EQ(toks.size(), 1u);
+  ASSERT_EQ(toks[0].segments.size(), 1u);
+  EXPECT_EQ(toks[0].segments[0].text, "");
+}
+
+TEST(Lexer, LineCommentBtw) {
+  auto toks = lex_strip("HUGZ BTW this is ignored\nGTFO");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kHugz));
+  EXPECT_TRUE(toks[1].is_keyword(Keyword::kGtfo));
+}
+
+TEST(Lexer, BlockCommentObtwTldr) {
+  auto toks = lex_strip("HUGZ\nOBTW\nanything * at all\nTLDR\nGTFO");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kHugz));
+  EXPECT_TRUE(toks[1].is_keyword(Keyword::kGtfo));
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  auto toks = lex_strip("SUM OF a ...\n  AN b");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kSumOf));
+  EXPECT_EQ(toks[1].text, "a");
+  EXPECT_TRUE(toks[2].is_keyword(Keyword::kAn));
+  EXPECT_EQ(toks[3].text, "b");
+}
+
+TEST(Lexer, ContinuationAllowsTrailingComment) {
+  auto toks = lex_strip("SUM OF a ... BTW wrapped\nAN b");
+  ASSERT_EQ(toks.size(), 4u);
+}
+
+TEST(Lexer, PhraseDoesNotCrossLineBreak) {
+  // "SUM" then newline then "OF" must NOT merge to SUM OF.
+  auto toks = tokenize("SUM\nOF");
+  // SUM ident, newline, OF ident, newline, eof
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "SUM");
+  EXPECT_EQ(toks[2].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[2].text, "OF");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto toks = tokenize("HAI 1.2\nVISIBLE x");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  // VISIBLE on line 2.
+  const lol::lex::Token* vis = nullptr;
+  for (const auto& t : toks) {
+    if (t.is_keyword(Keyword::kVisible)) vis = &t;
+  }
+  ASSERT_NE(vis, nullptr);
+  EXPECT_EQ(vis->loc.line, 2u);
+  EXPECT_EQ(vis->loc.col, 1u);
+}
+
+TEST(LexerErrors, UnterminatedYarn) {
+  EXPECT_THROW(tokenize("\"abc"), lol::support::LexError);
+  EXPECT_THROW(tokenize("\"abc\nx\""), lol::support::LexError);
+}
+
+TEST(LexerErrors, BadEscape) {
+  EXPECT_THROW(tokenize("\":q\""), lol::support::LexError);
+}
+
+TEST(LexerErrors, UnterminatedInterpolation) {
+  EXPECT_THROW(tokenize("\":{name\""), lol::support::LexError);
+}
+
+TEST(LexerErrors, StrayCharacter) {
+  EXPECT_THROW(tokenize("x @ y"), lol::support::LexError);
+}
+
+TEST(LexerErrors, StrayDot) {
+  EXPECT_THROW(tokenize("x . y"), lol::support::LexError);
+}
+
+TEST(LexerErrors, ContinuationWithTrailingJunk) {
+  EXPECT_THROW(tokenize("a ... junk\nb"), lol::support::LexError);
+}
+
+TEST(LexerErrors, UnclosedObtw) {
+  EXPECT_THROW(tokenize("OBTW never closed"), lol::support::LexError);
+}
+
+TEST(Lexer, PaperNBodyHeaderLexes) {
+  // The first lines of the paper's §VI.D listing.
+  const char* src =
+      "HAI 1.2\n"
+      "OBTW\n"
+      "* 2D N-Body algorithm: propagate particles\n"
+      "TLDR\n"
+      "I HAS A little_time ITZ SRSLY A NUMBAR ...\n"
+      "  AN ITZ 0.001\n"
+      "WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n"
+      "  AN THAR IZ 32 AN IM SHARIN IT\n"
+      "KTHXBYE\n";
+  auto toks = lex_strip(src);
+  ASSERT_GT(toks.size(), 10u);
+  EXPECT_TRUE(toks[0].is_keyword(Keyword::kHai));
+  EXPECT_TRUE(toks.back().is_keyword(Keyword::kKthxbye));
+}
+
+}  // namespace

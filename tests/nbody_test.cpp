@@ -1,0 +1,175 @@
+// Verifies the paper's §VI.D n-body listing against a native C++
+// reference that replays the exact same arithmetic (including the
+// listing's quirks) and the exact same WHATEVAR random stream. Because
+// both sides perform identical double operations in identical order, the
+// printed trajectories must match character-for-character.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+
+/// Native reference: simulates all PEs of the paper's algorithm.
+/// Returns per-PE final (pos_x, pos_y) arrays.
+struct NBodyRef {
+  std::vector<std::vector<double>> pos_x, pos_y, vel_x, vel_y;
+
+  NBodyRef(int n_pes, int particles, int steps, std::uint64_t seed) {
+    const double dt = 0.001;
+    int N = particles;
+    pos_x.assign(n_pes, std::vector<double>(N));
+    pos_y = pos_x;
+    vel_x = pos_x;
+    vel_y = pos_x;
+
+    // Init phase: identical WHATEVAR order as the listing (pos_x, pos_y,
+    // vel_x, vel_y per particle).
+    for (int pe = 0; pe < n_pes; ++pe) {
+      lol::support::PeRng rng(seed, pe);
+      for (int i = 0; i < N; ++i) {
+        pos_x[pe][i] = static_cast<double>(pe) + rng.next_numbar();
+        pos_y[pe][i] = static_cast<double>(pe) + rng.next_numbar();
+        vel_x[pe][i] =
+            (static_cast<double>(pe) + rng.next_numbar()) / 1000.0;
+        vel_y[pe][i] =
+            (static_cast<double>(pe) + rng.next_numbar()) / 1000.0;
+      }
+    }
+
+    std::vector<std::vector<double>> tmp_x = pos_x, tmp_y = pos_y;
+    for (int step = 0; step < steps; ++step) {
+      for (int pe = 0; pe < n_pes; ++pe) {
+        for (int i = 0; i < N; ++i) {
+          double x = pos_x[pe][i];
+          double y = pos_y[pe][i];
+          double vx = vel_x[pe][i];
+          double vy = vel_y[pe][i];
+          double ax = 0.0, ay = 0.0;
+          // Local interactions — note the listing squares dx/dy before
+          // accumulating (so the "direction" is the squared separation).
+          for (int j = 0; j < N; ++j) {
+            if (i == j) continue;
+            double dx = pos_x[pe][i] - pos_x[pe][j];
+            double dy = pos_y[pe][i] - pos_y[pe][j];
+            dx = dx * dx;
+            dy = dy * dy;
+            double inv_d = 1.0 / std::sqrt(dx + dy);
+            double f = inv_d * (inv_d * inv_d);
+            ax = ax + dx * f;
+            ay = ay + dy * f;
+          }
+          // Remote interactions, PE order 0..n_pes-1 skipping self.
+          for (int k = 0; k < n_pes; ++k) {
+            if (k == pe) continue;
+            for (int j = 0; j < N; ++j) {
+              double dx = pos_x[pe][i] - pos_x[k][j];
+              double dy = pos_y[pe][i] - pos_y[k][j];
+              dx = dx * dx;
+              dy = dy * dy;
+              double inv_d = 1.0 / std::sqrt(dx + dy);
+              double f = inv_d * (inv_d * inv_d);
+              ax = ax + dx * f;
+              ay = ay + dy * f;
+            }
+          }
+          x = x + (vx * dt + 0.5 * (ax * (dt * dt)));
+          y = y + (vy * dt + 0.5 * (ay * (dt * dt)));
+          vx = vx + ax * dt;
+          vy = vy + ay * dt;
+          tmp_x[pe][i] = x;
+          tmp_y[pe][i] = y;
+          vel_x[pe][i] = vx;
+          vel_y[pe][i] = vy;
+        }
+      }
+      pos_x = tmp_x;  // the HUGZ-separated position update phase
+      pos_y = tmp_y;
+    }
+  }
+
+  /// Renders the listing's final VISIBLE loop for one PE.
+  std::string expected_output(int pe) const {
+    std::string out = "HAI ITZ " + std::to_string(pe) +
+                      " I HAS PARTICLZ 2 MUV\n" + "O HAI ITZ " +
+                      std::to_string(pe) + ", MAH PARTICLZ IZ:\n";
+    for (std::size_t i = 0; i < pos_x[pe].size(); ++i) {
+      out += lol::support::format_numbar(pos_x[pe][i]) + " " +
+             lol::support::format_numbar(pos_y[pe][i]) + "\n";
+    }
+    return out;
+  }
+};
+
+struct Case {
+  const char* name;
+  Backend backend;
+  int n_pes;
+  int particles;
+  int steps;
+};
+
+class NBodyMatch : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NBodyMatch, TrajectoriesMatchNativeReference) {
+  const Case& c = GetParam();
+  RunConfig cfg;
+  cfg.n_pes = c.n_pes;
+  cfg.backend = c.backend;
+  cfg.seed = 20170529;
+  auto r = lol::run_source(
+      lol::paper::nbody_program(c.particles, c.steps, true), cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  NBodyRef ref(c.n_pes, c.particles, c.steps, cfg.seed);
+  for (int pe = 0; pe < c.n_pes; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              ref.expected_output(pe))
+        << "PE " << pe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NBodyMatch,
+    ::testing::Values(Case{"interp_1pe", Backend::kInterp, 1, 8, 3},
+                      Case{"interp_2pe", Backend::kInterp, 2, 8, 3},
+                      Case{"vm_1pe", Backend::kVm, 1, 8, 3},
+                      Case{"vm_2pe", Backend::kVm, 2, 8, 3},
+                      Case{"vm_4pe", Backend::kVm, 4, 4, 2},
+                      Case{"vm_paper_shape", Backend::kVm, 2, 32, 10}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.name;
+    });
+
+TEST(NBody, ParticlesActuallyMove) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.backend = Backend::kVm;
+  auto before = lol::run_source(lol::paper::nbody_program(8, 0, true), cfg);
+  auto after = lol::run_source(lol::paper::nbody_program(8, 10, true), cfg);
+  ASSERT_TRUE(before.ok && after.ok);
+  EXPECT_NE(before.pe_output[0], after.pe_output[0]);
+}
+
+TEST(NBody, EnergyInjectingQuirkIsReproduced) {
+  // The listing accumulates squared components, so accelerations are
+  // always non-negative in x and y: particles drift toward +inf rather
+  // than orbiting. We reproduce the listing faithfully; verify the drift
+  // is positive on average, confirming we kept the quirk.
+  NBodyRef ref(1, 8, 50, 1234);
+  NBodyRef ref0(1, 8, 0, 1234);
+  double drift = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    drift += ref.pos_x[0][i] - ref0.pos_x[0][i];
+  }
+  EXPECT_GT(drift, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// NoC / machine model tests: XY routing, cost monotonicity, barrier
+// scaling, and the platform presets used by the benches.
+#include <gtest/gtest.h>
+
+#include "noc/machines.hpp"
+#include "noc/mesh.hpp"
+#include "noc/uniform.hpp"
+
+namespace {
+
+using lol::noc::MeshModel;
+using lol::noc::MeshParams;
+using lol::noc::UniformModel;
+using lol::noc::UniformParams;
+
+TEST(Mesh, CoordsRowMajor) {
+  MeshModel m;  // 4x4 Epiphany-III default
+  EXPECT_EQ(m.coords(0), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(m.coords(3), (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(m.coords(4), (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(m.coords(15), (std::pair<int, int>{3, 3}));
+}
+
+TEST(Mesh, HopsAreManhattanDistance) {
+  MeshModel m;
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_EQ(m.hops(0, 1), 1);
+  EXPECT_EQ(m.hops(0, 5), 2);   // (0,0) -> (1,1)
+  EXPECT_EQ(m.hops(0, 15), 6);  // corner to corner = diameter
+  EXPECT_EQ(m.hops(0, 15), m.diameter());
+  // Symmetric.
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+  }
+}
+
+TEST(Mesh, OversubscriptionWrapsAround) {
+  MeshModel m;
+  EXPECT_EQ(m.coords(16), m.coords(0));
+  EXPECT_EQ(m.hops(16, 1), m.hops(0, 1));
+}
+
+TEST(Mesh, PutCostGrowsWithHops) {
+  MeshModel m;
+  double near = m.put_ns(0, 1, 8);
+  double far = m.put_ns(0, 15, 8);
+  EXPECT_GT(far, near);
+  // Exact linearity in hop count at fixed payload.
+  double d1 = m.put_ns(0, 1, 8) - m.put_ns(0, 0, 8);
+  (void)d1;
+  double h2 = m.put_ns(0, 2, 8);
+  double h4 = m.put_ns(0, 3, 8);
+  EXPECT_NEAR(h4 - h2, h2 - near, 1e-9);  // +1 hop each step along a row
+}
+
+TEST(Mesh, PutCostGrowsWithBytes) {
+  MeshModel m;
+  EXPECT_GT(m.put_ns(0, 1, 4096), m.put_ns(0, 1, 8));
+}
+
+TEST(Mesh, ReadsCostMoreThanWrites) {
+  // Epiphany remote reads are round trips; writes are fire-and-forget.
+  MeshModel m;
+  EXPECT_GT(m.get_ns(0, 15, 8), m.put_ns(0, 15, 8));
+}
+
+TEST(Mesh, SelfAccessIsLocalCost) {
+  MeshModel m;
+  EXPECT_DOUBLE_EQ(m.put_ns(3, 3, 64), m.local_ns(64));
+  EXPECT_DOUBLE_EQ(m.get_ns(3, 3, 64), m.local_ns(64));
+}
+
+TEST(Mesh, BarrierScalesLogarithmically) {
+  MeshModel m;
+  double b2 = m.barrier_ns(2);
+  double b4 = m.barrier_ns(4);
+  double b16 = m.barrier_ns(16);
+  EXPECT_EQ(m.barrier_ns(1), 0.0);
+  EXPECT_GT(b2, 0.0);
+  EXPECT_NEAR(b4 / b2, 2.0, 1e-9);    // ceil(log2): 1 vs 2 rounds
+  EXPECT_NEAR(b16 / b2, 4.0, 1e-9);   // 4 rounds
+}
+
+TEST(Mesh, LockCostGrowsWithDistanceToHome) {
+  MeshModel m;
+  EXPECT_GT(m.lock_ns(15, 0), m.lock_ns(1, 0));
+}
+
+TEST(Mesh, RejectsBadParams) {
+  MeshParams p;
+  p.rows = 0;
+  EXPECT_THROW(MeshModel{p}, std::invalid_argument);
+  MeshParams q;
+  q.clock_ghz = 0.0;
+  EXPECT_THROW(MeshModel{q}, std::invalid_argument);
+}
+
+TEST(Uniform, DistanceIndependent) {
+  UniformModel u;
+  EXPECT_DOUBLE_EQ(u.put_ns(0, 1, 64), u.put_ns(0, 99, 64));
+  EXPECT_DOUBLE_EQ(u.get_ns(3, 7, 8), u.get_ns(9, 2, 8));
+}
+
+TEST(Uniform, SelfAccessIsLocal) {
+  UniformModel u;
+  EXPECT_DOUBLE_EQ(u.put_ns(5, 5, 64), u.local_ns(64));
+}
+
+TEST(Uniform, BandwidthTermScalesWithBytes) {
+  UniformModel u;
+  double small = u.put_ns(0, 1, 8);
+  double big = u.put_ns(0, 1, 1 << 20);
+  EXPECT_GT(big, small);
+}
+
+TEST(Presets, PlatformShapeMatchesThePaper) {
+  // The paper demonstrates the same program on a $99 Parallella
+  // (Epiphany-III mesh: tiny latencies, topology-dependent) and a Cray
+  // XC40 (Aries: flat but ~microsecond latency). The presets must keep
+  // that qualitative contrast.
+  auto epi = lol::noc::epiphany3();
+  auto xc = lol::noc::xc40_aries();
+  auto smp = lol::noc::shared_memory();
+
+  // Neighbour put on the mesh is far cheaper than on Aries.
+  EXPECT_LT(epi->put_ns(0, 1, 8), xc->put_ns(0, 1, 8) / 10.0);
+  // Aries is distance-flat; the mesh is not.
+  EXPECT_DOUBLE_EQ(xc->put_ns(0, 1, 8), xc->put_ns(0, 15, 8));
+  EXPECT_LT(epi->put_ns(0, 1, 8), epi->put_ns(0, 15, 8));
+  // For large payloads the XC40's bandwidth advantage shows.
+  double big = 1 << 22;
+  EXPECT_LT(xc->put_ns(0, 1, static_cast<std::size_t>(big)) -
+                xc->put_ns(0, 1, 8),
+            epi->put_ns(0, 1, static_cast<std::size_t>(big)));
+  // Shared-memory baseline sits between them on latency.
+  EXPECT_LT(smp->put_ns(0, 1, 8), xc->put_ns(0, 1, 8));
+}
+
+TEST(Presets, ByNameLookup) {
+  EXPECT_NE(lol::noc::by_name("epiphany3"), nullptr);
+  EXPECT_NE(lol::noc::by_name("parallella"), nullptr);
+  EXPECT_NE(lol::noc::by_name("xc40"), nullptr);
+  EXPECT_NE(lol::noc::by_name("smp"), nullptr);
+  EXPECT_EQ(lol::noc::by_name("cray-2"), nullptr);
+}
+
+TEST(Presets, CustomMeshSizes) {
+  auto big = lol::noc::epiphany_mesh(8, 8);
+  auto* mesh = dynamic_cast<const MeshModel*>(big.get());
+  ASSERT_NE(mesh, nullptr);
+  EXPECT_EQ(mesh->diameter(), 14);
+}
+
+// Parameterized sweep: on the mesh, put cost is strictly monotone in hop
+// count for every (src, dst) pair at fixed payload.
+class MeshMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshMonotone, CostOrdersByHops) {
+  MeshModel m;
+  int src = GetParam();
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      if (m.hops(src, a) < m.hops(src, b)) {
+        EXPECT_LE(m.put_ns(src, a, 8), m.put_ns(src, b, 8));
+        EXPECT_LE(m.get_ns(src, a, 8), m.get_ns(src, b, 8));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, MeshMonotone,
+                         ::testing::Values(0, 3, 5, 10, 15));
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Operator semantics tests (shared by every backend): numeric promotion,
+// YARN coercion, error conditions, boolean/variadic operators.
+#include <gtest/gtest.h>
+
+#include "rt/ops.hpp"
+
+namespace {
+
+using lol::ast::BinOp;
+using lol::ast::NaryOp;
+using lol::ast::UnOp;
+using lol::rt::op_binary;
+using lol::rt::op_nary;
+using lol::rt::op_unary;
+using lol::rt::Value;
+using lol::support::RuntimeError;
+
+TEST(BinaryOps, IntegerMathStaysInteger) {
+  EXPECT_EQ(op_binary(BinOp::kSum, Value::numbr(2), Value::numbr(3)),
+            Value::numbr(5));
+  EXPECT_EQ(op_binary(BinOp::kDiff, Value::numbr(2), Value::numbr(3)),
+            Value::numbr(-1));
+  EXPECT_EQ(op_binary(BinOp::kProdukt, Value::numbr(4), Value::numbr(3)),
+            Value::numbr(12));
+  EXPECT_EQ(op_binary(BinOp::kQuoshunt, Value::numbr(7), Value::numbr(2)),
+            Value::numbr(3));  // integer division
+  EXPECT_EQ(op_binary(BinOp::kMod, Value::numbr(7), Value::numbr(3)),
+            Value::numbr(1));
+}
+
+TEST(BinaryOps, FloatContaminates) {
+  Value r = op_binary(BinOp::kSum, Value::numbr(2), Value::numbar(0.5));
+  ASSERT_TRUE(r.is_numbar());
+  EXPECT_DOUBLE_EQ(r.numbar_raw(), 2.5);
+  r = op_binary(BinOp::kQuoshunt, Value::numbar(7.0), Value::numbr(2));
+  EXPECT_DOUBLE_EQ(r.numbar_raw(), 3.5);  // float division
+}
+
+TEST(BinaryOps, YarnsCoerceToNumbers) {
+  EXPECT_EQ(op_binary(BinOp::kSum, Value::yarn("2"), Value::yarn("3")),
+            Value::numbr(5));
+  Value r = op_binary(BinOp::kSum, Value::yarn("2.5"), Value::numbr(1));
+  ASSERT_TRUE(r.is_numbar());
+  EXPECT_DOUBLE_EQ(r.numbar_raw(), 3.5);
+}
+
+TEST(BinaryOps, NonNumericYarnIsError) {
+  EXPECT_THROW(op_binary(BinOp::kSum, Value::yarn("x"), Value::numbr(1)),
+               RuntimeError);
+}
+
+TEST(BinaryOps, TroofAndNoobInMathAreErrors) {
+  EXPECT_THROW(op_binary(BinOp::kSum, Value::troof(true), Value::numbr(1)),
+               RuntimeError);
+  EXPECT_THROW(op_binary(BinOp::kProdukt, Value::noob(), Value::numbr(1)),
+               RuntimeError);
+}
+
+TEST(BinaryOps, DivisionByZero) {
+  EXPECT_THROW(op_binary(BinOp::kQuoshunt, Value::numbr(1), Value::numbr(0)),
+               RuntimeError);
+  EXPECT_THROW(op_binary(BinOp::kMod, Value::numbr(1), Value::numbr(0)),
+               RuntimeError);
+  EXPECT_THROW(
+      op_binary(BinOp::kQuoshunt, Value::numbar(1.0), Value::numbar(0.0)),
+      RuntimeError);
+}
+
+TEST(BinaryOps, BiggrSmallrAreMaxMin) {
+  EXPECT_EQ(op_binary(BinOp::kBiggr, Value::numbr(2), Value::numbr(5)),
+            Value::numbr(5));
+  EXPECT_EQ(op_binary(BinOp::kSmallr, Value::numbr(2), Value::numbr(5)),
+            Value::numbr(2));
+  Value r = op_binary(BinOp::kBiggr, Value::numbar(2.5), Value::numbr(2));
+  EXPECT_DOUBLE_EQ(r.numbar_raw(), 2.5);
+}
+
+TEST(BinaryOps, PaperComparisons) {
+  // Paper Table I: BIGGER / SMALLR as strict comparisons -> TROOF.
+  EXPECT_EQ(op_binary(BinOp::kBigger, Value::numbr(3), Value::numbr(2)),
+            Value::troof(true));
+  EXPECT_EQ(op_binary(BinOp::kBigger, Value::numbr(2), Value::numbr(2)),
+            Value::troof(false));
+  EXPECT_EQ(op_binary(BinOp::kSmallrCmp, Value::numbr(1), Value::numbr(2)),
+            Value::troof(true));
+  EXPECT_EQ(
+      op_binary(BinOp::kSmallrCmp, Value::numbar(1.5), Value::numbr(1)),
+      Value::troof(false));
+}
+
+TEST(BinaryOps, EqualityOperators) {
+  EXPECT_EQ(op_binary(BinOp::kBothSaem, Value::numbr(3), Value::numbar(3.0)),
+            Value::troof(true));
+  EXPECT_EQ(op_binary(BinOp::kDiffrint, Value::numbr(3), Value::numbr(3)),
+            Value::troof(false));
+  EXPECT_EQ(
+      op_binary(BinOp::kBothSaem, Value::yarn("3"), Value::numbr(3)),
+      Value::troof(false));  // no implicit cast in equality
+}
+
+TEST(BinaryOps, BooleanOperators) {
+  Value win = Value::troof(true);
+  Value fail = Value::troof(false);
+  EXPECT_EQ(op_binary(BinOp::kBothOf, win, fail), Value::troof(false));
+  EXPECT_EQ(op_binary(BinOp::kEitherOf, win, fail), Value::troof(true));
+  EXPECT_EQ(op_binary(BinOp::kWonOf, win, fail), Value::troof(true));
+  EXPECT_EQ(op_binary(BinOp::kWonOf, win, win), Value::troof(false));
+  // Truthiness coercion applies to any type.
+  EXPECT_EQ(op_binary(BinOp::kBothOf, Value::numbr(1), Value::yarn("x")),
+            Value::troof(true));
+  EXPECT_EQ(op_binary(BinOp::kBothOf, Value::numbr(1), Value::noob()),
+            Value::troof(false));
+}
+
+TEST(UnaryOps, Not) {
+  EXPECT_EQ(op_unary(UnOp::kNot, Value::troof(true)), Value::troof(false));
+  EXPECT_EQ(op_unary(UnOp::kNot, Value::numbr(0)), Value::troof(true));
+  EXPECT_EQ(op_unary(UnOp::kNot, Value::yarn("")), Value::troof(true));
+}
+
+TEST(UnaryOps, PaperTable3Extensions) {
+  // SQUAR OF = x*x (keeps integer-ness); UNSQUAR OF = sqrt; FLIP OF = 1/x.
+  EXPECT_EQ(op_unary(UnOp::kSquar, Value::numbr(5)), Value::numbr(25));
+  Value sq = op_unary(UnOp::kSquar, Value::numbar(1.5));
+  EXPECT_DOUBLE_EQ(sq.numbar_raw(), 2.25);
+  Value root = op_unary(UnOp::kUnsquar, Value::numbr(16));
+  ASSERT_TRUE(root.is_numbar());
+  EXPECT_DOUBLE_EQ(root.numbar_raw(), 4.0);
+  Value flip = op_unary(UnOp::kFlip, Value::numbr(4));
+  EXPECT_DOUBLE_EQ(flip.numbar_raw(), 0.25);
+}
+
+TEST(UnaryOps, MathExtensionErrors) {
+  EXPECT_THROW(op_unary(UnOp::kUnsquar, Value::numbr(-1)), RuntimeError);
+  EXPECT_THROW(op_unary(UnOp::kFlip, Value::numbr(0)), RuntimeError);
+  EXPECT_THROW(op_unary(UnOp::kSquar, Value::troof(true)), RuntimeError);
+}
+
+TEST(NaryOps, AllAnySmoosh) {
+  std::vector<Value> all_true = {Value::troof(true), Value::numbr(1),
+                                 Value::yarn("x")};
+  std::vector<Value> one_false = {Value::troof(true), Value::numbr(0)};
+  EXPECT_EQ(op_nary(NaryOp::kAllOf, all_true), Value::troof(true));
+  EXPECT_EQ(op_nary(NaryOp::kAllOf, one_false), Value::troof(false));
+  EXPECT_EQ(op_nary(NaryOp::kAnyOf, one_false), Value::troof(true));
+  std::vector<Value> all_false = {Value::numbr(0), Value::yarn("")};
+  EXPECT_EQ(op_nary(NaryOp::kAnyOf, all_false), Value::troof(false));
+
+  std::vector<Value> parts = {Value::yarn("x="), Value::numbr(3),
+                              Value::yarn(" y="), Value::numbar(1.5)};
+  EXPECT_EQ(op_nary(NaryOp::kSmoosh, parts), Value::yarn("x=3 y=1.50"));
+}
+
+// Property sweep: SUM/PRODUKT commute, DIFF anti-commutes, BIGGR/SMALLR
+// bracket their operands, SQUAR matches PRODUKT of self.
+class ArithProperties
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(ArithProperties, AlgebraicIdentities) {
+  auto [a, b] = GetParam();
+  Value va = Value::numbr(a);
+  Value vb = Value::numbr(b);
+  EXPECT_EQ(op_binary(BinOp::kSum, va, vb), op_binary(BinOp::kSum, vb, va));
+  EXPECT_EQ(op_binary(BinOp::kProdukt, va, vb),
+            op_binary(BinOp::kProdukt, vb, va));
+  Value d1 = op_binary(BinOp::kDiff, va, vb);
+  Value d2 = op_binary(BinOp::kDiff, vb, va);
+  EXPECT_EQ(d1.numbr_raw(), -d2.numbr_raw());
+  Value mx = op_binary(BinOp::kBiggr, va, vb);
+  Value mn = op_binary(BinOp::kSmallr, va, vb);
+  EXPECT_GE(mx.numbr_raw(), mn.numbr_raw());
+  EXPECT_EQ(op_unary(UnOp::kSquar, va),
+            op_binary(BinOp::kProdukt, va, va));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ArithProperties,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 0},
+                      std::pair<std::int64_t, std::int64_t>{1, 2},
+                      std::pair<std::int64_t, std::int64_t>{-5, 3},
+                      std::pair<std::int64_t, std::int64_t>{100, -100},
+                      std::pair<std::int64_t, std::int64_t>{7, 7},
+                      std::pair<std::int64_t, std::int64_t>{-1, -9}));
+
+// FLIP OF FLIP OF x ~= x for nonzero x.
+class FlipProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlipProperties, DoubleFlipIsIdentity) {
+  Value v = Value::numbar(GetParam());
+  Value ff = op_unary(UnOp::kFlip, op_unary(UnOp::kFlip, v));
+  EXPECT_NEAR(ff.numbar_raw(), GetParam(), 1e-12 * std::abs(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(NonZero, FlipProperties,
+                         ::testing::Values(1.0, -2.0, 0.5, 123.456, -0.125));
+
+}  // namespace

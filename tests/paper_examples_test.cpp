@@ -1,0 +1,104 @@
+// Integration tests for the paper's §VI worked examples, run exactly as
+// published on multiple PE counts and on both in-process backends.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+using lol::RunResult;
+
+RunResult run_listing(const std::string& src, int n_pes, Backend backend) {
+  RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = backend;
+  return lol::run_source(src, cfg);
+}
+
+class PaperExamples : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(PaperExamples, RingTransferSectionA) {
+  auto r = run_listing(lol::paper::ring_listing(), 4, GetParam());
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // After the circular copy PE p holds PE (p+1)%4's array.
+  for (int pe = 0; pe < 4; ++pe) {
+    int next = (pe + 1) % 4;
+    std::string expect = "PE " + std::to_string(pe) + " HAZ " +
+                         std::to_string(next * 1000) + " THRU " +
+                         std::to_string(next * 1000 + 31) + "\n";
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)], expect);
+  }
+}
+
+TEST_P(PaperExamples, LockCounterSectionB) {
+  auto r = run_listing(lol::paper::lock_counter_listing(50), 4, GetParam());
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "KOUNTER IZ 200\n");  // 4 PEs x 50, none lost
+  for (int pe = 1; pe < 4; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)], "");
+  }
+}
+
+TEST_P(PaperExamples, BarrierSumSectionC) {
+  auto r = run_listing(lol::paper::barrier_sum_listing(), 4, GetParam());
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // a_p = 10p+1; b_p receives a from predecessor; c_p = a_p + b_prev.
+  for (int pe = 0; pe < 4; ++pe) {
+    int prev = (pe + 3) % 4;
+    int c = (10 * pe + 1) + (10 * prev + 1);
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              "PE " + std::to_string(pe) + " C IZ " + std::to_string(c) +
+                  "\n");
+  }
+}
+
+TEST_P(PaperExamples, NBodySectionDRunsAndMoves) {
+  // The verbatim paper listing: 32 particles per PE, 10 steps. Verify it
+  // runs on 2 PEs, prints the banner plus 32 positions per PE, and that
+  // positions are finite numbers.
+  auto r = run_listing(lol::paper::nbody_listing(), 2, GetParam());
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 2; ++pe) {
+    const std::string& out = r.pe_output[static_cast<std::size_t>(pe)];
+    EXPECT_NE(out.find("HAI ITZ " + std::to_string(pe) +
+                       " I HAS PARTICLZ 2 MUV"),
+              std::string::npos);
+    EXPECT_NE(out.find("MAH PARTICLZ IZ:"), std::string::npos);
+    // 2 banner lines + 32 position lines.
+    int lines = 0;
+    for (char c : out) {
+      if (c == '\n') ++lines;
+    }
+    EXPECT_EQ(lines, 2 + 32);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+  }
+}
+
+TEST_P(PaperExamples, NBodyIsDeterministicAcrossRuns) {
+  auto r1 = run_listing(lol::paper::nbody_program(8, 4, true), 2, GetParam());
+  auto r2 = run_listing(lol::paper::nbody_program(8, 4, true), 2, GetParam());
+  ASSERT_TRUE(r1.ok && r2.ok) << r1.first_error() << r2.first_error();
+  EXPECT_EQ(r1.pe_output, r2.pe_output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PaperExamples,
+                         ::testing::Values(Backend::kInterp, Backend::kVm),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kInterp ? "interp"
+                                                                 : "vm";
+                         });
+
+TEST(PaperExamples, BackendsAgreeOnNBodyTrajectories) {
+  auto ri = run_listing(lol::paper::nbody_program(8, 5, true), 2,
+                        Backend::kInterp);
+  auto rv =
+      run_listing(lol::paper::nbody_program(8, 5, true), 2, Backend::kVm);
+  ASSERT_TRUE(ri.ok && rv.ok) << ri.first_error() << rv.first_error();
+  EXPECT_EQ(ri.pe_output, rv.pe_output);
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// Parallel semantics tests: PE enumeration, symmetric data, thread
+// predication, barriers and implicit locks — the paper's Table II —
+// across PE counts and both backends.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+using lol::RunResult;
+using lol::run_source;
+
+RunResult runp(const std::string& body, int n_pes,
+               Backend backend = Backend::kInterp) {
+  RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = backend;
+  return run_source("HAI 1.2\n" + body + "KTHXBYE\n", cfg);
+}
+
+TEST(Parallel, MeAndMahFrenz) {
+  auto r = runp("VISIBLE ME \"/\" MAH FRENZ\n", 4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              std::to_string(pe) + "/4\n");
+  }
+}
+
+TEST(Parallel, SymmetricScalarRemoteReadViaPredication) {
+  // Every PE publishes its id+100 and reads its neighbour's value.
+  auto r = runp(
+      "WE HAS A x ITZ SRSLY A NUMBR\n"
+      "x R SUM OF ME AN 100\n"
+      "HUGZ\n"
+      "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+      "I HAS A got ITZ A NUMBR\n"
+      "TXT MAH BFF nxt, got R UR x\n"
+      "VISIBLE got\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              std::to_string((pe + 1) % 4 + 100) + "\n");
+  }
+}
+
+TEST(Parallel, RemoteWriteWithUr) {
+  // Paper §VI.C: TXT MAH BFF k, UR b R MAH a; HUGZ; c R SUM OF a AN b.
+  auto r = runp(
+      "WE HAS A a ITZ SRSLY A NUMBR\n"
+      "WE HAS A b ITZ SRSLY A NUMBR\n"
+      "a R SUM OF ME AN 1\n"
+      "HUGZ\n"
+      "I HAS A k ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+      "TXT MAH BFF k, UR b R MAH a\n"
+      "HUGZ\n"
+      "I HAS A c ITZ A NUMBR AN ITZ SUM OF a AN b\n"
+      "VISIBLE c\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // PE p has a = p+1 and receives b from its predecessor = pred+1.
+  for (int pe = 0; pe < 4; ++pe) {
+    int pred = (pe + 3) % 4;
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              std::to_string((pe + 1) + (pred + 1)) + "\n");
+  }
+}
+
+TEST(Parallel, PredicatedBlockForm) {
+  auto r = runp(
+      "WE HAS A v ITZ SRSLY A NUMBR\n"
+      "v R ME\n"
+      "HUGZ\n"
+      "I HAS A sum ITZ A NUMBR AN ITZ 0\n"
+      "IM IN YR l UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ\n"
+      "  TXT MAH BFF k AN STUFF\n"
+      "    sum R SUM OF sum AN UR v\n"
+      "  TTYL\n"
+      "IM OUTTA YR l\n"
+      "VISIBLE sum\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)], "6\n");  // 0+1+2+3
+  }
+}
+
+TEST(Parallel, NestedPredicationInnerWins) {
+  auto r = runp(
+      "WE HAS A x ITZ SRSLY A NUMBR\n"
+      "x R ME\n"
+      "HUGZ\n"
+      "I HAS A got ITZ A NUMBR\n"
+      "TXT MAH BFF 1 AN STUFF\n"
+      "  TXT MAH BFF 2, got R UR x\n"
+      "TTYL\n"
+      "VISIBLE got\n",
+      3);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "2\n");
+}
+
+TEST(Parallel, SymmetricArrayRingCopy) {
+  // Paper §VI.A: circular whole-array transfer. The copy lands in a
+  // separate inbox array — copying into `array` itself races with the
+  // predecessor's concurrent read (see ring_listing()).
+  auto r = runp(
+      "I HAS A pe ITZ A NUMBR AN ITZ ME\n"
+      "I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ\n"
+      "WE HAS A array ITZ SRSLY LOTZ A NUMBRS ...\n"
+      "  AN THAR IZ 32\n"
+      "I HAS A inbox ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32\n"
+      "I HAS A next_pe ITZ A NUMBR ...\n"
+      "  AN ITZ SUM OF pe AN 1\n"
+      "next_pe R MOD OF next_pe AN n_pes\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 32\n"
+      "  array'Z i R SUM OF PRODUKT OF pe AN 100 AN i\n"
+      "IM OUTTA YR l\n"
+      "HUGZ\n"
+      "TXT MAH BFF next_pe, MAH inbox R UR array\n"
+      "HUGZ\n"
+      "VISIBLE inbox'Z 0 \" \" inbox'Z 31\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 4; ++pe) {
+    int next = (pe + 1) % 4;
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              std::to_string(next * 100) + " " +
+                  std::to_string(next * 100 + 31) + "\n");
+  }
+}
+
+TEST(Parallel, RemoteArrayElementAccess) {
+  auto r = runp(
+      "WE HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 8\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 8\n"
+      "  a'Z i R SUM OF PRODUKT OF ME AN 10.0 AN i\n"
+      "IM OUTTA YR l\n"
+      "HUGZ\n"
+      "I HAS A got ITZ A NUMBAR\n"
+      "TXT MAH BFF 0, got R UR a'Z 3\n"
+      "VISIBLE got\n",
+      3);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 3; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)], "3.00\n");
+  }
+}
+
+TEST(Parallel, HugzSynchronizesDataMovement) {
+  // Without the barrier this would be racy; with HUGZ it must always see
+  // fresh values. Run several rounds to stress the generation barrier.
+  auto r = runp(
+      "WE HAS A x ITZ SRSLY A NUMBR\n"
+      "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+      "IM IN YR l UPPIN YR round TIL BOTH SAEM round AN 20\n"
+      "  TXT MAH BFF nxt, UR x R SUM OF PRODUKT OF ME AN 100 AN round\n"
+      "  HUGZ\n"
+      "  I HAS A prev ITZ A NUMBR ...\n"
+      "    AN ITZ MOD OF SUM OF ME AN DIFF OF MAH FRENZ AN 1 AN MAH FRENZ\n"
+      "  DIFFRINT x AN SUM OF PRODUKT OF prev AN 100 AN round, O RLY?\n"
+      "  YA RLY\n    VISIBLE \"STALE\"\n  OIC\n"
+      "  HUGZ\n"
+      "IM OUTTA YR l\n"
+      "VISIBLE \"ok\"\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)], "ok\n");
+  }
+}
+
+TEST(Parallel, ImplicitLockPreventsLostUpdates) {
+  // Paper §VI.B: protect a remote read-modify-write with the implicit
+  // lock. Every PE increments PE 0's counter 50 times.
+  auto r = runp(
+      "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HUGZ\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 50\n"
+      "  TXT MAH BFF 0 AN STUFF\n"
+      "    IM SRSLY MESIN WIF UR x\n"
+      "    UR x R SUM OF UR x AN 1\n"
+      "    DUN MESIN WIF UR x\n"
+      "  TTYL\n"
+      "IM OUTTA YR l\n"
+      "HUGZ\n"
+      "BOTH SAEM ME AN 0, O RLY?\n"
+      "YA RLY\n  VISIBLE x\nOIC\n",
+      4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "200\n");
+}
+
+TEST(Parallel, TrylockFallbackPattern) {
+  // The paper's §V fragment: try, then block, then mutate, then release.
+  auto r = runp(
+      "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HUGZ\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 25\n"
+      "  IM MESIN WIF x, O RLY?\n"
+      "  NO WAI\n"
+      "    IM SRSLY MESIN WIF x\n"
+      "  OIC\n"
+      "  x R SUM OF x AN 1\n"
+      "  DUN MESIN WIF x\n"
+      "IM OUTTA YR l\n"
+      "HUGZ\n"
+      "BOTH SAEM ME AN 0, O RLY?\n"
+      "YA RLY\n  VISIBLE x\nOIC\n",
+      4,
+      Backend::kInterp);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // x is symmetric but unqualified: each PE increments ITS OWN copy under
+  // the global lock; PE 0 sees its own 25.
+  EXPECT_EQ(r.pe_output[0], "25\n");
+}
+
+TEST(Parallel, BadPeTargetFailsCleanly) {
+  auto r = runp("TXT MAH BFF 9, VISIBLE UR x\n", 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("no such PE"), std::string::npos);
+}
+
+TEST(Parallel, FailingPeDoesNotDeadlockHugz) {
+  auto r = runp(
+      "BOTH SAEM ME AN 0, O RLY?\n"
+      "YA RLY\n  VISIBLE QUOSHUNT OF 1 AN 0\n"
+      "OIC\n"
+      "HUGZ\n",
+      4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("division by zero"), std::string::npos);
+}
+
+TEST(Parallel, PerPeRandomStreamsDiffer) {
+  auto r = runp("VISIBLE WHATEVR\n", 4);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  std::set<std::string> distinct(r.pe_output.begin(), r.pe_output.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Parallel, SymmetricHeapSizeConfigurable) {
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.heap_bytes = 256;
+  auto r = run_source(
+      "HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 1000\n"
+      "KTHXBYE\n",
+      cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("symmetric heap exhausted"),
+            std::string::npos);
+}
+
+// The same Table-II semantics must hold on every backend and PE count.
+struct ParallelCase {
+  const char* name;
+  Backend backend;
+  int n_pes;
+};
+
+class ParallelMatrix : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelMatrix, BarrierSumMatchesClosedForm) {
+  const auto& p = GetParam();
+  auto r = runp(
+      "WE HAS A v ITZ SRSLY A NUMBR\n"
+      "v R SUM OF ME AN 1\n"
+      "HUGZ\n"
+      "I HAS A total ITZ A NUMBR AN ITZ 0\n"
+      "IM IN YR l UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ\n"
+      "  TXT MAH BFF k, total R SUM OF total AN UR v\n"
+      "IM OUTTA YR l\n"
+      "VISIBLE total\n",
+      p.n_pes, p.backend);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  int expect = p.n_pes * (p.n_pes + 1) / 2;
+  for (int pe = 0; pe < p.n_pes; ++pe) {
+    EXPECT_EQ(r.pe_output[static_cast<std::size_t>(pe)],
+              std::to_string(expect) + "\n");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndPeCounts, ParallelMatrix,
+    ::testing::Values(ParallelCase{"interp1", Backend::kInterp, 1},
+                      ParallelCase{"interp2", Backend::kInterp, 2},
+                      ParallelCase{"interp4", Backend::kInterp, 4},
+                      ParallelCase{"interp16", Backend::kInterp, 16},
+                      ParallelCase{"vm1", Backend::kVm, 1},
+                      ParallelCase{"vm2", Backend::kVm, 2},
+                      ParallelCase{"vm4", Backend::kVm, 4},
+                      ParallelCase{"vm16", Backend::kVm, 16}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Pretty-printer property tests: to_lolcode() output re-parses to a
+// structurally identical AST (dump equality) over a program corpus, and
+// printing is stable (printing the re-parse prints the same text).
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "core/paper_programs.hpp"
+#include "parse/parser.hpp"
+
+namespace {
+
+void expect_round_trip(const std::string& src) {
+  auto p1 = lol::parse::parse_program(src);
+  std::string printed = lol::ast::to_lolcode(p1);
+  auto p2 = lol::parse::parse_program(printed);
+  EXPECT_EQ(lol::ast::dump(p1), lol::ast::dump(p2)) << printed;
+  // Fixed point: printing the reparse yields the same text.
+  EXPECT_EQ(printed, lol::ast::to_lolcode(p2));
+}
+
+class PrinterCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterCorpus, RoundTrips) {
+  expect_round_trip(std::string("HAI 1.2\n") + GetParam() + "KTHXBYE\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PrinterCorpus,
+    ::testing::Values(
+        "",
+        "VISIBLE \"HAI\"\n",
+        "VISIBLE \"x\" 1 2.5!\n",
+        "I HAS A x\n",
+        "I HAS A x ITZ 5\n",
+        "I HAS A x ITZ A NUMBR AN ITZ ME\n",
+        "I HAS A x ITZ SRSLY A NUMBAR AN ITZ 0.001\n",
+        "I HAS A a ITZ LOTZ A YARNS AN THAR IZ 4\n",
+        "WE HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN "
+        "IT\n",
+        "x R SUM OF 1 AN 2\nI HAS A x\n",
+        "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\na'Z 0 R a'Z 1\n",
+        "SUM OF 1 AN 1\nO RLY?\nYA RLY\n  VISIBLE 1\nMEBBE FAIL\n"
+        "  VISIBLE 2\nNO WAI\n  VISIBLE 3\nOIC\n",
+        "1, WTF?\nOMG 1\n  GTFO\nOMGWTF\n  VISIBLE 0\nOIC\n",
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\n  VISIBLE i\n"
+        "IM OUTTA YR l\n",
+        "IM IN YR l NERFIN YR i WILE BIGGER i AN -3\n  VISIBLE i\n"
+        "IM OUTTA YR l\n",
+        "IM IN YR l\n  GTFO\nIM OUTTA YR l\n",
+        "HOW IZ I f YR a AN YR b\n  FOUND YR SUM OF a AN b\nIF U SAY SO\n"
+        "VISIBLE I IZ f YR 1 AN YR 2 MKAY\n",
+        "CAN HAS STDIO?\nGIMMEH x\nI HAS A x\n",
+        "I HAS A x ITZ 1\nx IS NOW A YARN\n",
+        "I HAS A x ITZ 1\nVISIBLE MAEK x A TROOF\n",
+        "I HAS A n ITZ \"x\"\nI HAS A x\nSRS n R 5\nVISIBLE SRS n\n",
+        "HUGZ\nVISIBLE ME\nVISIBLE MAH FRENZ\n",
+        "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+        "IM SRSLY MESIN WIF x\nIM MESIN WIF x\nDUN MESIN WIF x\n",
+        "WE HAS A x ITZ SRSLY A NUMBR\nTXT MAH BFF 0, x R UR x\n",
+        "WE HAS A x ITZ SRSLY A NUMBR\nTXT MAH BFF 1 AN STUFF\n"
+        "  x R UR x\n  HUGZ\nTTYL\n",
+        "VISIBLE SMOOSH \"a\" AN \"b\" MKAY\n",
+        "VISIBLE ALL OF WIN AN FAIL MKAY\n",
+        "VISIBLE NOT SQUAR OF UNSQUAR OF FLIP OF 2\n",
+        "I HAS A w ITZ \"x\"\nVISIBLE \"hai :{w} bye\"\n"));
+
+TEST(Printer, PaperListingsRoundTrip) {
+  expect_round_trip(lol::paper::ring_listing());
+  expect_round_trip(lol::paper::lock_counter_listing());
+  expect_round_trip(lol::paper::barrier_sum_listing());
+  expect_round_trip(lol::paper::nbody_listing());
+}
+
+TEST(Printer, DumpIsStableForLiterals) {
+  auto e = lol::parse::parse_expression("SUM OF 1 AN \"x:)y\"");
+  EXPECT_EQ(lol::ast::dump(*e), "(sum (numbr 1) (yarn \"x\\ny\"))");
+}
+
+TEST(Printer, EscapesRegenerateInYarnSource) {
+  auto p = lol::parse::parse_program(
+      "HAI 1.2\nVISIBLE \"a:)b:>c:\"d::e\"\nKTHXBYE\n");
+  std::string printed = lol::ast::to_lolcode(p);
+  EXPECT_NE(printed.find(":)"), std::string::npos);
+  EXPECT_NE(printed.find(":>"), std::string::npos);
+  EXPECT_NE(printed.find("::"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Semantic analysis tests: function table, symmetric registry, placement
+// and legality rules.
+#include <gtest/gtest.h>
+
+#include "parse/parser.hpp"
+#include "sema/analyzer.hpp"
+
+namespace {
+
+using lol::parse::parse_program;
+using lol::sema::analyze;
+using lol::support::SemaError;
+
+lol::sema::Analysis analyze_src(const std::string& body) {
+  static std::vector<std::unique_ptr<lol::ast::Program>> keep_alive;
+  keep_alive.push_back(std::make_unique<lol::ast::Program>(
+      parse_program("HAI 1.2\n" + body + "KTHXBYE\n")));
+  return analyze(*keep_alive.back());
+}
+
+void expect_sema_error(const std::string& body) {
+  lol::ast::Program p = parse_program("HAI 1.2\n" + body + "KTHXBYE\n");
+  EXPECT_THROW(analyze(p), SemaError) << body;
+}
+
+TEST(Sema, CollectsFunctions) {
+  auto a = analyze_src(
+      "HOW IZ I foo YR x\n  FOUND YR x\nIF U SAY SO\n"
+      "HOW IZ I bar\n  FOUND YR 1\nIF U SAY SO\n");
+  EXPECT_EQ(a.functions.size(), 2u);
+  EXPECT_TRUE(a.functions.count("foo"));
+  EXPECT_EQ(a.functions.at("foo").def->params.size(), 1u);
+}
+
+TEST(Sema, CallsMayPrecedeDefinition) {
+  EXPECT_NO_THROW(analyze_src(
+      "I HAS A r ITZ I IZ later YR 1 MKAY\n"
+      "HOW IZ I later YR x\n  FOUND YR x\nIF U SAY SO\n"));
+}
+
+TEST(Sema, DuplicateFunctionIsError) {
+  expect_sema_error(
+      "HOW IZ I f\n  GTFO\nIF U SAY SO\n"
+      "HOW IZ I f\n  GTFO\nIF U SAY SO\n");
+}
+
+TEST(Sema, DuplicateParamIsError) {
+  expect_sema_error("HOW IZ I f YR a AN YR a\n  GTFO\nIF U SAY SO\n");
+}
+
+TEST(Sema, UnknownCallIsError) {
+  expect_sema_error("I HAS A x ITZ I IZ nah MKAY\n");
+}
+
+TEST(Sema, ArityMismatchIsError) {
+  expect_sema_error(
+      "HOW IZ I f YR a\n  FOUND YR a\nIF U SAY SO\n"
+      "I HAS A x ITZ I IZ f YR 1 AN YR 2 MKAY\n");
+}
+
+TEST(Sema, SymmetricRegistryAssignsSlotsInOrder) {
+  auto a = analyze_src(
+      "WE HAS A x ITZ SRSLY A NUMBR\n"
+      "WE HAS A y ITZ SRSLY A NUMBAR AN IM SHARIN IT\n"
+      "WE HAS A z ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4 AN IM SHARIN IT\n");
+  ASSERT_EQ(a.symmetric.size(), 3u);
+  EXPECT_EQ(a.symmetric[0].slot, 0);
+  EXPECT_EQ(a.symmetric[1].slot, 1);
+  EXPECT_EQ(a.symmetric[2].slot, 2);
+  EXPECT_EQ(a.symmetric[0].lock_id, -1);
+  EXPECT_EQ(a.symmetric[1].lock_id, 0);
+  EXPECT_EQ(a.symmetric[2].lock_id, 1);
+  EXPECT_EQ(a.lock_count, 2);
+}
+
+TEST(Sema, SymmetricNeedsType) {
+  expect_sema_error("WE HAS A x\n");
+  expect_sema_error("WE HAS A x ITZ 5\n");
+}
+
+TEST(Sema, SymmetricYarnRejected) {
+  expect_sema_error("WE HAS A x ITZ SRSLY A YARN\n");
+}
+
+TEST(Sema, SymmetricMustBeTopLevel) {
+  expect_sema_error(
+      "IM IN YR l\n  WE HAS A x ITZ SRSLY A NUMBR\n  GTFO\nIM OUTTA YR l\n");
+  expect_sema_error(
+      "WIN, O RLY?\nYA RLY\n  WE HAS A x ITZ SRSLY A NUMBR\nOIC\n");
+  expect_sema_error(
+      "HOW IZ I f\n  WE HAS A x ITZ SRSLY A NUMBR\nIF U SAY SO\n");
+}
+
+TEST(Sema, SharinRequiresSymmetric) {
+  expect_sema_error("I HAS A x ITZ A NUMBR AN IM SHARIN IT\n");
+}
+
+TEST(Sema, SymmetricArrayWithInitRejected) {
+  expect_sema_error(
+      "WE HAS A x ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4 AN ITZ 3\n");
+}
+
+TEST(Sema, GtfoPlacement) {
+  EXPECT_NO_THROW(
+      analyze_src("IM IN YR l\n  GTFO\nIM OUTTA YR l\n"));
+  EXPECT_NO_THROW(analyze_src(
+      "WTF?\nOMG 1\n  GTFO\nOIC\n"));
+  EXPECT_NO_THROW(analyze_src("HOW IZ I f\n  GTFO\nIF U SAY SO\n"));
+  expect_sema_error("GTFO\n");
+}
+
+TEST(Sema, FoundYrOnlyInFunctions) {
+  expect_sema_error("FOUND YR 1\n");
+  EXPECT_NO_THROW(analyze_src("HOW IZ I f\n  FOUND YR 1\nIF U SAY SO\n"));
+}
+
+TEST(Sema, NestedFunctionDefRejected) {
+  expect_sema_error(
+      "IM IN YR l\n  HOW IZ I f\n    GTFO\n  IF U SAY SO\nIM OUTTA YR l\n");
+}
+
+TEST(Sema, LoopFuncUpdateMustExist) {
+  expect_sema_error(
+      "IM IN YR l doubleit YR i TIL BOTH SAEM i AN 8\n  GTFO\n"
+      "IM OUTTA YR l\n");
+  EXPECT_NO_THROW(analyze_src(
+      "HOW IZ I doubleit YR i\n  FOUND YR PRODUKT OF i AN 2\nIF U SAY SO\n"
+      "IM IN YR l doubleit YR i TIL BIGGER i AN 8\n  VISIBLE i\n"
+      "IM OUTTA YR l\n"));
+}
+
+TEST(Sema, PaperNBodyDeclarationsAnalyze) {
+  EXPECT_NO_THROW(analyze_src(
+      "I HAS A little_time ITZ SRSLY A NUMBAR AN ITZ 0.001\n"
+      "I HAS A vel_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32\n"
+      "WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n"
+      "  AN THAR IZ 32 AN IM SHARIN IT\n"));
+}
+
+}  // namespace

@@ -1,0 +1,393 @@
+// Shmem substrate tests: symmetric allocation, one-sided put/get,
+// barriers, global locks, atomics, collectives, abort behaviour, and
+// simulated-time accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "noc/machines.hpp"
+#include "shmem/runtime.hpp"
+
+namespace {
+
+using lol::shmem::Config;
+using lol::shmem::LaunchResult;
+using lol::shmem::Pe;
+using lol::shmem::Runtime;
+using lol::support::RuntimeError;
+
+TEST(Shmem, LaunchRunsEveryPe) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  std::atomic<int> count{0};
+  std::atomic<int> id_sum{0};
+  auto r = rt.launch([&](Pe& pe) {
+    count.fetch_add(1);
+    id_sum.fetch_add(pe.id());
+    EXPECT_EQ(pe.n_pes(), 4);
+  });
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(id_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(Shmem, SymmetricAllocationGivesIdenticalOffsets) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  std::array<std::size_t, 4> first{}, second{};
+  auto r = rt.launch([&](Pe& pe) {
+    first[static_cast<std::size_t>(pe.id())] = pe.shmalloc(32);
+    second[static_cast<std::size_t>(pe.id())] = pe.shmalloc(100);
+  });
+  ASSERT_TRUE(r.ok);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)], first[0]);
+    EXPECT_EQ(second[static_cast<std::size_t>(i)], second[0]);
+  }
+  EXPECT_EQ(second[0] % 8, 0u);  // 8-byte aligned bump
+  EXPECT_GE(second[0], first[0] + 32);
+}
+
+TEST(Shmem, HeapExhaustionThrows) {
+  Config cfg;
+  cfg.n_pes = 1;
+  cfg.heap_bytes = 64;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    pe.shmalloc(32);
+    pe.shmalloc(64);  // 32 + 64 > 64
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("symmetric heap exhausted"),
+            std::string::npos);
+}
+
+TEST(Shmem, PutGetRoundTrip) {
+  Config cfg;
+  cfg.n_pes = 2;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    pe.put_i64(pe.id(), off, 100 + pe.id());
+    pe.barrier_all();
+    // Each PE reads its neighbour's value.
+    int other = 1 - pe.id();
+    EXPECT_EQ(pe.get_i64(other, off), 100 + other);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, RemotePutIsVisibleAfterBarrier) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    int next = (pe.id() + 1) % pe.n_pes();
+    pe.put_f64(next, off, 2.5 * pe.id());
+    pe.barrier_all();
+    int prev = (pe.id() + pe.n_pes() - 1) % pe.n_pes();
+    EXPECT_DOUBLE_EQ(pe.get_f64(pe.id(), off), 2.5 * prev);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, BulkTransferSweep) {
+  // Round-trip a range of payload sizes, including non-multiples of 8.
+  Config cfg;
+  cfg.n_pes = 2;
+  cfg.heap_bytes = 1 << 20;
+  Runtime rt(cfg);
+  for (std::size_t n : {1u, 7u, 8u, 9u, 64u, 1000u, 4096u, 65536u}) {
+    auto r = rt.launch([&](Pe& pe) {
+      std::size_t off = pe.shmalloc(n);
+      std::vector<std::byte> src(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        src[i] = static_cast<std::byte>((i + pe.id() * 13) & 0xFF);
+      }
+      pe.put(1 - pe.id(), off, src.data(), n);
+      pe.barrier_all();
+      std::vector<std::byte> got(n);
+      pe.get(got.data(), pe.id(), off, n);
+      std::vector<std::byte> expect(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect[i] =
+            static_cast<std::byte>((i + (1 - pe.id()) * 13) & 0xFF);
+      }
+      EXPECT_EQ(got, expect);
+    });
+    EXPECT_TRUE(r.ok) << "n=" << n << ": " << r.first_error();
+  }
+}
+
+TEST(Shmem, OutOfRangeTargetThrows) {
+  Config cfg;
+  cfg.n_pes = 2;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    if (pe.id() == 0) pe.put_i64(5, off, 1);
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("out of range"), std::string::npos);
+}
+
+TEST(Shmem, OutOfHeapAccessThrows) {
+  Config cfg;
+  cfg.n_pes = 1;
+  cfg.heap_bytes = 64;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) { pe.put_i64(0, 1024, 1); });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("exceeds the symmetric heap"),
+            std::string::npos);
+}
+
+TEST(Shmem, BarrierOrdersPhases) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  // Classic Figure-2 pattern: put, barrier, read — must never see stale 0.
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    for (int round = 1; round <= 50; ++round) {
+      int next = (pe.id() + 1) % pe.n_pes();
+      pe.put_i64(next, off, round);
+      pe.barrier_all();
+      EXPECT_EQ(pe.get_i64(pe.id(), off), round);
+      pe.barrier_all();
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, AtomicFetchAddIsLossless) {
+  Config cfg;
+  cfg.n_pes = 8;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    pe.barrier_all();
+    for (int i = 0; i < 1000; ++i) pe.atomic_fetch_add_i64(0, off, 1);
+    pe.barrier_all();
+    if (pe.id() == 0) EXPECT_EQ(pe.get_i64(0, off), 8000);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, GlobalLockMutualExclusion) {
+  Config cfg;
+  cfg.n_pes = 8;
+  cfg.n_locks = 1;
+  Runtime rt(cfg);
+  // Unprotected RMW would lose updates; the global lock must not.
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    pe.barrier_all();
+    for (int i = 0; i < 200; ++i) {
+      pe.set_lock(0);
+      pe.put_i64(0, off, pe.get_i64(0, off) + 1);
+      pe.clear_lock(0);
+    }
+    pe.barrier_all();
+    if (pe.id() == 0) EXPECT_EQ(pe.get_i64(0, off), 1600);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, TestLockIsNonBlocking) {
+  Config cfg;
+  cfg.n_pes = 2;
+  cfg.n_locks = 1;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 0) {
+      pe.set_lock(0);
+      pe.barrier_all();  // 1: lock held by 0
+      pe.barrier_all();  // 2: PE 1 tested
+      pe.clear_lock(0);
+      pe.barrier_all();  // 3: released
+    } else {
+      pe.barrier_all();  // 1
+      EXPECT_FALSE(pe.test_lock(0));
+      pe.barrier_all();  // 2
+      pe.barrier_all();  // 3
+      EXPECT_TRUE(pe.test_lock(0));
+      pe.clear_lock(0);
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, LockMisuseDetected) {
+  Config cfg;
+  cfg.n_pes = 1;
+  cfg.n_locks = 1;
+  Runtime rt(cfg);
+  // Releasing a lock you don't hold.
+  auto r = rt.launch([&](Pe& pe) { pe.clear_lock(0); });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("does not hold"), std::string::npos);
+  // Recursive acquisition.
+  r = rt.launch([&](Pe& pe) {
+    pe.set_lock(0);
+    pe.set_lock(0);
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("already holds"), std::string::npos);
+  // Bad lock id.
+  r = rt.launch([&](Pe& pe) { pe.set_lock(7); });
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Shmem, Collectives) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    EXPECT_EQ(pe.all_reduce_sum_i64(pe.id() + 1), 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(pe.all_reduce_sum_f64(0.5), 2.0);
+    EXPECT_EQ(pe.all_reduce_max_i64(pe.id() * 10), 30);
+    EXPECT_DOUBLE_EQ(pe.all_reduce_max_f64(-1.0 * pe.id()), 0.0);
+    EXPECT_EQ(pe.broadcast_i64(pe.id() == 2 ? 99 : -1, 2), 99);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+TEST(Shmem, FailingPeAbortsPeersInBarrier) {
+  Config cfg;
+  cfg.n_pes = 4;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 0) throw RuntimeError("deliberate failure");
+    pe.barrier_all();  // would deadlock without abort propagation
+  });
+  EXPECT_FALSE(r.ok);
+  int failures = 0;
+  for (const auto& e : r.errors) {
+    if (!e.empty()) ++failures;
+  }
+  EXPECT_EQ(failures, 4);  // the thrower plus three aborted peers
+  EXPECT_NE(r.errors[0].find("deliberate failure"), std::string::npos);
+}
+
+TEST(Shmem, FailingPeAbortsPeersWaitingOnLock) {
+  Config cfg;
+  cfg.n_pes = 2;
+  cfg.n_locks = 1;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 0) {
+      pe.set_lock(0);
+      throw RuntimeError("dies holding the lock");
+    }
+    pe.barrier_all();  // never completes; abort wakes us
+  });
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Shmem, RuntimeIsReusableAcrossLaunches) {
+  Config cfg;
+  cfg.n_pes = 2;
+  cfg.n_locks = 1;
+  Runtime rt(cfg);
+  for (int i = 0; i < 3; ++i) {
+    auto r = rt.launch([&](Pe& pe) {
+      std::size_t off = pe.shmalloc(8);
+      EXPECT_EQ(pe.get_i64(pe.id(), off), 0);  // arena zeroed per launch
+      pe.put_i64(pe.id(), off, 7);
+      pe.set_lock(0);
+      pe.clear_lock(0);
+    });
+    EXPECT_TRUE(r.ok) << r.first_error();
+  }
+}
+
+TEST(Shmem, SimulatedTimeChargesRemoteOps) {
+  Config cfg;
+  cfg.n_pes = 4;
+  cfg.model = lol::noc::epiphany3();
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    if (pe.id() == 0) {
+      pe.put_i64(1, off, 42);     // 1 hop
+      pe.get_i64(3, off);         // 3 hops, round trip
+    }
+    pe.barrier_all();
+  });
+  ASSERT_TRUE(r.ok) << r.first_error();
+  // All PEs leave the final barrier at the same simulated instant.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(r.sim_ns[static_cast<std::size_t>(i)], r.sim_ns[0]);
+  }
+  EXPECT_GT(r.max_sim_ns(), 0.0);
+}
+
+TEST(Shmem, SimulatedBarrierAlignsClocks) {
+  Config cfg;
+  cfg.n_pes = 2;
+  cfg.model = lol::noc::xc40_aries();
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    if (pe.id() == 0) {
+      // PE 0 does ten expensive remote reads; PE 1 does nothing.
+      for (int i = 0; i < 10; ++i) pe.get_i64(1, off);
+    }
+    pe.barrier_all();
+    EXPECT_GT(pe.sim_ns(), 0.0);
+  });
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_DOUBLE_EQ(r.sim_ns[0], r.sim_ns[1]);
+  // The joint clock includes PE 0's reads plus the barrier.
+  auto model = lol::noc::xc40_aries();
+  EXPECT_GE(r.sim_ns[0], 10 * model->get_ns(0, 1, 8));
+}
+
+TEST(Shmem, NoModelMeansZeroSimTime) {
+  Config cfg;
+  cfg.n_pes = 2;
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    pe.put_i64(1 - pe.id(), off, 1);
+    pe.barrier_all();
+  });
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.max_sim_ns(), 0.0);
+}
+
+TEST(Shmem, RejectsBadConfig) {
+  Config cfg;
+  cfg.n_pes = 0;
+  EXPECT_THROW(Runtime{cfg}, RuntimeError);
+  cfg.n_pes = 5000;
+  EXPECT_THROW(Runtime{cfg}, RuntimeError);
+}
+
+// Parameterized: put/get round trips hold for every PE count we care
+// about (the paper uses 16 on the Epiphany).
+class ShmemPeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShmemPeSweep, RingExchange) {
+  Config cfg;
+  cfg.n_pes = GetParam();
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    int next = (pe.id() + 1) % pe.n_pes();
+    pe.put_i64(next, off, pe.id());
+    pe.barrier_all();
+    int prev = (pe.id() + pe.n_pes() - 1) % pe.n_pes();
+    EXPECT_EQ(pe.get_i64(pe.id(), off), prev);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, ShmemPeSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace

@@ -1,0 +1,266 @@
+// LOLCODE-1.2 specification conformance sweeps (paper Table I, in
+// depth): parameterized operator matrices over value grids, cast-matrix
+// behaviour, and the spec's darker corners, executed end-to-end through
+// both in-process backends so semantics stay pinned.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+
+std::string run_both(const std::string& body) {
+  // Returns interp output when both backends agree; "<mismatch>" text
+  // otherwise — so every conformance expectation doubles as a parity
+  // check.
+  std::string src = "HAI 1.2\n" + body + "KTHXBYE\n";
+  RunConfig ci;
+  ci.backend = Backend::kInterp;
+  RunConfig cv;
+  cv.backend = Backend::kVm;
+  auto ri = lol::run_source(src, ci);
+  auto rv = lol::run_source(src, cv);
+  if (!ri.ok || !rv.ok) {
+    return "<error " + ri.first_error() + rv.first_error() + ">";
+  }
+  if (ri.pe_output[0] != rv.pe_output[0]) {
+    return "<mismatch interp='" + ri.pe_output[0] + "' vm='" +
+           rv.pe_output[0] + "'>";
+  }
+  return ri.pe_output[0];
+}
+
+// ---------------------------------------------------------------------------
+// Operator matrix over a representative value grid.
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  const char* expr;
+  const char* expect;  // expected VISIBLE output (without newline)
+};
+
+class OperatorMatrix : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OperatorMatrix, EvaluatesPerSpec) {
+  const OpCase& c = GetParam();
+  EXPECT_EQ(run_both("VISIBLE " + std::string(c.expr) + "\n"),
+            std::string(c.expect) + "\n")
+      << c.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, OperatorMatrix,
+    ::testing::Values(
+        OpCase{"SUM OF 3 AN 4", "7"},
+        OpCase{"SUM OF -3 AN 4", "1"},
+        OpCase{"SUM OF 3 AN 4.5", "7.50"},
+        OpCase{"SUM OF \"3\" AN \"4\"", "7"},
+        OpCase{"SUM OF \"3.5\" AN 1", "4.50"},
+        OpCase{"DIFF OF 10 AN 4", "6"},
+        OpCase{"DIFF OF 4 AN 10", "-6"},
+        OpCase{"PRODUKT OF 6 AN 7", "42"},
+        OpCase{"PRODUKT OF -2 AN 2.5", "-5.00"},
+        OpCase{"QUOSHUNT OF 7 AN 2", "3"},
+        OpCase{"QUOSHUNT OF -7 AN 2", "-3"},
+        OpCase{"QUOSHUNT OF 7.0 AN 2", "3.50"},
+        OpCase{"MOD OF 7 AN 3", "1"},
+        OpCase{"MOD OF -7 AN 3", "-1"},
+        OpCase{"BIGGR OF 3 AN 9", "9"},
+        OpCase{"BIGGR OF -3 AN -9", "-3"},
+        OpCase{"SMALLR OF 3 AN 9", "3"},
+        OpCase{"SQUAR OF -4", "16"},
+        OpCase{"UNSQUAR OF 2.25", "1.50"},
+        OpCase{"FLIP OF 0.25", "4.00"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparison, OperatorMatrix,
+    ::testing::Values(
+        OpCase{"BOTH SAEM 3 AN 3", "WIN"},
+        OpCase{"BOTH SAEM 3 AN 3.0", "WIN"},
+        OpCase{"BOTH SAEM 3 AN \"3\"", "FAIL"},
+        OpCase{"BOTH SAEM \"x\" AN \"x\"", "WIN"},
+        OpCase{"BOTH SAEM WIN AN 1", "FAIL"},
+        OpCase{"BOTH SAEM NOOB AN NOOB", "WIN"},
+        OpCase{"DIFFRINT 3 AN 4", "WIN"},
+        OpCase{"BIGGER 4 AN 3", "WIN"},
+        OpCase{"BIGGER 3 AN 3", "FAIL"},
+        OpCase{"BIGGER 3.5 AN 3", "WIN"},
+        OpCase{"SMALLR 3 AN 4", "WIN"},
+        OpCase{"SMALLR \"10\" AN \"9\"", "FAIL"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Boolean, OperatorMatrix,
+    ::testing::Values(
+        OpCase{"BOTH OF WIN AN WIN", "WIN"},
+        OpCase{"BOTH OF WIN AN 0", "FAIL"},
+        OpCase{"EITHER OF FAIL AN \"x\"", "WIN"},
+        OpCase{"EITHER OF FAIL AN NOOB", "FAIL"},
+        OpCase{"WON OF WIN AN FAIL", "WIN"},
+        OpCase{"WON OF 1 AN 2", "FAIL"},
+        OpCase{"NOT NOOB", "WIN"},
+        OpCase{"NOT \"\"", "WIN"},
+        OpCase{"NOT -1", "FAIL"},
+        OpCase{"ALL OF WIN AN 1 AN 2.5 AN \"y\" MKAY", "WIN"},
+        OpCase{"ALL OF WIN AN 0 AN WIN MKAY", "FAIL"},
+        OpCase{"ANY OF FAIL AN 0 AN \"\" MKAY", "FAIL"},
+        OpCase{"ANY OF FAIL AN 7 MKAY", "WIN"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    StringsAndCasts, OperatorMatrix,
+    ::testing::Values(
+        OpCase{"SMOOSH 1 \" \" 2.5 \" \" WIN MKAY", "1 2.50 WIN"},
+        OpCase{"MAEK \"42\" A NUMBR", "42"},
+        OpCase{"MAEK \" -7 \" A NUMBR", "-7"},
+        OpCase{"MAEK 3.99 A NUMBR", "3"},
+        OpCase{"MAEK -3.99 A NUMBR", "-3"},
+        OpCase{"MAEK 42 A NUMBAR", "42.00"},
+        OpCase{"MAEK WIN A NUMBR", "1"},
+        OpCase{"MAEK NOOB A NUMBR", "0"},
+        OpCase{"MAEK NOOB A YARN", ""},
+        OpCase{"MAEK 0 A TROOF", "FAIL"},
+        OpCase{"MAEK \"\" A TROOF", "FAIL"},
+        OpCase{"MAEK \"FAIL\" A TROOF", "WIN"}));  // non-empty YARN is WIN
+
+// ---------------------------------------------------------------------------
+// Error-condition matrix: these must fail on both backends.
+// ---------------------------------------------------------------------------
+
+class ErrorMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ErrorMatrix, FailsOnBothBackends) {
+  std::string src = "HAI 1.2\nVISIBLE " + std::string(GetParam()) +
+                    "\nKTHXBYE\n";
+  for (Backend b : {Backend::kInterp, Backend::kVm}) {
+    RunConfig cfg;
+    cfg.backend = b;
+    auto r = lol::run_source(src, cfg);
+    EXPECT_FALSE(r.ok) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, ErrorMatrix,
+    ::testing::Values("QUOSHUNT OF 1 AN 0", "MOD OF 1 AN 0",
+                      "QUOSHUNT OF 1.0 AN 0.0", "SUM OF WIN AN 1",
+                      "SUM OF NOOB AN 1", "SUM OF \"cat\" AN 1",
+                      "UNSQUAR OF -1", "FLIP OF 0", "MAEK \"x\" A NUMBR",
+                      "MAEK \"3.5.1\" A NUMBAR"));
+
+// ---------------------------------------------------------------------------
+// Spec corners.
+// ---------------------------------------------------------------------------
+
+TEST(SpecCorners, ItHoldsLastBareExpression) {
+  EXPECT_EQ(run_both("SUM OF 1 AN 1\nSUM OF IT AN IT\nVISIBLE IT\n"),
+            "4\n");
+}
+
+TEST(SpecCorners, VisibleCastsImplicitly) {
+  // NUMBAR prints with two decimals; TROOF prints WIN/FAIL.
+  EXPECT_EQ(run_both("VISIBLE 1.0 \" \" 0.125 \" \" FAIL\n"),
+            "1.00 0.12 FAIL\n");
+}
+
+TEST(SpecCorners, VisibleNoobIsError) {
+  std::string out = run_both("I HAS A x\nVISIBLE x\n");
+  EXPECT_NE(out.find("<error"), std::string::npos);
+}
+
+TEST(SpecCorners, NestedSrsChains) {
+  EXPECT_EQ(run_both("I HAS A deep ITZ 42\n"
+                     "I HAS A mid ITZ \"deep\"\n"
+                     "I HAS A top ITZ \"mid\"\n"
+                     "VISIBLE SRS SRS top\n"),
+            "42\n");
+}
+
+TEST(SpecCorners, WtfOnYarnSubject) {
+  EXPECT_EQ(run_both("I HAS A w ITZ \"b\"\nw, WTF?\n"
+                     "OMG \"a\"\n  VISIBLE 1\n  GTFO\n"
+                     "OMG \"b\"\n  VISIBLE 2\n  GTFO\n"
+                     "OIC\n"),
+            "2\n");
+}
+
+TEST(SpecCorners, WtfNoMatchNoDefaultFallsThrough) {
+  EXPECT_EQ(run_both("9, WTF?\nOMG 1\n  VISIBLE 1\nOIC\nVISIBLE \"after\"\n"),
+            "after\n");
+}
+
+TEST(SpecCorners, MebbeSetsIt) {
+  // After a MEBBE chain, IT holds the last evaluated condition.
+  EXPECT_EQ(run_both("FAIL, O RLY?\nYA RLY\n  VISIBLE \"a\"\n"
+                     "MEBBE SUM OF 1 AN 1\n  VISIBLE IT\nOIC\n"),
+            "2\n");
+}
+
+TEST(SpecCorners, OrlyWithoutYaRly) {
+  // The paper's §V fragment shape: O RLY? straight to NO WAI.
+  EXPECT_EQ(run_both("FAIL, O RLY?\nNO WAI\n  VISIBLE \"nope\"\nOIC\n"),
+            "nope\n");
+}
+
+TEST(SpecCorners, LoopConditionSeesLoopVariable) {
+  EXPECT_EQ(run_both("IM IN YR l UPPIN YR i WILE SMALLR i AN 3\n"
+                     "  VISIBLE i\nIM OUTTA YR l\n"),
+            "0\n1\n2\n");
+}
+
+TEST(SpecCorners, FunctionItIsIndependent) {
+  // A function's bare expressions must not clobber the caller's IT.
+  EXPECT_EQ(run_both("HOW IZ I f\n  99\n  FOUND YR 1\nIF U SAY SO\n"
+                     "42\nI HAS A r ITZ I IZ f MKAY\nVISIBLE IT\n"),
+            "42\n");
+}
+
+TEST(SpecCorners, InterpolationInsideSmoosh) {
+  EXPECT_EQ(run_both("I HAS A n ITZ 5\n"
+                     "VISIBLE SMOOSH \"a:{n}b\" \"c\" MKAY\n"),
+            "a5bc\n");
+}
+
+TEST(SpecCorners, EscapesRoundTripThroughVisible) {
+  EXPECT_EQ(run_both("VISIBLE \"q::r:)s:>t:\"u\"\n"),
+            "q:r\ns\tt\"u\n");
+}
+
+TEST(SpecCorners, DeepExpressionNesting) {
+  // 40-deep prefix nesting exercises parser and both executors.
+  std::string expr = "0";
+  for (int i = 1; i <= 40; ++i) {
+    expr = "SUM OF " + expr + " AN 1";
+  }
+  EXPECT_EQ(run_both("VISIBLE " + expr + "\n"), "40\n");
+}
+
+TEST(SpecCorners, ManyVariables) {
+  // 200 declarations in one scope: stresses slot allocation in the VM.
+  std::string body;
+  for (int i = 0; i < 200; ++i) {
+    body += "I HAS A v" + std::to_string(i) + " ITZ " + std::to_string(i) +
+            "\n";
+  }
+  body += "VISIBLE SUM OF v0 AN SUM OF v99 AN v199\n";
+  EXPECT_EQ(run_both(body), "298\n");
+}
+
+TEST(SpecCorners, BigLoopCounts) {
+  EXPECT_EQ(run_both("I HAS A s ITZ 0\n"
+                     "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10000\n"
+                     "  s R SUM OF s AN 1\nIM OUTTA YR l\nVISIBLE s\n"),
+            "10000\n");
+}
+
+TEST(SpecCorners, GimmehThenNumericUse) {
+  RunConfig cfg;
+  cfg.stdin_lines = {"21"};
+  auto r = lol::run_source(
+      "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 2\nKTHXBYE\n",
+      cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "42\n");  // YARN "21" coerces in math
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Unit tests for the support layer: string utilities, diagnostics
+// rendering, and the deterministic per-PE RNG.
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace ls = lol::support;
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = ls::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, JoinRoundTrips) {
+  EXPECT_EQ(ls::join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(ls::join({}, ","), "");
+}
+
+TEST(StringUtil, TrimStripsBothEnds) {
+  EXPECT_EQ(ls::trim("  hai \t"), "hai");
+  EXPECT_EQ(ls::trim(""), "");
+  EXPECT_EQ(ls::trim(" \t\n "), "");
+}
+
+TEST(StringUtil, IsAllUpper) {
+  EXPECT_TRUE(ls::is_all_upper("HUGZ"));
+  EXPECT_FALSE(ls::is_all_upper("Hugz"));
+  EXPECT_FALSE(ls::is_all_upper(""));
+  EXPECT_FALSE(ls::is_all_upper("HUGZ1"));
+}
+
+TEST(StringUtil, ParseNumbr) {
+  EXPECT_EQ(ls::parse_numbr("42"), 42);
+  EXPECT_EQ(ls::parse_numbr("-17"), -17);
+  EXPECT_EQ(ls::parse_numbr(" 7 "), 7);
+  EXPECT_FALSE(ls::parse_numbr("3.5").has_value());
+  EXPECT_FALSE(ls::parse_numbr("abc").has_value());
+  EXPECT_FALSE(ls::parse_numbr("").has_value());
+  EXPECT_FALSE(ls::parse_numbr("12x").has_value());
+}
+
+TEST(StringUtil, ParseNumbar) {
+  EXPECT_DOUBLE_EQ(ls::parse_numbar("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ls::parse_numbar("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(ls::parse_numbar("42").value(), 42.0);
+  EXPECT_FALSE(ls::parse_numbar("x").has_value());
+  EXPECT_FALSE(ls::parse_numbar("").has_value());
+}
+
+TEST(StringUtil, FormatNumbarTwoDecimals) {
+  // LOLCODE-1.2: NUMBAR -> YARN keeps two decimal places.
+  EXPECT_EQ(ls::format_numbar(3.14159), "3.14");
+  EXPECT_EQ(ls::format_numbar(-0.5), "-0.50");
+  EXPECT_EQ(ls::format_numbar(2.0), "2.00");
+}
+
+TEST(StringUtil, CEscape) {
+  EXPECT_EQ(ls::c_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ls::c_escape("line\n"), "line\\n");
+  EXPECT_EQ(ls::c_escape("tab\t"), "tab\\t");
+  EXPECT_EQ(ls::c_escape("back\\slash"), "back\\\\slash");
+}
+
+TEST(Diagnostics, RendersCaretAtColumn) {
+  std::string src = "HAI 1.2\nI HAS A x\nKTHXBYE\n";
+  ls::DiagnosticEngine diags(src, "test.lol");
+  diags.error({2, 9, 0}, "boom");
+  std::string rendered = diags.render();
+  EXPECT_NE(rendered.find("test.lol:2:9: error: boom"), std::string::npos);
+  EXPECT_NE(rendered.find("I HAS A x"), std::string::npos);
+  EXPECT_NE(rendered.find("        ^"), std::string::npos);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  ls::DiagnosticEngine diags("x", "t");
+  diags.warning({1, 1, 0}, "w");
+  diags.note({1, 1, 0}, "n");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({1, 1, 0}, "e");
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+TEST(Rng, DeterministicPerSeedAndPe) {
+  ls::PeRng a(42, 0);
+  ls::PeRng b(42, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_numbr(), b.next_numbr());
+    EXPECT_DOUBLE_EQ(a.next_numbar(), b.next_numbar());
+  }
+}
+
+TEST(Rng, DistinctPesProduceDistinctStreams) {
+  ls::PeRng a(42, 0);
+  ls::PeRng b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_numbr() == b.next_numbr()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NumbarInUnitInterval) {
+  ls::PeRng r(7, 3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.next_numbar();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NumbrNonNegativeAndBelow2To31) {
+  ls::PeRng r(7, 3);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.next_numbr();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, std::int64_t{1} << 31);
+  }
+}

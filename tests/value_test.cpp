@@ -1,0 +1,152 @@
+// Value model tests: the LOLCODE-1.2 cast matrix and BOTH SAEM equality.
+#include <gtest/gtest.h>
+
+#include "rt/value.hpp"
+
+namespace {
+
+using lol::ast::TypeKind;
+using lol::rt::Value;
+using lol::support::RuntimeError;
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value::noob().type(), TypeKind::kNoob);
+  EXPECT_EQ(Value::troof(true).type(), TypeKind::kTroof);
+  EXPECT_EQ(Value::numbr(3).type(), TypeKind::kNumbr);
+  EXPECT_EQ(Value::numbar(0.5).type(), TypeKind::kNumbar);
+  EXPECT_EQ(Value::yarn("x").type(), TypeKind::kYarn);
+  EXPECT_TRUE(Value().is_noob());
+}
+
+TEST(Value, ZeroOf) {
+  EXPECT_EQ(Value::zero_of(TypeKind::kNumbr), Value::numbr(0));
+  EXPECT_EQ(Value::zero_of(TypeKind::kNumbar), Value::numbar(0.0));
+  EXPECT_EQ(Value::zero_of(TypeKind::kTroof), Value::troof(false));
+  EXPECT_EQ(Value::zero_of(TypeKind::kYarn), Value::yarn(""));
+  EXPECT_TRUE(Value::zero_of(TypeKind::kNoob).is_noob());
+}
+
+// Truthiness: FAIL for NOOB, FAIL, 0, 0.0, ""; WIN otherwise.
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::noob().to_troof());
+  EXPECT_FALSE(Value::troof(false).to_troof());
+  EXPECT_FALSE(Value::numbr(0).to_troof());
+  EXPECT_FALSE(Value::numbar(0.0).to_troof());
+  EXPECT_FALSE(Value::yarn("").to_troof());
+  EXPECT_TRUE(Value::troof(true).to_troof());
+  EXPECT_TRUE(Value::numbr(-1).to_troof());
+  EXPECT_TRUE(Value::numbar(0.001).to_troof());
+  EXPECT_TRUE(Value::yarn("0").to_troof());  // non-empty YARN is WIN
+}
+
+TEST(Value, ToNumbr) {
+  EXPECT_EQ(Value::troof(true).to_numbr(), 1);
+  EXPECT_EQ(Value::troof(false).to_numbr(), 0);
+  EXPECT_EQ(Value::numbr(7).to_numbr(), 7);
+  EXPECT_EQ(Value::numbar(2.9).to_numbr(), 2);   // truncation
+  EXPECT_EQ(Value::numbar(-2.9).to_numbr(), -2); // toward zero
+  EXPECT_EQ(Value::yarn("42").to_numbr(), 42);
+  EXPECT_EQ(Value::yarn("-5").to_numbr(), -5);
+}
+
+TEST(Value, ToNumbrErrors) {
+  EXPECT_THROW(Value::noob().to_numbr(), RuntimeError);
+  EXPECT_EQ(Value::noob().to_numbr(/*explicit_cast=*/true), 0);
+  EXPECT_THROW(Value::yarn("abc").to_numbr(), RuntimeError);
+  EXPECT_THROW(Value::yarn("").to_numbr(), RuntimeError);
+  EXPECT_THROW(Value::yarn("3.5").to_numbr(), RuntimeError);
+}
+
+TEST(Value, ToNumbar) {
+  EXPECT_DOUBLE_EQ(Value::troof(true).to_numbar(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::numbr(7).to_numbar(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::numbar(0.25).to_numbar(), 0.25);
+  EXPECT_DOUBLE_EQ(Value::yarn("2.5").to_numbar(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::yarn("10").to_numbar(), 10.0);
+}
+
+TEST(Value, ToNumbarErrors) {
+  EXPECT_THROW(Value::noob().to_numbar(), RuntimeError);
+  EXPECT_DOUBLE_EQ(Value::noob().to_numbar(true), 0.0);
+  EXPECT_THROW(Value::yarn("nope").to_numbar(), RuntimeError);
+}
+
+TEST(Value, ToYarn) {
+  EXPECT_EQ(Value::troof(true).to_yarn(), "WIN");
+  EXPECT_EQ(Value::troof(false).to_yarn(), "FAIL");
+  EXPECT_EQ(Value::numbr(42).to_yarn(), "42");
+  EXPECT_EQ(Value::numbar(3.14159).to_yarn(), "3.14");  // two decimals
+  EXPECT_EQ(Value::yarn("hai").to_yarn(), "hai");
+  EXPECT_THROW(Value::noob().to_yarn(), RuntimeError);
+  EXPECT_EQ(Value::noob().to_yarn(true), "");
+}
+
+TEST(Value, CastToFullMatrix) {
+  Value v = Value::yarn("7");
+  EXPECT_EQ(v.cast_to(TypeKind::kNumbr, true), Value::numbr(7));
+  EXPECT_EQ(v.cast_to(TypeKind::kTroof, true), Value::troof(true));
+  EXPECT_TRUE(v.cast_to(TypeKind::kNoob, true).is_noob());
+  EXPECT_EQ(Value::numbr(0).cast_to(TypeKind::kTroof, true),
+            Value::troof(false));
+  EXPECT_EQ(Value::numbar(1.5).cast_to(TypeKind::kYarn, true),
+            Value::yarn("1.50"));
+}
+
+TEST(Value, SaemSameTypes) {
+  EXPECT_TRUE(Value::saem(Value::numbr(3), Value::numbr(3)));
+  EXPECT_FALSE(Value::saem(Value::numbr(3), Value::numbr(4)));
+  EXPECT_TRUE(Value::saem(Value::yarn("x"), Value::yarn("x")));
+  EXPECT_FALSE(Value::saem(Value::yarn("x"), Value::yarn("y")));
+  EXPECT_TRUE(Value::saem(Value::troof(true), Value::troof(true)));
+  EXPECT_TRUE(Value::saem(Value::noob(), Value::noob()));
+}
+
+TEST(Value, SaemNumericCrossType) {
+  EXPECT_TRUE(Value::saem(Value::numbr(3), Value::numbar(3.0)));
+  EXPECT_TRUE(Value::saem(Value::numbar(3.0), Value::numbr(3)));
+  EXPECT_FALSE(Value::saem(Value::numbr(3), Value::numbar(3.5)));
+}
+
+TEST(Value, SaemOtherCrossTypesAreFail) {
+  // No implicit casting in BOTH SAEM outside NUMBR<->NUMBAR.
+  EXPECT_FALSE(Value::saem(Value::numbr(1), Value::troof(true)));
+  EXPECT_FALSE(Value::saem(Value::yarn("3"), Value::numbr(3)));
+  EXPECT_FALSE(Value::saem(Value::noob(), Value::troof(false)));
+  EXPECT_FALSE(Value::saem(Value::yarn(""), Value::noob()));
+}
+
+TEST(Value, DebugStr) {
+  EXPECT_EQ(Value::numbr(42).debug_str(), "NUMBR:42");
+  EXPECT_EQ(Value::troof(false).debug_str(), "TROOF:FAIL");
+  EXPECT_EQ(Value::yarn("q").debug_str(), "YARN:\"q\"");
+  EXPECT_EQ(Value::noob().debug_str(), "NOOB");
+}
+
+// Parameterized cast round trips: explicit cast to YARN and back preserves
+// numeric values that are exactly representable at two decimals.
+class CastRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CastRoundTrip, NumbarThroughYarn) {
+  Value v = Value::numbar(GetParam());
+  Value y = v.cast_to(TypeKind::kYarn, true);
+  Value back = y.cast_to(TypeKind::kNumbar, true);
+  EXPECT_DOUBLE_EQ(back.numbar_raw(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoDecimalValues, CastRoundTrip,
+                         ::testing::Values(0.0, 1.25, -3.5, 42.75, 100.0,
+                                           -0.25, 7.1, 1e6));
+
+class NumbrRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(NumbrRoundTrip, NumbrThroughYarn) {
+  Value v = Value::numbr(GetParam());
+  Value y = v.cast_to(TypeKind::kYarn, true);
+  EXPECT_EQ(y.cast_to(TypeKind::kNumbr, true).numbr_raw(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Integers, NumbrRoundTrip,
+                         ::testing::Values(0, 1, -1, 42, -1000000,
+                                           std::int64_t{1} << 40));
+
+}  // namespace

@@ -1,0 +1,250 @@
+// VM tests: bytecode compilation shape, disassembly, and — most
+// importantly — output parity with the interpreter over a program corpus.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "parse/parser.hpp"
+#include "vm/compiler.hpp"
+#include "vm/vm.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::RunConfig;
+using lol::run_source;
+
+std::string run_backend(const std::string& src, Backend b, int n_pes = 1,
+                        std::uint64_t seed = 1) {
+  RunConfig cfg;
+  cfg.n_pes = n_pes;
+  cfg.backend = b;
+  cfg.seed = seed;
+  auto r = run_source(src, cfg);
+  if (!r.ok) return "<error: " + r.first_error() + ">";
+  std::string all;
+  for (const auto& o : r.pe_output) all += o + "|";
+  return all;
+}
+
+void expect_parity(const std::string& body, int n_pes = 1) {
+  std::string src = "HAI 1.2\n" + body + "KTHXBYE\n";
+  std::string i = run_backend(src, Backend::kInterp, n_pes);
+  std::string v = run_backend(src, Backend::kVm, n_pes);
+  EXPECT_EQ(i, v) << "program:\n" << src;
+  EXPECT_EQ(i.find("<error"), std::string::npos) << i;
+}
+
+TEST(VmCompile, ProducesHaltTerminatedMain) {
+  auto prog = lol::parse::parse_program("HAI 1.2\nVISIBLE 1\nKTHXBYE\n");
+  auto analysis = lol::sema::analyze(prog);
+  auto chunk = lol::vm::compile_program(prog, analysis);
+  ASSERT_FALSE(chunk.code.empty());
+  bool has_halt = false;
+  for (const auto& in : chunk.code) {
+    if (in.op == lol::vm::Op::kHalt) has_halt = true;
+  }
+  EXPECT_TRUE(has_halt);
+  EXPECT_EQ(chunk.funcs.size(), 0u);
+}
+
+TEST(VmCompile, FunctionsGetEntriesAndSlots) {
+  auto prog = lol::parse::parse_program(
+      "HAI 1.2\nHOW IZ I f YR a AN YR b\n  I HAS A c ITZ 1\n"
+      "  FOUND YR c\nIF U SAY SO\nKTHXBYE\n");
+  auto analysis = lol::sema::analyze(prog);
+  auto chunk = lol::vm::compile_program(prog, analysis);
+  ASSERT_EQ(chunk.funcs.size(), 1u);
+  EXPECT_EQ(chunk.funcs[0].argc, 2);
+  EXPECT_EQ(chunk.funcs[0].n_slots, 3);  // a, b, c
+  EXPECT_GT(chunk.funcs[0].entry, 0u);
+}
+
+TEST(VmCompile, UndeclaredVariableRejectedStatically) {
+  auto prog = lol::parse::parse_program("HAI 1.2\nVISIBLE ghost\nKTHXBYE\n");
+  auto analysis = lol::sema::analyze(prog);
+  EXPECT_THROW(lol::vm::compile_program(prog, analysis),
+               lol::support::SemaError);
+}
+
+TEST(VmCompile, DisassemblyMentionsOpsAndNames) {
+  auto prog = lol::parse::parse_program(
+      "HAI 1.2\nI HAS A x ITZ 5\nVISIBLE SUM OF x AN 1\nKTHXBYE\n");
+  auto analysis = lol::sema::analyze(prog);
+  auto chunk = lol::vm::compile_program(prog, analysis);
+  std::string dis = lol::vm::disassemble(chunk);
+  EXPECT_NE(dis.find("DECLARE x"), std::string::npos);
+  EXPECT_NE(dis.find("BINARY SUM OF"), std::string::npos);
+  EXPECT_NE(dis.find("VISIBLE"), std::string::npos);
+  EXPECT_NE(dis.find("HALT"), std::string::npos);
+}
+
+// -- parity corpus -----------------------------------------------------------
+
+TEST(VmParity, Arithmetic) {
+  expect_parity(
+      "VISIBLE SUM OF 2 AN 3\nVISIBLE DIFF OF 2 AN 3\n"
+      "VISIBLE PRODUKT OF 2.5 AN 4\nVISIBLE QUOSHUNT OF 7 AN 2\n"
+      "VISIBLE MOD OF 7 AN 3\nVISIBLE BIGGR OF 2 AN 5\n"
+      "VISIBLE SMALLR OF 2 AN 5\nVISIBLE SQUAR OF 6\n"
+      "VISIBLE UNSQUAR OF 81\nVISIBLE FLIP OF 8\n");
+}
+
+TEST(VmParity, BooleansAndComparisons) {
+  expect_parity(
+      "VISIBLE BOTH SAEM 3 AN 3.0\nVISIBLE DIFFRINT 1 AN 2\n"
+      "VISIBLE BIGGER 3 AN 2\nVISIBLE SMALLR 3 AN 2\n"
+      "VISIBLE BOTH OF WIN AN FAIL\nVISIBLE EITHER OF WIN AN FAIL\n"
+      "VISIBLE WON OF WIN AN WIN\nVISIBLE NOT FAIL\n"
+      "VISIBLE ALL OF WIN AN 1 AN \"x\" MKAY\n"
+      "VISIBLE ANY OF FAIL AN 0 MKAY\n");
+}
+
+TEST(VmParity, StringsAndCasts) {
+  expect_parity(
+      "VISIBLE SMOOSH \"a\" 1 2.5 WIN MKAY\n"
+      "VISIBLE MAEK \"42\" A NUMBR\nVISIBLE MAEK 3.99 A NUMBR\n"
+      "VISIBLE MAEK 42 A YARN\nVISIBLE MAEK NOOB A TROOF\n"
+      "I HAS A x ITZ 7\nx IS NOW A YARN\nVISIBLE SMOOSH x x MKAY\n"
+      "I HAS A who ITZ \"CAT\"\nVISIBLE \"HAI :{who}\"\n");
+}
+
+TEST(VmParity, ControlFlow) {
+  expect_parity(
+      "I HAS A x ITZ 2\n"
+      "BOTH SAEM x AN 1, O RLY?\nYA RLY\n  VISIBLE \"one\"\n"
+      "MEBBE BOTH SAEM x AN 2\n  VISIBLE \"two\"\n"
+      "NO WAI\n  VISIBLE \"many\"\nOIC\n"
+      "x, WTF?\nOMG 1\n  VISIBLE \"c1\"\n  GTFO\n"
+      "OMG 2\n  VISIBLE \"c2\"\nOMG 3\n  VISIBLE \"c3\"\n  GTFO\n"
+      "OMGWTF\n  VISIBLE \"cd\"\nOIC\n");
+}
+
+TEST(VmParity, Loops) {
+  expect_parity(
+      "IM IN YR a UPPIN YR i TIL BOTH SAEM i AN 4\n"
+      "  IM IN YR b UPPIN YR j TIL BOTH SAEM j AN 3\n"
+      "    VISIBLE SMOOSH i \",\" j MKAY\n"
+      "  IM OUTTA YR b\n"
+      "IM OUTTA YR a\n"
+      "I HAS A n ITZ 0\n"
+      "IM IN YR c\n  n R SUM OF n AN 1\n"
+      "  BOTH SAEM n AN 3, O RLY?\n  YA RLY\n    GTFO\n  OIC\n"
+      "IM OUTTA YR c\nVISIBLE n\n");
+}
+
+TEST(VmParity, LoopScopedDeclarations) {
+  expect_parity(
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\n"
+      "  I HAS A tmp ITZ PRODUKT OF i AN 2\n"
+      "  VISIBLE tmp\n"
+      "IM OUTTA YR l\n");
+}
+
+TEST(VmParity, Functions) {
+  expect_parity(
+      "HOW IZ I fib YR n\n"
+      "  SMALLR n AN 2, O RLY?\n"
+      "  YA RLY\n    FOUND YR n\n  OIC\n"
+      "  FOUND YR SUM OF I IZ fib YR DIFF OF n AN 1 MKAY ...\n"
+      "    AN I IZ fib YR DIFF OF n AN 2 MKAY\n"
+      "IF U SAY SO\n"
+      "VISIBLE I IZ fib YR 12 MKAY\n"
+      "HOW IZ I greet\n  VISIBLE \"hi\"\nIF U SAY SO\n"
+      "I IZ greet MKAY\n"
+      "HOW IZ I implicit\n  41\nIF U SAY SO\n"
+      "VISIBLE I IZ implicit MKAY\n");
+}
+
+TEST(VmParity, FunctionsSeeGlobals) {
+  expect_parity(
+      "I HAS A g ITZ 10\n"
+      "HOW IZ I bump\n  g R SUM OF g AN 1\n  FOUND YR g\nIF U SAY SO\n"
+      "VISIBLE I IZ bump MKAY\nVISIBLE I IZ bump MKAY\nVISIBLE g\n");
+}
+
+TEST(VmParity, Arrays) {
+  expect_parity(
+      "I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 5\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\n"
+      "  a'Z i R QUOSHUNT OF i AN 2.0\n"
+      "IM OUTTA YR l\n"
+      "VISIBLE a'Z 0 \" \" a'Z 4\n"
+      "I HAS A b ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 5\n"
+      "b R a\nVISIBLE b'Z 3\n");
+}
+
+TEST(VmParity, SrsIndirection) {
+  expect_parity(
+      "I HAS A cat ITZ 1\nI HAS A dog ITZ 2\n"
+      "I HAS A pick ITZ \"dog\"\n"
+      "VISIBLE SRS pick\nSRS pick R 5\nVISIBLE dog\n"
+      "pick R \"cat\"\nVISIBLE SRS pick\n");
+}
+
+TEST(VmParity, Gimmeh) {
+  RunConfig cfg;
+  cfg.n_pes = 1;
+  cfg.stdin_lines = {"alpha", "beta"};
+  std::string src =
+      "HAI 1.2\nI HAS A x\nGIMMEH x\nGIMMEH x\nVISIBLE x\nKTHXBYE\n";
+  cfg.backend = Backend::kInterp;
+  auto ri = run_source(src, cfg);
+  cfg.backend = Backend::kVm;
+  cfg.stdin_lines = {"alpha", "beta"};
+  auto rv = run_source(src, cfg);
+  ASSERT_TRUE(ri.ok && rv.ok);
+  EXPECT_EQ(ri.pe_output[0], rv.pe_output[0]);
+  EXPECT_EQ(rv.pe_output[0], "beta\n");
+}
+
+TEST(VmParity, RandomStreamsMatch) {
+  std::string src =
+      "HAI 1.2\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\n"
+      "  VISIBLE WHATEVR \" \" WHATEVAR\n"
+      "IM OUTTA YR l\nKTHXBYE\n";
+  EXPECT_EQ(run_backend(src, Backend::kInterp, 2, 99),
+            run_backend(src, Backend::kVm, 2, 99));
+}
+
+TEST(VmParity, ParallelConstructs) {
+  expect_parity(
+      "WE HAS A v ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "v R PRODUKT OF ME AN 3\n"
+      "HUGZ\n"
+      "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+      "I HAS A got ITZ A NUMBR\n"
+      "TXT MAH BFF nxt, got R UR v\n"
+      "VISIBLE got\n"
+      "HUGZ\n"
+      "IM SRSLY MESIN WIF v\nv R SUM OF v AN 1\nDUN MESIN WIF v\n"
+      "HUGZ\nVISIBLE v\n",
+      4);
+}
+
+TEST(VmParity, ErrorBehaviourMatches) {
+  // Both backends must fail (messages may carry different location info).
+  std::string src = "HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE\n";
+  std::string i = run_backend(src, Backend::kInterp);
+  std::string v = run_backend(src, Backend::kVm);
+  EXPECT_NE(i.find("<error"), std::string::npos);
+  EXPECT_NE(v.find("<error"), std::string::npos);
+  EXPECT_NE(v.find("division by zero"), std::string::npos);
+}
+
+TEST(VmParity, GtfoInsideTxtInsideLoopRestoresPredication) {
+  expect_parity(
+      "WE HAS A v ITZ SRSLY A NUMBR\n"
+      "v R ME\nHUGZ\n"
+      "I HAS A hits ITZ 0\n"
+      "IM IN YR l UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ\n"
+      "  TXT MAH BFF k AN STUFF\n"
+      "    BOTH SAEM UR v AN 1, O RLY?\n"
+      "    YA RLY\n      hits R SUM OF hits AN 1\n      GTFO\n    OIC\n"
+      "  TTYL\n"
+      "IM OUTTA YR l\n"
+      "VISIBLE hits\n",
+      3);
+}
+
+}  // namespace

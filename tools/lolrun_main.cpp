@@ -1,0 +1,108 @@
+// lolrun — run a parallel LOLCODE program directly (the in-process
+// analogue of `coprsh -np N ./program`):
+//
+//   lolrun -np 16 nbody.lol
+//   lolrun --backend vm --machine epiphany3 --sim -np 16 nbody.lol
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "ast/printer.hpp"
+#include "driver/cli.hpp"
+#include "noc/machines.hpp"
+#include "parse/parser.hpp"
+#include "rt/io.hpp"
+#include "support/error.hpp"
+#include "vm/compiler.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <program.lol>\n"
+      "  -np <N>            number of PEs (default 1)\n"
+      "  --backend <b>      vm (default) or interp\n"
+      "  --seed <S>         WHATEVR/WHATEVAR seed\n"
+      "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
+      "  --sim              print per-run simulated time (needs --machine)\n"
+      "  --tag              prefix output lines with [peN]\n"
+      "  --dump-ast         print the parsed AST and exit\n"
+      "  --dump-bytecode    print compiled bytecode and exit\n",
+      prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lol::driver::Cli cli(argc, argv);
+  lol::RunConfig cfg;
+  cfg.backend = lol::Backend::kVm;
+  cfg.n_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
+  if (auto seed = cli.option("--seed")) {
+    cfg.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  }
+  if (auto backend = cli.option("--backend")) {
+    if (*backend == "interp") {
+      cfg.backend = lol::Backend::kInterp;
+    } else if (*backend == "vm") {
+      cfg.backend = lol::Backend::kVm;
+    } else {
+      std::fprintf(stderr, "lolrun: unknown backend '%s'\n",
+                   backend->c_str());
+      return 2;
+    }
+  }
+  bool want_sim = cli.has_flag("--sim");
+  if (auto machine = cli.option("--machine")) {
+    cfg.machine = lol::noc::by_name(*machine);
+    if (cfg.machine == nullptr) {
+      std::fprintf(stderr, "lolrun: unknown machine '%s'\n",
+                   machine->c_str());
+      return 2;
+    }
+  }
+  bool tag = cli.has_flag("--tag");
+  bool dump_ast = cli.has_flag("--dump-ast");
+  bool dump_bc = cli.has_flag("--dump-bytecode");
+
+  const auto& pos = cli.positional();
+  if (pos.size() != 1 || cfg.n_pes < 1) return usage(argv[0]);
+
+  auto source = lol::driver::read_file(pos[0]);
+  if (!source) {
+    std::fprintf(stderr, "lolrun: cannot read '%s'\n", pos[0].c_str());
+    return 1;
+  }
+
+  try {
+    lol::CompiledProgram prog = lol::compile(*source);
+    if (dump_ast) {
+      std::cout << lol::ast::dump(prog.program) << "\n";
+      return 0;
+    }
+    if (dump_bc) {
+      std::cout << lol::vm::disassemble(
+          lol::vm::compile_program(prog.program, prog.analysis));
+      return 0;
+    }
+    lol::rt::StdioSink sink(tag);
+    cfg.sink = &sink;
+    lol::RunResult result = lol::run(prog, cfg);
+    if (!result.ok) {
+      for (const auto& e : result.errors) {
+        if (!e.empty()) std::fprintf(stderr, "error: %s\n", e.c_str());
+      }
+      return 1;
+    }
+    if (want_sim && cfg.machine != nullptr) {
+      std::fprintf(stderr, "[sim] machine=%s modeled time=%.1f ns\n",
+                   cfg.machine->name().c_str(), result.max_sim_ns());
+    }
+    return 0;
+  } catch (const lol::support::LolError& e) {
+    std::fprintf(stderr, "lolrun: %s: %s\n", pos[0].c_str(), e.what());
+    return 1;
+  }
+}
