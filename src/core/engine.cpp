@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <atomic>
+
 #include "interp/interpreter.hpp"
 #include "parse/parser.hpp"
 #include "rt/exec_context.hpp"
@@ -46,20 +48,27 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
         vm::compile_program(prog.program, prog.analysis));
   }
 
+  std::atomic<bool> step_limited{false};
   shmem::LaunchResult lr = runtime.launch([&](shmem::Pe& pe) {
-    rt::ExecContext ctx(pe, cfg.seed, *sink, input);
-    switch (cfg.backend) {
-      case Backend::kInterp:
-        interp::run_pe(prog.program, prog.analysis, ctx);
-        break;
-      case Backend::kVm:
-        vm::run_pe(*chunk, ctx);
-        break;
+    rt::ExecContext ctx(pe, cfg.seed, *sink, input, cfg.max_steps);
+    try {
+      switch (cfg.backend) {
+        case Backend::kInterp:
+          interp::run_pe(prog.program, prog.analysis, ctx);
+          break;
+        case Backend::kVm:
+          vm::run_pe(*chunk, ctx);
+          break;
+      }
+    } catch (const support::StepLimitError&) {
+      step_limited.store(true, std::memory_order_relaxed);
+      throw;  // the launch captures it as this PE's error and aborts peers
     }
   });
 
   RunResult result;
   result.ok = lr.ok;
+  result.step_limited = step_limited.load(std::memory_order_relaxed);
   result.errors = std::move(lr.errors);
   result.sim_ns = std::move(lr.sim_ns);
   if (cfg.sink == nullptr) {

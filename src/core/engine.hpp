@@ -47,11 +47,18 @@ struct RunConfig {
   std::uint64_t seed = 20170529;     // WHATEVR/WHATEVAR determinism
   std::vector<std::string> stdin_lines;  // GIMMEH input (per-PE cursor)
   rt::OutputSink* sink = nullptr;    // external sink; null => capture
+
+  /// Per-PE step budget; 0 = unlimited. A step is one statement in the
+  /// interpreter or one instruction in the VM; a PE that exhausts it is
+  /// killed with support::StepLimitError (the service layer relies on
+  /// this to survive hostile/looping submissions).
+  std::uint64_t max_steps = 0;
 };
 
 /// Outcome of an SPMD run.
 struct RunResult {
   bool ok = false;
+  bool step_limited = false;  // some PE exceeded RunConfig::max_steps
   std::vector<std::string> pe_output;  // per-PE captured stdout
   std::vector<std::string> pe_errout;  // per-PE captured stderr
   std::vector<std::string> errors;     // per-PE error ("" when fine)

@@ -33,6 +33,7 @@ Interpreter::Flow Interpreter::exec_block(const ast::StmtList& body,
 }
 
 Interpreter::Flow Interpreter::exec_stmt(const ast::Stmt& s, Env& env) {
+  ctx_.count_step();
   switch (s.kind) {
     case ast::StmtKind::kVarDecl:
       exec_decl(static_cast<const ast::VarDeclStmt&>(s), env);
@@ -227,6 +228,9 @@ Interpreter::Flow Interpreter::exec_loop(const ast::LoopStmt& s, Env& env) {
     counter->value = Value::numbr(0);
   }
   while (true) {
+    // Charge every iteration so a condition-only (or empty-body) spin
+    // still consumes budget.
+    ctx_.count_step();
     if (s.cond_kind == ast::LoopCond::kTil) {
       if (eval(*s.cond, loop_scope).to_troof()) break;
     } else if (s.cond_kind == ast::LoopCond::kWile) {

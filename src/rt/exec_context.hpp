@@ -3,21 +3,41 @@
 
 #include "rt/io.hpp"
 #include "shmem/runtime.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace lol::rt {
 
 /// Everything a backend needs to execute one PE of a parallel LOLCODE
 /// program: the shmem handle (PE id, symmetric heap, sync), the
-/// deterministic per-PE RNG behind WHATEVR/WHATEVAR, and IO.
+/// deterministic per-PE RNG behind WHATEVR/WHATEVAR, IO, and the
+/// cooperative step budget that kills runaway programs.
 struct ExecContext {
   shmem::Pe* pe = nullptr;
   support::PeRng rng;
   OutputSink* out = nullptr;
   InputSource* in = nullptr;
+  std::uint64_t max_steps = 0;   // 0 = unlimited
+  std::uint64_t steps_left = 0;  // remaining budget when limited
 
-  ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i)
-      : pe(&p), rng(seed, p.id()), out(&o), in(&i) {}
+  ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i,
+              std::uint64_t max_steps_budget = 0)
+      : pe(&p),
+        rng(seed, p.id()),
+        out(&o),
+        in(&i),
+        max_steps(max_steps_budget),
+        steps_left(max_steps_budget) {}
+
+  /// Charges one execution step (a statement in the interpreter, an
+  /// instruction in the VM). Throws support::StepLimitError once the
+  /// budget is spent; a single compare on the unlimited path.
+  void count_step() {
+    if (max_steps != 0) {
+      if (steps_left == 0) throw support::StepLimitError(max_steps);
+      --steps_left;
+    }
+  }
 };
 
 }  // namespace lol::rt

@@ -1,0 +1,90 @@
+#include "service/compile_cache.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace lol::service {
+
+std::uint64_t hash_source(std::string_view source) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (char c : source) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+CompileCache::CompileCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+CachedCompile CompileCache::get_or_compile(const std::string& source,
+                                           bool* hit) {
+  const std::uint64_t key = hash_source(source);
+  std::shared_future<CachedCompile> fut;
+  std::promise<CachedCompile> mine;
+  bool i_compile = false;
+
+  {
+    std::lock_guard<std::mutex> g(m_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.source == source) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      fut = it->second.result;
+      if (hit != nullptr) *hit = true;
+    } else if (it != entries_.end()) {
+      // True 64-bit collision: different source, same hash. Vanishingly
+      // rare — compile uncached rather than evict the resident entry.
+      ++stats_.misses;
+      if (hit != nullptr) *hit = false;
+      i_compile = true;
+    } else {
+      ++stats_.misses;
+      if (hit != nullptr) *hit = false;
+      i_compile = true;
+      // Publish the future before compiling so concurrent requests for
+      // the same source wait on it instead of compiling again.
+      fut = mine.get_future().share();
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{source, fut, lru_.begin()});
+      while (entries_.size() > capacity_) {
+        std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        ++stats_.evictions;
+      }
+    }
+  }
+
+  if (!i_compile) return fut.get();
+
+  CachedCompile out;
+  try {
+    out.program = std::make_shared<const CompiledProgram>(compile(source));
+  } catch (const std::exception& e) {
+    // Mostly support::LolError; anything else still must resolve the
+    // published future or concurrent waiters would hang.
+    out.error = e.what();
+  }
+  if (fut.valid()) mine.set_value(out);  // collision path never published
+  return out;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> g(m_);
+  return stats_;
+}
+
+std::size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> g(m_);
+  return entries_.size();
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> g(m_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace lol::service

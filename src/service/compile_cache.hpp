@@ -1,0 +1,84 @@
+// A thread-safe LRU cache of compiled programs keyed by source hash.
+//
+// Hundreds of concurrent submissions in a classroom are mostly the same
+// handful of sources (everyone runs the lab starter, then small edits).
+// Compilation (lex+parse+sema) dominates short jobs, so the service
+// deduplicates it here: the first request for a source compiles it, every
+// later request shares the same immutable CompiledProgram (safe — runs
+// only read it; see engine_test "CompiledProgramIsReusableAcrossRuns").
+// Failed compiles are cached too, so a broken source submitted in a loop
+// costs one compile, not N.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+
+namespace lol::service {
+
+/// 64-bit FNV-1a over the source text — the cache key.
+[[nodiscard]] std::uint64_t hash_source(std::string_view source);
+
+/// What the cache stores per source: either a shared compiled program or
+/// the diagnostic the compiler produced.
+struct CachedCompile {
+  std::shared_ptr<const CompiledProgram> program;  // null on failure
+  std::string error;  // compiler diagnostic when program == null
+
+  [[nodiscard]] bool ok() const { return program != nullptr; }
+};
+
+class CompileCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hit_rate() const {
+      std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` = max cached sources (>= 1).
+  explicit CompileCache(std::size_t capacity = 128);
+
+  /// Returns the cached compile for `source`, compiling at most once per
+  /// source even under concurrent requests for it: the first caller
+  /// publishes a future and compiles outside the lock, later callers
+  /// block on that future (a hit). `hit` (optional) reports whether this
+  /// call was served from cache.
+  CachedCompile get_or_compile(const std::string& source,
+                               bool* hit = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::string source;  // collision guard: full text compared on hit
+    std::shared_future<CachedCompile> result;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex m_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace lol::service

@@ -1,0 +1,65 @@
+// Job and JobResult: the unit of work the execution service schedules.
+//
+// A Job is one student submission in the classroom-deployment story: a
+// LOLCODE source plus the RunConfig-shaped knobs a multi-tenant host is
+// willing to expose (PE count, backend, seed, stdin, resource limits).
+// The service clamps the limits against its own caps before running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lol::service {
+
+/// One queued execution request.
+struct Job {
+  std::string name;      // reporting label ("ring.lol", "user42#7", ...)
+  std::string source;    // full LOLCODE text (the compile-cache key)
+  int n_pes = 1;
+  Backend backend = Backend::kVm;
+  std::uint64_t seed = 20170529;
+  std::vector<std::string> stdin_lines;
+
+  // Resource requests; the service clamps them to ServiceOptions caps.
+  std::uint64_t max_steps = 0;     // 0 = service default
+  std::size_t heap_bytes = 1 << 20;
+};
+
+/// How a job ended.
+enum class JobStatus {
+  kOk,            // ran to completion on every PE
+  kCompileError,  // lex/parse/sema rejected the source
+  kRuntimeError,  // a PE raised a runtime error
+  kStepLimit,     // killed: a PE exhausted its step budget
+  kRejected,      // never ran: bounded queue was full (kReject policy)
+};
+
+[[nodiscard]] constexpr const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kCompileError: return "compile-error";
+    case JobStatus::kRuntimeError: return "runtime-error";
+    case JobStatus::kStepLimit: return "step-limit";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// Outcome delivered through the future returned by Service::submit.
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kOk;
+  std::string error;                   // first error (empty on kOk)
+  std::vector<std::string> pe_output;  // per-PE stdout (empty unless run)
+  std::vector<std::string> pe_errout;  // per-PE stderr
+  bool compile_cache_hit = false;      // source was already compiled
+  double queue_ms = 0.0;               // submit -> worker pickup
+  double run_ms = 0.0;                 // compile(+cache) + execution
+
+  [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
+};
+
+}  // namespace lol::service

@@ -1,0 +1,200 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lol::service {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_capacity) {
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
+  if (!opts_.start_paused) start();
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::start_locked() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Service::start() {
+  std::lock_guard<std::mutex> g(m_);
+  if (stopping_) return;
+  start_locked();
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> g(m_);
+    if (stopping_) return;
+    stopping_ = true;
+    // A paused service still owes every queued future a result; workers
+    // drain the queue before exiting, so start them now if need be.
+    start_locked();
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<JobResult> Service::submit(Job job) {
+  Pending p;
+  p.job = std::move(job);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<JobResult> fut = p.promise.get_future();
+
+  std::unique_lock<std::mutex> g(m_);
+  ++stats_.submitted;
+
+  auto reject = [&](const char* why) {
+    JobResult r;
+    r.name = p.job.name;
+    r.status = JobStatus::kRejected;
+    r.error = why;
+    ++stats_.rejected;
+    g.unlock();
+    p.promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+
+  if (stopping_) return reject("service is shutting down");
+
+  if (queue_.size() >= opts_.queue_capacity) {
+    if (opts_.queue_full == QueueFullPolicy::kReject) {
+      return reject("queue full");
+    }
+    not_full_.wait(g, [&] {
+      return queue_.size() < opts_.queue_capacity || stopping_;
+    });
+    if (stopping_) return reject("service is shutting down");
+  }
+
+  queue_.push_back(std::move(p));
+  g.unlock();
+  not_empty_.notify_one();
+  return fut;
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> g(m_);
+      not_empty_.wait(g, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      p = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+
+    JobResult r;
+    try {
+      r = execute(p.job, ms_since(p.enqueued));
+    } catch (const std::exception& e) {
+      // lol::run can throw outside the per-PE guards (heap allocation in
+      // the Runtime constructor, thread exhaustion in launch). A worker
+      // must never die with the job — that would take the process down.
+      r = JobResult{};
+      r.name = p.job.name;
+      r.status = JobStatus::kRuntimeError;
+      r.error = e.what();
+    }
+    record(r);
+    p.promise.set_value(std::move(r));
+  }
+}
+
+JobResult Service::execute(Job& job, double queue_ms) {
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r;
+  r.name = job.name;
+  r.queue_ms = queue_ms;
+
+  CachedCompile compiled = cache_.get_or_compile(job.source,
+                                                 &r.compile_cache_hit);
+  if (!compiled.ok()) {
+    r.status = JobStatus::kCompileError;
+    r.error = compiled.error;
+    r.run_ms = ms_since(t0);
+    return r;
+  }
+
+  RunConfig cfg;
+  cfg.n_pes = std::clamp(job.n_pes, 1, std::max(1, opts_.max_pes));
+  cfg.backend = job.backend;
+  cfg.seed = job.seed;
+  cfg.stdin_lines = job.stdin_lines;
+  cfg.max_steps =
+      job.max_steps == 0 ? opts_.default_max_steps : job.max_steps;
+  if (opts_.max_steps_cap != 0) {
+    // The cap is a hard ceiling: an "unlimited" (0) resolved budget is
+    // clamped down to it too, or a looping job would wedge a worker.
+    cfg.max_steps = cfg.max_steps == 0
+                        ? opts_.max_steps_cap
+                        : std::min(cfg.max_steps, opts_.max_steps_cap);
+  }
+  cfg.heap_bytes = job.heap_bytes;
+  if (opts_.heap_bytes_cap != 0) {
+    cfg.heap_bytes = std::min(cfg.heap_bytes, opts_.heap_bytes_cap);
+  }
+
+  RunResult run = lol::run(*compiled.program, cfg);
+  r.pe_output = std::move(run.pe_output);
+  r.pe_errout = std::move(run.pe_errout);
+  if (run.ok) {
+    r.status = JobStatus::kOk;
+  } else if (run.step_limited) {
+    r.status = JobStatus::kStepLimit;
+    r.error = run.first_error();
+  } else {
+    r.status = JobStatus::kRuntimeError;
+    r.error = run.first_error();
+  }
+  r.run_ms = ms_since(t0);
+  return r;
+}
+
+void Service::record(const JobResult& r) {
+  std::lock_guard<std::mutex> g(m_);
+  ++stats_.completed;
+  switch (r.status) {
+    case JobStatus::kOk: ++stats_.ok; break;
+    case JobStatus::kCompileError: ++stats_.compile_errors; break;
+    case JobStatus::kRuntimeError: ++stats_.runtime_errors; break;
+    case JobStatus::kStepLimit: ++stats_.step_limited; break;
+    case JobStatus::kRejected: break;  // rejected jobs never reach here
+  }
+}
+
+Service::Stats Service::stats() const {
+  std::lock_guard<std::mutex> g(m_);
+  Stats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> g(m_);
+  return queue_.size();
+}
+
+}  // namespace lol::service

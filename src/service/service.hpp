@@ -1,0 +1,127 @@
+// lol::service::Service — the multi-tenant job-execution layer.
+//
+// The paper's flow is one student, one program, one `coprsh -np 16`
+// launch. A classroom (or playground web backend) is hundreds of
+// submissions arriving at once. This service turns the engine into that
+// deployment:
+//
+//   * a fixed pool of worker threads executes jobs (each job still runs
+//     SPMD on its own n_pes threads inside the engine)
+//   * a bounded queue provides backpressure: submit() blocks or rejects
+//     when the queue is full, as configured
+//   * an LRU CompileCache deduplicates compilation across jobs; the
+//     resulting CompiledPrograms are shared, immutable, across workers
+//   * per-job resource limits (step budget, symmetric-heap bytes) are
+//     clamped to service-wide caps so a hostile or looping submission is
+//     killed cleanly (JobStatus::kStepLimit) instead of wedging a worker
+//
+//   Service svc({.workers = 4});
+//   auto fut = svc.submit({.name = "ring", .source = src, .n_pes = 4});
+//   JobResult r = fut.get();
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/compile_cache.hpp"
+#include "service/job.hpp"
+
+namespace lol::service {
+
+/// What submit() does when the bounded queue is full.
+enum class QueueFullPolicy {
+  kBlock,   // wait for space (backpressure onto the submitter)
+  kReject,  // fail fast: future resolves immediately with kRejected
+};
+
+struct ServiceOptions {
+  int workers = 4;
+  std::size_t queue_capacity = 256;      // pending jobs before backpressure
+  QueueFullPolicy queue_full = QueueFullPolicy::kBlock;
+  std::size_t cache_capacity = 128;      // compiled sources kept hot
+
+  // Resource-limit policy. A job asking for 0 steps gets default_max_steps;
+  // any request is clamped to max_steps_cap / heap_bytes_cap (0 = uncapped).
+  std::uint64_t default_max_steps = 50'000'000;
+  std::uint64_t max_steps_cap = 0;
+  std::size_t heap_bytes_cap = 64u << 20;
+  int max_pes = 64;                      // clamp on per-job n_pes
+
+  /// When true, workers are not started by the constructor; jobs queue up
+  /// until start() is called. Lets tests (and staged deployments) fill
+  /// the queue deterministically.
+  bool start_paused = false;
+};
+
+class Service {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;   // ran (any status but kRejected)
+    std::uint64_t ok = 0;
+    std::uint64_t compile_errors = 0;
+    std::uint64_t runtime_errors = 0;
+    std::uint64_t step_limited = 0;
+    std::uint64_t rejected = 0;
+    CompileCache::Stats cache;
+  };
+
+  explicit Service(ServiceOptions opts = {});
+
+  /// Drains the queue and joins the workers.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueues a job. With kBlock the call waits for queue space; with
+  /// kReject a full queue resolves the future immediately with
+  /// JobStatus::kRejected. The future is always valid.
+  std::future<JobResult> submit(Job job);
+
+  /// Starts the workers (no-op unless constructed with start_paused).
+  void start();
+
+  /// Stops accepting new jobs, finishes everything queued, joins the
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const { return opts_; }
+
+  /// Pending (not yet picked up) jobs — used by tests and monitoring.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  struct Pending {
+    Job job;
+    std::promise<JobResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void start_locked();  // spawns the workers; caller holds m_
+  void worker_loop();
+  JobResult execute(Job& job, double queue_ms);
+  void record(const JobResult& r);
+
+  ServiceOptions opts_;
+  CompileCache cache_;
+
+  mutable std::mutex m_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lol::service

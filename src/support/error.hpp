@@ -1,6 +1,7 @@
 // Exception types thrown by the compiler and the runtimes.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -50,6 +51,23 @@ class SemaError : public LolError {
 /// variables, UR outside predication, out-of-bounds indexing, ...).
 class RuntimeError : public LolError {
   using LolError::LolError;
+};
+
+/// Raised when a PE exhausts its step budget (RunConfig::max_steps).
+/// Distinct from RuntimeError so hosts (the service layer, lolrun) can
+/// tell "hostile/looping program killed" apart from ordinary semantic
+/// failures.
+class StepLimitError : public RuntimeError {
+ public:
+  explicit StepLimitError(std::uint64_t budget)
+      : RuntimeError("step budget of " + std::to_string(budget) +
+                     " exceeded (program killed; MOAR STEPS PLZ?)"),
+        budget_(budget) {}
+
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+
+ private:
+  std::uint64_t budget_ = 0;
 };
 
 }  // namespace lol::support

@@ -164,6 +164,7 @@ void Vm::run() {
 
   std::size_t pc = 0;
   for (;;) {
+    ctx_.count_step();
     const Instr& in = chunk_.code[pc++];
     switch (in.op) {
       case Op::kConst:

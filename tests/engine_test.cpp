@@ -141,6 +141,49 @@ TEST(Engine, HeapSizeKnobWorks) {
   EXPECT_TRUE(r.ok) << r.first_error();
 }
 
+TEST(Engine, MaxStepsKillsInfiniteLoopOnBothBackends) {
+  const char* spin = "HAI 1.2\nIM IN YR forever\nIM OUTTA YR forever\nKTHXBYE\n";
+  for (Backend b : {Backend::kInterp, Backend::kVm}) {
+    RunConfig cfg;
+    cfg.backend = b;
+    cfg.max_steps = 10'000;
+    auto r = lol::run_source(spin, cfg);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.step_limited);
+    EXPECT_NE(r.first_error().find("step budget of 10000 exceeded"),
+              std::string::npos)
+        << r.first_error();
+  }
+}
+
+TEST(Engine, MaxStepsLeavesTerminatingProgramsAlone) {
+  for (Backend b : {Backend::kInterp, Backend::kVm}) {
+    RunConfig cfg;
+    cfg.backend = b;
+    cfg.max_steps = 100'000;
+    auto r = lol::run_source(
+        "HAI 1.2\nI HAS A n ITZ 0\n"
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 100\n"
+        "  n R SUM OF n AN i\nIM OUTTA YR l\nVISIBLE n\nKTHXBYE\n",
+        cfg);
+    ASSERT_TRUE(r.ok) << r.first_error();
+    EXPECT_FALSE(r.step_limited);
+    EXPECT_EQ(r.pe_output[0], "4950\n");
+  }
+}
+
+TEST(Engine, MaxStepsZeroMeansUnlimited) {
+  RunConfig cfg;
+  cfg.max_steps = 0;
+  auto r = lol::run_source(
+      "HAI 1.2\nI HAS A n ITZ 0\n"
+      "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 20000\n"
+      "  n R SUM OF n AN 1\nIM OUTTA YR l\nVISIBLE n\nKTHXBYE\n",
+      cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "20000\n");
+}
+
 TEST(Engine, StdinLinesHavePerPeCursors) {
   RunConfig cfg;
   cfg.n_pes = 2;

@@ -1,0 +1,363 @@
+// Service-layer tests: compile-cache accounting, concurrent-vs-sequential
+// output equivalence, bounded-queue backpressure (both policies), and
+// step-budget enforcement keeping the pool alive under hostile jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+#include "service/compile_cache.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using lol::Backend;
+using lol::service::CompileCache;
+using lol::service::Job;
+using lol::service::JobResult;
+using lol::service::JobStatus;
+using lol::service::QueueFullPolicy;
+using lol::service::Service;
+using lol::service::ServiceOptions;
+
+const char* kHello = "HAI 1.2\nVISIBLE \"O HAI\" ME\nKTHXBYE\n";
+const char* kSum =
+    "HAI 1.2\nI HAS A n ITZ 0\n"
+    "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 200\n"
+    "  n R SUM OF n AN i\nIM OUTTA YR l\nVISIBLE n\nKTHXBYE\n";
+const char* kSpin = "HAI 1.2\nIM IN YR forever\nIM OUTTA YR forever\nKTHXBYE\n";
+
+Job make_job(std::string name, std::string source, int n_pes,
+             Backend backend = Backend::kVm) {
+  Job j;
+  j.name = std::move(name);
+  j.source = std::move(source);
+  j.n_pes = n_pes;
+  j.backend = backend;
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// CompileCache
+// ---------------------------------------------------------------------------
+
+TEST(CompileCache, HitAndMissAccounting) {
+  CompileCache cache(8);
+  bool hit = true;
+  auto a = cache.get_or_compile(kHello, &hit);
+  EXPECT_TRUE(a.ok());
+  EXPECT_FALSE(hit);
+
+  auto b = cache.get_or_compile(kHello, &hit);
+  EXPECT_TRUE(hit);
+  // The same immutable CompiledProgram is shared, not recompiled.
+  EXPECT_EQ(a.program.get(), b.program.get());
+
+  cache.get_or_compile(kSum, &hit);
+  EXPECT_FALSE(hit);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CompileCache, LruEvictionPrefersHotEntries) {
+  CompileCache cache(2);
+  std::string a = "HAI 1.2\nVISIBLE 1\nKTHXBYE\n";
+  std::string b = "HAI 1.2\nVISIBLE 2\nKTHXBYE\n";
+  std::string c = "HAI 1.2\nVISIBLE 3\nKTHXBYE\n";
+  cache.get_or_compile(a);
+  cache.get_or_compile(b);
+  cache.get_or_compile(a);  // refresh a: b is now LRU
+  cache.get_or_compile(c);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  bool hit = false;
+  cache.get_or_compile(a, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_compile(b, &hit);  // evicted, so a miss again
+  EXPECT_FALSE(hit);
+}
+
+TEST(CompileCache, CompileErrorsAreCachedToo) {
+  CompileCache cache(4);
+  std::string broken = "HAI 1.2\nFOUND YR 1\nKTHXBYE\n";  // sema error
+  bool hit = true;
+  auto a = cache.get_or_compile(broken, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(a.ok());
+  EXPECT_FALSE(a.error.empty());
+
+  auto b = cache.get_or_compile(broken, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CompileCache, ConcurrentRequestsCompileOnce) {
+  CompileCache cache(8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<const lol::CompiledProgram*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      seen[static_cast<std::size_t>(i)] =
+          cache.get_or_compile(kSum).program.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(i)]);
+  }
+  auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+TEST(Service, ConcurrentJobsMatchSequentialRuns) {
+  // Mixed sources, PE counts and backends, several copies of each (108
+  // jobs) — the service on 4 workers must produce byte-identical per-PE
+  // output to plain sequential lol::run.
+  std::vector<Job> jobs;
+  int id = 0;
+  for (int copy = 0; copy < 6; ++copy) {
+    for (int n_pes : {1, 2, 4}) {
+      for (Backend b : {Backend::kInterp, Backend::kVm}) {
+        jobs.push_back(make_job("hello#" + std::to_string(id++), kHello,
+                                n_pes, b));
+        jobs.push_back(
+            make_job("sum#" + std::to_string(id++), kSum, n_pes, b));
+        jobs.push_back(make_job("ring#" + std::to_string(id++),
+                                lol::paper::ring_listing(), n_pes, b));
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& job : jobs) {
+    lol::RunConfig cfg;
+    cfg.n_pes = job.n_pes;
+    cfg.backend = job.backend;
+    auto r = lol::run_source(job.source, cfg);
+    ASSERT_TRUE(r.ok) << job.name << ": " << r.first_error();
+    expected.push_back(r.pe_output);
+  }
+
+  ServiceOptions opts;
+  opts.workers = 4;
+  Service svc(opts);
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (const auto& job : jobs) futures.push_back(svc.submit(job));
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    JobResult r = futures[i].get();
+    ASSERT_EQ(r.status, JobStatus::kOk) << jobs[i].name << ": " << r.error;
+    EXPECT_EQ(r.pe_output, expected[i]) << jobs[i].name;
+  }
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, jobs.size());
+  EXPECT_EQ(stats.ok, jobs.size());
+  // 3 distinct sources; every later submission of each is a cache hit.
+  EXPECT_EQ(stats.cache.misses, 3u);
+  EXPECT_EQ(stats.cache.hits, jobs.size() - 3);
+}
+
+TEST(Service, RejectPolicyBoundsTheQueue) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.queue_full = QueueFullPolicy::kReject;
+  opts.start_paused = true;  // fill the queue deterministically
+  Service svc(opts);
+
+  auto f1 = svc.submit(make_job("a", kHello, 1));
+  auto f2 = svc.submit(make_job("b", kSum, 1));
+  auto f3 = svc.submit(make_job("c", kHello, 1));  // queue full -> rejected
+
+  JobResult rejected = f3.get();  // resolves without any worker running
+  EXPECT_EQ(rejected.status, JobStatus::kRejected);
+  EXPECT_EQ(rejected.error, "queue full");
+
+  svc.start();
+  EXPECT_EQ(f1.get().status, JobStatus::kOk);
+  EXPECT_EQ(f2.get().status, JobStatus::kOk);
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(Service, BlockPolicyAppliesBackpressure) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.queue_full = QueueFullPolicy::kBlock;
+  opts.start_paused = true;
+  Service svc(opts);
+
+  auto f1 = svc.submit(make_job("a", kHello, 1));
+  ASSERT_EQ(svc.queue_depth(), 1u);
+
+  // The second submit must block until a worker frees queue space.
+  std::atomic<bool> submitted{false};
+  std::future<JobResult> f2;
+  std::thread submitter([&] {
+    f2 = svc.submit(make_job("b", kSum, 1));
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submitted.load());  // still parked on the full queue
+
+  svc.start();  // workers drain the queue; the blocked submit proceeds
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+  EXPECT_EQ(f1.get().status, JobStatus::kOk);
+  EXPECT_EQ(f2.get().status, JobStatus::kOk);
+  EXPECT_EQ(svc.stats().rejected, 0u);
+}
+
+TEST(Service, StepBudgetKillsLoopingJobWithoutStallingThePool) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.default_max_steps = 100'000;  // the hostile job dies fast
+  Service svc(opts);
+
+  auto hostile = svc.submit(make_job("spin", kSpin, 2));
+  std::vector<std::future<JobResult>> rest;
+  for (int i = 0; i < 8; ++i) {
+    rest.push_back(svc.submit(make_job("ok#" + std::to_string(i),
+                                       i % 2 == 0 ? kHello : kSum, 2)));
+  }
+
+  JobResult h = hostile.get();
+  EXPECT_EQ(h.status, JobStatus::kStepLimit);
+  EXPECT_NE(h.error.find("step budget"), std::string::npos) << h.error;
+
+  // Every well-behaved job still completes: the pool survived.
+  for (auto& f : rest) {
+    JobResult r = f.get();
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.name << ": " << r.error;
+  }
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.step_limited, 1u);
+  EXPECT_EQ(stats.ok, 8u);
+}
+
+TEST(Service, PerJobMaxStepsOverridesTheDefault) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;  // unlimited default...
+  Service svc(opts);
+
+  Job j = make_job("spin", kSpin, 1);
+  j.max_steps = 5'000;  // ...but this job brings its own budget
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kStepLimit);
+}
+
+TEST(Service, MaxStepsCapClampsGreedyJobs) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_steps_cap = 10'000;
+  Service svc(opts);
+
+  Job j = make_job("spin", kSpin, 1);
+  j.max_steps = 1'000'000'000;  // asks for far more than the cap
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kStepLimit);
+  EXPECT_NE(r.error.find("step budget of 10000"), std::string::npos)
+      << r.error;
+}
+
+TEST(Service, MaxStepsCapAlsoClampsUnlimitedRequests) {
+  // default_max_steps = 0 (unlimited) must not let a job slip past the
+  // operator's hard cap by simply not asking for a budget.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  opts.max_steps_cap = 10'000;
+  Service svc(opts);
+
+  JobResult r = svc.submit(make_job("spin", kSpin, 1)).get();
+  EXPECT_EQ(r.status, JobStatus::kStepLimit);
+  EXPECT_NE(r.error.find("step budget of 10000"), std::string::npos)
+      << r.error;
+}
+
+TEST(Service, HeapCapClampsGreedyJobs) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.heap_bytes_cap = 128;
+  Service svc(opts);
+
+  Job j = make_job("alloc",
+                   "HAI 1.2\nWE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ "
+                   "64\nKTHXBYE\n",
+                   1);
+  j.heap_bytes = 1 << 20;  // request is clamped to the 128-byte cap
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kRuntimeError);
+  EXPECT_NE(r.error.find("symmetric heap"), std::string::npos) << r.error;
+}
+
+TEST(Service, CompileErrorsAreReportedAndCached) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  Service svc(opts);
+
+  std::string broken = "HAI 1.2\nx R\nKTHXBYE\n";  // parse error
+  auto f1 = svc.submit(make_job("bad1", broken, 1));
+  auto f2 = svc.submit(make_job("bad2", broken, 1));
+  JobResult r1 = f1.get();
+  JobResult r2 = f2.get();
+  EXPECT_EQ(r1.status, JobStatus::kCompileError);
+  EXPECT_EQ(r2.status, JobStatus::kCompileError);
+  EXPECT_FALSE(r1.error.empty());
+  EXPECT_EQ(r1.error, r2.error);
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.compile_errors, 2u);
+  EXPECT_EQ(stats.cache.misses, 1u);  // the broken source compiled once
+}
+
+TEST(Service, ShutdownDrainsQueuedJobs) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.start_paused = true;
+  Service svc(opts);
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(svc.submit(make_job("q#" + std::to_string(i), kSum, 1)));
+  }
+  // Never started explicitly: shutdown must still run everything queued.
+  svc.shutdown();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, JobStatus::kOk);
+  }
+  EXPECT_EQ(svc.stats().completed, 6u);
+}
+
+TEST(Service, SubmitAfterShutdownIsRejected) {
+  Service svc(ServiceOptions{});
+  svc.shutdown();
+  JobResult r = svc.submit(make_job("late", kHello, 1)).get();
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+}
+
+}  // namespace

@@ -24,6 +24,7 @@ int usage(const char* prog) {
       "  -np <N>            number of PEs (default 1)\n"
       "  --backend <b>      vm (default) or interp\n"
       "  --seed <S>         WHATEVR/WHATEVAR seed\n"
+      "  --max-steps <S>    per-PE step budget, 0 = unlimited (default)\n"
       "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
       "  --sim              print per-run simulated time (needs --machine)\n"
       "  --tag              prefix output lines with [peN]\n"
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
   cfg.n_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
   if (auto seed = cli.option("--seed")) {
     cfg.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  }
+  if (auto steps = cli.option("--max-steps")) {
+    cfg.max_steps = std::strtoull(steps->c_str(), nullptr, 10);
   }
   if (auto backend = cli.option("--backend")) {
     if (*backend == "interp") {

@@ -1,0 +1,206 @@
+// lolserve — run a batch of parallel LOLCODE jobs concurrently through
+// the execution service (the multi-tenant analogue of lolrun):
+//
+//   lolserve labs/                       # every .lol under labs/
+//   lolserve --workers 8 --repeat 10 a.lol b.lol
+//   lolserve --manifest jobs.txt         # lines: <path> [n_pes] [max_steps]
+//
+// Prints one status line per job plus aggregate throughput and compile
+// cache statistics.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/cli.hpp"
+#include "service/service.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <job.lol | dir>...\n"
+      "  --workers <N>      worker threads (default 4)\n"
+      "  --queue <N>        bounded queue capacity (default 256)\n"
+      "  --policy <p>       block (default) or reject when the queue is full\n"
+      "  -np <N>            PEs per job (default 1)\n"
+      "  --backend <b>      vm (default) or interp\n"
+      "  --max-steps <S>    per-PE step budget (default 50000000)\n"
+      "  --repeat <R>       submit the job list R times (default 1; warms "
+      "the compile cache)\n"
+      "  --manifest <file>  extra jobs, one per line: <path> [n_pes] "
+      "[max_steps]\n"
+      "  --quiet            suppress per-job lines, print the summary only\n",
+      prog);
+  return 2;
+}
+
+struct JobSpec {
+  std::string path;
+  int n_pes = 0;  // 0 = use the command-line default
+  std::uint64_t max_steps = 0;
+};
+
+/// Expands a positional argument into job specs (.lol file or directory).
+bool expand_path(const std::string& arg, std::vector<JobSpec>& out) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    std::vector<std::string> found;
+    for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".lol") {
+        found.push_back(entry.path().string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    for (auto& p : found) out.push_back({std::move(p), 0, 0});
+    return true;
+  }
+  if (fs::is_regular_file(arg, ec)) {
+    out.push_back({arg, 0, 0});
+    return true;
+  }
+  std::fprintf(stderr, "lolserve: no such file or directory: '%s'\n",
+               arg.c_str());
+  return false;
+}
+
+/// Parses a manifest: `<path> [n_pes] [max_steps]`, '#' starts a comment.
+bool read_manifest(const std::string& path, std::vector<JobSpec>& out) {
+  auto text = lol::driver::read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "lolserve: cannot read manifest '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  std::istringstream in(*text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    JobSpec spec;
+    if (!(fields >> spec.path)) continue;  // blank/comment-only line
+    fields >> spec.n_pes >> spec.max_steps;
+    out.push_back(std::move(spec));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lol::driver::Cli cli(argc, argv);
+
+  lol::service::ServiceOptions opts;
+  opts.workers = std::atoi(cli.option("--workers").value_or("4").c_str());
+  opts.queue_capacity = static_cast<std::size_t>(std::strtoull(
+      cli.option("--queue").value_or("256").c_str(), nullptr, 10));
+  if (auto policy = cli.option("--policy")) {
+    if (*policy == "reject") {
+      opts.queue_full = lol::service::QueueFullPolicy::kReject;
+    } else if (*policy != "block") {
+      std::fprintf(stderr, "lolserve: unknown policy '%s'\n",
+                   policy->c_str());
+      return 2;
+    }
+  }
+  if (auto steps = cli.option("--max-steps")) {
+    opts.default_max_steps = std::strtoull(steps->c_str(), nullptr, 10);
+  }
+
+  int default_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
+  lol::Backend backend = lol::Backend::kVm;
+  if (auto b = cli.option("--backend")) {
+    if (*b == "interp") {
+      backend = lol::Backend::kInterp;
+    } else if (*b != "vm") {
+      std::fprintf(stderr, "lolserve: unknown backend '%s'\n", b->c_str());
+      return 2;
+    }
+  }
+  int repeat = std::atoi(cli.option("--repeat").value_or("1").c_str());
+  bool quiet = cli.has_flag("--quiet");
+
+  std::vector<JobSpec> specs;
+  if (auto manifest = cli.option("--manifest")) {
+    if (!read_manifest(*manifest, specs)) return 1;
+  }
+  for (const auto& arg : cli.positional()) {
+    if (!expand_path(arg, specs)) return 1;
+  }
+  if (specs.empty() || opts.workers < 1 || default_pes < 1 || repeat < 1) {
+    return usage(argv[0]);
+  }
+
+  // Read every source once up front so IO errors surface before launch.
+  std::vector<lol::service::Job> jobs;
+  for (const auto& spec : specs) {
+    auto source = lol::driver::read_file(spec.path);
+    if (!source) {
+      std::fprintf(stderr, "lolserve: cannot read '%s'\n", spec.path.c_str());
+      return 1;
+    }
+    lol::service::Job job;
+    job.name = spec.path;
+    job.source = std::move(*source);
+    job.n_pes = spec.n_pes > 0 ? spec.n_pes : default_pes;
+    job.max_steps = spec.max_steps;
+    job.backend = backend;
+    jobs.push_back(std::move(job));
+  }
+
+  lol::service::Service svc(opts);
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::future<lol::service::JobResult>> futures;
+  futures.reserve(jobs.size() * static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    for (const auto& job : jobs) futures.push_back(svc.submit(job));
+  }
+
+  int failed = 0;
+  for (auto& fut : futures) {
+    lol::service::JobResult r = fut.get();
+    if (!r.ok()) ++failed;
+    if (!quiet) {
+      std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms)%s%s\n",
+                  lol::service::to_string(r.status), r.name.c_str(),
+                  r.compile_cache_hit ? " [cached]" : "", r.queue_ms,
+                  r.run_ms, r.error.empty() ? "" : " — ", r.error.c_str());
+    }
+  }
+
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  svc.shutdown();
+  auto stats = svc.stats();
+  std::printf(
+      "lolserve: %llu jobs (%llu ok, %llu compile-error, %llu "
+      "runtime-error, %llu step-limit, %llu rejected) on %d workers in "
+      "%.3f s — %.1f jobs/s\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.compile_errors),
+      static_cast<unsigned long long>(stats.runtime_errors),
+      static_cast<unsigned long long>(stats.step_limited),
+      static_cast<unsigned long long>(stats.rejected), opts.workers, wall_s,
+      wall_s > 0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
+  std::printf(
+      "lolserve: compile cache %llu hits / %llu misses (%.1f%% hit rate), "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      100.0 * stats.cache.hit_rate(),
+      static_cast<unsigned long long>(stats.cache.evictions));
+  return failed == 0 ? 0 : 1;
+}

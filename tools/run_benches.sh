@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs every bench binary in a build tree, writing one Google-Benchmark
+# JSON report per binary: <outdir>/BENCH_<name>.json
+#
+#   tools/run_benches.sh [build-dir] [outdir] [extra benchmark args...]
+#
+# Example:
+#   tools/run_benches.sh build bench-out --benchmark_min_time=0.05
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-out}"
+if [ $# -ge 1 ]; then shift; fi
+if [ $# -ge 1 ]; then shift; fi
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "run_benches.sh: build dir '$BUILD_DIR' not found (configure first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+found=0
+for bin in "$BUILD_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  case "$bin" in *.json|*.txt) continue ;; esac
+  found=1
+  name=$(basename "$bin")
+  echo "== $name =="
+  "$bin" --benchmark_format=json \
+         --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
+         --benchmark_out_format=json "$@" || echo "  (failed: $name)" >&2
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "run_benches.sh: no bench_* binaries in '$BUILD_DIR' (is Google Benchmark installed?)" >&2
+  exit 1
+fi
+echo "JSON reports in $OUT_DIR/"
