@@ -1,0 +1,95 @@
+// S2 — scheduler hardening overhead: what deficit-round-robin fair
+// queueing and the deadline reaper cost on the service hot path.
+//
+//   * BM_SingleTenantDispatch: the degenerate case — one tenant, DRR
+//     reduces to the old global FIFO; this is the regression guard for
+//     the queue rework
+//   * BM_MultiTenantDispatch/T: the same batch spread across T tenants,
+//     exercising the rotation on every pop
+//   * BM_DeadlineArmedJobs: every job carries a (never-firing) deadline,
+//     measuring the reaper's arm/skip cost per job
+#include "bench_common.hpp"
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace {
+
+using lol::service::Job;
+using lol::service::JobResult;
+using lol::service::JobStatus;
+using lol::service::Service;
+using lol::service::ServiceOptions;
+
+constexpr const char* kTiny = "HAI 1.2\nVISIBLE ME\nKTHXBYE\n";
+constexpr int kJobs = 256;
+
+void run_batch(Service& svc, int tenants, std::uint64_t deadline_ms,
+               benchmark::State& state) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    Job j;
+    j.name = "job#" + std::to_string(i);
+    j.source = kTiny;
+    j.tenant = tenants > 1 ? "tenant#" + std::to_string(i % tenants) : "";
+    j.deadline_ms = deadline_ms;
+    futures.push_back(svc.submit(std::move(j)));
+  }
+  for (auto& f : futures) {
+    JobResult r = f.get();
+    if (r.status != JobStatus::kOk) {
+      state.SkipWithError(("job failed: " + r.error).c_str());
+      return;
+    }
+  }
+}
+
+void BM_SingleTenantDispatch(benchmark::State& state) {
+  ServiceOptions opts;
+  opts.workers = static_cast<int>(state.range(0));
+  opts.queue_capacity = kJobs;
+  Service svc(opts);
+  run_batch(svc, 1, 0, state);  // warm the compile cache
+  for (auto _ : state) run_batch(svc, 1, 0, state);
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_SingleTenantDispatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MultiTenantDispatch(benchmark::State& state) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kJobs;
+  Service svc(opts);
+  int tenants = static_cast<int>(state.range(0));
+  run_batch(svc, tenants, 0, state);
+  for (auto _ : state) run_batch(svc, tenants, 0, state);
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_MultiTenantDispatch)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_DeadlineArmedJobs(benchmark::State& state) {
+  ServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kJobs;
+  Service svc(opts);
+  // 60 s never fires for sub-ms jobs: this isolates arm + reap-skip cost.
+  run_batch(svc, 1, 60'000, state);
+  for (auto _ : state) run_batch(svc, 1, 60'000, state);
+  state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_DeadlineArmedJobs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("S2",
+                "Service hardening overhead: DRR fair queueing and the "
+                "deadline reaper vs the plain FIFO dispatch path");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

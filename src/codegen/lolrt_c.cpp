@@ -301,8 +301,16 @@ void lolrt_visible(lolrt_pe* pe, int n, const lolv* xs, int newline,
 
 lolv lolrt_gimmeh(lolrt_pe* pe) {
   LOLRT_TRY
-  auto line = pe->in->read_line(pe->pe->id());
-  return from_value(pe, Value::yarn(line.value_or("")));
+  // Poll-read like rt::ExecContext::read_line so an external abort can
+  // interrupt native code blocked on input.
+  for (;;) {
+    auto r = pe->in->try_read_line(pe->pe->id(),
+                                   lol::rt::ExecContext::kInputPollWait);
+    if (!r.timed_out) return from_value(pe, Value::yarn(r.line.value_or("")));
+    if (pe->pe->runtime().aborted()) {
+      throw lol::support::RuntimeError("SPMD aborted while blocked in GIMMEH");
+    }
+  }
   LOLRT_END(pe)
 }
 

@@ -1,0 +1,33 @@
+#include "core/abort.hpp"
+
+#include "shmem/runtime.hpp"
+
+namespace lol {
+
+void AbortToken::request() {
+  std::lock_guard<std::mutex> g(m_);
+  requested_ = true;
+  if (rt_ != nullptr) rt_->abort();
+}
+
+bool AbortToken::requested() const {
+  std::lock_guard<std::mutex> g(m_);
+  return requested_;
+}
+
+AbortToken::Binding::Binding(AbortToken* token, shmem::Runtime& rt)
+    : token_(token) {
+  if (token_ == nullptr) return;
+  std::lock_guard<std::mutex> g(token_->m_);
+  token_->rt_ = &rt;
+  // A request that raced ahead of the run still kills it.
+  if (token_->requested_) rt.abort();
+}
+
+AbortToken::Binding::~Binding() {
+  if (token_ == nullptr) return;
+  std::lock_guard<std::mutex> g(token_->m_);
+  token_->rt_ = nullptr;
+}
+
+}  // namespace lol

@@ -1,0 +1,57 @@
+// AbortToken — an external kill switch for one lol::run invocation.
+//
+// The engine constructs a fresh shmem::Runtime per run, so callers that
+// want to stop a run from outside (the service's deadline reaper, a
+// cancel request, an embedder's Ctrl-C handler) have no handle to call
+// Runtime::abort() on. An AbortToken is that handle: the caller keeps
+// the token, passes it via RunConfig::abort, and may call request() from
+// any thread at any time — before the run starts (it then finishes
+// immediately with RunResult::aborted), while PEs execute (they die at
+// the next step-budget poll, barrier wait, lock spin or GIMMEH poll), or
+// after it finished (a no-op).
+//
+// A token is single-use per run but reusable across sequential runs as
+// long as request() has not fired; once requested it stays requested.
+#pragma once
+
+#include <mutex>
+
+namespace lol::shmem {
+class Runtime;
+}
+
+namespace lol {
+
+class AbortToken {
+ public:
+  AbortToken() = default;
+  AbortToken(const AbortToken&) = delete;
+  AbortToken& operator=(const AbortToken&) = delete;
+
+  /// Requests the bound run (current or future) to abort. Thread-safe,
+  /// idempotent, sticky.
+  void request();
+
+  [[nodiscard]] bool requested() const;
+
+  /// RAII binding of a token to the live Runtime of one run. Engine
+  /// internal: lol::run creates it around launch(); user code never
+  /// constructs one.
+  class Binding {
+   public:
+    Binding(AbortToken* token, shmem::Runtime& rt);
+    ~Binding();
+    Binding(const Binding&) = delete;
+    Binding& operator=(const Binding&) = delete;
+
+   private:
+    AbortToken* token_;
+  };
+
+ private:
+  mutable std::mutex m_;
+  shmem::Runtime* rt_ = nullptr;  // non-null while a run is live
+  bool requested_ = false;
+};
+
+}  // namespace lol

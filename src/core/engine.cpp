@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "interp/interpreter.hpp"
@@ -11,9 +12,7 @@
 namespace lol {
 
 std::string RunResult::first_error() const {
-  for (const auto& e : errors)
-    if (!e.empty()) return e;
-  return {};
+  return support::first_root_error(errors);
 }
 
 double RunResult::max_sim_ns() const {
@@ -29,7 +28,32 @@ CompiledProgram compile(std::string_view source) {
   return out;
 }
 
+namespace {
+
+/// Result shape for a run that was aborted before any PE started. The
+/// abort path must not trust cfg.n_pes (the Runtime constructor, which
+/// normally rejects bad values, is skipped here).
+RunResult aborted_before_launch(int n_pes) {
+  RunResult result;
+  result.aborted = true;
+  auto n = static_cast<std::size_t>(std::max(1, n_pes));
+  result.errors.assign(n, "");
+  result.errors[0] = "SPMD aborted before launch";
+  result.pe_output.assign(n, "");
+  result.pe_errout.assign(n, "");
+  result.sim_ns.assign(n, 0.0);
+  return result;
+}
+
+}  // namespace
+
 RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
+  // Fast path for a cancel that lands while the job is still queued:
+  // skip Runtime construction (arenas) entirely.
+  if (cfg.abort != nullptr && cfg.abort->requested()) {
+    return aborted_before_launch(cfg.n_pes);
+  }
+
   shmem::Config scfg;
   scfg.n_pes = cfg.n_pes;
   scfg.heap_bytes = cfg.heap_bytes;
@@ -39,7 +63,8 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
 
   rt::CaptureSink capture(cfg.n_pes);
   rt::OutputSink* sink = cfg.sink != nullptr ? cfg.sink : &capture;
-  rt::VectorInput input(cfg.stdin_lines, cfg.n_pes);
+  rt::VectorInput vec_input(cfg.stdin_lines, cfg.n_pes);
+  rt::InputSource* input = cfg.input != nullptr ? cfg.input : &vec_input;
 
   // Pre-compile once for the VM backend; shared read-only by all PEs.
   std::shared_ptr<const vm::Chunk> chunk;
@@ -49,8 +74,13 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   }
 
   std::atomic<bool> step_limited{false};
+  AbortToken::Binding abort_binding(cfg.abort, runtime);
   shmem::LaunchResult lr = runtime.launch([&](shmem::Pe& pe) {
-    rt::ExecContext ctx(pe, cfg.seed, *sink, input, cfg.max_steps);
+    // launch() resets the runtime's abort flag; re-assert a request that
+    // raced into the window between Binding construction and that reset
+    // so an early deadline/cancel can never be lost.
+    if (cfg.abort != nullptr && cfg.abort->requested()) pe.runtime().abort();
+    rt::ExecContext ctx(pe, cfg.seed, *sink, *input, cfg.max_steps);
     try {
       switch (cfg.backend) {
         case Backend::kInterp:
@@ -69,6 +99,7 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   RunResult result;
   result.ok = lr.ok;
   result.step_limited = step_limited.load(std::memory_order_relaxed);
+  result.aborted = cfg.abort != nullptr && cfg.abort->requested();
   result.errors = std::move(lr.errors);
   result.sim_ns = std::move(lr.sim_ns);
   if (cfg.sink == nullptr) {

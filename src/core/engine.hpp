@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ast/ast.hpp"
+#include "core/abort.hpp"
 #include "noc/model.hpp"
 #include "rt/io.hpp"
 #include "sema/analyzer.hpp"
@@ -48,17 +49,30 @@ struct RunConfig {
   std::vector<std::string> stdin_lines;  // GIMMEH input (per-PE cursor)
   rt::OutputSink* sink = nullptr;    // external sink; null => capture
 
+  /// External input source for GIMMEH; null => stdin_lines. Lets hosts
+  /// feed live (possibly blocking) input; blocked reads stay abortable
+  /// because backends poll through InputSource::try_read_line.
+  rt::InputSource* input = nullptr;
+
   /// Per-PE step budget; 0 = unlimited. A step is one statement in the
   /// interpreter or one instruction in the VM; a PE that exhausts it is
   /// killed with support::StepLimitError (the service layer relies on
   /// this to survive hostile/looping submissions).
   std::uint64_t max_steps = 0;
+
+  /// External kill switch; null => the run cannot be aborted from
+  /// outside. AbortToken::request() (any thread, any time) stops the
+  /// run: blocked barriers/locks/GIMMEH reads wake up and spinning PEs
+  /// die at the next step poll. The service's deadline reaper and
+  /// cancel() fire this.
+  AbortToken* abort = nullptr;
 };
 
 /// Outcome of an SPMD run.
 struct RunResult {
   bool ok = false;
   bool step_limited = false;  // some PE exceeded RunConfig::max_steps
+  bool aborted = false;       // RunConfig::abort was requested
   std::vector<std::string> pe_output;  // per-PE captured stdout
   std::vector<std::string> pe_errout;  // per-PE captured stderr
   std::vector<std::string> errors;     // per-PE error ("" when fine)

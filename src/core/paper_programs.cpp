@@ -133,6 +133,9 @@ IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN @N@
     AN WHATEVAR AN 1000
 IM OUTTA YR loop
 
+BTW sync initial positions before any PE reads a neighbor's
+HUGZ
+
 IM IN YR loop UPPIN YR time TIL BOTH SAEM ...
   time AN @T@
 

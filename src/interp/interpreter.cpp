@@ -73,7 +73,7 @@ Interpreter::Flow Interpreter::exec_stmt(const ast::Stmt& s, Env& env) {
     }
     case ast::StmtKind::kGimmeh: {
       const auto& g = static_cast<const ast::GimmehStmt&>(s);
-      auto line = ctx_.in->read_line(ctx_.pe->id());
+      auto line = ctx_.read_line();
       assign_place(*g.target, Value::yarn(line.value_or("")), env);
       return Flow::kNormal;
     }

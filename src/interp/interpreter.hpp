@@ -76,7 +76,21 @@ class Interpreter {
   int call_depth_ = 0;
   rt::Value return_value_;
 
+  // The tree-walking interpreter recurses on the host stack, so the
+  // guard must leave headroom below the real stack size. Sanitizer
+  // instrumentation grows frames several-fold; shrink accordingly so
+  // runaway recursion still dies with a clean diagnostic, not SIGSEGV.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  static constexpr int kMaxCallDepth = 250;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  static constexpr int kMaxCallDepth = 250;
+#else
   static constexpr int kMaxCallDepth = 2000;
+#endif
+#else
+  static constexpr int kMaxCallDepth = 2000;
+#endif
 };
 
 /// Convenience: run `program` for one PE (used by the SPMD launcher).

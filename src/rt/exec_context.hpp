@@ -13,12 +13,21 @@ namespace lol::rt {
 /// deterministic per-PE RNG behind WHATEVR/WHATEVAR, IO, and the
 /// cooperative step budget that kills runaway programs.
 struct ExecContext {
+  /// How many steps run between checks of the runtime's abort flag. The
+  /// first step always checks, so a pre-run cancel dies immediately;
+  /// afterwards the acquire load is amortized over the period.
+  static constexpr std::uint64_t kAbortPollPeriod = 2048;
+
+  /// How long one GIMMEH poll waits before re-checking for abort.
+  static constexpr std::chrono::milliseconds kInputPollWait{10};
+
   shmem::Pe* pe = nullptr;
   support::PeRng rng;
   OutputSink* out = nullptr;
   InputSource* in = nullptr;
   std::uint64_t max_steps = 0;   // 0 = unlimited
   std::uint64_t steps_left = 0;  // remaining budget when limited
+  std::uint64_t abort_countdown = 1;  // steps until the next abort check
 
   ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i,
               std::uint64_t max_steps_budget = 0)
@@ -31,11 +40,32 @@ struct ExecContext {
 
   /// Charges one execution step (a statement in the interpreter, an
   /// instruction in the VM). Throws support::StepLimitError once the
-  /// budget is spent; a single compare on the unlimited path.
+  /// budget is spent, and periodically polls the runtime abort flag so a
+  /// wall-clock deadline or cancel kills a spinning PE even when the
+  /// step budget is unlimited.
   void count_step() {
     if (max_steps != 0) {
       if (steps_left == 0) throw support::StepLimitError(max_steps);
       --steps_left;
+    }
+    if (--abort_countdown == 0) {
+      abort_countdown = kAbortPollPeriod;
+      if (pe->runtime().aborted()) {
+        throw support::RuntimeError("SPMD aborted mid-execution");
+      }
+    }
+  }
+
+  /// Abort-aware GIMMEH read: polls the input source with a bounded wait
+  /// so Runtime::abort() interrupts a PE blocked on input. Sources that
+  /// never block (stdin_lines) take the fast path on the first poll.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      TryRead r = in->try_read_line(pe->id(), kInputPollWait);
+      if (!r.timed_out) return std::move(r.line);
+      if (pe->runtime().aborted()) {
+        throw support::RuntimeError("SPMD aborted while blocked in GIMMEH");
+      }
     }
   }
 };

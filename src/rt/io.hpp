@@ -6,6 +6,7 @@
 // the PE id, like `coprsh` output interleaves ranks).
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,12 +78,30 @@ class StdioSink final : public OutputSink {
   std::map<int, std::string> pending_err_;
 };
 
+/// Outcome of a bounded-wait input read: either done (a line, or EOF when
+/// `line` is empty-nullopt) or timed out, in which case the caller should
+/// check for abort and poll again.
+struct TryRead {
+  std::optional<std::string> line;
+  bool timed_out = false;
+};
+
 /// Where GIMMEH reads from.
 class InputSource {
  public:
   virtual ~InputSource() = default;
   /// Next line for PE `pe`, or nullopt at end of input.
   virtual std::optional<std::string> read_line(int pe) = 0;
+
+  /// Bounded-wait variant of read_line. Backends read GIMMEH through
+  /// this in a poll loop so shmem::Runtime::abort() (deadline, cancel)
+  /// can interrupt a PE blocked on input. Sources that never block — the
+  /// default — just read; sources backed by a live stream should wait at
+  /// most `wait` and report a timeout instead of blocking forever.
+  virtual TryRead try_read_line(int pe, std::chrono::milliseconds wait) {
+    (void)wait;
+    return {read_line(pe), false};
+  }
 };
 
 /// Serves a fixed list of lines; every PE gets its own independent cursor
@@ -111,6 +130,11 @@ class VectorInput final : public InputSource {
 class StdinInput final : public InputSource {
  public:
   std::optional<std::string> read_line(int pe) override;
+
+  /// Bounded wait via poll(2) on fd 0 (POSIX; blocking fallback
+  /// elsewhere), so a deadline/abort can interrupt a GIMMEH that is
+  /// waiting on input that never comes.
+  TryRead try_read_line(int pe, std::chrono::milliseconds wait) override;
 
  private:
   std::mutex m_;

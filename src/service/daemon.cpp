@@ -1,0 +1,316 @@
+#include "service/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace lol::service {
+
+namespace {
+
+/// send() the whole buffer; MSG_NOSIGNAL so a vanished client yields
+/// EPIPE instead of killing the process. Best-effort: errors are
+/// swallowed (the reader side notices the close and tears down).
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+Daemon::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Daemon::Daemon(Service& svc, DaemonOptions opts)
+    : svc_(svc), opts_(std::move(opts)) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::start(std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+    int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
+    return false;
+  };
+
+  if (!opts_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      if (errno != EADDRINUSE) return fail("bind " + opts_.unix_path);
+      // In-use path: distinguish a live daemon (connect succeeds —
+      // refuse to hijack it) from a stale socket left by a dead one
+      // (connect fails — unlink and retry).
+      int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      bool alive = probe >= 0 &&
+                   ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (alive) {
+        errno = EADDRINUSE;
+        return fail("another daemon is listening on " + opts_.unix_path);
+      }
+      ::unlink(opts_.unix_path.c_str());
+      if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        return fail("bind " + opts_.unix_path);
+      }
+    }
+    bound_unix_ = true;
+  } else if (opts_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return fail("bind 127.0.0.1:" + std::to_string(opts_.tcp_port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+  } else {
+    if (error != nullptr) {
+      *error = "daemon needs a unix socket path or a TCP port";
+    }
+    return false;
+  }
+
+  if (::listen(listen_fd_, opts_.backlog) < 0) return fail("listen");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Daemon::reap_finished_connections() {
+  std::lock_guard<std::mutex> g(conns_m_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->conn->finished.load(std::memory_order_acquire)) {
+      it->thread.join();  // returns immediately: the thread is done
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already closed the listener
+    int fd = ::accept(lfd, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      // Transient failures (ECONNABORTED handshake aborts, EMFILE fd
+      // pressure, EINTR) must not kill the daemon's front door; only a
+      // dead listener ends the loop.
+      if (errno == EBADF || errno == EINVAL) return;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      continue;
+    }
+    reap_finished_connections();  // fds/threads of closed clients
+    auto conn = std::make_shared<Conn>(fd);
+    std::lock_guard<std::mutex> g(conns_m_);
+    conns_.push_back(ConnEntry{
+        conn, std::thread([this, conn] {
+          serve_connection(conn);
+          conn->finished.store(true, std::memory_order_release);
+        })});
+  }
+}
+
+void Daemon::serve_connection(const std::shared_ptr<Conn>& conn) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // client closed (or stop() shut the socket down)
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      std::size_t nl = buf.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!handle_line(conn, line)) return;
+    }
+    buf.erase(0, start);
+    if (buf.size() > (1u << 22)) {
+      // A 4 MiB line with no newline is not a protocol client.
+      send_line(*conn, wire::error_line("request line too long"));
+      return;
+    }
+  }
+}
+
+bool Daemon::handle_line(const std::shared_ptr<Conn>& conn,
+                         const std::string& line) {
+  std::string err;
+  auto req = wire::parse_request(line, &err);
+  if (!req) {
+    send_line(*conn, wire::error_line(err));
+    return true;  // malformed line; keep the connection
+  }
+  switch (req->op) {
+    case wire::Request::Op::kSubmit: {
+      Job echo;  // name/tenant round-trip for the accepted event
+      echo.name = req->job.name;
+      echo.tenant = req->job.tenant;
+      // A worker (or a synchronous reject) can finish the job before
+      // this thread has written the "accepted" line; the gate holds any
+      // early "done" event back — without ever blocking the worker —
+      // so clients always learn the id first.
+      struct AcceptGate {
+        std::mutex m;
+        bool open = false;
+        std::vector<std::pair<std::string, JobId>> held;
+      };
+      auto gate = std::make_shared<AcceptGate>();
+      // The callback owns a Conn reference: it may fire after this
+      // connection (or the whole daemon) is gone, in which case send()
+      // fails harmlessly on the shut-down socket.
+      auto sub = svc_.submit_job(
+          std::move(req->job), [conn, gate](const JobResult& r) {
+            std::string line = wire::result_line(r);
+            {
+              std::lock_guard<std::mutex> g(gate->m);
+              if (!gate->open) {
+                gate->held.emplace_back(std::move(line), r.id);
+                return;
+              }
+            }
+            send_line(*conn, line);
+            std::lock_guard<std::mutex> g(conn->ids_m);
+            conn->submitted.erase(r.id);  // job over; id no longer live
+          });
+      {
+        std::lock_guard<std::mutex> g(conn->ids_m);
+        conn->submitted.insert(sub.id);
+      }
+      send_line(*conn, wire::accepted_line(sub.id, echo));
+      std::vector<std::pair<std::string, JobId>> held;
+      {
+        std::lock_guard<std::mutex> g(gate->m);
+        gate->open = true;
+        held.swap(gate->held);
+      }
+      for (const auto& [line, id] : held) {
+        send_line(*conn, line);
+        std::lock_guard<std::mutex> g(conn->ids_m);
+        conn->submitted.erase(id);
+      }
+      return true;
+    }
+    case wire::Request::Op::kCancel: {
+      // Only live jobs submitted on this connection may be cancelled:
+      // ids are sequential, so an unscoped cancel would let any client
+      // kill other tenants' jobs by walking the id space.
+      bool mine;
+      {
+        std::lock_guard<std::mutex> g(conn->ids_m);
+        mine = conn->submitted.count(req->id) != 0;
+      }
+      send_line(*conn,
+                wire::cancel_line(req->id, mine && svc_.cancel(req->id)));
+      return true;
+    }
+    case wire::Request::Op::kStats:
+      send_line(*conn, wire::stats_line(svc_.stats()));
+      return true;
+    case wire::Request::Op::kPing:
+      send_line(*conn, wire::pong_line());
+      return true;
+    case wire::Request::Op::kShutdown:
+      send_line(*conn, wire::bye_line());
+      request_shutdown();
+      return false;
+  }
+  return true;
+}
+
+void Daemon::send_line(Conn& conn, const std::string& line) {
+  std::lock_guard<std::mutex> g(conn.write_m);
+  send_all(conn.fd, line);
+  send_all(conn.fd, "\n");
+}
+
+void Daemon::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> g(done_m_);
+    shutdown_requested_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void Daemon::wait() {
+  std::unique_lock<std::mutex> g(done_m_);
+  done_cv_.wait(g, [&] { return shutdown_requested_; });
+}
+
+void Daemon::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  request_shutdown();
+  int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<ConnEntry> conns;
+  {
+    std::lock_guard<std::mutex> g(conns_m_);
+    conns.swap(conns_);
+  }
+  // Shut down (not close) each socket: blocked recv()s return, and a
+  // completion callback still holding the Conn fails its send instead
+  // of writing to a recycled fd.
+  for (auto& c : conns) ::shutdown(c.conn->fd, SHUT_RDWR);
+  for (auto& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  // Only remove a path this instance actually bound — a failed start
+  // (another live daemon owns it) must not break that daemon.
+  if (bound_unix_) ::unlink(opts_.unix_path.c_str());
+}
+
+}  // namespace lol::service

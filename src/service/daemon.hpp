@@ -1,0 +1,122 @@
+// lolserve daemon mode: a long-running socket front end for the Service.
+//
+// Clients connect over a Unix-domain socket or loopback TCP and speak
+// newline-delimited JSON (see wire.hpp): submit jobs, cancel by id, read
+// stats. Per-job "done" events stream back the moment each job finishes
+// (Service completion callbacks), so deadlines, cancellation and fair
+// queueing are all observable from outside the process — exactly the
+// knobs a classroom front end needs.
+//
+//   Service svc(opts);
+//   Daemon daemon(svc, {.tcp_port = 0});      // 0 = ephemeral port
+//   daemon.start(&err);
+//   ... daemon.wait();                        // until a client sends
+//   daemon.stop();                            // {"op":"shutdown"}
+//
+// Connections are handled one thread each (classroom-scale fan-in; the
+// heavy concurrency lives in the Service worker pool behind it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace lol::service {
+
+struct DaemonOptions {
+  /// Non-empty => listen on this Unix-domain socket path (takes
+  /// precedence over tcp_port). The path is unlinked on stop.
+  std::string unix_path;
+  /// >= 0 => listen on 127.0.0.1:tcp_port (0 picks an ephemeral port,
+  /// readable via tcp_port() after start — tests use this).
+  int tcp_port = -1;
+  int backlog = 16;
+};
+
+class Daemon {
+ public:
+  Daemon(Service& svc, DaemonOptions opts);
+
+  /// Stops if still running.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens and starts the accept thread. False + `error` on
+  /// failure (bad options, bind error).
+  bool start(std::string* error = nullptr);
+
+  /// Blocks until a client requests shutdown or stop() is called.
+  void wait();
+
+  /// Closes the listener and every connection, joins all threads.
+  /// In-flight jobs keep running in the Service; their completion
+  /// callbacks write into closed sockets and are dropped. Idempotent.
+  void stop();
+
+  /// The bound TCP port (-1 when listening on a Unix socket).
+  [[nodiscard]] int tcp_port() const { return port_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return opts_.unix_path;
+  }
+
+ private:
+  /// Per-connection state shared with in-flight completion callbacks,
+  /// which may outlive the connection thread. The fd is closed only when
+  /// the last reference drops; stop() shuts it down first so late
+  /// writes fail instead of blocking. `finished` flags the entry for
+  /// reaping by the accept loop once serve_connection returns.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    int fd;
+    std::mutex write_m;
+    std::atomic<bool> finished{false};
+    // Live ids submitted on this connection: cancel is scoped to them,
+    // so one client cannot walk the sequential id space and kill other
+    // tenants' jobs. Entries are erased when the done event ships, so
+    // the set stays bounded by in-flight jobs, not connection lifetime.
+    // Guarded by ids_m (completion callbacks run on worker threads).
+    std::mutex ids_m;
+    std::unordered_set<JobId> submitted;
+  };
+
+  struct ConnEntry {
+    std::shared_ptr<Conn> conn;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Conn>& conn);
+  bool handle_line(const std::shared_ptr<Conn>& conn,
+                   const std::string& line);  // false => close connection
+  static void send_line(Conn& conn, const std::string& line);
+  void reap_finished_connections();
+  void request_shutdown();
+
+  Service& svc_;
+  DaemonOptions opts_;
+  std::atomic<int> listen_fd_{-1};  // stop() closes it under accept's feet
+  bool bound_unix_ = false;  // we own unix_path; stop() may unlink it
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_m_;
+  std::vector<ConnEntry> conns_;
+
+  std::mutex done_m_;
+  std::condition_variable done_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace lol::service

@@ -2,8 +2,9 @@
 //
 // A Job is one student submission in the classroom-deployment story: a
 // LOLCODE source plus the RunConfig-shaped knobs a multi-tenant host is
-// willing to expose (PE count, backend, seed, stdin, resource limits).
-// The service clamps the limits against its own caps before running.
+// willing to expose (PE count, backend, seed, stdin, resource limits,
+// wall-clock deadline, tenant identity). The service clamps the limits
+// against its own caps before running.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +15,11 @@
 
 namespace lol::service {
 
+/// Identifies one submission for cancel() and daemon-protocol
+/// correlation. Assigned by Service::submit_job, unique per Service,
+/// never 0.
+using JobId = std::uint64_t;
+
 /// One queued execution request.
 struct Job {
   std::string name;      // reporting label ("ring.lol", "user42#7", ...)
@@ -23,18 +29,35 @@ struct Job {
   std::uint64_t seed = 20170529;
   std::vector<std::string> stdin_lines;
 
+  /// Fair-queueing key: jobs compete FIFO within a tenant, tenants share
+  /// workers by deficit-round-robin weight. "" is the default tenant.
+  std::string tenant;
+
   // Resource requests; the service clamps them to ServiceOptions caps.
   std::uint64_t max_steps = 0;     // 0 = service default
   std::size_t heap_bytes = 1 << 20;
+
+  /// Wall-clock execution budget in milliseconds, measured from worker
+  /// pickup; 0 = service default. The reaper aborts the run when it
+  /// expires, even if every PE is blocked in GIMMEH, a barrier or a lock
+  /// — cases the step budget cannot see.
+  std::uint64_t deadline_ms = 0;
+
+  /// Live input override for GIMMEH (embedders only; must outlive the
+  /// job). Null => stdin_lines. Blocking sources should implement
+  /// rt::InputSource::try_read_line so deadlines can interrupt them.
+  rt::InputSource* input = nullptr;
 };
 
 /// How a job ended.
 enum class JobStatus {
-  kOk,            // ran to completion on every PE
-  kCompileError,  // lex/parse/sema rejected the source
-  kRuntimeError,  // a PE raised a runtime error
-  kStepLimit,     // killed: a PE exhausted its step budget
-  kRejected,      // never ran: bounded queue was full (kReject policy)
+  kOk,                // ran to completion on every PE
+  kCompileError,      // lex/parse/sema rejected the source
+  kRuntimeError,      // a PE raised a runtime error
+  kStepLimit,         // killed: a PE exhausted its step budget
+  kDeadlineExceeded,  // killed: wall-clock deadline expired (reaper abort)
+  kCancelled,         // killed or dequeued by Service::cancel
+  kRejected,          // never ran: bounded queue was full (kReject policy)
 };
 
 [[nodiscard]] constexpr const char* to_string(JobStatus s) {
@@ -43,6 +66,8 @@ enum class JobStatus {
     case JobStatus::kCompileError: return "compile-error";
     case JobStatus::kRuntimeError: return "runtime-error";
     case JobStatus::kStepLimit: return "step-limit";
+    case JobStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kRejected: return "rejected";
   }
   return "?";
@@ -50,7 +75,9 @@ enum class JobStatus {
 
 /// Outcome delivered through the future returned by Service::submit.
 struct JobResult {
+  JobId id = 0;
   std::string name;
+  std::string tenant;
   JobStatus status = JobStatus::kOk;
   std::string error;                   // first error (empty on kOk)
   std::vector<std::string> pe_output;  // per-PE stdout (empty unless run)

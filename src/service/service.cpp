@@ -20,6 +20,7 @@ Service::Service(ServiceOptions opts)
       cache_(opts_.cache_capacity) {
   opts_.workers = std::max(1, opts_.workers);
   opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
+  opts_.default_tenant_weight = std::max(1, opts_.default_tenant_weight);
   if (!opts_.start_paused) start();
 }
 
@@ -32,6 +33,7 @@ void Service::start_locked() {
   for (int i = 0; i < opts_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  reaper_ = std::thread([this] { reaper_loop(); });
 }
 
 void Service::start() {
@@ -54,79 +56,172 @@ void Service::shutdown() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // The reaper outlives the workers: deadlines must keep firing while
+  // the drain runs, or a wedged job would hang shutdown forever.
+  {
+    std::lock_guard<std::mutex> g(reaper_m_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
 }
 
-std::future<JobResult> Service::submit(Job job) {
+Service::Submission Service::submit_job(Job job, Callback on_done) {
   Pending p;
   p.job = std::move(job);
+  p.on_done = std::move(on_done);
   p.enqueued = std::chrono::steady_clock::now();
-  std::future<JobResult> fut = p.promise.get_future();
+  Submission sub;
+  sub.result = p.promise.get_future();
 
   std::unique_lock<std::mutex> g(m_);
+  sub.id = next_id_++;
+  p.id = sub.id;
   ++stats_.submitted;
 
   auto reject = [&](const char* why) {
     JobResult r;
+    r.id = p.id;
     r.name = p.job.name;
+    r.tenant = p.job.tenant;
     r.status = JobStatus::kRejected;
     r.error = why;
     ++stats_.rejected;
     g.unlock();
-    p.promise.set_value(std::move(r));
-    return std::move(fut);
+    deliver(p, std::move(r));
+    return std::move(sub);
   };
 
   if (stopping_) return reject("service is shutting down");
 
-  if (queue_.size() >= opts_.queue_capacity) {
+  if (queued_total_ >= opts_.queue_capacity) {
     if (opts_.queue_full == QueueFullPolicy::kReject) {
       return reject("queue full");
     }
     not_full_.wait(g, [&] {
-      return queue_.size() < opts_.queue_capacity || stopping_;
+      return queued_total_ < opts_.queue_capacity || stopping_;
     });
     if (stopping_) return reject("service is shutting down");
   }
 
-  queue_.push_back(std::move(p));
+  auto [it, inserted] = tenants_.try_emplace(p.job.tenant);
+  TenantState& ts = it->second;
+  if (inserted) {
+    ts.name = p.job.tenant;
+    auto w = opts_.tenant_weights.find(p.job.tenant);
+    ts.weight = std::max(1, w != opts_.tenant_weights.end()
+                                ? w->second
+                                : opts_.default_tenant_weight);
+  }
+  ts.q.push_back(std::move(p));
+  if (!ts.in_rotation) {
+    ts.in_rotation = true;
+    rotation_.push_back(&ts);
+  }
+  ++queued_total_;
   g.unlock();
   not_empty_.notify_one();
-  return fut;
+  return sub;
+}
+
+Service::Pending Service::pop_locked() {
+  for (;;) {
+    TenantState* t = rotation_.front();
+    if (t->q.empty()) {
+      // cancel() can drain a tenant that is still in the rotation.
+      rotation_.pop_front();
+      // Reap drained tenants: names are client-chosen in daemon mode,
+      // so keeping entries forever would be an unbounded-memory DoS.
+      // (Copy the key — erasing through a reference into the node is
+      // use-after-free bait.)
+      std::string name = t->name;
+      tenants_.erase(name);
+      continue;
+    }
+    if (t->credit == 0) t->credit = t->weight;  // new DRR round
+    Pending p = std::move(t->q.front());
+    t->q.pop_front();
+    --queued_total_;
+    if (--t->credit == 0 || t->q.empty()) {
+      rotation_.pop_front();
+      if (t->q.empty()) {
+        std::string name = t->name;
+        tenants_.erase(name);
+      } else {
+        rotation_.push_back(t);  // spent its round; go to the back
+      }
+    }
+    return p;
+  }
 }
 
 void Service::worker_loop() {
   for (;;) {
     Pending p;
+    std::shared_ptr<Inflight> inflight;
     {
       std::unique_lock<std::mutex> g(m_);
-      not_empty_.wait(g, [&] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) return;  // stopping and drained
-      p = std::move(queue_.front());
-      queue_.pop_front();
+      not_empty_.wait(g, [&] { return queued_total_ > 0 || stopping_; });
+      if (queued_total_ == 0) return;  // stopping and drained
+      p = pop_locked();
+      // Register before releasing the lock so cancel(id) never sees a
+      // job that is neither queued nor running.
+      inflight = std::make_shared<Inflight>();
+      running_.emplace(p.id, inflight);
     }
     not_full_.notify_one();
 
+    // Resolve the wall-clock budget like the step budget: job request,
+    // else service default, everything clamped to the cap.
+    std::uint64_t deadline_ms = p.job.deadline_ms == 0
+                                    ? opts_.default_deadline_ms
+                                    : p.job.deadline_ms;
+    if (opts_.deadline_ms_cap != 0) {
+      deadline_ms = deadline_ms == 0
+                        ? opts_.deadline_ms_cap
+                        : std::min(deadline_ms, opts_.deadline_ms_cap);
+    }
+    if (deadline_ms != 0) {
+      arm_deadline(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms),
+                   inflight);
+    }
+
     JobResult r;
     try {
-      r = execute(p.job, ms_since(p.enqueued));
+      r = execute(p, *inflight, ms_since(p.enqueued));
     } catch (const std::exception& e) {
       // lol::run can throw outside the per-PE guards (heap allocation in
       // the Runtime constructor, thread exhaustion in launch). A worker
       // must never die with the job — that would take the process down.
       r = JobResult{};
+      r.id = p.id;
       r.name = p.job.name;
+      r.tenant = p.job.tenant;
       r.status = JobStatus::kRuntimeError;
       r.error = e.what();
     }
+    if (r.status == JobStatus::kDeadlineExceeded && deadline_ms != 0) {
+      r.error = "deadline of " + std::to_string(deadline_ms) +
+                " ms exceeded (job aborted)";
+    }
+    inflight->done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> g(m_);
+      running_.erase(p.id);
+    }
     record(r);
-    p.promise.set_value(std::move(r));
+    deliver(p, std::move(r));
   }
 }
 
-JobResult Service::execute(Job& job, double queue_ms) {
+JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
+  Job& job = p.job;
   auto t0 = std::chrono::steady_clock::now();
   JobResult r;
+  r.id = p.id;
   r.name = job.name;
+  r.tenant = job.tenant;
   r.queue_ms = queue_ms;
 
   CachedCompile compiled = cache_.get_or_compile(job.source,
@@ -143,6 +238,8 @@ JobResult Service::execute(Job& job, double queue_ms) {
   cfg.backend = job.backend;
   cfg.seed = job.seed;
   cfg.stdin_lines = job.stdin_lines;
+  cfg.input = job.input;
+  cfg.abort = &inflight.token;
   cfg.max_steps =
       job.max_steps == 0 ? opts_.default_max_steps : job.max_steps;
   if (opts_.max_steps_cap != 0) {
@@ -160,8 +257,17 @@ JobResult Service::execute(Job& job, double queue_ms) {
   RunResult run = lol::run(*compiled.program, cfg);
   r.pe_output = std::move(run.pe_output);
   r.pe_errout = std::move(run.pe_errout);
+  // A completed run beats a late abort; otherwise the abort reason (set
+  // before the token fired) decides how the failure is reported.
+  int reason = inflight.abort_reason.load(std::memory_order_acquire);
   if (run.ok) {
     r.status = JobStatus::kOk;
+  } else if (reason == kReasonCancel) {
+    r.status = JobStatus::kCancelled;
+    r.error = "cancelled while running";
+  } else if (reason == kReasonDeadline) {
+    r.status = JobStatus::kDeadlineExceeded;
+    r.error = "deadline exceeded (job aborted)";  // worker adds the budget
   } else if (run.step_limited) {
     r.status = JobStatus::kStepLimit;
     r.error = run.first_error();
@@ -173,6 +279,99 @@ JobResult Service::execute(Job& job, double queue_ms) {
   return r;
 }
 
+bool Service::cancel(JobId id) {
+  std::unique_lock<std::mutex> g(m_);
+  // Still queued? Remove it; it never runs.
+  for (auto& [name, ts] : tenants_) {
+    for (auto it = ts.q.begin(); it != ts.q.end(); ++it) {
+      if (it->id != id) continue;
+      Pending p = std::move(*it);
+      ts.q.erase(it);
+      --queued_total_;
+      ++stats_.cancelled;
+      if (ts.q.empty()) {
+        // Reap the drained tenant now rather than leaving it parked in
+        // the rotation until the next pop (which may never come).
+        auto rit = std::find(rotation_.begin(), rotation_.end(), &ts);
+        if (rit != rotation_.end()) rotation_.erase(rit);
+        std::string key = name;
+        tenants_.erase(key);
+      }
+      g.unlock();
+      not_full_.notify_one();
+      JobResult r;
+      r.id = p.id;
+      r.name = p.job.name;
+      r.tenant = p.job.tenant;
+      r.status = JobStatus::kCancelled;
+      r.error = "cancelled while queued";
+      deliver(p, std::move(r));
+      return true;
+    }
+  }
+  // In flight? Abort its runtime through the shared token.
+  auto it = running_.find(id);
+  if (it == running_.end()) return false;
+  std::shared_ptr<Inflight> inflight = it->second;
+  g.unlock();
+  int expected = kReasonNone;
+  inflight->abort_reason.compare_exchange_strong(expected, kReasonCancel,
+                                                 std::memory_order_acq_rel);
+  // Fire even if the deadline reaper won the race — request() is
+  // idempotent and the job must still die.
+  inflight->token.request();
+  return true;
+}
+
+void Service::arm_deadline(std::chrono::steady_clock::time_point when,
+                           const std::shared_ptr<Inflight>& inflight) {
+  {
+    std::lock_guard<std::mutex> g(reaper_m_);
+    reap_.push(ReapEntry{when, inflight});
+  }
+  reaper_cv_.notify_one();
+}
+
+void Service::reaper_loop() {
+  std::unique_lock<std::mutex> g(reaper_m_);
+  for (;;) {
+    if (reaper_stop_) return;
+    if (reap_.empty()) {
+      reaper_cv_.wait(g, [&] { return reaper_stop_ || !reap_.empty(); });
+      continue;
+    }
+    auto when = reap_.top().when;
+    if (std::chrono::steady_clock::now() < when) {
+      // Wake on the next expiry, a new (possibly earlier) entry, or stop;
+      // the loop re-evaluates whichever happened.
+      reaper_cv_.wait_until(g, when);
+      continue;
+    }
+    ReapEntry e = reap_.top();
+    reap_.pop();
+    g.unlock();
+    if (!e.inflight->done.load(std::memory_order_acquire)) {
+      int expected = kReasonNone;
+      if (e.inflight->abort_reason.compare_exchange_strong(
+              expected, kReasonDeadline, std::memory_order_acq_rel)) {
+        e.inflight->token.request();
+      }
+    }
+    g.lock();
+  }
+}
+
+void Service::deliver(Pending& p, JobResult r) {
+  if (p.on_done) {
+    try {
+      p.on_done(r);
+    } catch (...) {
+      // A throwing callback must not kill the worker or drop the future.
+    }
+  }
+  p.promise.set_value(std::move(r));
+}
+
 void Service::record(const JobResult& r) {
   std::lock_guard<std::mutex> g(m_);
   ++stats_.completed;
@@ -181,6 +380,8 @@ void Service::record(const JobResult& r) {
     case JobStatus::kCompileError: ++stats_.compile_errors; break;
     case JobStatus::kRuntimeError: ++stats_.runtime_errors; break;
     case JobStatus::kStepLimit: ++stats_.step_limited; break;
+    case JobStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+    case JobStatus::kCancelled: ++stats_.cancelled; break;
     case JobStatus::kRejected: break;  // rejected jobs never reach here
   }
 }
@@ -194,7 +395,12 @@ Service::Stats Service::stats() const {
 
 std::size_t Service::queue_depth() const {
   std::lock_guard<std::mutex> g(m_);
-  return queue_.size();
+  return queued_total_;
+}
+
+std::size_t Service::running_depth() const {
+  std::lock_guard<std::mutex> g(m_);
+  return running_.size();
 }
 
 }  // namespace lol::service

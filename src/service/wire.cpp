@@ -1,0 +1,389 @@
+#include "service/wire.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lol::service::wire {
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+/// Cursor over the input with one-token-lookahead helpers.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    char c = text[pos];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': out.kind = Json::Kind::kString; return parse_string(out.str);
+      case 't':
+        if (text.substr(pos, 4) == "true") {
+          pos += 4;
+          out.kind = Json::Kind::kBool;
+          out.b = true;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text.substr(pos, 5) == "false") {
+          pos += 5;
+          out.kind = Json::Kind::kBool;
+          out.b = false;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text.substr(pos, 4) == "null") {
+          pos += 4;
+          out.kind = Json::Kind::kNull;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected string");
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("bad \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — good enough for a wire
+          // format whose payloads are LOLCODE text).
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xC0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    skip_ws();
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return fail("bad number");
+    out.kind = Json::Kind::kNumber;
+    out.num = v;
+    return true;
+  }
+
+  bool parse_array(Json& out, int depth) {
+    out.kind = Json::Kind::kArray;
+    if (!eat('[')) return fail("expected array");
+    if (eat(']')) return true;
+    for (;;) {
+      Json v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.arr.push_back(std::move(v));
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    out.kind = Json::Kind::kObject;
+    if (!eat('{')) return fail("expected object");
+    if (eat('}')) return true;
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!eat(':')) return fail("expected ':'");
+      Json v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+/// Reads an unsigned integer member with a default. Untrusted input:
+/// non-finite, negative or absurdly large numbers fall back — casting
+/// inf/1e400 to uint64_t would be undefined behavior.
+std::uint64_t u64_or(const Json& obj, std::string_view key,
+                     std::uint64_t fallback) {
+  constexpr double kMax = 9.0e18;  // < 2^63, exactly representable
+  const Json* v = obj.find(key);
+  if (v == nullptr || !v->is(Json::Kind::kNumber)) return fallback;
+  double d = v->num;
+  if (!std::isfinite(d) || d < 0 || d > kMax) return fallback;
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string str_or(const Json& obj, std::string_view key,
+                   std::string fallback) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || !v->is(Json::Kind::kString)) return fallback;
+  return v->str;
+}
+
+std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ',';
+    out += quote(items[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string fmt_ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<Json> parse_json(std::string_view text, std::string* error) {
+  Parser p{text};
+  Json out;
+  if (!p.parse_value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) *error = "trailing characters after JSON value";
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::string quote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+  auto doc = parse_json(line, error);
+  if (!doc) return std::nullopt;
+  if (!doc->is(Json::Kind::kObject)) {
+    if (error != nullptr) *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+  std::string op = str_or(*doc, "op", "");
+  Request req;
+  if (op == "submit") {
+    req.op = Request::Op::kSubmit;
+    const Json* src = doc->find("source");
+    if (src == nullptr || !src->is(Json::Kind::kString)) {
+      if (error != nullptr) *error = "submit requires a string 'source'";
+      return std::nullopt;
+    }
+    req.job.source = src->str;
+    req.job.name = str_or(*doc, "name", "anonymous");
+    req.job.tenant = str_or(*doc, "tenant", "");
+    // The service clamps to its max_pes; this bound only keeps the
+    // u64->int narrowing well-behaved for hostile values.
+    req.job.n_pes = static_cast<int>(
+        std::min<std::uint64_t>(u64_or(*doc, "n_pes", 1), 1024));
+    req.job.seed = u64_or(*doc, "seed", req.job.seed);
+    req.job.max_steps = u64_or(*doc, "max_steps", 0);
+    req.job.deadline_ms = u64_or(*doc, "deadline_ms", 0);
+    req.job.heap_bytes = static_cast<std::size_t>(
+        u64_or(*doc, "heap_bytes", req.job.heap_bytes));
+    std::string backend = str_or(*doc, "backend", "vm");
+    if (backend == "interp") {
+      req.job.backend = Backend::kInterp;
+    } else if (backend == "vm") {
+      req.job.backend = Backend::kVm;
+    } else {
+      if (error != nullptr) *error = "unknown backend '" + backend + "'";
+      return std::nullopt;
+    }
+    if (const Json* lines = doc->find("stdin");
+        lines != nullptr && lines->is(Json::Kind::kArray)) {
+      for (const Json& l : lines->arr) {
+        if (l.is(Json::Kind::kString)) req.job.stdin_lines.push_back(l.str);
+      }
+    }
+    return req;
+  }
+  if (op == "cancel") {
+    req.op = Request::Op::kCancel;
+    req.id = u64_or(*doc, "id", 0);
+    if (req.id == 0) {
+      if (error != nullptr) *error = "cancel requires a numeric 'id'";
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (op == "stats") {
+    req.op = Request::Op::kStats;
+    return req;
+  }
+  if (op == "ping") {
+    req.op = Request::Op::kPing;
+    return req;
+  }
+  if (op == "shutdown") {
+    req.op = Request::Op::kShutdown;
+    return req;
+  }
+  if (error != nullptr) *error = "unknown op '" + op + "'";
+  return std::nullopt;
+}
+
+std::string accepted_line(JobId id, const Job& job) {
+  return "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
+         ",\"name\":" + quote(job.name) +
+         ",\"tenant\":" + quote(job.tenant) + "}";
+}
+
+std::string result_line(const JobResult& r) {
+  std::string out = "{\"event\":\"done\",\"id\":" + std::to_string(r.id) +
+                    ",\"name\":" + quote(r.name) +
+                    ",\"tenant\":" + quote(r.tenant) + ",\"status\":\"" +
+                    to_string(r.status) + "\",\"error\":" + quote(r.error) +
+                    ",\"cached\":" + (r.compile_cache_hit ? "true" : "false") +
+                    ",\"queue_ms\":" + fmt_ms(r.queue_ms) +
+                    ",\"run_ms\":" + fmt_ms(r.run_ms) +
+                    ",\"output\":" + json_array(r.pe_output) +
+                    ",\"errout\":" + json_array(r.pe_errout) + "}";
+  return out;
+}
+
+std::string cancel_line(JobId id, bool ok) {
+  return "{\"event\":\"cancel\",\"id\":" + std::to_string(id) +
+         ",\"ok\":" + (ok ? "true" : "false") + "}";
+}
+
+std::string stats_line(const Service::Stats& s) {
+  auto n = [](std::uint64_t v) { return std::to_string(v); };
+  return "{\"event\":\"stats\",\"submitted\":" + n(s.submitted) +
+         ",\"completed\":" + n(s.completed) + ",\"ok\":" + n(s.ok) +
+         ",\"compile_errors\":" + n(s.compile_errors) +
+         ",\"runtime_errors\":" + n(s.runtime_errors) +
+         ",\"step_limited\":" + n(s.step_limited) +
+         ",\"deadline_exceeded\":" + n(s.deadline_exceeded) +
+         ",\"cancelled\":" + n(s.cancelled) +
+         ",\"rejected\":" + n(s.rejected) +
+         ",\"cache_hits\":" + n(s.cache.hits) +
+         ",\"cache_misses\":" + n(s.cache.misses) +
+         ",\"cache_evictions\":" + n(s.cache.evictions) + "}";
+}
+
+std::string pong_line() { return "{\"event\":\"pong\"}"; }
+
+std::string bye_line() { return "{\"event\":\"bye\"}"; }
+
+std::string error_line(std::string_view message) {
+  return "{\"event\":\"error\",\"message\":" + quote(message) + "}";
+}
+
+}  // namespace lol::service::wire

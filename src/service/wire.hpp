@@ -1,0 +1,82 @@
+// The lolserve daemon wire format: newline-delimited JSON.
+//
+// One request object per line in, one event object per line out. The
+// codec is deliberately tiny (no external JSON dependency): a recursive
+// descent parser for the subset the protocol uses plus serializers for
+// the event lines. Events are correlated by job id; a job's "accepted"
+// event always precedes its "done" event (the daemon holds early
+// completions back until the id has been announced).
+//
+// Requests:
+//   {"op":"submit","source":"HAI ...","name":"lab1","n_pes":4,
+//    "tenant":"alice","deadline_ms":200,"max_steps":100000,
+//    "heap_bytes":1048576,"backend":"vm","seed":7,"stdin":["line1"]}
+//   {"op":"cancel","id":7}
+//   {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+//
+// Events:
+//   {"event":"accepted","id":7,"name":"lab1","tenant":"alice"}
+//   {"event":"done","id":7,"name":"lab1","tenant":"alice","status":"ok",
+//    "error":"","cached":true,"queue_ms":0.1,"run_ms":1.9,
+//    "output":["..."],"errout":["..."]}
+//   {"event":"cancel","id":7,"ok":true}
+//   {"event":"stats",...}   {"event":"pong"}   {"event":"bye"}
+//   {"event":"error","message":"..."}
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/service.hpp"
+
+namespace lol::service::wire {
+
+/// A parsed JSON value (the subset NDJSON requests need).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  /// Object member lookup; null when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+};
+
+/// Parses one JSON document (trailing garbage is an error). Returns
+/// nullopt and fills `error` on malformed input.
+std::optional<Json> parse_json(std::string_view text,
+                               std::string* error = nullptr);
+
+/// JSON string escaping (quotes included in the result).
+std::string quote(std::string_view s);
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kSubmit, kCancel, kStats, kPing, kShutdown };
+  Op op = Op::kPing;
+  Job job;        // kSubmit
+  JobId id = 0;   // kCancel
+};
+
+/// Parses a request line; nullopt + `error` on malformed/unknown input.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error);
+
+// -- event serializers (no trailing newline) --------------------------------
+std::string accepted_line(JobId id, const Job& job);
+std::string result_line(const JobResult& r);
+std::string cancel_line(JobId id, bool ok);
+std::string stats_line(const Service::Stats& s);
+std::string pong_line();
+std::string bye_line();
+std::string error_line(std::string_view message);
+
+}  // namespace lol::service::wire

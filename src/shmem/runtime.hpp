@@ -34,6 +34,7 @@
 
 #include "noc/model.hpp"
 #include "support/error.hpp"
+#include "support/string_util.hpp"
 
 namespace lol::shmem {
 
@@ -146,11 +147,10 @@ struct LaunchResult {
   /// Per-PE simulated time (ns); zeros when no machine model configured.
   std::vector<double> sim_ns;
 
-  /// First non-empty error (convenience for tests/tools).
+  /// First non-empty error, preferring a root cause over the "SPMD
+  /// aborted ..." collateral reported by peers the abort woke up.
   [[nodiscard]] std::string first_error() const {
-    for (const auto& e : errors)
-      if (!e.empty()) return e;
-    return {};
+    return support::first_root_error(errors);
   }
   /// Maximum simulated time across PEs — the modeled wall-clock.
   [[nodiscard]] double max_sim_ns() const {

@@ -119,4 +119,14 @@ std::string c_escape(std::string_view s) {
   return out;
 }
 
+std::string first_root_error(const std::vector<std::string>& errors) {
+  const std::string* collateral = nullptr;
+  for (const auto& e : errors) {
+    if (e.empty()) continue;
+    if (e.find("SPMD aborted") == std::string::npos) return e;
+    if (collateral == nullptr) collateral = &e;
+  }
+  return collateral != nullptr ? *collateral : std::string{};
+}
+
 }  // namespace lol::support

@@ -40,4 +40,9 @@ std::string format_numbr(std::int64_t v);
 /// and by AST dumps).
 std::string c_escape(std::string_view s);
 
+/// First non-empty per-PE error, preferring a root cause over the "SPMD
+/// aborted ..." collateral reported by peers the abort broadcast woke up
+/// (shared by shmem::LaunchResult and lol::RunResult).
+std::string first_root_error(const std::vector<std::string>& errors);
+
 }  // namespace lol::support

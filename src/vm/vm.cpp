@@ -472,7 +472,7 @@ void Vm::run() {
         break;
       }
       case Op::kGimmeh: {
-        auto line = ctx_.in->read_line(ctx_.pe->id());
+        auto line = ctx_.read_line();
         push(Value::yarn(line.value_or("")));
         break;
       }

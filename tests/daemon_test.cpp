@@ -1,0 +1,380 @@
+// Daemon-mode tests: NDJSON over a real loopback socket — submit with
+// streamed completion events, cancel by id, stats, malformed input, and
+// deadline enforcement observed from outside the process.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "service/daemon.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+using lol::service::Daemon;
+using lol::service::DaemonOptions;
+using lol::service::Service;
+using lol::service::ServiceOptions;
+namespace wire = lol::service::wire;
+
+/// A minimal NDJSON client: connect to the daemon's loopback port, send
+/// request lines, read event lines with a timeout.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_line(const std::string& line) {
+    std::string data = line + "\n";
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  /// Next line, or nullopt after `timeout_ms` of silence.
+  std::optional<std::string> read_line(int timeout_ms = 5000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return std::nullopt;
+      pollfd pfd{fd_, POLLIN, 0};
+      int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr <= 0) return std::nullopt;
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads lines until one whose parsed "event" matches, skipping others
+  /// (submit responses can interleave with completion events).
+  std::optional<wire::Json> read_event(const std::string& event,
+                                       int timeout_ms = 5000) {
+    for (;;) {
+      auto line = read_line(timeout_ms);
+      if (!line) return std::nullopt;
+      auto doc = wire::parse_json(*line);
+      if (!doc) continue;
+      const wire::Json* e = doc->find("event");
+      if (e != nullptr && e->str == event) return doc;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+struct DaemonFixture {
+  DaemonFixture() : svc(make_opts()), daemon(svc, DaemonOptions{"", 0}) {
+    std::string err;
+    started = daemon.start(&err);
+  }
+  ~DaemonFixture() {
+    daemon.stop();
+    svc.shutdown();
+  }
+  static ServiceOptions make_opts() {
+    ServiceOptions o;
+    o.workers = 2;
+    o.default_max_steps = 0;  // deadline/cancel tests need unlimited steps
+    return o;
+  }
+  Service svc;
+  Daemon daemon;
+  bool started = false;
+};
+
+const char* kHelloSubmit =
+    R"({"op":"submit","name":"hi","source":"HAI 1.2\nVISIBLE \"O HAI\" ME\nKTHXBYE\n","n_pes":2,"tenant":"alice"})";
+const char* kSpinSubmit =
+    R"({"op":"submit","name":"spin","source":"HAI 1.2\nIM IN YR l\nIM OUTTA YR l\nKTHXBYE\n","n_pes":1)";
+
+TEST(Daemon, PingPong) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+  c.send_line(R"({"op":"ping"})");
+  auto pong = c.read_event("pong");
+  ASSERT_TRUE(pong.has_value());
+}
+
+TEST(Daemon, SubmitStreamsAcceptedThenDone) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(kHelloSubmit);
+  auto accepted = c.read_event("accepted");
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->find("name")->str, "hi");
+  EXPECT_EQ(accepted->find("tenant")->str, "alice");
+  double id = accepted->find("id")->num;
+  EXPECT_GT(id, 0.0);
+
+  auto done = c.read_event("done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->find("id")->num, id);
+  EXPECT_EQ(done->find("status")->str, "ok");
+  const wire::Json* output = done->find("output");
+  ASSERT_NE(output, nullptr);
+  ASSERT_EQ(output->arr.size(), 2u);
+  EXPECT_EQ(output->arr[0].str, "O HAI0\n");
+  EXPECT_EQ(output->arr[1].str, "O HAI1\n");
+}
+
+TEST(Daemon, DeadlineExceededIsVisibleOnTheWire) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(std::string(kSpinSubmit) + R"(,"deadline_ms":200})");
+  auto done = c.read_event("done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->find("status")->str, "deadline-exceeded");
+}
+
+TEST(Daemon, CancelInFlightJobFromTheWire) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(std::string(kSpinSubmit) + "}");  // no deadline: spins forever
+  auto accepted = c.read_event("accepted");
+  ASSERT_TRUE(accepted.has_value());
+  auto id = static_cast<std::uint64_t>(accepted->find("id")->num);
+
+  // Wait until the worker picked it up, then cancel over the wire.
+  while (fx.svc.running_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  c.send_line(R"({"op":"cancel","id":)" + std::to_string(id) + "}");
+  auto cancel = c.read_event("cancel");
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_TRUE(cancel->find("ok")->b);
+
+  auto done = c.read_event("done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->find("status")->str, "cancelled");
+}
+
+TEST(Daemon, CancelIsScopedToTheSubmittingConnection) {
+  // Ids are sequential, so without scoping any client could walk the id
+  // space and kill other tenants' jobs.
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client owner(fx.daemon.tcp_port());
+  Client attacker(fx.daemon.tcp_port());
+
+  owner.send_line(std::string(kSpinSubmit) + "}");  // spins forever
+  auto accepted = owner.read_event("accepted");
+  ASSERT_TRUE(accepted.has_value());
+  auto id = static_cast<std::uint64_t>(accepted->find("id")->num);
+  while (fx.svc.running_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  attacker.send_line(R"({"op":"cancel","id":)" + std::to_string(id) + "}");
+  auto denied = attacker.read_event("cancel");
+  ASSERT_TRUE(denied.has_value());
+  EXPECT_FALSE(denied->find("ok")->b);
+
+  // The owner can still cancel its own job.
+  owner.send_line(R"({"op":"cancel","id":)" + std::to_string(id) + "}");
+  auto ok = owner.read_event("cancel");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->find("ok")->b);
+  auto done = owner.read_event("done");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->find("status")->str, "cancelled");
+}
+
+TEST(Daemon, CancelUnknownIdReportsFalse) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  c.send_line(R"({"op":"cancel","id":99999})");
+  auto cancel = c.read_event("cancel");
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_FALSE(cancel->find("ok")->b);
+}
+
+TEST(Daemon, MalformedLinesYieldErrorsButKeepTheConnection) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+
+  c.send_line("this is not json");
+  auto err1 = c.read_event("error");
+  ASSERT_TRUE(err1.has_value());
+
+  c.send_line(R"({"op":"frobnicate"})");
+  auto err2 = c.read_event("error");
+  ASSERT_TRUE(err2.has_value());
+  EXPECT_NE(err2->find("message")->str.find("unknown op"), std::string::npos);
+
+  c.send_line(R"({"op":"submit"})");  // missing source
+  auto err3 = c.read_event("error");
+  ASSERT_TRUE(err3.has_value());
+
+  // Still alive.
+  c.send_line(R"({"op":"ping"})");
+  EXPECT_TRUE(c.read_event("pong").has_value());
+}
+
+TEST(Daemon, StatsReflectServedJobs) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+
+  c.send_line(kHelloSubmit);
+  ASSERT_TRUE(c.read_event("done").has_value());
+  c.send_line(R"({"op":"stats"})");
+  auto stats = c.read_event("stats");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->find("submitted")->num, 1.0);
+  EXPECT_GE(stats->find("ok")->num, 1.0);
+}
+
+TEST(Daemon, ShutdownOpUnblocksWait) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  c.send_line(R"({"op":"shutdown"})");
+  ASSERT_TRUE(c.read_event("bye").has_value());
+  fx.daemon.wait();  // returns because the client asked for shutdown
+}
+
+TEST(Daemon, TwoClientsInterleave) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client a(fx.daemon.tcp_port());
+  Client b(fx.daemon.tcp_port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  a.send_line(kHelloSubmit);
+  b.send_line(kHelloSubmit);
+  auto done_a = a.read_event("done");
+  auto done_b = b.read_event("done");
+  ASSERT_TRUE(done_a.has_value());
+  ASSERT_TRUE(done_b.has_value());
+  // Each client only sees its own job's events.
+  EXPECT_NE(done_a->find("id")->num, done_b->find("id")->num);
+}
+
+TEST(Daemon, UnixSocketListens) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  Service svc(sopts);
+  std::string path = "/tmp/lol_daemon_test_" + std::to_string(::getpid()) +
+                     ".sock";
+  Daemon daemon(svc, DaemonOptions{path, -1});
+  std::string err;
+  ASSERT_TRUE(daemon.start(&err)) << err;
+  EXPECT_EQ(daemon.unix_path(), path);
+  // Connectable via AF_UNIX.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char* ping = "{\"op\":\"ping\"}\n";
+  ASSERT_GT(::send(fd, ping, std::strlen(ping), MSG_NOSIGNAL), 0);
+  char buf[128];
+  ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+  ASSERT_GT(n, 0);
+  EXPECT_NE(std::string(buf, static_cast<std::size_t>(n)).find("pong"),
+            std::string::npos);
+  ::close(fd);
+  daemon.stop();
+  svc.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ParsesNestedJson) {
+  auto doc = wire::parse_json(
+      R"({"a":[1,2.5,-3],"b":{"c":"x\ny"},"d":true,"e":null})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a")->arr.size(), 3u);
+  EXPECT_EQ(doc->find("a")->arr[1].num, 2.5);
+  EXPECT_EQ(doc->find("b")->find("c")->str, "x\ny");
+  EXPECT_TRUE(doc->find("d")->b);
+  EXPECT_TRUE(doc->find("e")->is(wire::Json::Kind::kNull));
+}
+
+TEST(Wire, RejectsMalformedJson) {
+  std::string err;
+  EXPECT_FALSE(wire::parse_json("{", &err).has_value());
+  EXPECT_FALSE(wire::parse_json("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(wire::parse_json("[1,2]trailing", &err).has_value());
+  EXPECT_FALSE(wire::parse_json("\"dangling\\", &err).has_value());
+}
+
+TEST(Wire, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(wire::quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(wire::quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Wire, RequestRoundTripsJobFields) {
+  std::string err;
+  auto req = wire::parse_request(
+      R"({"op":"submit","source":"HAI","name":"n","tenant":"t",)"
+      R"("n_pes":4,"deadline_ms":250,"max_steps":1000,"backend":"interp",)"
+      R"("stdin":["a","b"]})",
+      &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->job.source, "HAI");
+  EXPECT_EQ(req->job.name, "n");
+  EXPECT_EQ(req->job.tenant, "t");
+  EXPECT_EQ(req->job.n_pes, 4);
+  EXPECT_EQ(req->job.deadline_ms, 250u);
+  EXPECT_EQ(req->job.max_steps, 1000u);
+  EXPECT_EQ(req->job.backend, lol::Backend::kInterp);
+  ASSERT_EQ(req->job.stdin_lines.size(), 2u);
+  EXPECT_EQ(req->job.stdin_lines[1], "b");
+}
+
+}  // namespace

@@ -2,6 +2,9 @@
 // time through the engine, error surfaces, and compile() diagnostics.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/engine.hpp"
 #include "noc/machines.hpp"
 #include "rt/io.hpp"
@@ -194,6 +197,73 @@ TEST(Engine, StdinLinesHavePerPeCursors) {
   // Each PE reads from its own cursor over the same lines (SPMD).
   EXPECT_EQ(r.pe_output[0], "0:first\n");
   EXPECT_EQ(r.pe_output[1], "1:first\n");
+}
+
+TEST(Engine, ExternalInputSourceOverridesStdinLines) {
+  lol::rt::VectorInput input({"live"}, 2);
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.stdin_lines = {"ignored"};
+  cfg.input = &input;
+  auto r = lol::run_source("HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE x\nKTHXBYE\n",
+                           cfg);
+  ASSERT_TRUE(r.ok) << r.first_error();
+  EXPECT_EQ(r.pe_output[0], "live\n");
+}
+
+TEST(Engine, AbortRequestedBeforeRunSkipsLaunch) {
+  lol::AbortToken token;
+  token.request();
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.abort = &token;
+  auto r = lol::run_source("HAI 1.2\nVISIBLE ME\nKTHXBYE\n", cfg);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.first_error().find("aborted before launch"), std::string::npos);
+}
+
+TEST(Engine, AbortTokenKillsSpinningRunOnBothBackends) {
+  // An unlimited-step spin evades the step budget; the external token is
+  // the only way to stop it (this is the service's deadline/cancel path).
+  for (Backend b : {Backend::kInterp, Backend::kVm}) {
+    lol::AbortToken token;
+    RunConfig cfg;
+    cfg.backend = b;
+    cfg.n_pes = 2;
+    cfg.abort = &token;
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      token.request();
+    });
+    auto r = lol::run_source(
+        "HAI 1.2\nIM IN YR forever\nIM OUTTA YR forever\nKTHXBYE\n", cfg);
+    killer.join();
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_FALSE(r.step_limited);
+    EXPECT_NE(r.first_error().find("SPMD aborted"), std::string::npos)
+        << r.first_error();
+  }
+}
+
+TEST(Engine, AbortTokenWakesBarrierWaiters) {
+  // PE 0 waits in HUGZ; PE 1 exits immediately — a wedged barrier no
+  // step budget can see. The token must wake and kill the waiter.
+  lol::AbortToken token;
+  RunConfig cfg;
+  cfg.n_pes = 2;
+  cfg.abort = &token;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.request();
+  });
+  auto r = lol::run_source(
+      "HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\n  HUGZ\nOIC\nKTHXBYE\n",
+      cfg);
+  killer.join();
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.aborted);
 }
 
 }  // namespace

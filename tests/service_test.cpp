@@ -1,10 +1,15 @@
 // Service-layer tests: compile-cache accounting, concurrent-vs-sequential
-// output equivalence, bounded-queue backpressure (both policies), and
-// step-budget enforcement keeping the pool alive under hostile jobs.
+// output equivalence, bounded-queue backpressure (both policies),
+// step-budget enforcement keeping the pool alive under hostile jobs,
+// wall-clock deadlines (spin / GIMMEH-blocked / barrier-wedged jobs),
+// cancellation of queued and in-flight jobs, and two-tenant DRR fairness.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -358,6 +363,341 @@ TEST(Service, SubmitAfterShutdownIsRejected) {
   svc.shutdown();
   JobResult r = svc.submit(make_job("late", kHello, 1)).get();
   EXPECT_EQ(r.status, JobStatus::kRejected);
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock deadlines (the reaper)
+// ---------------------------------------------------------------------------
+
+/// An input source that blocks until released (or forever): the
+/// GIMMEH-on-real-stdin shape the step budget cannot see. try_read_line
+/// honors the bounded wait so deadlines/cancel can interrupt it, and
+/// the first poll flips `started` so tests know the job is in flight.
+class BlockingInput final : public lol::rt::InputSource {
+ public:
+  std::optional<std::string> read_line(int pe) override {
+    // Only reached through try_read_line in these tests.
+    return try_read_line(pe, std::chrono::hours(24)).line;
+  }
+
+  lol::rt::TryRead try_read_line(int /*pe*/,
+                                 std::chrono::milliseconds wait) override {
+    std::unique_lock<std::mutex> g(m_);
+    started_ = true;
+    started_cv_.notify_all();
+    if (cv_.wait_for(g, wait, [&] { return released_; })) {
+      return {std::optional<std::string>("released"), false};
+    }
+    return {std::nullopt, true};
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> g(m_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  void wait_started() {
+    std::unique_lock<std::mutex> g(m_);
+    started_cv_.wait(g, [&] { return started_; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable started_cv_;
+  bool released_ = false;
+  bool started_ = false;
+};
+
+const char* kGimmeh = "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE x\nKTHXBYE\n";
+// PE 0 enters HUGZ, every other PE exits: a wedged barrier no step
+// budget can see (the waiting PE makes no steps at all).
+const char* kWedge =
+    "HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\n  HUGZ\nOIC\nKTHXBYE\n";
+
+TEST(Service, DeadlineKillsSpinningJobInUnderOneSecond) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;  // unlimited steps: only the clock can kill it
+  Service svc(opts);
+
+  Job j = make_job("spin", kSpin, 2);
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(r.error.find("deadline of 200 ms"), std::string::npos) << r.error;
+  EXPECT_LT(wall_ms, 1000.0) << "deadline took " << wall_ms << " ms to fire";
+  EXPECT_EQ(svc.stats().deadline_exceeded, 1u);
+}
+
+TEST(Service, DeadlineKillsGimmehBlockedJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  Service svc(opts);
+
+  BlockingInput input;  // never released: stdin that never delivers
+  Job j = make_job("blocked", kGimmeh, 1);
+  j.input = &input;
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_LT(wall_ms, 1000.0);
+}
+
+TEST(Service, DeadlineKillsBarrierWedgedJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  Service svc(opts);
+
+  Job j = make_job("wedge", kWedge, 2);
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_LT(wall_ms, 1000.0);
+
+  // The worker survived: a normal job still runs afterwards.
+  EXPECT_EQ(svc.submit(make_job("after", kHello, 2)).get().status,
+            JobStatus::kOk);
+}
+
+TEST(Service, DefaultDeadlineAppliesWhenJobDoesNotAsk) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  opts.default_deadline_ms = 200;
+  Service svc(opts);
+
+  JobResult r = svc.submit(make_job("spin", kSpin, 1)).get();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+}
+
+TEST(Service, DeadlineCapClampsGreedyJobs) {
+  // A job asking for a huge deadline is clamped to the operator's cap —
+  // and a job asking for none at all gets the cap too.
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  opts.deadline_ms_cap = 200;
+  Service svc(opts);
+
+  Job greedy = make_job("greedy", kSpin, 1);
+  greedy.deadline_ms = 60'000;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(greedy)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(r.error.find("deadline of 200 ms"), std::string::npos) << r.error;
+  EXPECT_LT(wall_ms, 1000.0);
+
+  JobResult silent = svc.submit(make_job("silent", kSpin, 1)).get();
+  EXPECT_EQ(silent.status, JobStatus::kDeadlineExceeded);
+}
+
+TEST(Service, DeadlineLeavesFastJobsAlone) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  Service svc(opts);
+
+  Job j = make_job("quick", kSum, 2);
+  j.deadline_ms = 5'000;
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_EQ(svc.stats().deadline_exceeded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+TEST(Service, CancelQueuedJobNeverRuns) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;  // hold both jobs in the queue
+  Service svc(opts);
+
+  auto keep = svc.submit_job(make_job("keep", kHello, 1));
+  auto drop = svc.submit_job(make_job("drop", kHello, 1));
+  EXPECT_TRUE(svc.cancel(drop.id));
+
+  // Resolves immediately, before any worker exists.
+  JobResult r = drop.result.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.id, drop.id);
+  EXPECT_NE(r.error.find("queued"), std::string::npos);
+  EXPECT_EQ(svc.queue_depth(), 1u);
+
+  svc.start();
+  EXPECT_EQ(keep.result.get().status, JobStatus::kOk);
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);  // the cancelled job never ran
+}
+
+TEST(Service, CancelInFlightJobAbortsItsRuntime) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;  // no step budget, no deadline: only cancel
+  Service svc(opts);
+
+  BlockingInput input;
+  Job j = make_job("inflight", kGimmeh, 2);
+  j.input = &input;
+  auto sub = svc.submit_job(std::move(j));
+  input.wait_started();  // the job is provably executing now
+
+  EXPECT_TRUE(svc.cancel(sub.id));
+  JobResult r = sub.result.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_NE(r.error.find("running"), std::string::npos);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+
+  // Pool healthy afterwards.
+  EXPECT_EQ(svc.submit(make_job("after", kHello, 1)).get().status,
+            JobStatus::kOk);
+}
+
+TEST(Service, CancelUnknownOrFinishedJobReturnsFalse) {
+  Service svc(ServiceOptions{});
+  EXPECT_FALSE(svc.cancel(424242));
+
+  auto sub = svc.submit_job(make_job("done", kHello, 1));
+  EXPECT_EQ(sub.result.get().status, JobStatus::kOk);
+  EXPECT_FALSE(svc.cancel(sub.id));
+}
+
+TEST(Service, CancelledSpinningJobDiesWithoutStepBudget) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  Service svc(opts);
+
+  auto sub = svc.submit_job(make_job("spin", kSpin, 2));
+  // Wait until the worker picked it up, then cancel.
+  while (svc.running_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(svc.cancel(sub.id));
+  EXPECT_EQ(sub.result.get().status, JobStatus::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant fair queueing (deficit round robin)
+// ---------------------------------------------------------------------------
+
+TEST(Service, LightTenantIsNotStarvedByHeavyTenant) {
+  ServiceOptions opts;
+  opts.workers = 1;       // sequential dispatch => deterministic order
+  opts.start_paused = true;
+  Service svc(opts);
+
+  std::mutex order_m;
+  std::vector<std::string> order;
+  auto track = [&](const JobResult& r) {
+    std::lock_guard<std::mutex> g(order_m);
+    order.push_back(r.tenant);
+  };
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    Job j = make_job("heavy#" + std::to_string(i), kHello, 1);
+    j.tenant = "heavy";
+    futures.push_back(svc.submit_job(std::move(j), track).result);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Job j = make_job("light#" + std::to_string(i), kHello, 1);
+    j.tenant = "light";
+    futures.push_back(svc.submit_job(std::move(j), track).result);
+  }
+
+  svc.start();
+  for (auto& f : futures) f.get();
+
+  // Equal weights: strict alternation until light drains — despite the
+  // heavy tenant having submitted its whole burst first.
+  ASSERT_EQ(order.size(), 12u);
+  EXPECT_EQ(order[0], "heavy");
+  EXPECT_EQ(order[1], "light");
+  EXPECT_EQ(order[2], "heavy");
+  EXPECT_EQ(order[3], "light");
+  for (std::size_t i = 4; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], "heavy") << i;
+  }
+}
+
+TEST(Service, TenantWeightsShapeTheSchedule) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.start_paused = true;
+  opts.tenant_weights = {{"paid", 3}, {"free", 1}};
+  Service svc(opts);
+
+  std::mutex order_m;
+  std::vector<std::string> order;
+  auto track = [&](const JobResult& r) {
+    std::lock_guard<std::mutex> g(order_m);
+    order.push_back(r.tenant);
+  };
+
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    Job j = make_job("paid#" + std::to_string(i), kHello, 1);
+    j.tenant = "paid";
+    futures.push_back(svc.submit_job(std::move(j), track).result);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Job j = make_job("free#" + std::to_string(i), kHello, 1);
+    j.tenant = "free";
+    futures.push_back(svc.submit_job(std::move(j), track).result);
+  }
+
+  svc.start();
+  for (auto& f : futures) f.get();
+
+  // DRR with weights 3:1 — paid dispatches 3 jobs per round, free 1.
+  std::vector<std::string> expect = {"paid", "paid", "paid", "free",
+                                     "paid", "paid", "paid", "free"};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Service, TenantsShareWorkersUnderConcurrentLoad) {
+  // Sanity under real concurrency (no paused start): both tenants'
+  // jobs all complete and the ids/tenants round-trip.
+  ServiceOptions opts;
+  opts.workers = 4;
+  Service svc(opts);
+
+  std::vector<std::pair<std::string, std::future<JobResult>>> subs;
+  for (int i = 0; i < 24; ++i) {
+    Job j = make_job("job#" + std::to_string(i), i % 3 == 0 ? kSum : kHello,
+                     1 + i % 4);
+    j.tenant = i % 2 == 0 ? "even" : "odd";
+    std::string tenant = j.tenant;
+    subs.emplace_back(std::move(tenant), svc.submit_job(std::move(j)).result);
+  }
+  for (auto& [tenant, fut] : subs) {
+    JobResult r = fut.get();
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+    EXPECT_EQ(r.tenant, tenant);
+    EXPECT_NE(r.id, 0u);
+  }
+  EXPECT_EQ(svc.stats().ok, 24u);
 }
 
 }  // namespace

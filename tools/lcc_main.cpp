@@ -21,6 +21,11 @@
 #ifndef LCC_RT_LIBS
 #define LCC_RT_LIBS ""
 #endif
+// Extra flags the runtime archive was built with and the generated code
+// must match (e.g. -fsanitize=thread under LOL_SANITIZE builds).
+#ifndef LCC_EXTRA_CFLAGS
+#define LCC_EXTRA_CFLAGS ""
+#endif
 
 namespace {
 
@@ -101,9 +106,14 @@ int main(int argc, char** argv) {
                          ? std::getenv("LOLRT_LIBS")
                          : LCC_RT_LIBS;
 
-  std::string cmd = cc + " -O2 -std=c99 " + shell_quote(c_path) + " -I" +
-                    shell_quote(inc) + " " + libs +
-                    " -lstdc++ -lm -lpthread -o " + shell_quote(output);
+  std::string extra = std::getenv("LOLRT_CFLAGS") != nullptr
+                          ? std::getenv("LOLRT_CFLAGS")
+                          : LCC_EXTRA_CFLAGS;
+  std::string cmd = cc + " -O2 -std=c99 " +
+                    (extra.empty() ? "" : extra + " ") +
+                    shell_quote(c_path) + " -I" + shell_quote(inc) + " " +
+                    libs + " -lstdc++ -lm -lpthread -o " +
+                    shell_quote(output);
   int rc = std::system(cmd.c_str());
   std::remove(c_path.c_str());
   if (rc != 0) {

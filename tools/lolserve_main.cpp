@@ -1,23 +1,28 @@
-// lolserve — run a batch of parallel LOLCODE jobs concurrently through
-// the execution service (the multi-tenant analogue of lolrun):
+// lolserve — run parallel LOLCODE jobs through the execution service
+// (the multi-tenant analogue of lolrun), as a batch or as a daemon:
 //
 //   lolserve labs/                       # every .lol under labs/
 //   lolserve --workers 8 --repeat 10 a.lol b.lol
 //   lolserve --manifest jobs.txt         # lines: <path> [n_pes] [max_steps]
+//                                        #        [tenant] [deadline_ms]
+//   lolserve --daemon --listen tcp:4004  # NDJSON jobs over a socket
 //
-// Prints one status line per job plus aggregate throughput and compile
-// cache statistics.
+// Batch mode prints one status line per job *as it completes* plus
+// aggregate throughput and compile-cache statistics. Daemon mode streams
+// per-job JSON events to each client (see src/service/wire.hpp).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/cli.hpp"
+#include "service/daemon.hpp"
 #include "service/service.hpp"
 
 namespace fs = std::filesystem;
@@ -28,18 +33,26 @@ int usage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s [options] <job.lol | dir>...\n"
+      "       %s --daemon [--listen <unix:PATH|tcp:PORT>] [options]\n"
       "  --workers <N>      worker threads (default 4)\n"
       "  --queue <N>        bounded queue capacity (default 256)\n"
       "  --policy <p>       block (default) or reject when the queue is full\n"
       "  -np <N>            PEs per job (default 1)\n"
       "  --backend <b>      vm (default) or interp\n"
       "  --max-steps <S>    per-PE step budget (default 50000000)\n"
+      "  --deadline-ms <D>  per-job wall-clock deadline (default none)\n"
+      "  --tenant <name>    tenant for command-line jobs (default \"\")\n"
+      "  --tenant-weights <a=2,b=1>  DRR weights for fair queueing\n"
       "  --repeat <R>       submit the job list R times (default 1; warms "
       "the compile cache)\n"
       "  --manifest <file>  extra jobs, one per line: <path> [n_pes] "
-      "[max_steps]\n"
-      "  --quiet            suppress per-job lines, print the summary only\n",
-      prog);
+      "[max_steps] [tenant] [deadline_ms]\n"
+      "  --quiet            suppress per-job lines, print the summary only\n"
+      "  --daemon           serve NDJSON jobs over a socket until "
+      "{\"op\":\"shutdown\"}\n"
+      "  --listen <addr>    unix:/path/to.sock or tcp:PORT (default "
+      "tcp:4004, loopback)\n",
+      prog, prog);
   return 2;
 }
 
@@ -47,6 +60,8 @@ struct JobSpec {
   std::string path;
   int n_pes = 0;  // 0 = use the command-line default
   std::uint64_t max_steps = 0;
+  std::string tenant;  // empty = use the command-line default
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Expands a positional argument into job specs (.lol file or directory).
@@ -60,11 +75,11 @@ bool expand_path(const std::string& arg, std::vector<JobSpec>& out) {
       }
     }
     std::sort(found.begin(), found.end());
-    for (auto& p : found) out.push_back({std::move(p), 0, 0});
+    for (auto& p : found) out.push_back({std::move(p), 0, 0, "", 0});
     return true;
   }
   if (fs::is_regular_file(arg, ec)) {
-    out.push_back({arg, 0, 0});
+    out.push_back({arg, 0, 0, "", 0});
     return true;
   }
   std::fprintf(stderr, "lolserve: no such file or directory: '%s'\n",
@@ -72,7 +87,8 @@ bool expand_path(const std::string& arg, std::vector<JobSpec>& out) {
   return false;
 }
 
-/// Parses a manifest: `<path> [n_pes] [max_steps]`, '#' starts a comment.
+/// Parses a manifest: `<path> [n_pes] [max_steps] [tenant] [deadline_ms]`,
+/// '#' starts a comment. Use `-` for tenant to skip to deadline_ms.
 bool read_manifest(const std::string& path, std::vector<JobSpec>& out) {
   auto text = lol::driver::read_file(path);
   if (!text) {
@@ -89,10 +105,67 @@ bool read_manifest(const std::string& path, std::vector<JobSpec>& out) {
     std::istringstream fields(line);
     JobSpec spec;
     if (!(fields >> spec.path)) continue;  // blank/comment-only line
-    fields >> spec.n_pes >> spec.max_steps;
+    fields >> spec.n_pes >> spec.max_steps >> spec.tenant >> spec.deadline_ms;
+    if (spec.tenant == "-") spec.tenant.clear();
     out.push_back(std::move(spec));
   }
   return true;
+}
+
+/// Parses "--tenant-weights a=2,b=1" into ServiceOptions::tenant_weights.
+bool parse_tenant_weights(const std::string& arg,
+                          std::map<std::string, int>& out) {
+  std::istringstream in(arg);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    int w = std::atoi(item.c_str() + eq + 1);
+    if (w < 1) return false;
+    out[item.substr(0, eq)] = w;
+  }
+  return true;
+}
+
+int run_daemon(lol::service::ServiceOptions opts, const std::string& listen) {
+  lol::service::DaemonOptions dopts;
+  if (listen.rfind("unix:", 0) == 0) {
+    dopts.unix_path = listen.substr(5);
+  } else if (listen.rfind("tcp:", 0) == 0) {
+    dopts.tcp_port = std::atoi(listen.c_str() + 4);
+  } else {
+    std::fprintf(stderr,
+                 "lolserve: --listen wants unix:PATH or tcp:PORT, got '%s'\n",
+                 listen.c_str());
+    return 2;
+  }
+
+  lol::service::Service svc(opts);
+  lol::service::Daemon daemon(svc, dopts);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "lolserve: cannot listen: %s\n", err.c_str());
+    return 1;
+  }
+  if (!daemon.unix_path().empty()) {
+    std::fprintf(stderr, "lolserve: listening on unix:%s\n",
+                 daemon.unix_path().c_str());
+  } else {
+    std::fprintf(stderr, "lolserve: listening on tcp:127.0.0.1:%d\n",
+                 daemon.tcp_port());
+  }
+  daemon.wait();  // until a client sends {"op":"shutdown"}
+  daemon.stop();
+  svc.shutdown();
+  auto stats = svc.stats();
+  std::fprintf(stderr,
+               "lolserve: daemon served %llu jobs (%llu ok, %llu "
+               "deadline-exceeded, %llu cancelled)\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.ok),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
+               static_cast<unsigned long long>(stats.cancelled));
+  return 0;
 }
 
 }  // namespace
@@ -116,8 +189,26 @@ int main(int argc, char** argv) {
   if (auto steps = cli.option("--max-steps")) {
     opts.default_max_steps = std::strtoull(steps->c_str(), nullptr, 10);
   }
+  if (auto deadline = cli.option("--deadline-ms")) {
+    opts.default_deadline_ms = std::strtoull(deadline->c_str(), nullptr, 10);
+  }
+  if (auto weights = cli.option("--tenant-weights")) {
+    if (!parse_tenant_weights(*weights, opts.tenant_weights)) {
+      std::fprintf(stderr,
+                   "lolserve: --tenant-weights wants name=N[,name=N...] "
+                   "with N >= 1\n");
+      return 2;
+    }
+  }
+  if (opts.workers < 1) return usage(argv[0]);
+
+  if (cli.has_flag("--daemon")) {
+    std::string listen = cli.option("--listen").value_or("tcp:4004");
+    return run_daemon(std::move(opts), listen);
+  }
 
   int default_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
+  std::string default_tenant = cli.option("--tenant").value_or("");
   lol::Backend backend = lol::Backend::kVm;
   if (auto b = cli.option("--backend")) {
     if (*b == "interp") {
@@ -137,7 +228,7 @@ int main(int argc, char** argv) {
   for (const auto& arg : cli.positional()) {
     if (!expand_path(arg, specs)) return 1;
   }
-  if (specs.empty() || opts.workers < 1 || default_pes < 1 || repeat < 1) {
+  if (specs.empty() || default_pes < 1 || repeat < 1) {
     return usage(argv[0]);
   }
 
@@ -154,6 +245,8 @@ int main(int argc, char** argv) {
     job.source = std::move(*source);
     job.n_pes = spec.n_pes > 0 ? spec.n_pes : default_pes;
     job.max_steps = spec.max_steps;
+    job.tenant = spec.tenant.empty() ? default_tenant : spec.tenant;
+    job.deadline_ms = spec.deadline_ms;
     job.backend = backend;
     jobs.push_back(std::move(job));
   }
@@ -161,22 +254,30 @@ int main(int argc, char** argv) {
   lol::service::Service svc(opts);
   auto t0 = std::chrono::steady_clock::now();
 
+  // Stream each status line the moment the job completes (a failing or
+  // slow job no longer holds back the report of everything after it).
+  std::mutex print_m;
+  auto print_result = [&](const lol::service::JobResult& r) {
+    if (quiet) return;
+    std::lock_guard<std::mutex> g(print_m);
+    std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms)%s%s\n",
+                lol::service::to_string(r.status), r.name.c_str(),
+                r.compile_cache_hit ? " [cached]" : "", r.queue_ms,
+                r.run_ms, r.error.empty() ? "" : " — ", r.error.c_str());
+    std::fflush(stdout);
+  };
+
   std::vector<std::future<lol::service::JobResult>> futures;
   futures.reserve(jobs.size() * static_cast<std::size_t>(repeat));
   for (int r = 0; r < repeat; ++r) {
-    for (const auto& job : jobs) futures.push_back(svc.submit(job));
+    for (const auto& job : jobs) {
+      futures.push_back(svc.submit_job(job, print_result).result);
+    }
   }
 
   int failed = 0;
   for (auto& fut : futures) {
-    lol::service::JobResult r = fut.get();
-    if (!r.ok()) ++failed;
-    if (!quiet) {
-      std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms)%s%s\n",
-                  lol::service::to_string(r.status), r.name.c_str(),
-                  r.compile_cache_hit ? " [cached]" : "", r.queue_ms,
-                  r.run_ms, r.error.empty() ? "" : " — ", r.error.c_str());
-    }
+    if (!fut.get().ok()) ++failed;
   }
 
   double wall_s =
@@ -186,13 +287,15 @@ int main(int argc, char** argv) {
   auto stats = svc.stats();
   std::printf(
       "lolserve: %llu jobs (%llu ok, %llu compile-error, %llu "
-      "runtime-error, %llu step-limit, %llu rejected) on %d workers in "
-      "%.3f s — %.1f jobs/s\n",
+      "runtime-error, %llu step-limit, %llu deadline-exceeded, %llu "
+      "cancelled, %llu rejected) on %d workers in %.3f s — %.1f jobs/s\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.ok),
       static_cast<unsigned long long>(stats.compile_errors),
       static_cast<unsigned long long>(stats.runtime_errors),
       static_cast<unsigned long long>(stats.step_limited),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.cancelled),
       static_cast<unsigned long long>(stats.rejected), opts.workers, wall_s,
       wall_s > 0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
   std::printf(

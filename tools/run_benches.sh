@@ -6,6 +6,9 @@
 #
 # Example:
 #   tools/run_benches.sh build bench-out --benchmark_min_time=0.05
+#
+# Exits non-zero when a bench binary fails or emits an empty/missing
+# JSON report, so CI archives only real measurements.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -20,19 +23,33 @@ fi
 
 mkdir -p "$OUT_DIR"
 found=0
+failed=""
 for bin in "$BUILD_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   case "$bin" in *.json|*.txt) continue ;; esac
   found=1
   name=$(basename "$bin")
+  out_json="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name =="
-  "$bin" --benchmark_format=json \
-         --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
-         --benchmark_out_format=json "$@" || echo "  (failed: $name)" >&2
+  if ! "$bin" --benchmark_format=json \
+              --benchmark_out="$out_json" \
+              --benchmark_out_format=json "$@"; then
+    echo "  (failed: $name)" >&2
+    failed="$failed $name"
+    continue
+  fi
+  if [ ! -s "$out_json" ]; then
+    echo "  (empty report: $out_json)" >&2
+    failed="$failed $name"
+  fi
 done
 
 if [ "$found" -eq 0 ]; then
   echo "run_benches.sh: no bench_* binaries in '$BUILD_DIR' (is Google Benchmark installed?)" >&2
+  exit 1
+fi
+if [ -n "$failed" ]; then
+  echo "run_benches.sh: failed or empty:$failed" >&2
   exit 1
 fi
 echo "JSON reports in $OUT_DIR/"
