@@ -1,0 +1,46 @@
+HAI 1.2
+BTW 1-D heat diffusion with halo exchange over symmetric memory.
+BTW Each PE owns 8 interior cells plus two halo slots (0 and 9).
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 10
+I HAS A unew ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 10
+I HAS A left ITZ A NUMBR AN ITZ DIFF OF ME AN 1
+I HAS A rite ITZ A NUMBR AN ITZ SUM OF ME AN 1
+I HAS A lastcell ITZ A NUMBR AN ITZ 8
+
+BTW a heat spike in the middle of PE 0's block
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  u'Z 5 R 100.0
+OIC
+HUGZ
+
+IM IN YR steps UPPIN YR t TIL BOTH SAEM t AN 5
+  BTW push boundary cells into the neighbours' halo slots
+  BIGGER ME AN 0, O RLY?
+  YA RLY
+    TXT MAH BFF left, UR u'Z SUM OF lastcell AN 1 R MAH u'Z 1
+  OIC
+  SMALLR ME AN DIFF OF MAH FRENZ AN 1, O RLY?
+  YA RLY
+    TXT MAH BFF rite, UR u'Z 0 R MAH u'Z lastcell
+  OIC
+  HUGZ
+  IM IN YR cells UPPIN YR i TIL BOTH SAEM i AN lastcell
+    I HAS A c ITZ A NUMBR AN ITZ SUM OF i AN 1
+    unew'Z c R SUM OF u'Z c AN PRODUKT OF 0.25 AN ...
+      SUM OF DIFF OF u'Z DIFF OF c AN 1 AN u'Z c ...
+      AN DIFF OF u'Z SUM OF c AN 1 AN u'Z c
+  IM OUTTA YR cells
+  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN lastcell
+    I HAS A c ITZ A NUMBR AN ITZ SUM OF i AN 1
+    u'Z c R unew'Z c
+  IM OUTTA YR copy
+  HUGZ
+IM OUTTA YR steps
+
+I HAS A total ITZ A NUMBAR AN ITZ 0.0
+IM IN YR sum UPPIN YR i TIL BOTH SAEM i AN lastcell
+  total R SUM OF total AN u'Z SUM OF i AN 1
+IM OUTTA YR sum
+VISIBLE "PE " ME " BLOCK HEAT " total
+KTHXBYE

@@ -1,0 +1,4 @@
+HAI 1.2
+BTW the smallest SPMD program: who am I, how many of us are there?
+VISIBLE "PE " ME " OF " MAH FRENZ " SEZ O HAI"
+KTHXBYE

@@ -312,6 +312,7 @@ class Emitter {
   }
 
   void emit_c_main() {
+    if (!opts_.emit_main) return;
     raw("int main(int argc, char** argv) {\n");
     raw("  return lolrt_run_main(argc, argv, lol_user_main, " +
         std::to_string(analysis_.lock_count) + ");\n");
@@ -914,6 +915,11 @@ class Emitter {
   }
 
   void emit_stmt(const ast::Stmt& s, bool top_level) {
+    // Mirror the interpreter's per-statement budget charge
+    // (rt::ExecContext::count_step) so max_steps and external aborts
+    // behave identically on the native path. Function definitions are
+    // hoisted out of the statement stream, so nothing executes here.
+    if (s.kind != ast::StmtKind::kFuncDef) line("lolrt_step(pe);");
     switch (s.kind) {
       case ast::StmtKind::kVarDecl:
         emit_decl(static_cast<const ast::VarDeclStmt&>(s), top_level);
@@ -1262,9 +1268,12 @@ class Emitter {
       emit_scoped_body(body);
     }
     if (!s.no_wai.empty()) {
+      // `} else {` closes the previous branch's brace and opens this one:
+      // net nesting is unchanged, so open_count must NOT grow here (it
+      // did once, which made every NO WAI emit one `}` too many and
+      // crash the indent bookkeeping).
       close_block("} else {");
       indent_ += "  ";
-      ++open_count;
       emit_scoped_body(s.no_wai);
     }
     for (std::size_t i = 0; i < open_count; ++i) close_block();
@@ -1322,6 +1331,10 @@ class Emitter {
 
     break_stack_.push_back(BreakCtx{txt_depth_});
     open_block("for (;;)");
+    // Charge every iteration so a condition-only (or empty-body) spin
+    // still consumes budget and polls for abort — same rule as the
+    // interpreter's loop head and the VM's per-instruction charge.
+    line("lolrt_step(pe);");
     if (s.cond_kind == ast::LoopCond::kTil) {
       CT ct;
       std::string atom = emit_expr(*s.cond, ct);

@@ -21,6 +21,11 @@ namespace lol::codegen {
 /// Options controlling emission.
 struct EmitOptions {
   std::string source_name = "<input>";  // for the banner comment
+
+  /// Emit the C `main` calling lolrt_run_main (the standalone lcc
+  /// executable flow). The in-process native backend turns this off and
+  /// dlsym()s `lol_user_main` out of a shared object instead.
+  bool emit_main = true;
 };
 
 /// Emits a self-contained C translation unit. The result defines

@@ -7,6 +7,7 @@
 // nontrivially-destructible locals remain live.
 #include "codegen/lolrt_c.h"
 
+#include <atomic>
 #include <cmath>
 #include <csetjmp>
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/native_backend.hpp"
 #include "rt/exec_context.hpp"
 #include "rt/io.hpp"
 #include "rt/objects.hpp"
@@ -25,11 +27,12 @@
 #include "shmem/runtime.hpp"
 #include "support/rng.hpp"
 
+// The per-PE context behind every generated call. All execution services
+// (shmem handle, RNG, IO, step budget, abort poll) come from the same
+// rt::ExecContext the interpreter and VM run against — that sharing is
+// what makes the three backends one semantics, budget included.
 struct lolrt_pe {
-  lol::shmem::Pe* pe = nullptr;
-  std::unique_ptr<lol::support::PeRng> rng;
-  lol::rt::OutputSink* out = nullptr;
-  lol::rt::InputSource* in = nullptr;
+  lol::rt::ExecContext* ctx = nullptr;
 
   std::deque<std::string> yarn_arena;          // stable c_str storage
   std::vector<std::unique_ptr<char[]>> allocs; // lolrt_alloc blocks
@@ -39,6 +42,7 @@ struct lolrt_pe {
   std::jmp_buf jb;
   char err[512] = {0};
   bool failed = false;
+  bool step_limited = false;  // the failure was an exhausted step budget
 };
 
 namespace {
@@ -156,16 +160,23 @@ lol::rt::SymHandle make_handle(size_t off, long long count, int elem) {
 }  // namespace
 
 // Every API body runs inside this bracket: exceptions are converted into
-// a stored message + longjmp after the try block has fully unwound.
+// a stored message + longjmp after the try block has fully unwound. A
+// StepLimitError (thrown by ExecContext::count_step in lolrt_step) is
+// flagged so the launcher can classify the failure distinctly from
+// ordinary runtime errors.
 #define LOLRT_TRY try {
-#define LOLRT_END(pe)                          \
-  }                                            \
-  catch (const std::exception& e) {            \
-    store_err((pe), e.what());                 \
-  }                                            \
-  catch (...) {                                \
-    store_err((pe), "unknown runtime error");  \
-  }                                            \
+#define LOLRT_END(pe)                                 \
+  }                                                   \
+  catch (const lol::support::StepLimitError& e) {     \
+    (pe)->step_limited = true;                        \
+    store_err((pe), e.what());                        \
+  }                                                   \
+  catch (const std::exception& e) {                   \
+    store_err((pe), e.what());                        \
+  }                                                   \
+  catch (...) {                                       \
+    store_err((pe), "unknown runtime error");         \
+  }                                                   \
   jump_out(pe);
 
 extern "C" {
@@ -291,9 +302,9 @@ void lolrt_visible(lolrt_pe* pe, int n, const lolv* xs, int newline,
   for (int i = 0; i < n; ++i) text += to_value(xs[i]).to_yarn();
   if (newline) text += '\n';
   if (to_stderr) {
-    pe->out->write_err(pe->pe->id(), text);
+    pe->ctx->out->write_err(pe->ctx->pe->id(), text);
   } else {
-    pe->out->write(pe->pe->id(), text);
+    pe->ctx->out->write(pe->ctx->pe->id(), text);
   }
   return;
   LOLRT_END(pe)
@@ -301,48 +312,50 @@ void lolrt_visible(lolrt_pe* pe, int n, const lolv* xs, int newline,
 
 lolv lolrt_gimmeh(lolrt_pe* pe) {
   LOLRT_TRY
-  // Poll-read like rt::ExecContext::read_line so an external abort can
-  // interrupt native code blocked on input.
-  for (;;) {
-    auto r = pe->in->try_read_line(pe->pe->id(),
-                                   lol::rt::ExecContext::kInputPollWait);
-    if (!r.timed_out) return from_value(pe, Value::yarn(r.line.value_or("")));
-    if (pe->pe->runtime().aborted()) {
-      throw lol::support::RuntimeError("SPMD aborted while blocked in GIMMEH");
-    }
-  }
+  // ExecContext::read_line polls the input source with a bounded wait, so
+  // an external abort interrupts native code blocked on input exactly as
+  // it does on the interpreter and VM backends.
+  auto line = pe->ctx->read_line();
+  return from_value(pe, Value::yarn(line.value_or("")));
   LOLRT_END(pe)
 }
 
-long long lolrt_me(lolrt_pe* pe) { return pe->pe->id(); }
-long long lolrt_n_pes(lolrt_pe* pe) { return pe->pe->n_pes(); }
-
-void lolrt_hugz(lolrt_pe* pe) {
+void lolrt_step(lolrt_pe* pe) {
   LOLRT_TRY
-  pe->pe->barrier_all();
+  pe->ctx->count_step();
   return;
   LOLRT_END(pe)
 }
 
-long long lolrt_whatevr(lolrt_pe* pe) { return pe->rng->next_numbr(); }
-double lolrt_whatevar(lolrt_pe* pe) { return pe->rng->next_numbar(); }
+long long lolrt_me(lolrt_pe* pe) { return pe->ctx->pe->id(); }
+long long lolrt_n_pes(lolrt_pe* pe) { return pe->ctx->pe->n_pes(); }
+
+void lolrt_hugz(lolrt_pe* pe) {
+  LOLRT_TRY
+  pe->ctx->pe->barrier_all();
+  return;
+  LOLRT_END(pe)
+}
+
+long long lolrt_whatevr(lolrt_pe* pe) { return pe->ctx->rng.next_numbr(); }
+double lolrt_whatevar(lolrt_pe* pe) { return pe->ctx->rng.next_numbar(); }
 
 void lolrt_lock(lolrt_pe* pe, int lock_id) {
   LOLRT_TRY
-  pe->pe->set_lock(lock_id);
+  pe->ctx->pe->set_lock(lock_id);
   return;
   LOLRT_END(pe)
 }
 
 long long lolrt_trylock(lolrt_pe* pe, int lock_id) {
   LOLRT_TRY
-  return pe->pe->test_lock(lock_id) ? 1 : 0;
+  return pe->ctx->pe->test_lock(lock_id) ? 1 : 0;
   LOLRT_END(pe)
 }
 
 void lolrt_unlock(lolrt_pe* pe, int lock_id) {
   LOLRT_TRY
-  pe->pe->clear_lock(lock_id);
+  pe->ctx->pe->clear_lock(lock_id);
   return;
   LOLRT_END(pe)
 }
@@ -353,7 +366,7 @@ size_t lolrt_shmalloc(lolrt_pe* pe, long long slots) {
     throw lol::support::RuntimeError("array size must be positive, got " +
                                      std::to_string(slots));
   }
-  return pe->pe->shmalloc(static_cast<std::size_t>(slots) * 8);
+  return pe->ctx->pe->shmalloc(static_cast<std::size_t>(slots) * 8);
   LOLRT_END(pe)
 }
 
@@ -362,7 +375,7 @@ lolv lolrt_sym_load(lolrt_pe* pe, size_t off, long long count, int elem,
   LOLRT_TRY
   lol::rt::SymHandle h = make_handle(off, count, elem);
   long long i = check_idx(idx, count);
-  return from_value(pe, lol::rt::sym_read(*pe->pe, h,
+  return from_value(pe, lol::rt::sym_read(*pe->ctx->pe, h,
                                           static_cast<std::size_t>(i),
                                           bff_target(pe, remote)));
   LOLRT_END(pe)
@@ -373,7 +386,7 @@ void lolrt_sym_store(lolrt_pe* pe, size_t off, long long count, int elem,
   LOLRT_TRY
   lol::rt::SymHandle h = make_handle(off, count, elem);
   long long i = check_idx(idx, count);
-  lol::rt::sym_write(*pe->pe, h, static_cast<std::size_t>(i),
+  lol::rt::sym_write(*pe->ctx->pe, h, static_cast<std::size_t>(i),
                      bff_target(pe, remote), to_value(v));
   return;
   LOLRT_END(pe)
@@ -384,7 +397,7 @@ double lolrt_sym_load_f64(lolrt_pe* pe, size_t off, long long count,
   LOLRT_TRY
   long long i = check_idx(idx, count);
   int target = bff_target(pe, remote);
-  return pe->pe->get_f64(target < 0 ? pe->pe->id() : target,
+  return pe->ctx->pe->get_f64(target < 0 ? pe->ctx->pe->id() : target,
                          off + static_cast<std::size_t>(i) * 8);
   LOLRT_END(pe)
 }
@@ -394,7 +407,7 @@ void lolrt_sym_store_f64(lolrt_pe* pe, size_t off, long long count,
   LOLRT_TRY
   long long i = check_idx(idx, count);
   int target = bff_target(pe, remote);
-  pe->pe->put_f64(target < 0 ? pe->pe->id() : target,
+  pe->ctx->pe->put_f64(target < 0 ? pe->ctx->pe->id() : target,
                   off + static_cast<std::size_t>(i) * 8, v);
   return;
   LOLRT_END(pe)
@@ -405,7 +418,7 @@ long long lolrt_sym_load_i64(lolrt_pe* pe, size_t off, long long count,
   LOLRT_TRY
   long long i = check_idx(idx, count);
   int target = bff_target(pe, remote);
-  return pe->pe->get_i64(target < 0 ? pe->pe->id() : target,
+  return pe->ctx->pe->get_i64(target < 0 ? pe->ctx->pe->id() : target,
                          off + static_cast<std::size_t>(i) * 8);
   LOLRT_END(pe)
 }
@@ -415,7 +428,7 @@ void lolrt_sym_store_i64(lolrt_pe* pe, size_t off, long long count,
   LOLRT_TRY
   long long i = check_idx(idx, count);
   int target = bff_target(pe, remote);
-  pe->pe->put_i64(target < 0 ? pe->pe->id() : target,
+  pe->ctx->pe->put_i64(target < 0 ? pe->ctx->pe->id() : target,
                   off + static_cast<std::size_t>(i) * 8, v);
   return;
   LOLRT_END(pe)
@@ -427,18 +440,18 @@ void lolrt_sym_copy(lolrt_pe* pe, size_t dst_off, int dst_remote,
   int src = bff_target(pe, src_remote);
   int dst = bff_target(pe, dst_remote);
   std::vector<std::byte> tmp(static_cast<std::size_t>(slots) * 8);
-  pe->pe->get(tmp.data(), src < 0 ? pe->pe->id() : src, src_off, tmp.size());
-  pe->pe->put(dst < 0 ? pe->pe->id() : dst, dst_off, tmp.data(), tmp.size());
+  pe->ctx->pe->get(tmp.data(), src < 0 ? pe->ctx->pe->id() : src, src_off, tmp.size());
+  pe->ctx->pe->put(dst < 0 ? pe->ctx->pe->id() : dst, dst_off, tmp.data(), tmp.size());
   return;
   LOLRT_END(pe)
 }
 
 void lolrt_bff_push(lolrt_pe* pe, long long target) {
   LOLRT_TRY
-  if (target < 0 || target >= pe->pe->n_pes()) {
+  if (target < 0 || target >= pe->ctx->pe->n_pes()) {
     throw lol::support::RuntimeError(
         "TXT MAH BFF " + std::to_string(target) +
-        ": no such PE (MAH FRENZ = " + std::to_string(pe->pe->n_pes()) + ")");
+        ": no such PE (MAH FRENZ = " + std::to_string(pe->ctx->pe->n_pes()) + ")");
   }
   pe->bff.push_back(static_cast<int>(target));
   return;
@@ -513,6 +526,7 @@ void lolrt_fail(lolrt_pe* pe, const char* msg) {
 int lolrt_run_main(int argc, char** argv, lolrt_main_fn fn, int n_locks) {
   int n_pes = 1;
   unsigned long long seed = 20170529ULL;
+  unsigned long long max_steps = 0;  // 0 = unlimited
   size_t heap = 1 << 20;
   bool tag = false;
   for (int i = 1; i < argc; ++i) {
@@ -523,10 +537,14 @@ int lolrt_run_main(int argc, char** argv, lolrt_main_fn fn, int n_locks) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--heap" && i + 1 < argc) {
       heap = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--max-steps" && i + 1 < argc) {
+      max_steps = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--tag") {
       tag = true;
     } else {
-      std::fprintf(stderr, "usage: %s [-np N] [--seed S] [--heap B] [--tag]\n",
+      std::fprintf(stderr,
+                   "usage: %s [-np N] [--seed S] [--heap B] [--max-steps S] "
+                   "[--tag]\n",
                    argv[0]);
       return 2;
     }
@@ -544,17 +562,14 @@ int lolrt_run_main(int argc, char** argv, lolrt_main_fn fn, int n_locks) {
   lol::rt::StdioSink sink(tag);
   lol::rt::StdinInput input;
 
+  std::atomic<bool> step_limited{false};
   lol::shmem::LaunchResult lr = runtime.launch([&](lol::shmem::Pe& pe) {
-    lolrt_pe ctx;
-    ctx.pe = &pe;
-    ctx.rng = std::make_unique<lol::support::PeRng>(seed, pe.id());
-    ctx.out = &sink;
-    ctx.in = &input;
-    if (setjmp(ctx.jb) == 0) {
-      fn(&ctx);
-    }
-    if (ctx.failed) {
-      throw lol::support::RuntimeError(ctx.err);
+    lol::rt::ExecContext ctx(pe, seed, sink, input, max_steps);
+    try {
+      lol::codegen::run_native_pe(fn, ctx);
+    } catch (const lol::support::StepLimitError&) {
+      step_limited.store(true, std::memory_order_relaxed);
+      throw;  // launch captures it as this PE's error and aborts peers
     }
   });
 
@@ -562,9 +577,34 @@ int lolrt_run_main(int argc, char** argv, lolrt_main_fn fn, int n_locks) {
     for (const auto& e : lr.errors) {
       if (!e.empty()) std::fprintf(stderr, "error: %s\n", e.c_str());
     }
-    return 1;
+    // Distinguishable status for a program killed by its step budget
+    // (mirrors JobStatus::kStepLimit in the service layer).
+    return step_limited.load(std::memory_order_relaxed) ? 3 : 1;
   }
   return 0;
 }
 
 } /* extern "C" */
+
+namespace lol::codegen {
+
+// Bridges one PE of generated C onto an engine-owned ExecContext. The
+// lolrt_pe is constructed before setjmp and only read after the longjmp
+// returns, matching the discipline lolrt_run_main always used; the
+// stored failure is rethrown as the exception type the engine (and the
+// Service's status classification) expects.
+void run_native_pe(lolrt_main_fn fn, lol::rt::ExecContext& ctx) {
+  lolrt_pe pe_ctx;
+  pe_ctx.ctx = &ctx;
+  if (setjmp(pe_ctx.jb) == 0) {
+    fn(&pe_ctx);
+  }
+  if (pe_ctx.failed) {
+    if (pe_ctx.step_limited) {
+      throw lol::support::StepLimitError(ctx.max_steps);
+    }
+    throw lol::support::RuntimeError(pe_ctx.err);
+  }
+}
+
+}  // namespace lol::codegen

@@ -99,6 +99,16 @@ void lolrt_visible(lolrt_pe* pe, int n, const lolv* xs, int newline,
                    int to_stderr);
 lolv lolrt_gimmeh(lolrt_pe* pe);
 
+/* -- cooperative step budget / abort poll -------------------------------------- */
+/* Charges one execution step. The generated code calls this once per
+ * statement and once per loop iteration, mirroring how the interpreter
+ * charges rt::ExecContext::count_step — so `--max-steps` budgets and
+ * external aborts (Service deadlines, cancel) behave identically on the
+ * native path. Does not return when the budget is exhausted or an abort
+ * is pending: the condition is recorded and control longjmps back to the
+ * launcher, which reports a step-limit or abort failure for this PE. */
+void lolrt_step(lolrt_pe* pe);
+
 /* -- SPMD / PGAS (the paper's Table II surface) ------------------------------- */
 long long lolrt_me(lolrt_pe* pe);      /* ME */
 long long lolrt_n_pes(lolrt_pe* pe);   /* MAH FRENZ */
@@ -149,9 +159,15 @@ void lolrt_fail(lolrt_pe* pe, const char* msg);
 /* -- launcher ------------------------------------------------------------------ */
 typedef void (*lolrt_main_fn)(lolrt_pe* pe);
 
-/* Parses `-np N` (default 1), `--seed S`, `--heap BYTES`, `--tag` from
- * argv, launches `fn` SPMD, streams VISIBLE output to stdout/stderr.
- * Returns 0 on success, 1 when any PE failed. */
+/* Parses `-np N` (default 1), `--seed S`, `--heap BYTES`, `--max-steps S`
+ * (per-PE step budget, 0 = unlimited), `--tag` from argv, launches `fn`
+ * SPMD, streams VISIBLE output to stdout/stderr and reads GIMMEH from the
+ * real stdin. Exit status is classified so callers can tell failure modes
+ * apart, mirroring JobStatus in the service layer:
+ *   0  every PE ran to completion
+ *   1  a PE raised a runtime error
+ *   2  bad usage
+ *   3  a PE exhausted its `--max-steps` budget (step-limited)          */
 int lolrt_run_main(int argc, char** argv, lolrt_main_fn fn, int n_locks);
 
 #ifdef __cplusplus

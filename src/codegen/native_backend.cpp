@@ -1,0 +1,237 @@
+#include "codegen/native_backend.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#include <unistd.h>
+#define LOL_HAVE_DLOPEN 1
+#endif
+
+#include "codegen/c_emitter.hpp"
+#include "driver/cli.hpp"
+#include "support/error.hpp"
+
+// Baked in by CMake: where lolrt_c.h lives (the generated C includes it)
+// and any flags the lol archive was built with that the generated code
+// must match (e.g. -fsanitize=thread). Both are overridable at run time
+// via LOLRT_INC / LOLRT_CFLAGS, same as the lcc tool.
+#ifndef LOL_NATIVE_INCLUDE_DIR
+#define LOL_NATIVE_INCLUDE_DIR ""
+#endif
+#ifndef LOL_NATIVE_EXTRA_CFLAGS
+#define LOL_NATIVE_EXTRA_CFLAGS ""
+#endif
+
+namespace lol::codegen {
+
+namespace {
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? v : fallback;
+}
+
+/// Loaded-program cache, keyed by the generated C text. LRU-bounded:
+/// daemon clients choose sources, so an unbounded map of dlopen()ed
+/// objects (plus their C text keys) would be client-controlled memory
+/// growth — the same DoS class the service's tenant maps guard against.
+/// Eviction only drops the map's reference; the shared_ptr keeps the
+/// loaded object alive until the last in-flight run (or NativeSlot memo)
+/// releases it, and ~NativeProgram dlcloses then, so eviction can never
+/// unmap code that is still executing.
+constexpr std::size_t kCacheCapacity = 64;
+
+struct CacheEntry {
+  std::shared_ptr<const NativeProgram> prog;
+  std::uint64_t stamp = 0;  // recency; larger = more recently used
+};
+
+std::mutex cache_m;
+std::uint64_t cache_clock = 0;
+std::unordered_map<std::string, CacheEntry>& cache() {
+  static auto* c = new std::unordered_map<std::string, CacheEntry>;
+  return *c;
+}
+
+/// Caller holds cache_m.
+void evict_lru_locked() {
+  while (cache().size() >= kCacheCapacity) {
+    auto victim = cache().begin();
+    for (auto it = cache().begin(); it != cache().end(); ++it) {
+      if (it->second.stamp < victim->second.stamp) victim = it;
+    }
+    cache().erase(victim);
+  }
+}
+
+}  // namespace
+
+std::string native_cc() { return env_or("CC", "cc"); }
+
+bool native_available() {
+#ifndef LOL_HAVE_DLOPEN
+  return false;
+#else
+  static const bool ok = [] {
+    // $CC may carry flags or a launcher ("ccache cc"); the compile
+    // command below interpolates it unquoted like make's $(CC), so the
+    // probe must check only the first word or the two would disagree.
+    std::string cc = native_cc();
+    std::string word = cc.substr(0, cc.find_first_of(" \t"));
+    std::string cmd =
+        "command -v " + shell_quote(word) + " >/dev/null 2>&1";
+    return std::system(cmd.c_str()) == 0;
+  }();
+  return ok;
+#endif
+}
+
+NativeProgram::~NativeProgram() {
+#ifdef LOL_HAVE_DLOPEN
+  if (handle_ != nullptr) dlclose(handle_);
+#endif
+}
+
+std::shared_ptr<const NativeProgram> NativeProgram::get_or_build(
+    const ast::Program& program, const sema::Analysis& analysis,
+    std::string* error) {
+#ifndef LOL_HAVE_DLOPEN
+  (void)program;
+  (void)analysis;
+  if (error != nullptr) *error = "native backend requires dlopen (POSIX)";
+  return nullptr;
+#else
+  if (!native_available()) {
+    if (error != nullptr) {
+      *error = "no host C compiler ('" + native_cc() +
+               "' not found; set $CC or install one)";
+    }
+    return nullptr;
+  }
+
+  std::string c_code;
+  try {
+    EmitOptions opts;
+    opts.source_name = "<native-backend>";
+    opts.emit_main = false;  // dlsym(lol_user_main), no process entry
+    c_code = emit_c(program, analysis, opts);
+  } catch (const support::LolError& e) {
+    if (error != nullptr) {
+      *error = std::string("cannot lower to C: ") + e.what();
+    }
+    return nullptr;
+  }
+
+  {
+    std::lock_guard<std::mutex> g(cache_m);
+    auto it = cache().find(c_code);
+    if (it != cache().end()) {
+      it->second.stamp = ++cache_clock;
+      return it->second.prog;
+    }
+  }
+
+  // Unique scratch names; the files are unlinked as soon as the object
+  // is loaded (POSIX keeps the mapping alive), so nothing leaks even on
+  // the error paths below.
+  static std::atomic<std::uint64_t> counter{0};
+  std::error_code fs_ec;
+  std::filesystem::path dir = std::filesystem::temp_directory_path(fs_ec);
+  if (fs_ec) dir = "/tmp";
+  std::string stem =
+      (dir / ("lolnative_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+          .string();
+  std::string c_path = stem + ".c";
+  std::string so_path = stem + ".so";
+  std::string log_path = stem + ".log";
+
+  auto cleanup = [&] {
+    std::remove(c_path.c_str());
+    std::remove(so_path.c_str());
+    std::remove(log_path.c_str());
+  };
+
+  if (!driver::write_file(c_path, c_code)) {
+    if (error != nullptr) *error = "cannot write " + c_path;
+    return nullptr;
+  }
+
+  std::string inc = env_or("LOLRT_INC", LOL_NATIVE_INCLUDE_DIR);
+  std::string extra = env_or("LOLRT_CFLAGS", LOL_NATIVE_EXTRA_CFLAGS);
+  // lolrt_* stays undefined in the object and resolves at dlopen time
+  // against this executable's exports (ENABLE_EXPORTS / -rdynamic).
+  std::string cmd = native_cc() + " -std=c99 -O1 -fPIC -shared " +
+                    (extra.empty() ? "" : extra + " ") + shell_quote(c_path) +
+                    " -I" + shell_quote(inc) + " -o " + shell_quote(so_path) +
+                    " 2>" + shell_quote(log_path);
+  if (std::system(cmd.c_str()) != 0) {
+    if (error != nullptr) {
+      std::string log =
+          driver::read_file(log_path).value_or("(no compiler output)");
+      *error = "host C compiler failed: " + cmd + "\n" + log;
+    }
+    cleanup();
+    return nullptr;
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (error != nullptr) {
+      const char* why = dlerror();
+      *error = std::string("dlopen failed: ") +
+               (why != nullptr ? why : "(unknown)") +
+               " — is the embedding executable exporting lolrt_* "
+               "(ENABLE_EXPORTS / -rdynamic)?";
+    }
+    cleanup();
+    return nullptr;
+  }
+  auto entry =
+      reinterpret_cast<lolrt_main_fn>(dlsym(handle, "lol_user_main"));
+  cleanup();  // mapping stays valid after unlink
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      *error = "generated object has no lol_user_main symbol";
+    }
+    dlclose(handle);
+    return nullptr;
+  }
+
+  auto prog = std::shared_ptr<NativeProgram>(new NativeProgram());
+  prog->handle_ = handle;
+  prog->entry_ = entry;
+
+  std::lock_guard<std::mutex> g(cache_m);
+  evict_lru_locked();
+  // First build wins if two threads raced on the same source; the loser's
+  // object is dropped (its dlclose is safe — nothing ran through it yet).
+  auto [it, inserted] = cache().emplace(
+      std::move(c_code), CacheEntry{std::move(prog), ++cache_clock});
+  if (!inserted) it->second.stamp = cache_clock;
+  return it->second.prog;
+#endif
+}
+
+}  // namespace lol::codegen

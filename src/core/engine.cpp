@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "codegen/native_backend.hpp"
 #include "interp/interpreter.hpp"
 #include "parse/parser.hpp"
 #include "rt/exec_context.hpp"
@@ -10,6 +11,22 @@
 #include "vm/vm.hpp"
 
 namespace lol {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kInterp: return "interp";
+    case Backend::kVm: return "vm";
+    case Backend::kNative: return "native";
+  }
+  return "vm";
+}
+
+std::optional<Backend> backend_from_name(std::string_view name) {
+  if (name == "interp") return Backend::kInterp;
+  if (name == "vm") return Backend::kVm;
+  if (name == "native") return Backend::kNative;
+  return std::nullopt;
+}
 
 std::string RunResult::first_error() const {
   return support::first_root_error(errors);
@@ -25,23 +42,30 @@ CompiledProgram compile(std::string_view source) {
   CompiledProgram out;
   out.program = parse::parse_program(source);
   out.analysis = sema::analyze(out.program);
+  out.native_slot = std::make_shared<codegen::NativeSlot>();
   return out;
 }
 
 namespace {
 
-/// Result shape for a run that was aborted before any PE started. The
-/// abort path must not trust cfg.n_pes (the Runtime constructor, which
-/// normally rejects bad values, is skipped here).
-RunResult aborted_before_launch(int n_pes) {
+/// Result shape for a run that failed before any PE started (pre-launch
+/// abort, native build failure). Must not trust cfg.n_pes: the Runtime
+/// constructor, which normally rejects bad values, is skipped on these
+/// paths.
+RunResult error_result(int n_pes, const std::string& message) {
   RunResult result;
-  result.aborted = true;
   auto n = static_cast<std::size_t>(std::max(1, n_pes));
   result.errors.assign(n, "");
-  result.errors[0] = "SPMD aborted before launch";
+  result.errors[0] = message;
   result.pe_output.assign(n, "");
   result.pe_errout.assign(n, "");
   result.sim_ns.assign(n, 0.0);
+  return result;
+}
+
+RunResult aborted_before_launch(int n_pes) {
+  RunResult result = error_result(n_pes, "SPMD aborted before launch");
+  result.aborted = true;
   return result;
 }
 
@@ -52,6 +76,31 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   // skip Runtime construction (arenas) entirely.
   if (cfg.abort != nullptr && cfg.abort->requested()) {
     return aborted_before_launch(cfg.n_pes);
+  }
+
+  // The native backend translates to C and invokes the host cc once per
+  // distinct program (process-wide cache); build before the Runtime so a
+  // missing compiler fails cheaply with a diagnostic instead of a throw.
+  std::shared_ptr<const codegen::NativeProgram> native;
+  if (cfg.backend == Backend::kNative) {
+    std::string nerr;
+    if (prog.native_slot != nullptr) {
+      // Warm path: reuse this program's loaded object without re-emitting
+      // C. The slot lock also serializes concurrent first builds from
+      // service workers sharing one cached CompiledProgram.
+      std::lock_guard<std::mutex> g(prog.native_slot->m);
+      if (prog.native_slot->prog == nullptr) {
+        prog.native_slot->prog = codegen::NativeProgram::get_or_build(
+            prog.program, prog.analysis, &nerr);
+      }
+      native = prog.native_slot->prog;
+    } else {
+      native = codegen::NativeProgram::get_or_build(prog.program,
+                                                    prog.analysis, &nerr);
+    }
+    if (native == nullptr) {
+      return error_result(cfg.n_pes, "native backend: " + nerr);
+    }
   }
 
   shmem::Config scfg;
@@ -88,6 +137,9 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
           break;
         case Backend::kVm:
           vm::run_pe(*chunk, ctx);
+          break;
+        case Backend::kNative:
+          codegen::run_native_pe(native->entry(), ctx);
           break;
       }
     } catch (const support::StepLimitError&) {

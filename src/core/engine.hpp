@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,19 +25,41 @@
 #include "rt/io.hpp"
 #include "sema/analyzer.hpp"
 
+namespace lol::codegen {
+struct NativeSlot;
+}
+
 namespace lol {
 
 /// Which execution backend runs the program.
 enum class Backend {
   kInterp,  // tree-walking interpreter (reference semantics)
   kVm,      // bytecode VM (compiled dispatch; same semantics, faster)
+  kNative,  // lcc-generated C compiled by the host cc, dlopen()ed and run
+            // in-process on the same shmem substrate; needs a host C
+            // compiler (lol::codegen::native_available()) or the run
+            // fails with an explanatory error
 };
+
+/// Canonical backend name ("interp" / "vm" / "native") — the single
+/// mapping every surface shares: lolrun/lolserve --backend flags, the
+/// daemon wire protocol, the differential harness.
+[[nodiscard]] const char* to_string(Backend b);
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<Backend> backend_from_name(std::string_view name);
 
 /// A compiled (parsed + analyzed) program. Movable; the analysis borrows
 /// AST nodes owned by `program`, whose addresses are stable under moves.
 struct CompiledProgram {
   ast::Program program;
   sema::Analysis analysis;
+
+  /// Backend::kNative memo: the loaded shared object for this program,
+  /// filled on first native run so repeats skip C emission (see
+  /// codegen/native_backend.hpp). Harmless to leave null on
+  /// hand-constructed instances — the run falls back to the global cache.
+  std::shared_ptr<codegen::NativeSlot> native_slot;
 };
 
 /// SPMD run configuration.

@@ -298,10 +298,8 @@ std::optional<Request> parse_request(const std::string& line,
     req.job.heap_bytes = static_cast<std::size_t>(
         u64_or(*doc, "heap_bytes", req.job.heap_bytes));
     std::string backend = str_or(*doc, "backend", "vm");
-    if (backend == "interp") {
-      req.job.backend = Backend::kInterp;
-    } else if (backend == "vm") {
-      req.job.backend = Backend::kVm;
+    if (auto b = backend_from_name(backend)) {
+      req.job.backend = *b;
     } else {
       if (error != nullptr) *error = "unknown backend '" + backend + "'";
       return std::nullopt;
@@ -337,6 +335,36 @@ std::optional<Request> parse_request(const std::string& line,
   }
   if (error != nullptr) *error = "unknown op '" + op + "'";
   return std::nullopt;
+}
+
+const char* backend_name(Backend b) { return lol::to_string(b); }
+
+std::string submit_line(const Job& job) {
+  auto n = [](std::uint64_t v) { return std::to_string(v); };
+  return "{\"op\":\"submit\",\"name\":" + quote(job.name) +
+         ",\"source\":" + quote(job.source) +
+         ",\"tenant\":" + quote(job.tenant) +
+         ",\"n_pes\":" + std::to_string(job.n_pes) +
+         ",\"backend\":\"" + backend_name(job.backend) + "\"" +
+         ",\"seed\":" + n(job.seed) + ",\"max_steps\":" + n(job.max_steps) +
+         ",\"deadline_ms\":" + n(job.deadline_ms) +
+         ",\"heap_bytes\":" + n(job.heap_bytes) +
+         ",\"stdin\":" + json_array(job.stdin_lines) + "}";
+}
+
+std::string cancel_request_line(JobId id) {
+  return "{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}";
+}
+
+std::string request_line(const Request& req) {
+  switch (req.op) {
+    case Request::Op::kSubmit: return submit_line(req.job);
+    case Request::Op::kCancel: return cancel_request_line(req.id);
+    case Request::Op::kStats: return "{\"op\":\"stats\"}";
+    case Request::Op::kPing: return "{\"op\":\"ping\"}";
+    case Request::Op::kShutdown: return "{\"op\":\"shutdown\"}";
+  }
+  return "{\"op\":\"ping\"}";
 }
 
 std::string accepted_line(JobId id, const Job& job) {

@@ -70,6 +70,19 @@ struct Request {
 std::optional<Request> parse_request(const std::string& line,
                                      std::string* error);
 
+/// Wire name of a backend ("interp" / "vm" / "native").
+[[nodiscard]] const char* backend_name(Backend b);
+
+// -- request serializers (no trailing newline) ------------------------------
+// The client-side half of the protocol: scripts, tests and a future
+// `lolserve --client` build request lines with these instead of
+// hand-rolling JSON. parse_request(request_line(r)) round-trips every
+// field whose value survives the JSON number model (IEEE doubles: keep
+// u64s below 2^53).
+std::string submit_line(const Job& job);
+std::string cancel_request_line(JobId id);
+std::string request_line(const Request& req);
+
 // -- event serializers (no trailing newline) --------------------------------
 std::string accepted_line(JobId id, const Job& job);
 std::string result_line(const JobResult& r);

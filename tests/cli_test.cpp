@@ -3,10 +3,15 @@
 // dumps, and failure exit codes.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "driver/cli.hpp"
 
@@ -143,5 +148,81 @@ TEST(LolrunCli, SeedFlagControlsWhatevr) {
   EXPECT_EQ(a1.output, a2.output);
   EXPECT_NE(a1.output, b.output);
 }
+
+TEST(LolrunCli, PipedStdinFeedsGimmeh) {
+  // Regression: lolrun used to drop piped input (GIMMEH read the empty
+  // stdin_lines vector) while lcc-compiled binaries read real stdin.
+  std::string path = write_program(
+      "gimmeh", "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"GOT \" x\nKTHXBYE\n");
+  auto r = run_cmd("printf 'cheezburger\\n' | " + std::string(LOLRUN_BIN) +
+                   " " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("GOT cheezburger"), std::string::npos) << r.output;
+}
+
+TEST(LolrunCli, NoStdinFlagDropsPipedInput) {
+  std::string path = write_program(
+      "nostdin", "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"[\" x \"]\"\nKTHXBYE\n");
+  auto r = run_cmd("printf 'ignored\\n' | " + std::string(LOLRUN_BIN) +
+                   " --no-stdin " + path);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.output.find("[]"), std::string::npos) << r.output;
+}
+
+TEST(LolrunCli, StepLimitUsesDistinctExitStatus) {
+  // Exit-status parity with lcc binaries: 3 = step-limited, 1 = error.
+  std::string path = write_program(
+      "spincli", "HAI 1.2\nIM IN YR l\nIM OUTTA YR l\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --max-steps 10000 " + path);
+  ASSERT_TRUE(WIFEXITED(r.status));
+  EXPECT_EQ(WEXITSTATUS(r.status), 3) << r.output;
+}
+
+#ifdef LOLSERVE_BIN
+
+/// Runs lolserve over `n` one-line jobs with the given extra flags and
+/// returns the job names in completion order (one worker => completion
+/// order is submission order).
+std::vector<std::string> lolserve_order(int n, const std::string& flags) {
+  std::string files;
+  for (int i = 0; i < n; ++i) {
+    std::string path = write_program(("shuf" + std::to_string(i)).c_str(),
+                                     "HAI 1.2\nVISIBLE " + std::to_string(i) +
+                                         "\nKTHXBYE\n");
+    files += " " + path;
+  }
+  auto r = run_cmd(std::string(LOLSERVE_BIN) + " --workers 1 " + flags +
+                   files);
+  EXPECT_EQ(r.status, 0) << r.output;
+  std::vector<std::string> order;
+  std::istringstream in(r.output);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto pos = line.find("/tmp/parallol_cli_shuf");
+    if (line.rfind("[ok]", 0) != 0 || pos == std::string::npos) continue;
+    order.push_back(line.substr(pos, line.find(".lol", pos) + 4 - pos));
+  }
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(n));
+  return order;
+}
+
+TEST(LolserveCli, ShuffleIsSeededAndDeterministic) {
+  // --shuffle randomizes the submission order for scheduling-fairness
+  // experiments; the same seed must reproduce the same permutation.
+  auto plain = lolserve_order(10, "");
+  auto s7a = lolserve_order(10, "--shuffle --shuffle-seed 7");
+  auto s7b = lolserve_order(10, "--shuffle --shuffle-seed 7");
+  EXPECT_EQ(s7a, s7b) << "same seed must give the same order";
+  EXPECT_NE(s7a, plain) << "a 10-element shuffle landing on the identity "
+                           "permutation means the seed is being ignored";
+  // All jobs ran exactly once, whatever the order.
+  auto sorted_plain = plain;
+  auto sorted_shuf = s7a;
+  std::sort(sorted_plain.begin(), sorted_plain.end());
+  std::sort(sorted_shuf.begin(), sorted_shuf.end());
+  EXPECT_EQ(sorted_shuf, sorted_plain);
+}
+
+#endif  // LOLSERVE_BIN
 
 }  // namespace

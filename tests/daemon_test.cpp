@@ -13,7 +13,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 
@@ -375,6 +377,174 @@ TEST(Wire, RequestRoundTripsJobFields) {
   EXPECT_EQ(req->job.backend, lol::Backend::kInterp);
   ASSERT_EQ(req->job.stdin_lines.size(), 2u);
   EXPECT_EQ(req->job.stdin_lines[1], "b");
+}
+
+// ---------------------------------------------------------------------------
+// Property-style round-trips: serialize -> parse must be the identity for
+// random requests and events (the protocol is NDJSON over IEEE doubles,
+// so generated u64s stay below 2^50 — larger values are not representable
+// on the wire by design). Seeded from the hostile-number hardening in the
+// daemon: the same u64_or bounds that reject inf/1e400 must not clip
+// legitimate payloads.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string random_text(std::mt19937_64& rng, std::size_t max_len) {
+  // Deliberately hostile strings: quotes, backslashes, control bytes,
+  // UTF-8 fragments — everything quote()/parse_string must round-trip.
+  static const char* pool[] = {"a",  "Z",  "0",   " ",    "\"", "\\",
+                               "\n", "\t", "\r",  "\x01", "{",  "}",
+                               ":",  ",",  "\xc3\xa9", "lol"};
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(pool) - 1);
+  std::string out;
+  for (std::size_t i = 0, n = len(rng); i < n; ++i) out += pool[pick(rng)];
+  return out;
+}
+
+std::uint64_t random_u64(std::mt19937_64& rng) {
+  // Wire numbers are doubles: keep below 2^50 so the value is exact.
+  return rng() & ((1ULL << 50) - 1);
+}
+
+}  // namespace
+
+TEST(Wire, SubmitRoundTripsRandomJobs) {
+  std::mt19937_64 rng(20170529);
+  for (int iter = 0; iter < 200; ++iter) {
+    lol::service::Job job;
+    job.name = random_text(rng, 12);
+    job.source = random_text(rng, 64);
+    job.tenant = random_text(rng, 8);
+    job.n_pes = static_cast<int>(1 + rng() % 1024);
+    job.seed = random_u64(rng);
+    job.max_steps = random_u64(rng);
+    job.deadline_ms = random_u64(rng);
+    job.heap_bytes = static_cast<std::size_t>(random_u64(rng));
+    job.backend = iter % 3 == 0   ? lol::Backend::kInterp
+                  : iter % 3 == 1 ? lol::Backend::kVm
+                                  : lol::Backend::kNative;
+    for (std::size_t i = 0, n = rng() % 4; i < n; ++i) {
+      job.stdin_lines.push_back(random_text(rng, 16));
+    }
+
+    std::string line = wire::submit_line(job);
+    std::string err;
+    auto req = wire::parse_request(line, &err);
+    ASSERT_TRUE(req.has_value()) << "iter " << iter << ": " << err
+                                 << "\nline: " << line;
+    EXPECT_EQ(req->op, wire::Request::Op::kSubmit);
+    EXPECT_EQ(req->job.name, job.name) << line;
+    EXPECT_EQ(req->job.source, job.source) << line;
+    EXPECT_EQ(req->job.tenant, job.tenant) << line;
+    EXPECT_EQ(req->job.n_pes, job.n_pes);
+    EXPECT_EQ(req->job.seed, job.seed);
+    EXPECT_EQ(req->job.max_steps, job.max_steps);
+    EXPECT_EQ(req->job.deadline_ms, job.deadline_ms);
+    EXPECT_EQ(req->job.heap_bytes, job.heap_bytes);
+    EXPECT_EQ(req->job.backend, job.backend);
+    EXPECT_EQ(req->job.stdin_lines, job.stdin_lines);
+  }
+}
+
+TEST(Wire, CancelAndControlRequestsRoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    lol::service::JobId id = 1 + random_u64(rng);
+    std::string err;
+    auto req = wire::parse_request(wire::cancel_request_line(id), &err);
+    ASSERT_TRUE(req.has_value()) << err;
+    EXPECT_EQ(req->op, wire::Request::Op::kCancel);
+    EXPECT_EQ(req->id, id);
+  }
+  for (auto op : {wire::Request::Op::kStats, wire::Request::Op::kPing,
+                  wire::Request::Op::kShutdown}) {
+    wire::Request r;
+    r.op = op;
+    std::string err;
+    auto parsed = wire::parse_request(wire::request_line(r), &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(parsed->op, op);
+  }
+}
+
+TEST(Wire, ResultEventsRoundTripThroughTheJsonParser) {
+  std::mt19937_64 rng(42);
+  using lol::service::JobStatus;
+  const JobStatus statuses[] = {
+      JobStatus::kOk,           JobStatus::kCompileError,
+      JobStatus::kRuntimeError, JobStatus::kStepLimit,
+      JobStatus::kDeadlineExceeded, JobStatus::kCancelled,
+      JobStatus::kRejected};
+  for (int iter = 0; iter < 100; ++iter) {
+    lol::service::JobResult r;
+    r.id = 1 + random_u64(rng);
+    r.name = random_text(rng, 10);
+    r.tenant = random_text(rng, 6);
+    r.status = statuses[rng() % std::size(statuses)];
+    r.error = random_text(rng, 20);
+    r.compile_cache_hit = rng() % 2 == 0;
+    r.queue_ms = static_cast<double>(rng() % 100000) / 1000.0;
+    r.run_ms = static_cast<double>(rng() % 100000) / 1000.0;
+    for (std::size_t i = 0, n = rng() % 3; i < n; ++i) {
+      r.pe_output.push_back(random_text(rng, 24));
+      r.pe_errout.push_back(random_text(rng, 8));
+    }
+
+    std::string err;
+    auto doc = wire::parse_json(wire::result_line(r), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->find("event")->str, "done");
+    EXPECT_EQ(doc->find("id")->num, static_cast<double>(r.id));
+    EXPECT_EQ(doc->find("name")->str, r.name);
+    EXPECT_EQ(doc->find("tenant")->str, r.tenant);
+    EXPECT_EQ(doc->find("status")->str, lol::service::to_string(r.status));
+    EXPECT_EQ(doc->find("error")->str, r.error);
+    EXPECT_EQ(doc->find("cached")->b, r.compile_cache_hit);
+    EXPECT_NEAR(doc->find("queue_ms")->num, r.queue_ms, 0.0005);
+    EXPECT_NEAR(doc->find("run_ms")->num, r.run_ms, 0.0005);
+    const wire::Json* out = doc->find("output");
+    ASSERT_EQ(out->arr.size(), r.pe_output.size());
+    for (std::size_t i = 0; i < r.pe_output.size(); ++i) {
+      EXPECT_EQ(out->arr[i].str, r.pe_output[i]);
+    }
+  }
+}
+
+TEST(Wire, MalformedRequestsAreRejectedWithErrors) {
+  const char* cases[] = {
+      "",                                       // empty line
+      "{",                                      // truncated object
+      "[1,2]",                                  // not an object
+      "42",                                     // not an object
+      "{\"op\":\"submit\"}",                    // missing source
+      "{\"op\":\"submit\",\"source\":42}",      // source wrong type
+      "{\"op\":\"submit\",\"source\":\"HAI\",\"backend\":\"turbo\"}",
+      "{\"op\":\"nope\"}",                      // unknown op
+      "{\"op\":\"cancel\"}",                    // missing id
+      "{\"op\":\"cancel\",\"id\":0}",           // id must be nonzero
+      "{\"op\":\"cancel\",\"id\":1e400}",       // overflows to inf
+      "{\"op\":\"cancel\",\"id\":-7}",          // negative
+      "{\"op\":\"ping\"}trailing",              // trailing garbage
+      "{\"op\":\"ping\"",                       // unterminated
+      "{\"op\":\"pi\\qng\"}",                   // unknown escape
+      "{\"op\":\"ping\\u00g1\"}",               // bad \u escape
+      "{\"op\":nan}",                           // bad literal
+  };
+  for (const char* line : cases) {
+    std::string err;
+    auto req = wire::parse_request(line, &err);
+    EXPECT_FALSE(req.has_value()) << "accepted: " << line;
+    EXPECT_FALSE(err.empty()) << "no diagnostic for: " << line;
+  }
+
+  // Nesting deeper than the parser's bound is rejected, not recursed.
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  std::string err;
+  EXPECT_FALSE(wire::parse_json(deep, &err).has_value());
+  EXPECT_FALSE(err.empty());
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// Differential cross-backend conformance harness.
+//
+// The paper's pedagogical claim — and this repo's north star — is that
+// one parallel LOLCODE program means the same thing on every execution
+// substrate. This harness makes that claim testable: run one program
+// through the interpreter, the VM and (when the host has a C compiler)
+// the lcc native path under *identical* RunConfigs, then require
+//
+//   * the same outcome classification (ok / compile error / runtime
+//     error / step-limited / aborted), and
+//   * byte-identical per-PE stdout and stderr.
+//
+// Per-PE comparison sidesteps SPMD interleaving: scheduling may order
+// PEs differently between runs, but what each PE prints is deterministic
+// given the program, the seed and the barriers it contains.
+//
+// Step-budget caveat: a "step" is a statement in the interpreter and the
+// native code but an instruction in the VM, so budgets near the edge can
+// classify differently by design. Differential cases therefore use
+// budgets that are either clearly exhausted (tiny budget, infinite loop)
+// or clearly generous; the classification must then agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lol::difftest {
+
+/// How a run ended, collapsed to the classification every backend must
+/// agree on (the same partition JobStatus uses, minus service-only
+/// states).
+enum class Outcome {
+  kOk,
+  kCompileError,
+  kRuntimeError,
+  kStepLimit,
+  kAborted,
+};
+
+[[nodiscard]] const char* to_string(Outcome o);
+
+/// One differential case: a program plus the RunConfig knobs under test.
+struct Spec {
+  std::string name;
+  std::string source;
+  int n_pes = 1;
+  std::uint64_t seed = 20170529;
+  std::uint64_t max_steps = 0;          // 0 = unlimited
+  std::vector<std::string> stdin_lines; // GIMMEH input
+  std::uint64_t abort_after_ms = 0;     // >0: request abort from a timer
+};
+
+/// What one backend did with a Spec.
+struct BackendRun {
+  Backend backend = Backend::kInterp;
+  std::string label;  // "interp" / "vm" / "native"
+  Outcome outcome = Outcome::kOk;
+  std::vector<std::string> pe_output;
+  std::vector<std::string> pe_errout;
+  std::string error;   // first error (diagnostic only, not compared)
+  double wall_ms = 0.0;
+};
+
+/// True when Backend::kNative can run here (host cc + dlopen). Tests
+/// GTEST_SKIP the native column when false; interp-vs-VM still runs.
+bool native_available();
+
+/// The backends this host can compare: interp and VM always, native when
+/// available.
+std::vector<Backend> backends_under_test();
+
+[[nodiscard]] const char* backend_label(Backend b);
+
+/// Runs one spec on one backend.
+BackendRun run_one(const Spec& spec, Backend backend);
+
+/// Runs the spec on every available backend and reports divergence:
+/// empty string when all backends agree on classification and per-PE
+/// output, else a human-readable report naming the disagreeing backends.
+std::string divergence(const Spec& spec);
+
+/// Loads every *.lol file under `dir` (sorted by name) as a Spec with
+/// the given PE count. Empty when the directory is missing.
+std::vector<Spec> load_lol_dir(const std::string& dir, int n_pes);
+
+}  // namespace lol::difftest

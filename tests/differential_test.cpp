@@ -1,0 +1,335 @@
+// Differential cross-backend conformance suite: every program must mean
+// the same thing on the interpreter, the VM and the lcc native path
+// (Tables 1–3 of the source paper frame conformance exactly this way).
+// Cases cover the example programs shipped in examples/lol/, the paper's
+// §VI listings, and a table of edge-case snippets — including
+// deterministic-seed multi-PE programs, step-limit budgets and external
+// aborts, so the *classification* parity the service relies on is pinned
+// down, not just happy-path output.
+//
+// When the host has no C compiler the native column is skipped (the
+// harness still cross-checks interp vs VM); CI always has one.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/paper_programs.hpp"
+#include "diff_harness.hpp"
+
+#ifndef LOL_EXAMPLES_DIR
+#define LOL_EXAMPLES_DIR "examples/lol"
+#endif
+
+namespace {
+
+using lol::difftest::Outcome;
+using lol::difftest::Spec;
+
+Spec make(std::string name, const std::string& body, int n_pes = 1) {
+  Spec s;
+  s.name = std::move(name);
+  s.source = "HAI 1.2\n" + body + "KTHXBYE\n";
+  s.n_pes = n_pes;
+  return s;
+}
+
+void expect_agreement(const Spec& spec) {
+  std::string report = lol::difftest::divergence(spec);
+  EXPECT_EQ(report, "") << report;
+}
+
+TEST(Differential, NativeBackendAvailabilityIsReported) {
+  // Not an assertion — a visible record in the test log of whether the
+  // native column ran on this host.
+  if (!lol::difftest::native_available()) {
+    GTEST_SKIP() << "no host C compiler: differential suite compares "
+                    "interp vs VM only";
+  }
+  EXPECT_EQ(lol::difftest::backends_under_test().size(), 3u);
+}
+
+TEST(Differential, ExamplePrograms) {
+  std::vector<Spec> specs = lol::difftest::load_lol_dir(LOL_EXAMPLES_DIR, 4);
+  ASSERT_FALSE(specs.empty())
+      << "no .lol programs found under " << LOL_EXAMPLES_DIR;
+  for (const Spec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    expect_agreement(spec);
+  }
+}
+
+TEST(Differential, PaperListings) {
+  std::vector<Spec> specs;
+  Spec ring;
+  ring.name = "paper-ring";
+  ring.source = lol::paper::ring_listing();
+  ring.n_pes = 4;
+  specs.push_back(ring);
+
+  Spec locks;
+  locks.name = "paper-lock-counter";
+  locks.source = lol::paper::lock_counter_listing(25);
+  locks.n_pes = 4;
+  specs.push_back(locks);
+
+  Spec bsum;
+  bsum.name = "paper-barrier-sum";
+  bsum.source = lol::paper::barrier_sum_listing();
+  bsum.n_pes = 4;
+  specs.push_back(bsum);
+
+  // The full §VI.D n-body listing on one PE (exact stdout ordering) and
+  // a smaller configuration across PEs (per-PE trajectories must still
+  // agree byte for byte — the barriers make them deterministic).
+  Spec nbody1;
+  nbody1.name = "paper-nbody-1pe";
+  nbody1.source = lol::paper::nbody_program(8, 3, true);
+  nbody1.n_pes = 1;
+  specs.push_back(nbody1);
+
+  Spec nbody4;
+  nbody4.name = "paper-nbody-4pe";
+  nbody4.source = lol::paper::nbody_program(6, 2, true);
+  nbody4.n_pes = 4;
+  specs.push_back(nbody4);
+
+  for (const Spec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    expect_agreement(spec);
+  }
+}
+
+TEST(Differential, EdgeCaseTable) {
+  std::vector<Spec> specs;
+
+  specs.push_back(make(
+      "arith-mixed",
+      "VISIBLE SUM OF 2 AN PRODUKT OF 3 AN 4\n"
+      "VISIBLE DIFF OF 1.5 AN 0.25\n"
+      "VISIBLE QUOSHUNT OF 7 AN 2\n"
+      "VISIBLE QUOSHUNT OF 7.0 AN 2\n"
+      "VISIBLE MOD OF 17 AN 5\n"
+      "VISIBLE BIGGR OF 3 AN 9\n"
+      "VISIBLE SMALLR OF 3.5 AN 9\n"
+      "VISIBLE SQUAR OF 12\n"
+      "VISIBLE UNSQUAR OF 2.25\n"
+      "VISIBLE FLIP OF 4.0\n"));
+
+  specs.push_back(make(
+      "compare-and-bool",
+      "VISIBLE BOTH SAEM 3 AN 3.0\n"
+      "VISIBLE DIFFRINT \"a\" AN \"b\"\n"
+      "VISIBLE BIGGER 4 AN 2\n"
+      "VISIBLE SMALLR 4 AN 2\n"
+      "VISIBLE BOTH OF WIN AN FAIL\n"
+      "VISIBLE EITHER OF WIN AN FAIL\n"
+      "VISIBLE WON OF WIN AN WIN\n"
+      "VISIBLE NOT FAIL\n"
+      "VISIBLE ALL OF WIN AN 1 AN \"x\" MKAY\n"
+      "VISIBLE ANY OF FAIL AN 0 AN \"\" MKAY\n"));
+
+  specs.push_back(make(
+      "yarn-smoosh-interp",
+      "I HAS A who ITZ \"WORLD\"\n"
+      "I HAS A n ITZ 3.5\n"
+      "VISIBLE SMOOSH \"HAI \" who \"!\" MKAY\n"
+      "VISIBLE \"n=:{n} who=:{who}\"\n"));
+
+  specs.push_back(make(
+      "casts",
+      "I HAS A x ITZ \"42\"\n"
+      "VISIBLE SUM OF MAEK x A NUMBR AN 1\n"
+      "I HAS A y ITZ 3.99\n"
+      "y IS NOW A NUMBR\n"
+      "VISIBLE y\n"
+      "I HAS A z ITZ SRSLY A NUMBR\n"
+      "z R \"17\"\n"
+      "VISIBLE z\n"
+      "VISIBLE MAEK WIN A NUMBR\n"));
+
+  specs.push_back(make(
+      "orly-mebbe-chain",
+      "I HAS A x ITZ 7\n"
+      "BOTH SAEM x AN 1, O RLY?\n"
+      "YA RLY\n  VISIBLE \"one\"\n"
+      "MEBBE BOTH SAEM x AN 7\n  VISIBLE \"seven\"\n"
+      "MEBBE BOTH SAEM x AN 9\n  VISIBLE \"nine\"\n"
+      "NO WAI\n  VISIBLE \"other\"\n"
+      "OIC\n"));
+
+  specs.push_back(make(
+      "wtf-fallthrough-gtfo",
+      "I HAS A x ITZ 2\n"
+      "x, WTF?\n"
+      "OMG 1\n  VISIBLE \"one\"\n  GTFO\n"
+      "OMG 2\n  VISIBLE \"two\"\n"
+      "OMG 3\n  VISIBLE \"three\"\n  GTFO\n"
+      "OMGWTF\n  VISIBLE \"other\"\n"
+      "OIC\n"));
+
+  specs.push_back(make(
+      "loops-uppin-nerfin-gtfo",
+      "IM IN YR up UPPIN YR i TIL BOTH SAEM i AN 4\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR up\n"
+      "I HAS A k ITZ 2\n"
+      "IM IN YR down NERFIN YR j WILE BIGGER SUM OF j AN k AN 0\n"
+      "  VISIBLE j\n"
+      "IM OUTTA YR down\n"
+      "I HAS A c ITZ 0\n"
+      "IM IN YR spin\n"
+      "  c R SUM OF c AN 1\n"
+      "  BOTH SAEM c AN 3, O RLY?\n  YA RLY\n    GTFO\n  OIC\n"
+      "IM OUTTA YR spin\n"
+      "VISIBLE c\n"));
+
+  specs.push_back(make(
+      "functions-recursion",
+      "HOW IZ I fib YR n\n"
+      "  SMALLR n AN 2, O RLY?\n"
+      "  YA RLY\n    FOUND YR n\n"
+      "  OIC\n"
+      "  FOUND YR SUM OF I IZ fib YR DIFF OF n AN 1 MKAY ...\n"
+      "    AN I IZ fib YR DIFF OF n AN 2 MKAY\n"
+      "IF U SAY SO\n"
+      "HOW IZ I doublin YR x\n"
+      "  FOUND YR PRODUKT OF BIGGR OF x AN 1 AN 2\n"
+      "IF U SAY SO\n"
+      "VISIBLE I IZ fib YR 10 MKAY\n"
+      "IM IN YR loop doublin YR i TIL BIGGER i AN 10\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR loop\n"));
+
+  specs.push_back(make(
+      "arrays-dyn-and-srsly",
+      "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 4\n"
+      "a'Z 0 R 10\n"
+      "a'Z 3 R SUM OF a'Z 0 AN 5\n"
+      "VISIBLE a'Z 0\nVISIBLE a'Z 1\nVISIBLE a'Z 3\n"
+      "I HAS A f ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 2\n"
+      "f'Z 0 R 1.5\nf'Z 1 R PRODUKT OF f'Z 0 AN 4\n"
+      "VISIBLE f'Z 1\n"
+      "I HAS A b ITZ LOTZ A NUMBRS AN THAR IZ 4\n"
+      "b R a\n"
+      "VISIBLE b'Z 3\n"));
+
+  specs.push_back(make(
+      "invisible-stderr",
+      "VISIBLE \"to stdout\"\n"
+      "INVISIBLE \"to stderr\"\n"));
+
+  specs.push_back(make(
+      "gimmeh-lines-and-eof",
+      "I HAS A x\nI HAS A y\nI HAS A z\n"
+      "GIMMEH x\nGIMMEH y\nGIMMEH z\n"
+      "VISIBLE SMOOSH \"[\" x \"|\" y \"|\" z \"]\" MKAY\n"));
+  specs.back().stdin_lines = {"first line", "second line"};
+
+  // Runtime errors must classify identically (messages may differ in
+  // location detail; the harness compares classification only).
+  specs.push_back(make("err-div-by-zero", "VISIBLE QUOSHUNT OF 1 AN 0\n"));
+  specs.back().n_pes = 2;
+  specs.push_back(make("err-negative-sqrt", "VISIBLE UNSQUAR OF -4.0\n"));
+  specs.push_back(make(
+      "err-array-oob",
+      "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE a'Z 5\n"));
+  specs.push_back(make("err-bad-cast", "VISIBLE SUM OF \"nope\" AN 1\n"));
+
+  for (const Spec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    expect_agreement(spec);
+  }
+}
+
+TEST(Differential, MultiPeDeterministicSeedPrograms) {
+  // Scheduling nondeterminism is exercised (4 PEs racing through locks
+  // and barriers) but per-PE output stays comparable: WHATEVR streams
+  // are seeded per PE, and the reductions are order-independent.
+  std::vector<Spec> specs;
+
+  specs.push_back(make(
+      "whatevr-streams",
+      "VISIBLE \"PE \" ME \" DRAWS \" WHATEVR \" \" WHATEVR\n"
+      "VISIBLE \"PE \" ME \" REAL \" WHATEVAR\n",
+      4));
+  specs.back().seed = 123456789;
+
+  specs.push_back(make(
+      "bff-ring-exchange",
+      "WE HAS A slot ITZ SRSLY A NUMBR\n"
+      "HUGZ\n"
+      "I HAS A nxt ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+      "TXT MAH BFF nxt\n"
+      "  UR slot R PRODUKT OF ME AN 100\n"
+      "TTYL\n"
+      "HUGZ\n"
+      "VISIBLE \"PE \" ME \" HAZ \" slot\n",
+      4));
+
+  specs.push_back(make(
+      "atomic-ish-lock-sum",
+      "WE HAS A total ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HUGZ\n"
+      "IM IN YR add UPPIN YR i TIL BOTH SAEM i AN 10\n"
+      "  TXT MAH BFF 0 AN STUFF\n"
+      "    IM SRSLY MESIN WIF UR total\n"
+      "    UR total R SUM OF UR total AN 1\n"
+      "    DUN MESIN WIF UR total\n"
+      "  TTYL\n"
+      "IM OUTTA YR add\n"
+      "HUGZ\n"
+      "BOTH SAEM ME AN 0, O RLY?\n"
+      "YA RLY\n  VISIBLE \"TOTAL \" total\nOIC\n",
+      4));
+
+  for (const Spec& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    expect_agreement(spec);
+  }
+}
+
+TEST(Differential, StepLimitClassifiesIdentically) {
+  // A tiny budget against an infinite loop: every backend must report
+  // step-limited (a step is backend-defined, so the budget is orders of
+  // magnitude away from the edge in both directions).
+  Spec spin = make("spin-steplimit", "IM IN YR l\nIM OUTTA YR l\n", 2);
+  spin.max_steps = 500;
+  {
+    SCOPED_TRACE(spin.name);
+    expect_agreement(spin);
+    auto r = lol::difftest::run_one(spin, lol::Backend::kInterp);
+    EXPECT_EQ(r.outcome, Outcome::kStepLimit);
+  }
+
+  // A generous budget over a bounded program: nobody may trip.
+  Spec ok = make("bounded-generous-budget",
+                 "I HAS A s ITZ 0\n"
+                 "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 50\n"
+                 "  s R SUM OF s AN i\n"
+                 "IM OUTTA YR l\n"
+                 "VISIBLE s\n");
+  ok.max_steps = 1'000'000;
+  {
+    SCOPED_TRACE(ok.name);
+    expect_agreement(ok);
+    auto r = lol::difftest::run_one(ok, lol::Backend::kVm);
+    EXPECT_EQ(r.outcome, Outcome::kOk);
+  }
+}
+
+TEST(Differential, ExternalAbortClassifiesIdentically) {
+  // A spinning program with no step budget, killed from outside — the
+  // path the service's deadline reaper and cancel() use. Every backend
+  // must die promptly and classify as aborted.
+  Spec spin = make("spin-abort", "IM IN YR l\nIM OUTTA YR l\n", 2);
+  spin.abort_after_ms = 50;
+  for (lol::Backend b : lol::difftest::backends_under_test()) {
+    SCOPED_TRACE(lol::difftest::backend_label(b));
+    auto r = lol::difftest::run_one(spin, b);
+    EXPECT_EQ(r.outcome, Outcome::kAborted);
+    EXPECT_LT(r.wall_ms, 5000.0);
+  }
+}
+
+}  // namespace

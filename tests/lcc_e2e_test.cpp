@@ -4,6 +4,8 @@
 // `lcc code.lol -o executable.x && coprsh -np 16 ./executable.x` flow.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -158,6 +160,51 @@ TEST(LccE2E, RuntimeErrorsExitNonZero) {
   auto run = run_cmd("'" + exe_path + "' 2>&1");
   EXPECT_NE(run.status, 0);
   EXPECT_NE(run.output.find("division by zero"), std::string::npos);
+}
+
+TEST(LccE2E, StepLimitExitsWithDistinctStatus) {
+  // ROADMAP parity item: lcc-generated binaries honor the step budget
+  // with an exit status (3) callers can tell apart from runtime errors.
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/spin.lol";
+  std::string exe_path = dir + "/spin.x";
+  ASSERT_TRUE(lol::driver::write_file(
+      lol_path, "HAI 1.2\nIM IN YR l\nIM OUTTA YR l\nKTHXBYE\n"));
+  auto build = run_cmd(std::string(LCC_BIN) + " '" + lol_path + "' -o '" +
+                       exe_path + "' 2>&1");
+  ASSERT_EQ(build.status, 0) << build.output;
+
+  auto run = run_cmd("'" + exe_path + "' -np 2 --max-steps 10000 2>&1");
+  ASSERT_TRUE(WIFEXITED(run.status));
+  EXPECT_EQ(WEXITSTATUS(run.status), 3) << run.output;
+  EXPECT_NE(run.output.find("step budget"), std::string::npos) << run.output;
+
+  // A generous budget on a terminating program exits 0.
+  std::string ok_path = dir + "/okstep.lol";
+  std::string ok_exe = dir + "/okstep.x";
+  ASSERT_TRUE(lol::driver::write_file(
+      ok_path, "HAI 1.2\nVISIBLE \"DUN\"\nKTHXBYE\n"));
+  auto build2 = run_cmd(std::string(LCC_BIN) + " '" + ok_path + "' -o '" +
+                        ok_exe + "' 2>&1");
+  ASSERT_EQ(build2.status, 0) << build2.output;
+  auto ok = run_cmd("'" + ok_exe + "' --max-steps 100000 2>&1");
+  EXPECT_EQ(ok.status, 0) << ok.output;
+}
+
+TEST(LccE2E, PipedStdinFeedsGimmeh) {
+  std::string dir = temp_dir();
+  std::string lol_path = dir + "/gimmeh_pipe.lol";
+  std::string exe_path = dir + "/gimmeh_pipe.x";
+  ASSERT_TRUE(lol::driver::write_file(
+      lol_path,
+      "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"GOT \" x\nKTHXBYE\n"));
+  auto build = run_cmd(std::string(LCC_BIN) + " '" + lol_path + "' -o '" +
+                       exe_path + "' 2>&1");
+  ASSERT_EQ(build.status, 0) << build.output;
+  auto piped = run_cmd("printf 'cheezburger\\n' | '" + exe_path + "'");
+  EXPECT_EQ(piped.status, 0);
+  EXPECT_NE(piped.output.find("GOT cheezburger"), std::string::npos)
+      << piped.output;
 }
 
 TEST(LccE2E, CompileErrorsAreReported) {

@@ -7,13 +7,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <future>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "codegen/native_backend.hpp"
 #include "core/engine.hpp"
 #include "core/paper_programs.hpp"
 #include "service/compile_cache.hpp"
@@ -698,6 +701,147 @@ TEST(Service, TenantsShareWorkersUnderConcurrentLoad) {
     EXPECT_NE(r.id, 0u);
   }
   EXPECT_EQ(svc.stats().ok, 24u);
+}
+
+// ---------------------------------------------------------------------------
+// Native-backend parity: the same deadline / cancel / step-budget
+// guarantees the interp and VM paths have, on lcc-generated code running
+// in-process. Skipped (not failed) on hosts without a C compiler.
+// ---------------------------------------------------------------------------
+
+#define SKIP_WITHOUT_NATIVE()                                       \
+  if (!lol::codegen::native_available()) {                          \
+    GTEST_SKIP() << "no host C compiler for the native backend";    \
+  }
+
+TEST(Service, NativeBackendMatchesVmOutput) {
+  SKIP_WITHOUT_NATIVE();
+  Service svc({.workers = 2});
+  JobResult vm = svc.submit(make_job("vm", kSum, 2, Backend::kVm)).get();
+  JobResult nat =
+      svc.submit(make_job("native", kSum, 2, Backend::kNative)).get();
+  ASSERT_EQ(vm.status, JobStatus::kOk) << vm.error;
+  ASSERT_EQ(nat.status, JobStatus::kOk) << nat.error;
+  EXPECT_EQ(nat.pe_output, vm.pe_output);
+}
+
+TEST(Service, NativeBackendStepLimitKillsSpinningJob) {
+  SKIP_WITHOUT_NATIVE();
+  ServiceOptions opts;
+  opts.workers = 1;
+  Service svc(opts);
+  Job j = make_job("native-spin", kSpin, 2, Backend::kNative);
+  j.max_steps = 50'000;
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kStepLimit);
+  EXPECT_NE(r.error.find("step budget"), std::string::npos) << r.error;
+}
+
+TEST(Service, NativeBackendDeadlineKillsSpinningJobInUnderOneSecond) {
+  SKIP_WITHOUT_NATIVE();
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;  // unlimited steps: only the clock can kill it
+  Service svc(opts);
+
+  // Warm the native compile cache so the host-cc invocation is not billed
+  // against the wall-clock assertion below.
+  Job warm = make_job("native-warm", kSpin, 1, Backend::kNative);
+  warm.deadline_ms = 100;
+  (void)svc.submit(std::move(warm)).get();
+
+  Job j = make_job("native-spin", kSpin, 2, Backend::kNative);
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(r.error.find("deadline of 200 ms"), std::string::npos) << r.error;
+  EXPECT_LT(wall_ms, 1000.0) << "native deadline took " << wall_ms << " ms";
+}
+
+TEST(Service, NativeBackendCancelAbortsInFlightJob) {
+  SKIP_WITHOUT_NATIVE();
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  Service svc(opts);
+
+  auto sub = svc.submit_job(make_job("native-spin", kSpin, 2,
+                                     Backend::kNative));
+  // Let the job reach the worker (compile may need one cc invocation on
+  // a cold cache), then cancel mid-spin.
+  while (svc.running_depth() == 0 && svc.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(svc.cancel(sub.id));
+  JobResult r = sub.result.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Fairness under randomized (seeded) submission order — the service-side
+// counterpart of `lolserve --shuffle`: DRR must deliver the same
+// alternation guarantee no matter how arrivals interleave.
+// ---------------------------------------------------------------------------
+
+TEST(Service, DrrFairnessHoldsUnderShuffledSubmissionOrder) {
+  ServiceOptions opts;
+  opts.workers = 1;  // sequential dispatch => deterministic order
+  opts.start_paused = true;
+  Service svc(opts);
+
+  std::mutex order_m;
+  std::vector<std::string> order;
+  auto track = [&](const JobResult& r) {
+    std::lock_guard<std::mutex> g(order_m);
+    order.push_back(r.tenant);
+  };
+
+  // 6 jobs each for tenants a/b, submitted in a seeded-shuffled order.
+  std::vector<std::string> submissions;
+  for (int i = 0; i < 6; ++i) {
+    submissions.push_back("a");
+    submissions.push_back("b");
+  }
+  std::mt19937_64 rng(20170529);
+  std::shuffle(submissions.begin(), submissions.end(), rng);
+
+  std::vector<std::future<JobResult>> futures;
+  for (std::size_t i = 0; i < submissions.size(); ++i) {
+    Job j = make_job(submissions[i] + "#" + std::to_string(i), kHello, 1);
+    j.tenant = submissions[i];
+    futures.push_back(svc.submit_job(std::move(j), track).result);
+  }
+
+  svc.start();
+  for (auto& f : futures) f.get();
+
+  // Equal weights and equal totals: once both tenants are queued the
+  // DRR schedule must alternate regardless of the arrival permutation.
+  // The first few dispatches may be single-tenant (the shuffle can front-
+  // load one tenant), so assert the alternation property instead of one
+  // fixed sequence: no tenant ever gets 2+ more dispatches than the
+  // other had chances for, i.e. within any prefix the counts differ by
+  // at most the imbalance of what had been submitted.
+  ASSERT_EQ(order.size(), 12u);
+  int a_done = 0;
+  int b_done = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (order[i] == "a" ? a_done : b_done)++;
+    // All jobs are queued before start(): with weight 1 each, DRR hands
+    // out at most one job per tenant per round, so the running counts
+    // can never drift more than 1 apart until one tenant drains.
+    if (a_done < 6 && b_done < 6) {
+      EXPECT_LE(std::abs(a_done - b_done), 1)
+          << "unfair prefix at dispatch " << i;
+    }
+  }
+  EXPECT_EQ(a_done, 6);
+  EXPECT_EQ(b_done, 6);
 }
 
 }  // namespace

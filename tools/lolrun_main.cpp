@@ -6,6 +6,10 @@
 #include <cstdio>
 #include <iostream>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "core/engine.hpp"
 #include "ast/printer.hpp"
 #include "driver/cli.hpp"
@@ -22,12 +26,13 @@ int usage(const char* prog) {
       stderr,
       "usage: %s [options] <program.lol>\n"
       "  -np <N>            number of PEs (default 1)\n"
-      "  --backend <b>      vm (default) or interp\n"
+      "  --backend <b>      vm (default), interp, or native (host cc + dlopen)\n"
       "  --seed <S>         WHATEVR/WHATEVAR seed\n"
       "  --max-steps <S>    per-PE step budget, 0 = unlimited (default)\n"
       "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
       "  --sim              print per-run simulated time (needs --machine)\n"
       "  --tag              prefix output lines with [peN]\n"
+      "  --no-stdin         do not feed piped stdin to GIMMEH\n"
       "  --dump-ast         print the parsed AST and exit\n"
       "  --dump-bytecode    print compiled bytecode and exit\n",
       prog);
@@ -48,10 +53,8 @@ int main(int argc, char** argv) {
     cfg.max_steps = std::strtoull(steps->c_str(), nullptr, 10);
   }
   if (auto backend = cli.option("--backend")) {
-    if (*backend == "interp") {
-      cfg.backend = lol::Backend::kInterp;
-    } else if (*backend == "vm") {
-      cfg.backend = lol::Backend::kVm;
+    if (auto b = lol::backend_from_name(*backend)) {
+      cfg.backend = *b;
     } else {
       std::fprintf(stderr, "lolrun: unknown backend '%s'\n",
                    backend->c_str());
@@ -68,8 +71,20 @@ int main(int argc, char** argv) {
     }
   }
   bool tag = cli.has_flag("--tag");
+  bool no_stdin = cli.has_flag("--no-stdin");
   bool dump_ast = cli.has_flag("--dump-ast");
   bool dump_bc = cli.has_flag("--dump-bytecode");
+
+  // GIMMEH reads the real stdin whenever input is piped/redirected, the
+  // same behavior lcc-compiled executables always had (an interactive
+  // terminal still gets the no-input default — a REPL-style prompt is a
+  // different feature). --no-stdin restores the old drop-it behavior.
+  lol::rt::StdinInput stdin_input;
+#if !defined(_WIN32)
+  if (!no_stdin && isatty(0) == 0) cfg.input = &stdin_input;
+#else
+  (void)no_stdin;
+#endif
 
   const auto& pos = cli.positional();
   if (pos.size() != 1 || cfg.n_pes < 1) return usage(argv[0]);
@@ -98,7 +113,9 @@ int main(int argc, char** argv) {
       for (const auto& e : result.errors) {
         if (!e.empty()) std::fprintf(stderr, "error: %s\n", e.c_str());
       }
-      return 1;
+      // Exit-status parity with lcc-compiled executables: 3 = killed by
+      // the step budget, 1 = ordinary runtime failure.
+      return result.step_limited ? 3 : 1;
     }
     if (want_sim && cfg.machine != nullptr) {
       std::fprintf(stderr, "[sim] machine=%s modeled time=%.1f ns\n",

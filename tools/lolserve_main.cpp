@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <future>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,13 +39,17 @@ int usage(const char* prog) {
       "  --queue <N>        bounded queue capacity (default 256)\n"
       "  --policy <p>       block (default) or reject when the queue is full\n"
       "  -np <N>            PEs per job (default 1)\n"
-      "  --backend <b>      vm (default) or interp\n"
+      "  --backend <b>      vm (default), interp or native\n"
       "  --max-steps <S>    per-PE step budget (default 50000000)\n"
       "  --deadline-ms <D>  per-job wall-clock deadline (default none)\n"
       "  --tenant <name>    tenant for command-line jobs (default \"\")\n"
       "  --tenant-weights <a=2,b=1>  DRR weights for fair queueing\n"
       "  --repeat <R>       submit the job list R times (default 1; warms "
       "the compile cache)\n"
+      "  --shuffle          randomize the batch submission order "
+      "(scheduling-fairness experiments)\n"
+      "  --shuffle-seed <S> RNG seed for --shuffle (default 20170529; same "
+      "seed => same order)\n"
       "  --manifest <file>  extra jobs, one per line: <path> [n_pes] "
       "[max_steps] [tenant] [deadline_ms]\n"
       "  --quiet            suppress per-job lines, print the summary only\n"
@@ -210,16 +215,19 @@ int main(int argc, char** argv) {
   int default_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
   std::string default_tenant = cli.option("--tenant").value_or("");
   lol::Backend backend = lol::Backend::kVm;
-  if (auto b = cli.option("--backend")) {
-    if (*b == "interp") {
-      backend = lol::Backend::kInterp;
-    } else if (*b != "vm") {
-      std::fprintf(stderr, "lolserve: unknown backend '%s'\n", b->c_str());
+  if (auto name = cli.option("--backend")) {
+    if (auto b = lol::backend_from_name(*name)) {
+      backend = *b;
+    } else {
+      std::fprintf(stderr, "lolserve: unknown backend '%s'\n", name->c_str());
       return 2;
     }
   }
   int repeat = std::atoi(cli.option("--repeat").value_or("1").c_str());
   bool quiet = cli.has_flag("--quiet");
+  bool shuffle = cli.has_flag("--shuffle");
+  std::uint64_t shuffle_seed = std::strtoull(
+      cli.option("--shuffle-seed").value_or("20170529").c_str(), nullptr, 10);
 
   std::vector<JobSpec> specs;
   if (auto manifest = cli.option("--manifest")) {
@@ -267,12 +275,23 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   };
 
-  std::vector<std::future<lol::service::JobResult>> futures;
-  futures.reserve(jobs.size() * static_cast<std::size_t>(repeat));
+  // Build the submission order up front so --shuffle can permute it with
+  // a seeded RNG: fairness experiments (DRR vs arrival order) need
+  // reproducible interleavings, not wall-clock noise.
+  std::vector<const lol::service::Job*> order;
+  order.reserve(jobs.size() * static_cast<std::size_t>(repeat));
   for (int r = 0; r < repeat; ++r) {
-    for (const auto& job : jobs) {
-      futures.push_back(svc.submit_job(job, print_result).result);
-    }
+    for (const auto& job : jobs) order.push_back(&job);
+  }
+  if (shuffle) {
+    std::mt19937_64 rng(shuffle_seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  std::vector<std::future<lol::service::JobResult>> futures;
+  futures.reserve(order.size());
+  for (const auto* job : order) {
+    futures.push_back(svc.submit_job(*job, print_result).result);
   }
 
   int failed = 0;
