@@ -1,0 +1,94 @@
+// Executor benchmarks: what the pluggable PE executors buy.
+//
+//   * launch overhead — a do-nothing SPMD launch, thread-per-PE (spawn
+//     and join n threads per launch) vs the persistent pool (reuse
+//     parked workers). This is the per-job cost every service
+//     submission pays.
+//   * barrier throughput vs PE count — thread executor (eventcount
+//     parking) vs fiber executor (cooperative carriers), including PE
+//     counts well beyond the host's cores, which only fibers reach
+//     without thousands of OS threads.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "shmem/executor.hpp"
+#include "shmem/runtime.hpp"
+
+namespace {
+
+using lol::shmem::Config;
+using lol::shmem::ExecutorKind;
+using lol::shmem::Pe;
+using lol::shmem::Runtime;
+
+Config exec_config(int n_pes, ExecutorKind kind, int pes_per_thread = 0) {
+  Config cfg;
+  cfg.n_pes = n_pes;
+  cfg.heap_bytes = 4096;
+  if (kind != ExecutorKind::kThread) {
+    cfg.executor = lol::shmem::make_executor(kind, pes_per_thread);
+  }
+  return cfg;
+}
+
+void launch_overhead(benchmark::State& state, ExecutorKind kind) {
+  const int n_pes = static_cast<int>(state.range(0));
+  Runtime rt(exec_config(n_pes, kind));
+  for (auto _ : state) {
+    auto r = rt.launch([](Pe&) {});
+    if (!r.ok) state.SkipWithError(r.first_error().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(lol::shmem::to_string(kind));
+}
+
+void BM_LaunchOverhead_Thread(benchmark::State& state) {
+  launch_overhead(state, ExecutorKind::kThread);
+}
+void BM_LaunchOverhead_Pool(benchmark::State& state) {
+  launch_overhead(state, ExecutorKind::kPool);
+}
+BENCHMARK(BM_LaunchOverhead_Thread)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_LaunchOverhead_Pool)->Arg(4)->Arg(16)->Arg(64);
+
+constexpr int kBarriersPerLaunch = 64;
+
+void barrier_throughput(benchmark::State& state, ExecutorKind kind) {
+  const int n_pes = static_cast<int>(state.range(0));
+  Runtime rt(exec_config(n_pes, kind, /*pes_per_thread=*/0));
+  for (auto _ : state) {
+    auto r = rt.launch([](Pe& pe) {
+      for (int i = 0; i < kBarriersPerLaunch; ++i) pe.barrier_all();
+    });
+    if (!r.ok) state.SkipWithError(r.first_error().c_str());
+  }
+  // One "item" = one whole-gang barrier crossing.
+  state.SetItemsProcessed(state.iterations() * kBarriersPerLaunch);
+  state.SetLabel(lol::shmem::to_string(kind));
+}
+
+void BM_BarrierThroughput_Thread(benchmark::State& state) {
+  barrier_throughput(state, ExecutorKind::kThread);
+}
+void BM_BarrierThroughput_Fiber(benchmark::State& state) {
+  barrier_throughput(state, ExecutorKind::kFiber);
+}
+BENCHMARK(BM_BarrierThroughput_Thread)->Arg(8)->Arg(32)->Arg(128);
+// Fibers keep going where thread-per-PE stops being reasonable.
+BENCHMARK(BM_BarrierThroughput_Fiber)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("executors",
+                "PE executor strategies: launch overhead (thread vs pool) "
+                "and barrier throughput vs PE count (thread vs fiber)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

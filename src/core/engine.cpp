@@ -7,7 +7,9 @@
 #include "interp/interpreter.hpp"
 #include "parse/parser.hpp"
 #include "rt/exec_context.hpp"
+#include "shmem/executor.hpp"
 #include "shmem/runtime.hpp"
+#include "vm/compiler.hpp"
 #include "vm/vm.hpp"
 
 namespace lol {
@@ -43,6 +45,7 @@ CompiledProgram compile(std::string_view source) {
   out.program = parse::parse_program(source);
   out.analysis = sema::analyze(out.program);
   out.native_slot = std::make_shared<codegen::NativeSlot>();
+  out.vm_slot = std::make_shared<vm::VmSlot>();
   return out;
 }
 
@@ -108,6 +111,17 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   scfg.heap_bytes = cfg.heap_bytes;
   scfg.n_locks = prog.analysis.lock_count;
   scfg.model = cfg.machine;
+  if (cfg.executor_impl != nullptr) {
+    scfg.executor = cfg.executor_impl;
+  } else if (cfg.executor != shmem::ExecutorKind::kThread) {
+    scfg.executor = shmem::make_executor(cfg.executor, cfg.pes_per_thread);
+    if (scfg.executor == nullptr) {
+      return error_result(cfg.n_pes,
+                          std::string("executor '") +
+                              shmem::to_string(cfg.executor) +
+                              "' is not available on this platform");
+    }
+  }
   shmem::Runtime runtime(scfg);
 
   rt::CaptureSink capture(cfg.n_pes);
@@ -116,15 +130,29 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   rt::InputSource* input = cfg.input != nullptr ? cfg.input : &vec_input;
 
   // Pre-compile once for the VM backend; shared read-only by all PEs.
+  // The per-program slot memoizes the chunk across runs (warm service
+  // jobs skip bytecode compilation entirely); its lock serializes
+  // concurrent first builds from workers sharing one cached program.
   std::shared_ptr<const vm::Chunk> chunk;
   if (cfg.backend == Backend::kVm) {
-    chunk = std::make_shared<const vm::Chunk>(
-        vm::compile_program(prog.program, prog.analysis));
+    if (prog.vm_slot != nullptr) {
+      std::lock_guard<std::mutex> g(prog.vm_slot->m);
+      if (prog.vm_slot->chunk == nullptr) {
+        prog.vm_slot->chunk = std::make_shared<const vm::Chunk>(
+            vm::compile_program(prog.program, prog.analysis));
+      }
+      chunk = prog.vm_slot->chunk;
+    } else {
+      chunk = std::make_shared<const vm::Chunk>(
+          vm::compile_program(prog.program, prog.analysis));
+    }
   }
 
   std::atomic<bool> step_limited{false};
   AbortToken::Binding abort_binding(cfg.abort, runtime);
-  shmem::LaunchResult lr = runtime.launch([&](shmem::Pe& pe) {
+  shmem::LaunchResult lr;
+  try {
+    lr = runtime.launch([&](shmem::Pe& pe) {
     // launch() resets the runtime's abort flag; re-assert a request that
     // raced into the window between Binding construction and that reset
     // so an early deadline/cancel can never be lost.
@@ -146,7 +174,14 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
       step_limited.store(true, std::memory_order_relaxed);
       throw;  // the launch captures it as this PE's error and aborts peers
     }
-  });
+    });
+  } catch (const std::exception& e) {
+    // Launch-resource failure: fiber stacks under memory pressure
+    // (support::RuntimeError) or raw std::system_error/bad_alloc from
+    // thread spawns. No PE ran; report it like any other pre-launch
+    // error instead of letting it escape to terminate a CLI or daemon.
+    return error_result(cfg.n_pes, e.what());
+  }
 
   RunResult result;
   result.ok = lr.ok;

@@ -24,9 +24,14 @@
 #include "noc/model.hpp"
 #include "rt/io.hpp"
 #include "sema/analyzer.hpp"
+#include "shmem/executor.hpp"
 
 namespace lol::codegen {
 struct NativeSlot;
+}
+
+namespace lol::vm {
+struct VmSlot;
 }
 
 namespace lol {
@@ -60,6 +65,12 @@ struct CompiledProgram {
   /// codegen/native_backend.hpp). Harmless to leave null on
   /// hand-constructed instances — the run falls back to the global cache.
   std::shared_ptr<codegen::NativeSlot> native_slot;
+
+  /// Backend::kVm memo: the compiled bytecode chunk, filled on first VM
+  /// run so warm service jobs stop re-compiling bytecode per submission
+  /// (see vm/compiler.hpp). Null on hand-constructed instances means
+  /// every run compiles afresh — correct, just slower.
+  std::shared_ptr<vm::VmSlot> vm_slot;
 };
 
 /// SPMD run configuration.
@@ -89,6 +100,21 @@ struct RunConfig {
   /// die at the next step poll. The service's deadline reaper and
   /// cancel() fire this.
   AbortToken* abort = nullptr;
+
+  /// How PEs map onto OS threads (shmem/executor.hpp): thread-per-PE
+  /// (default), the persistent process-wide pool, or fiber carriers
+  /// multiplexing many virtual PEs per core — the only way to run
+  /// n_pes far beyond hardware_concurrency. Abort/deadline semantics
+  /// are identical across executors.
+  shmem::ExecutorKind executor = shmem::ExecutorKind::kThread;
+
+  /// Fiber executor only: virtual PEs per carrier thread (0 = auto,
+  /// spreading the gang over the hardware threads).
+  int pes_per_thread = 0;
+
+  /// Explicit executor instance; overrides `executor` when set (hosts
+  /// that want their own pool lifetime instead of the shared one).
+  shmem::ExecutorPtr executor_impl;
 };
 
 /// Outcome of an SPMD run.

@@ -42,7 +42,10 @@ struct ExecContext {
   /// instruction in the VM). Throws support::StepLimitError once the
   /// budget is spent, and periodically polls the runtime abort flag so a
   /// wall-clock deadline or cancel kills a spinning PE even when the
-  /// step budget is unlimited.
+  /// step budget is unlimited. The poll doubles as the executor's
+  /// preemption point: under the fiber executor a compute-bound PE
+  /// yields its carrier here, so sibling virtual PEs (and spin-waits on
+  /// symmetric memory) keep making progress.
   void count_step() {
     if (max_steps != 0) {
       if (steps_left == 0) throw support::StepLimitError(max_steps);
@@ -53,19 +56,27 @@ struct ExecContext {
       if (pe->runtime().aborted()) {
         throw support::RuntimeError("SPMD aborted mid-execution");
       }
+      pe->runtime().preempt(pe->id());
     }
   }
 
   /// Abort-aware GIMMEH read: polls the input source with a bounded wait
   /// so Runtime::abort() interrupts a PE blocked on input. Sources that
   /// never block (stdin_lines) take the fast path on the first poll.
+  /// Under a cooperative executor the poll is zero-length and the PE
+  /// yields between polls instead of sleeping on its carrier thread.
   std::optional<std::string> read_line() {
+    shmem::Runtime& rt = pe->runtime();
+    const bool coop = rt.cooperative_pes();
+    const std::chrono::milliseconds wait =
+        coop ? std::chrono::milliseconds(0) : kInputPollWait;
     for (;;) {
-      TryRead r = in->try_read_line(pe->id(), kInputPollWait);
+      TryRead r = in->try_read_line(pe->id(), wait);
       if (!r.timed_out) return std::move(r.line);
-      if (pe->runtime().aborted()) {
+      if (rt.aborted()) {
         throw support::RuntimeError("SPMD aborted while blocked in GIMMEH");
       }
+      if (coop) rt.wait(pe->id(), rt.prepare_wait());
     }
   }
 };

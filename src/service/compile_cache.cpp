@@ -15,8 +15,25 @@ std::uint64_t hash_source(std::string_view source) {
   return h;
 }
 
-CompileCache::CompileCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+CompileCache::CompileCache(std::size_t capacity, std::size_t capacity_bytes)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      capacity_bytes_(capacity_bytes) {}
+
+void CompileCache::evict_while_over_budget_locked() {
+  // Evict from the LRU tail until both budgets hold, but never the
+  // most recent entry: an over-budget source stays resident until the
+  // next insertion instead of thrashing on every request for it.
+  while (entries_.size() > 1 &&
+         (entries_.size() > capacity_ ||
+          (capacity_bytes_ != 0 && resident_bytes_ > capacity_bytes_))) {
+    std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
 
 CachedCompile CompileCache::get_or_compile(const std::string& source,
                                            bool* hit) {
@@ -47,13 +64,10 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
       // the same source wait on it instead of compiling again.
       fut = mine.get_future().share();
       lru_.push_front(key);
-      entries_.emplace(key, Entry{source, fut, lru_.begin()});
-      while (entries_.size() > capacity_) {
-        std::uint64_t victim = lru_.back();
-        lru_.pop_back();
-        entries_.erase(victim);
-        ++stats_.evictions;
-      }
+      std::size_t bytes = charged_bytes(source.size());
+      entries_.emplace(key, Entry{source, fut, lru_.begin(), bytes});
+      resident_bytes_ += bytes;
+      evict_while_over_budget_locked();
     }
   }
 
@@ -81,10 +95,16 @@ std::size_t CompileCache::size() const {
   return entries_.size();
 }
 
+std::size_t CompileCache::resident_bytes() const {
+  std::lock_guard<std::mutex> g(m_);
+  return resident_bytes_;
+}
+
 void CompileCache::clear() {
   std::lock_guard<std::mutex> g(m_);
   entries_.clear();
   lru_.clear();
+  resident_bytes_ = 0;
 }
 
 }  // namespace lol::service

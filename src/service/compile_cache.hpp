@@ -49,8 +49,24 @@ class CompileCache {
     }
   };
 
-  /// `capacity` = max cached sources (>= 1).
-  explicit CompileCache(std::size_t capacity = 128);
+  /// Estimated resident bytes for one cached source: the text itself
+  /// plus a multiplier for the AST + analysis it expands into (ASTs are
+  /// pointer-heavy, several times the source size) plus fixed entry
+  /// overhead. A heuristic, not an exact measurement — its job is to
+  /// make eviction pressure proportional to memory, not entry count,
+  /// so one 2 MB paste can no longer cost the same as one 40-byte
+  /// hello.
+  [[nodiscard]] static std::size_t charged_bytes(std::size_t source_bytes) {
+    return source_bytes * 8 + 512;
+  }
+
+  /// `capacity` = max cached sources (>= 1); `capacity_bytes` bounds
+  /// the estimated resident footprint (0 = unbounded). Whichever limit
+  /// is hit first evicts from the LRU tail, though the most recent
+  /// entry always stays (an oversized source is cached until something
+  /// newer arrives, not thrashed on every request).
+  explicit CompileCache(std::size_t capacity = 128,
+                        std::size_t capacity_bytes = 32u << 20);
 
   /// Returns the cached compile for `source`, compiling at most once per
   /// source even under concurrent requests for it: the first caller
@@ -63,6 +79,11 @@ class CompileCache {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Estimated resident footprint of the cached entries (charged_bytes
+  /// summed over residents).
+  [[nodiscard]] std::size_t resident_bytes() const;
 
   /// Drops every entry (stats are kept).
   void clear();
@@ -72,12 +93,17 @@ class CompileCache {
     std::string source;  // collision guard: full text compared on hit
     std::shared_future<CachedCompile> result;
     std::list<std::uint64_t>::iterator lru_pos;
+    std::size_t bytes = 0;  // charged_bytes(source.size()) at insertion
   };
 
+  void evict_while_over_budget_locked();
+
   std::size_t capacity_;
+  std::size_t capacity_bytes_;
   mutable std::mutex m_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recently used
+  std::size_t resident_bytes_ = 0;
   Stats stats_;
 };
 

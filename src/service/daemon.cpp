@@ -16,24 +16,6 @@
 
 namespace lol::service {
 
-namespace {
-
-/// send() the whole buffer; MSG_NOSIGNAL so a vanished client yields
-/// EPIPE instead of killing the process. Best-effort: errors are
-/// swallowed (the reader side notices the close and tears down).
-void send_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-}
-
-}  // namespace
-
 Daemon::Conn::~Conn() {
   if (fd >= 0) ::close(fd);
 }
@@ -157,29 +139,15 @@ void Daemon::accept_loop() {
 }
 
 void Daemon::serve_connection(const std::shared_ptr<Conn>& conn) {
-  std::string buf;
-  char chunk[4096];
-  for (;;) {
-    ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // client closed (or stop() shut the socket down)
-    buf.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      std::size_t nl = buf.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buf.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      if (!handle_line(conn, line)) return;
-    }
-    buf.erase(0, start);
-    if (buf.size() > (1u << 22)) {
-      // A 4 MiB line with no newline is not a protocol client.
-      send_line(*conn, wire::error_line("request line too long"));
-      return;
-    }
+  wire::LineReader reader(conn->fd);
+  // next() returns nullopt when the client closes (or stop() shuts the
+  // socket down), or when one line exceeds the reader's frame bound.
+  while (auto line = reader.next()) {
+    if (line->empty()) continue;
+    if (!handle_line(conn, *line)) return;
+  }
+  if (reader.line_too_long()) {
+    send_line(*conn, wire::error_line("request line too long"));
   }
 }
 
@@ -269,9 +237,10 @@ bool Daemon::handle_line(const std::shared_ptr<Conn>& conn,
 }
 
 void Daemon::send_line(Conn& conn, const std::string& line) {
+  // Best-effort: a failed send means the client vanished; the reader
+  // side notices the close and tears the connection down.
   std::lock_guard<std::mutex> g(conn.write_m);
-  send_all(conn.fd, line);
-  send_all(conn.fd, "\n");
+  if (wire::send_all(conn.fd, line)) wire::send_all(conn.fd, "\n");
 }
 
 void Daemon::request_shutdown() {

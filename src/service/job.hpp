@@ -43,6 +43,15 @@ struct Job {
   /// — cases the step budget cannot see.
   std::uint64_t deadline_ms = 0;
 
+  /// How the job's PEs map onto OS threads. The service default is the
+  /// persistent process-wide pool (no per-job thread spawn/join);
+  /// kFiber lets a job ask for PE counts far beyond the host's cores.
+  /// Deadline/cancel semantics are identical across executors.
+  shmem::ExecutorKind executor = shmem::ExecutorKind::kPool;
+
+  /// Fiber executor only: virtual PEs per carrier thread (0 = auto).
+  int pes_per_thread = 0;
+
   /// Live input override for GIMMEH (embedders only; must outlive the
   /// job). Null => stdin_lines. Blocking sources should implement
   /// rt::InputSource::try_read_line so deadlines can interrupt them.

@@ -17,7 +17,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
-      cache_(opts_.cache_capacity) {
+      cache_(opts_.cache_capacity, opts_.cache_bytes) {
   opts_.workers = std::max(1, opts_.workers);
   opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
   opts_.default_tenant_weight = std::max(1, opts_.default_tenant_weight);
@@ -253,6 +253,8 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   if (opts_.heap_bytes_cap != 0) {
     cfg.heap_bytes = std::min(cfg.heap_bytes, opts_.heap_bytes_cap);
   }
+  cfg.executor = job.executor;
+  cfg.pes_per_thread = job.pes_per_thread;
 
   RunResult run = lol::run(*compiled.program, cfg);
   r.pe_output = std::move(run.pe_output);

@@ -59,6 +59,7 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;      // pending jobs before backpressure
   QueueFullPolicy queue_full = QueueFullPolicy::kBlock;
   std::size_t cache_capacity = 128;      // compiled sources kept hot
+  std::size_t cache_bytes = 32u << 20;   // estimated-footprint cap (0 = off)
 
   // Resource-limit policy. A job asking for 0 steps gets default_max_steps;
   // any request is clamped to max_steps_cap / heap_bytes_cap (0 = uncapped).

@@ -1,7 +1,12 @@
 #include "service/wire.hpp"
 
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#endif
+
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -291,7 +296,7 @@ std::optional<Request> parse_request(const std::string& line,
     // The service clamps to its max_pes; this bound only keeps the
     // u64->int narrowing well-behaved for hostile values.
     req.job.n_pes = static_cast<int>(
-        std::min<std::uint64_t>(u64_or(*doc, "n_pes", 1), 1024));
+        std::min<std::uint64_t>(u64_or(*doc, "n_pes", 1), 4096));
     req.job.seed = u64_or(*doc, "seed", req.job.seed);
     req.job.max_steps = u64_or(*doc, "max_steps", 0);
     req.job.deadline_ms = u64_or(*doc, "deadline_ms", 0);
@@ -304,6 +309,17 @@ std::optional<Request> parse_request(const std::string& line,
       if (error != nullptr) *error = "unknown backend '" + backend + "'";
       return std::nullopt;
     }
+    std::string executor =
+        str_or(*doc, "executor", shmem::to_string(req.job.executor));
+    if (auto e = shmem::executor_from_name(executor)) {
+      req.job.executor = *e;
+    } else {
+      if (error != nullptr) *error = "unknown executor '" + executor + "'";
+      return std::nullopt;
+    }
+    // Same narrowing guard as n_pes; the engine treats 0 as auto.
+    req.job.pes_per_thread = static_cast<int>(
+        std::min<std::uint64_t>(u64_or(*doc, "pes_per_thread", 0), 4096));
     if (const Json* lines = doc->find("stdin");
         lines != nullptr && lines->is(Json::Kind::kArray)) {
       for (const Json& l : lines->arr) {
@@ -339,6 +355,44 @@ std::optional<Request> parse_request(const std::string& line,
 
 const char* backend_name(Backend b) { return lol::to_string(b); }
 
+#if !defined(_WIN32)
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<std::string> LineReader::next() {
+  for (;;) {
+    std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buf_.size() > max_line_) {
+      // A multi-MiB line with no newline is not a protocol client.
+      too_long_ = true;
+      return std::nullopt;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;  // peer closed (or socket shut down)
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+#endif  // !_WIN32
+
 std::string submit_line(const Job& job) {
   auto n = [](std::uint64_t v) { return std::to_string(v); };
   return "{\"op\":\"submit\",\"name\":" + quote(job.name) +
@@ -346,6 +400,8 @@ std::string submit_line(const Job& job) {
          ",\"tenant\":" + quote(job.tenant) +
          ",\"n_pes\":" + std::to_string(job.n_pes) +
          ",\"backend\":\"" + backend_name(job.backend) + "\"" +
+         ",\"executor\":\"" + shmem::to_string(job.executor) + "\"" +
+         ",\"pes_per_thread\":" + std::to_string(job.pes_per_thread) +
          ",\"seed\":" + n(job.seed) + ",\"max_steps\":" + n(job.max_steps) +
          ",\"deadline_ms\":" + n(job.deadline_ms) +
          ",\"heap_bytes\":" + n(job.heap_bytes) +

@@ -10,7 +10,10 @@
 // Requests:
 //   {"op":"submit","source":"HAI ...","name":"lab1","n_pes":4,
 //    "tenant":"alice","deadline_ms":200,"max_steps":100000,
-//    "heap_bytes":1048576,"backend":"vm","seed":7,"stdin":["line1"]}
+//    "heap_bytes":1048576,"backend":"vm","seed":7,"stdin":["line1"],
+//    "executor":"pool","pes_per_thread":0}
+//   ("executor" picks the PE mapping: pool (default), thread, or fiber
+//    for n_pes far beyond the host's cores)
 //   {"op":"cancel","id":7}
 //   {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
 //
@@ -82,6 +85,36 @@ std::optional<Request> parse_request(const std::string& line,
 std::string submit_line(const Job& job);
 std::string cancel_request_line(JobId id);
 std::string request_line(const Request& req);
+
+// -- line-framed socket IO (POSIX) ------------------------------------------
+// The one implementation of NDJSON framing over a socket fd, shared by
+// the daemon's connection loop and the lolserve --client tool.
+#if !defined(_WIN32)
+
+/// send()s the whole buffer (MSG_NOSIGNAL, EINTR-safe). False when the
+/// peer is gone; callers treat that as connection teardown.
+bool send_all(int fd, std::string_view data);
+
+/// Incremental reader of newline-delimited frames from a socket.
+/// next() blocks for the next line (CR stripped), returning nullopt on
+/// EOF/error — or when a single line exceeds `max_line`, which also
+/// sets line_too_long() so protocol servers can answer before closing.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line = 1u << 22)
+      : fd_(fd), max_line_(max_line) {}
+
+  std::optional<std::string> next();
+  [[nodiscard]] bool line_too_long() const { return too_long_; }
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buf_;
+  bool too_long_ = false;
+};
+
+#endif  // !_WIN32
 
 // -- event serializers (no trailing newline) --------------------------------
 std::string accepted_line(JobId id, const Job& job);

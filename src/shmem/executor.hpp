@@ -1,0 +1,229 @@
+// Pluggable PE execution strategies for the shmem runtime.
+//
+// The paper runs SPMD LOLCODE on machines with thousands of PEs (4,096
+// Epiphany cores; Cray XC40 nodes). Reproducing those PE counts with the
+// original thread-per-PE launch is impossible on a laptop, and a service
+// that launches thousands of short jobs pays thread spawn/join on every
+// one. A PeExecutor abstracts how the N logical PEs of one launch map
+// onto OS threads:
+//
+//   * kThread — one fresh std::thread per PE per launch (the historical
+//     behavior; zero shared state, good for one-shot runs)
+//   * kPool   — a persistent cached pool of worker threads reused across
+//     launches (the service default; eliminates per-job spawn/join)
+//   * kFiber  — K virtual PEs multiplexed per carrier thread on
+//     ucontext fibers, so n_pes = 1024 runs correctly on an 8-core box
+//     (the teaching-scale configuration: watch §VI scaling curves at
+//     Parallella-like PE counts)
+//
+// Because PEs synchronize with each other mid-run (barriers, locks,
+// collectives), an executor must provide all N execution contexts
+// concurrently — it may never queue one PE behind another's completion.
+// Blocking primitives cooperate with the executor through the
+// eventcount protocol below instead of parking the OS thread directly,
+// which is what lets a fiber yield its carrier to a sibling PE.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace lol::shmem {
+
+/// Which PE execution strategy a launch uses. Canonical names ("thread"
+/// / "pool" / "fiber") come from to_string/executor_from_name — the one
+/// mapping every surface (lolrun/lolserve flags, the daemon wire
+/// protocol, the differential harness) shares.
+enum class ExecutorKind {
+  kThread,  // one OS thread per PE, spawned per launch
+  kPool,    // persistent cached worker threads, reused across launches
+  kFiber,   // K virtual PEs per carrier thread (ucontext coroutines)
+};
+
+[[nodiscard]] const char* to_string(ExecutorKind k);
+[[nodiscard]] std::optional<ExecutorKind> executor_from_name(
+    std::string_view name);
+
+/// The blocking rendezvous for one Runtime's launches. Wait loops are
+/// eventcount-shaped:
+///
+///     for (;;) {
+///       std::uint64_t e = ec.prepare_wait();
+///       if (condition) break;
+///       if (aborted) throw ...;
+///       executor.wait(ec, pe, e);
+///     }
+///
+/// and whoever makes such a condition true calls ec.notify_all() after
+/// changing it. Because the epoch is snapshotted *before* the condition
+/// is re-checked, a notification landing between the snapshot and the
+/// wait is never lost. Each Runtime owns its own EventCount, so
+/// concurrent jobs sharing one executor (the process pool) do not
+/// serialize their barriers and locks on a process-global mutex or wake
+/// each other's waiters.
+class EventCount {
+ public:
+  /// Epoch snapshot; take it before re-checking the awaited condition.
+  [[nodiscard]] std::uint64_t prepare_wait() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Parks the OS thread until notify_all() bumps the epoch past the
+  /// snapshot.
+  void wait(std::uint64_t epoch) {
+    std::unique_lock<std::mutex> g(m_);
+    cv_.wait(g, [&] {
+      return epoch_.load(std::memory_order_relaxed) != epoch;
+    });
+  }
+
+  /// Bounded variant; returns when the epoch moved or `usec` elapsed.
+  void wait_for_usec(std::uint64_t epoch, long usec);
+
+  /// Wakes every waiter.
+  void notify_all() {
+    {
+      // The bump must be ordered against a concurrent wait()'s
+      // predicate check, or the notify could land between the check
+      // and the sleep.
+      std::lock_guard<std::mutex> g(m_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+/// A PE execution strategy. One instance can serve many launches, from
+/// many Runtimes, concurrently (the service shares one pool across its
+/// workers).
+class PeExecutor {
+ public:
+  virtual ~PeExecutor() = default;
+
+  /// Gang-runs body(i) for every i in [0, n) and returns once all have
+  /// finished. All n PEs must be able to make progress concurrently.
+  /// `body` must not throw — the runtime's per-PE wrapper catches
+  /// everything before it reaches the executor. `ec` is the launching
+  /// Runtime's eventcount (cooperative executors sleep on it when every
+  /// resident PE is blocked). Throws support::RuntimeError when launch
+  /// resources (fiber stacks) cannot be acquired — before any PE ran.
+  virtual void run_gang(int n, const std::function<void(int)>& body,
+                        EventCount& ec) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// True when PEs share carrier threads cooperatively (fibers). Code
+  /// that waits for external input must then poll with zero-length
+  /// waits and wait() between polls instead of sleeping on the carrier.
+  [[nodiscard]] virtual bool cooperative() const { return false; }
+
+  /// Blocks the calling PE until ec.notify_all() bumps the epoch past
+  /// the snapshot. Thread-backed executors park the OS thread on the
+  /// eventcount; the fiber executor switches the carrier to a sibling
+  /// PE instead.
+  virtual void wait(EventCount& ec, int pe, std::uint64_t epoch) {
+    (void)pe;
+    ec.wait(epoch);
+  }
+
+  /// Cooperative time-slice point for compute loops: the fiber executor
+  /// switches to a sibling PE here so spin-waits on symmetric memory
+  /// make progress; other executors do nothing.
+  virtual void preempt(int pe) { (void)pe; }
+};
+
+using ExecutorPtr = std::shared_ptr<PeExecutor>;
+
+/// Two-phase start gate for executors that spawn a thread per PE (or
+/// per carrier): threads wait at the gate, and no PE body runs until
+/// every spawn has succeeded. On a mid-loop spawn failure (EAGAIN near
+/// the pids limit) the launcher abandons the gang: parked threads
+/// return without running anything, so no PE can wedge in a barrier
+/// waiting for threads that never came to exist, and the joinable
+/// threads can be joined instead of std::terminate-ing the process.
+struct StartGate {
+  std::mutex m;
+  std::condition_variable cv;
+  int state = 0;  // 0 = pending, 1 = go, 2 = abandon
+
+  void release(int new_state) {
+    {
+      std::lock_guard<std::mutex> g(m);
+      state = new_state;
+    }
+    cv.notify_all();
+  }
+
+  /// Blocks until release(); true when the gang should run.
+  bool wait_for_go() {
+    std::unique_lock<std::mutex> g(m);
+    cv.wait(g, [&] { return state != 0; });
+    return state == 1;
+  }
+};
+
+/// A persistent cached thread pool with gang semantics: run_gang never
+/// queues a PE behind a running launch — it reuses idle workers and
+/// spawns new ones when the gang is wider than the cache, so concurrent
+/// launches from service workers cannot deadlock each other. Workers
+/// park after each launch and are reused by the next; the pool's thread
+/// count is bounded by the peak concurrent PE demand, not by the number
+/// of launches served.
+class ThreadPoolExecutor final : public PeExecutor {
+ public:
+  ThreadPoolExecutor();
+  ~ThreadPoolExecutor() override;
+
+  void run_gang(int n, const std::function<void(int)>& body,
+                EventCount& ec) override;
+  [[nodiscard]] const char* name() const override { return "pool"; }
+
+  /// Total worker threads ever spawned — the launch-reuse tests assert
+  /// this stays at gang width across many launches.
+  [[nodiscard]] std::uint64_t threads_created() const;
+  /// Workers currently parked waiting for a gang.
+  [[nodiscard]] std::size_t idle_count() const;
+
+ private:
+  struct Worker;
+  struct Gang;
+  void worker_main(Worker* w);
+  bool park(Worker* w);  // false => pool is shutting down, thread exits
+
+  mutable std::mutex pool_m_;
+  std::vector<Worker*> idle_;
+  std::vector<std::unique_ptr<Worker>> all_;
+  std::uint64_t threads_created_ = 0;
+  bool stopping_ = false;
+};
+
+/// The builtin thread-per-PE executor (what a Runtime uses when its
+/// Config names no executor). Stateless and shared freely.
+PeExecutor& thread_per_pe_executor();
+
+/// The process-wide persistent pool (lazily constructed, shared by every
+/// Service and any RunConfig that asks for ExecutorKind::kPool).
+ExecutorPtr process_thread_pool();
+
+/// Builds an executor for `kind`. kThread and kPool return shared
+/// long-lived instances; kFiber constructs a fresh FiberExecutor whose
+/// carriers multiplex `pes_per_thread` virtual PEs each (0 = auto:
+/// spread the gang over the hardware threads). Returns null when the
+/// kind is unsupported on this platform (fibers need ucontext — POSIX).
+ExecutorPtr make_executor(ExecutorKind kind, int pes_per_thread = 0);
+
+/// True when ExecutorKind::kFiber is available on this platform.
+[[nodiscard]] bool fiber_executor_available();
+
+}  // namespace lol::shmem

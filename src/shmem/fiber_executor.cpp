@@ -1,0 +1,383 @@
+// FiberExecutor — K virtual PEs per OS thread on ucontext coroutines.
+//
+// Each launch partitions its N PEs into contiguous blocks over C carrier
+// threads (C = ceil(N / pes_per_thread), capped at N). A carrier gives
+// every resident PE its own stack (mmap'd with a low guard page, so the
+// pages are committed lazily and an overflow faults instead of
+// corrupting a neighbor) and round-robins them cooperatively:
+//
+//   * a PE that cannot make progress — barrier not released, lock held,
+//     GIMMEH input not there yet — calls PeExecutor::wait(), which
+//     swapcontexts back to the carrier marked *blocked*
+//   * a PE in a compute loop calls preempt() from the step-budget poll
+//     (every ExecContext::kAbortPollPeriod steps), which yields marked
+//     *runnable* — so spin-waits on symmetric memory still make
+//     progress when their peer shares the carrier
+//   * when one full pass finds every resident PE blocked and the
+//     executor's eventcount epoch unchanged, the carrier sleeps on the
+//     eventcount (bounded, so input arrival — which notifies nobody —
+//     is still picked up promptly); barrier releases, lock clears and
+//     aborts notify_all() and wake it immediately
+//
+// Under ThreadSanitizer and AddressSanitizer the switches are annotated
+// with the sanitizer fiber APIs (__tsan_switch_to_fiber /
+// __sanitizer_start_switch_fiber), so the CI fiber-axis jobs check real
+// races instead of drowning in stack-switch false positives.
+#include "shmem/executor.hpp"
+
+#if !defined(_WIN32)
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "support/error.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define LOL_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LOL_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LOL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LOL_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(LOL_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+#if defined(LOL_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace lol::shmem {
+
+class FiberExecutor;
+
+namespace {
+
+/// Usable stack per fiber (a guard page is added below). Matches the
+/// default pthread stack so deep interpreter recursion behaves the same
+/// on both executors; pages are only committed as they are touched.
+constexpr std::size_t kFiberStackBytes = 8u << 20;
+
+/// How long an idle carrier (every resident PE blocked) sleeps before
+/// re-polling. Bounds GIMMEH latency for input sources that cannot
+/// notify the eventcount.
+constexpr std::chrono::microseconds kIdleWait{500};
+
+struct Carrier;
+
+struct Fiber {
+  ucontext_t ctx{};
+  std::byte* map_base = nullptr;  // mmap base (guard page + stack)
+  std::size_t map_bytes = 0;
+  int pe = -1;
+  bool done = false;
+  bool blocked = false;  // last yield was a blocking wait
+  Carrier* carrier = nullptr;
+#if defined(LOL_TSAN_FIBERS)
+  void* tsan = nullptr;
+#endif
+#if defined(LOL_ASAN_FIBERS)
+  void* fake_stack = nullptr;  // saved when this fiber switches away
+#endif
+};
+
+/// The carrier thread running one block of fibers; reachable from
+/// inside a fiber through the thread-local below.
+struct Carrier {
+  EventCount* ec = nullptr;  // the launching Runtime's eventcount
+  const std::function<void(int)>* body = nullptr;
+  ucontext_t main_ctx{};
+  Fiber* current = nullptr;
+#if defined(LOL_TSAN_FIBERS)
+  void* main_tsan = nullptr;
+#endif
+#if defined(LOL_ASAN_FIBERS)
+  void* main_fake_stack = nullptr;
+  const void* main_stack_bottom = nullptr;
+  std::size_t main_stack_size = 0;
+#endif
+};
+
+thread_local Carrier* tls_carrier = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+#if defined(LOL_ASAN_FIBERS)
+/// The carrier thread's own stack bounds, needed to re-enter it.
+void carrier_stack_bounds(Carrier& c) {
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) != 0) return;
+  void* addr = nullptr;
+  std::size_t size = 0;
+  pthread_attr_getstack(&attr, &addr, &size);
+  pthread_attr_destroy(&attr);
+  c.main_stack_bottom = addr;
+  c.main_stack_size = size;
+}
+#endif
+
+/// Switches from the carrier's main context into fiber `f`.
+void switch_to_fiber(Carrier& c, Fiber& f) {
+  c.current = &f;
+#if defined(LOL_TSAN_FIBERS)
+  __tsan_switch_to_fiber(f.tsan, 0);
+#endif
+#if defined(LOL_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&c.main_fake_stack,
+                                 f.map_base + page_size(), kFiberStackBytes);
+#endif
+  swapcontext(&c.main_ctx, &f.ctx);
+  // Back on the carrier.
+#if defined(LOL_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(c.main_fake_stack, nullptr, nullptr);
+#endif
+  c.current = nullptr;
+}
+
+/// Switches from the running fiber back to its carrier. `dying` frees
+/// the sanitizer bookkeeping for a fiber that will never resume.
+void switch_to_main(Fiber& f, bool dying) {
+  Carrier& c = *f.carrier;
+#if defined(LOL_TSAN_FIBERS)
+  __tsan_switch_to_fiber(c.main_tsan, 0);
+#endif
+#if defined(LOL_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(dying ? nullptr : &f.fake_stack,
+                                 c.main_stack_bottom, c.main_stack_size);
+#else
+  (void)dying;
+#endif
+  swapcontext(&f.ctx, &c.main_ctx);
+  // Resumed by a later switch_to_fiber.
+#if defined(LOL_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+#endif
+}
+
+/// makecontext only passes ints; a 64-bit pointer rides in two halves.
+extern "C" void lol_fiber_trampoline(unsigned hi, unsigned lo) {
+  auto addr = (static_cast<std::uintptr_t>(hi) << 32) |
+              static_cast<std::uintptr_t>(lo);
+  Fiber* f = reinterpret_cast<Fiber*>(addr);
+#if defined(LOL_ASAN_FIBERS)
+  // First entry: this context never switched away, so there is no saved
+  // fake stack to restore.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  (*f->carrier->body)(f->pe);
+  f->done = true;
+  switch_to_main(*f, /*dying=*/true);
+  // Unreachable: a done fiber is never resumed.
+}
+
+/// Maps the stack and prepares the context. Runs on the *launching*
+/// thread, before any carrier exists: a failure here must surface as an
+/// ordinary launch error, never as an uncaught exception on a carrier
+/// std::thread (which would terminate the process). ucontexts are
+/// thread-agnostic — building one here and first swapping to it on a
+/// carrier is fine.
+void make_fiber(Fiber& f) {
+  const std::size_t ps = page_size();
+  f.map_bytes = kFiberStackBytes + ps;
+  void* base = ::mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    throw lol::support::RuntimeError(
+        "fiber executor: cannot map a stack for PE " + std::to_string(f.pe) +
+        " (lower n_pes, or raise the address-space limit)");
+  }
+  f.map_base = static_cast<std::byte*>(base);
+  ::mprotect(f.map_base, ps, PROT_NONE);  // stacks grow down into the guard
+  getcontext(&f.ctx);
+  f.ctx.uc_stack.ss_sp = f.map_base + ps;
+  f.ctx.uc_stack.ss_size = kFiberStackBytes;
+  f.ctx.uc_link = nullptr;  // fibers exit via switch_to_main, never uc_link
+  auto addr = reinterpret_cast<std::uintptr_t>(&f);
+  makecontext(&f.ctx, reinterpret_cast<void (*)()>(lol_fiber_trampoline), 2,
+              static_cast<unsigned>(addr >> 32),
+              static_cast<unsigned>(addr & 0xFFFFFFFFu));
+#if defined(LOL_TSAN_FIBERS)
+  f.tsan = __tsan_create_fiber(0);
+#endif
+}
+
+void destroy_fiber(Fiber& f) {
+#if defined(LOL_TSAN_FIBERS)
+  if (f.tsan != nullptr) __tsan_destroy_fiber(f.tsan);
+  f.tsan = nullptr;
+#endif
+  if (f.map_base != nullptr) ::munmap(f.map_base, f.map_bytes);
+  f.map_base = nullptr;
+}
+
+}  // namespace
+
+class FiberExecutor final : public PeExecutor {
+ public:
+  explicit FiberExecutor(int pes_per_thread)
+      : pes_per_thread_(pes_per_thread) {}
+
+  [[nodiscard]] const char* name() const override { return "fiber"; }
+  [[nodiscard]] bool cooperative() const override { return true; }
+
+  void run_gang(int n, const std::function<void(int)>& body,
+                EventCount& ec) override {
+    int per = pes_per_thread_;
+    if (per <= 0) {
+      // Auto: spread the gang over the hardware threads.
+      int hw = static_cast<int>(std::thread::hardware_concurrency());
+      if (hw < 1) hw = 1;
+      per = (n + hw - 1) / hw;
+    }
+    const int carriers = (n + per - 1) / per;
+
+    // Allocate every stack up front, on this thread: an mmap failure
+    // (RLIMIT_AS, cgroup pressure) throws support::RuntimeError out of
+    // the launch like any other resource error, instead of escaping a
+    // carrier std::thread and terminating the process.
+    std::vector<Fiber> fibers(static_cast<std::size_t>(n));
+    try {
+      for (int pe = 0; pe < n; ++pe) {
+        fibers[static_cast<std::size_t>(pe)].pe = pe;
+        make_fiber(fibers[static_cast<std::size_t>(pe)]);
+      }
+    } catch (...) {
+      for (Fiber& f : fibers) destroy_fiber(f);
+      throw;
+    }
+
+    if (carriers == 1) {
+      carrier_main(body, ec, fibers.data(), n);
+      return;
+    }
+    // Carriers start behind a gate: a spawn failure mid-loop must fail
+    // the launch cleanly (see StartGate), not terminate the process or
+    // leave early carriers' PEs wedged in a barrier waiting for PEs
+    // whose carrier never came to exist.
+    StartGate gate;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(carriers - 1));
+    try {
+      for (int c = 1; c < carriers; ++c) {
+        int lo = c * per;
+        int hi = std::min(n, lo + per);
+        threads.emplace_back([this, &gate, &body, &ec, &fibers, lo, hi] {
+          if (gate.wait_for_go()) {
+            carrier_main(body, ec, fibers.data() + lo, hi - lo);
+          }
+        });
+      }
+    } catch (const std::exception& e) {
+      gate.release(2);
+      for (auto& t : threads) t.join();
+      for (Fiber& f : fibers) destroy_fiber(f);
+      throw lol::support::RuntimeError(
+          std::string("fiber executor: cannot spawn carrier threads (") +
+          e.what() + "); raise pes_per_thread to use fewer carriers");
+    }
+    gate.release(1);
+    carrier_main(body, ec, fibers.data(), std::min(n, per));
+    for (auto& t : threads) t.join();
+  }
+
+  void wait(EventCount& ec, int /*pe*/, std::uint64_t epoch) override {
+    Carrier* c = tls_carrier;
+    if (c != nullptr && c->current != nullptr) {
+      c->current->blocked = true;
+      switch_to_main(*c->current, /*dying=*/false);
+      return;
+    }
+    ec.wait(epoch);  // not on a carrier: fall back to the cv
+  }
+
+  void preempt(int /*pe*/) override {
+    Carrier* c = tls_carrier;
+    if (c == nullptr || c->current == nullptr) return;
+    c->current->blocked = false;
+    switch_to_main(*c->current, /*dying=*/false);
+  }
+
+ private:
+  /// Runs the `count` pre-built fibers starting at `block` on the
+  /// calling thread.
+  void carrier_main(const std::function<void(int)>& body, EventCount& ec,
+                    Fiber* block, int count) {
+    Carrier carrier;
+    carrier.ec = &ec;
+    carrier.body = &body;
+#if defined(LOL_TSAN_FIBERS)
+    carrier.main_tsan = __tsan_get_current_fiber();
+#endif
+#if defined(LOL_ASAN_FIBERS)
+    carrier_stack_bounds(carrier);
+#endif
+    for (int i = 0; i < count; ++i) block[i].carrier = &carrier;
+    Carrier* prev = tls_carrier;
+    tls_carrier = &carrier;
+
+    int live = count;
+    while (live > 0) {
+      const std::uint64_t pass_epoch = ec.prepare_wait();
+      bool all_blocked = true;
+      for (int i = 0; i < count; ++i) {
+        Fiber& f = block[i];
+        if (f.done || f.map_base == nullptr) continue;
+        switch_to_fiber(carrier, f);
+        if (f.done) {
+          destroy_fiber(f);
+          --live;
+          all_blocked = false;
+        } else if (!f.blocked) {
+          all_blocked = false;
+        }
+      }
+      // Every resident PE is blocked: sleep until something notifies
+      // the runtime's eventcount or the bounded poll interval elapses
+      // (input sources deliver silently, so no indefinite sleep).
+      if (live > 0 && all_blocked) {
+        ec.wait_for_usec(pass_epoch, kIdleWait.count());
+      }
+    }
+
+    tls_carrier = prev;
+  }
+
+  int pes_per_thread_;
+};
+
+ExecutorPtr make_fiber_executor(int pes_per_thread) {
+  return std::make_shared<FiberExecutor>(pes_per_thread);
+}
+
+bool fiber_executor_available() { return true; }
+
+}  // namespace lol::shmem
+
+#else  // _WIN32
+
+namespace lol::shmem {
+ExecutorPtr make_fiber_executor(int) { return nullptr; }
+bool fiber_executor_available() { return false; }
+}  // namespace lol::shmem
+
+#endif

@@ -157,12 +157,21 @@ void Pe::set_lock(int lock_id) {
                        " already holds this lock (IM SRSLY MESIN WIF is not "
                        "recursive)");
   }
-  // Spin with yield so a runtime abort() can interrupt the wait.
-  while (!lock.m.try_lock()) {
-    if (rt_->aborted()) throw RuntimeError("SPMD aborted while waiting for lock");
-    std::this_thread::yield();
+  // Eventcount-shaped acquire loop: block through the executor (a fiber
+  // yields its carrier here) and stay abortable between attempts.
+  for (;;) {
+    std::uint64_t e = rt_->prepare_wait();
+    int expected = -1;
+    if (lock.owner.compare_exchange_strong(expected, id_,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      break;
+    }
+    if (rt_->aborted()) {
+      throw RuntimeError("SPMD aborted while waiting for lock");
+    }
+    rt_->wait(id_, e);
   }
-  lock.owner.store(id_, std::memory_order_release);
   if (const auto* m = rt_->model()) {
     sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
   }
@@ -178,8 +187,10 @@ bool Pe::test_lock(int lock_id) {
     throw RuntimeError("PE " + std::to_string(id_) +
                        " already holds this lock");
   }
-  bool got = lock.m.try_lock();
-  if (got) lock.owner.store(id_, std::memory_order_release);
+  int expected = -1;
+  bool got = lock.owner.compare_exchange_strong(expected, id_,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire);
   if (const auto* m = rt_->model()) {
     sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
   }
@@ -198,7 +209,7 @@ void Pe::clear_lock(int lock_id) {
                        "without IM ... MESIN WIF)");
   }
   lock.owner.store(-1, std::memory_order_release);
-  lock.m.unlock();
+  rt_->notify_waiters();
   if (const auto* m = rt_->model()) {
     sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
   }
@@ -258,9 +269,11 @@ std::int64_t Pe::broadcast_i64(std::int64_t v, int root) {
 // Runtime
 // ---------------------------------------------------------------------------
 
-Runtime::Runtime(Config cfg) : cfg_(cfg) {
-  if (cfg_.n_pes < 1 || cfg_.n_pes > 1024) {
-    throw RuntimeError("n_pes must be in [1, 1024], got " +
+Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)) {
+  // 4096 matches the paper's largest machine (the 4,096-core Epiphany
+  // cluster); counts beyond hardware threads want the fiber executor.
+  if (cfg_.n_pes < 1 || cfg_.n_pes > 4096) {
+    throw RuntimeError("n_pes must be in [1, 4096], got " +
                        std::to_string(cfg_.n_pes));
   }
   if (cfg_.heap_bytes % kAlign != 0) {
@@ -270,6 +283,7 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
   for (auto& a : arenas_) a.resize(cfg_.heap_bytes);
   scratch_i64_.resize(static_cast<std::size_t>(cfg_.n_pes));
   scratch_f64_.resize(static_cast<std::size_t>(cfg_.n_pes));
+  for (int i = 0; i < cfg_.n_locks; ++i) locks_.emplace_back();
 }
 
 std::byte* Runtime::arena(int pe) {
@@ -278,19 +292,20 @@ std::byte* Runtime::arena(int pe) {
 
 void Runtime::abort() {
   abort_.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> g(bar_m_);
-  bar_cv_.notify_all();
+  // Wake everything parked in this runtime's eventcount (barrier
+  // waiters, lock waiters, idle fiber carriers); the wait loops re-check
+  // the abort flag and die.
+  notify_waiters();
 }
 
 void Runtime::reset_for_launch() {
   abort_.store(false, std::memory_order_release);
   bar_count_ = 0;
-  bar_gen_ = 0;
+  bar_gen_.store(0, std::memory_order_relaxed);
   bar_max_ns_ = 0.0;
   bar_release_ns_[0] = bar_release_ns_[1] = 0.0;
-  // Locks are recreated so a previous aborted launch cannot leave one held.
-  locks_.clear();
-  for (int i = 0; i < cfg_.n_locks; ++i) locks_.emplace_back();
+  // Owners are reset so a previous aborted launch cannot leave one held.
+  for (auto& lock : locks_) lock.owner.store(-1, std::memory_order_relaxed);
   for (auto& a : arenas_) std::fill(a.begin(), a.end(), std::byte{0});
   std::fill(scratch_i64_.begin(), scratch_i64_.end(), 0);
   std::fill(scratch_f64_.begin(), scratch_f64_.end(), 0.0);
@@ -298,22 +313,35 @@ void Runtime::reset_for_launch() {
 }
 
 void Runtime::barrier(Pe& pe) {
-  std::unique_lock<std::mutex> g(bar_m_);
-  if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
-  std::uint64_t my_gen = bar_gen_;
-  bar_max_ns_ = std::max(bar_max_ns_, pe.sim_ns_);
-  if (++bar_count_ == cfg_.n_pes) {
-    double release = bar_max_ns_;
-    if (cfg_.model) release += cfg_.model->barrier_ns(cfg_.n_pes);
-    bar_release_ns_[my_gen & 1] = release;
-    bar_count_ = 0;
-    bar_max_ns_ = 0.0;
-    ++bar_gen_;
-    bar_cv_.notify_all();
+  std::uint64_t my_gen;
+  bool released = false;
+  {
+    std::lock_guard<std::mutex> g(bar_m_);
+    if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
+    my_gen = bar_gen_.load(std::memory_order_relaxed);
+    bar_max_ns_ = std::max(bar_max_ns_, pe.sim_ns_);
+    if (++bar_count_ == cfg_.n_pes) {
+      double release = bar_max_ns_;
+      if (cfg_.model) release += cfg_.model->barrier_ns(cfg_.n_pes);
+      bar_release_ns_[my_gen & 1] = release;
+      bar_count_ = 0;
+      bar_max_ns_ = 0.0;
+      bar_gen_.store(my_gen + 1, std::memory_order_release);
+      released = true;
+    }
+  }
+  if (released) {
+    notify_waiters();
   } else {
-    bar_cv_.wait(g, [&] { return bar_gen_ != my_gen || aborted(); });
-    if (bar_gen_ == my_gen && aborted()) {
-      throw RuntimeError("SPMD aborted while waiting in barrier (HUGZ)");
+    // Eventcount wait outside bar_m_: a fiber must never yield holding
+    // a mutex a sibling PE on the same carrier could need.
+    for (;;) {
+      std::uint64_t e = prepare_wait();
+      if (bar_gen_.load(std::memory_order_acquire) != my_gen) break;
+      if (aborted()) {
+        throw RuntimeError("SPMD aborted while waiting in barrier (HUGZ)");
+      }
+      wait(pe.id(), e);
     }
   }
   pe.sim_ns_ = bar_release_ns_[my_gen & 1];
@@ -349,14 +377,18 @@ LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
     }
   };
 
-  if (n == 1) {
-    body(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) threads.emplace_back(body, i);
-    for (auto& t : threads) t.join();
+  PeExecutor* ex =
+      cfg_.executor != nullptr ? cfg_.executor.get() : &thread_per_pe_executor();
+  sched_.store(ex, std::memory_order_release);
+  try {
+    ex->run_gang(n, body, ec_);
+  } catch (...) {
+    // Resource acquisition failed before any PE ran (fiber stacks);
+    // clear the scheduler and let the caller report it.
+    sched_.store(nullptr, std::memory_order_release);
+    throw;
   }
+  sched_.store(nullptr, std::memory_order_release);
 
   for (int i = 0; i < n; ++i) {
     result.sim_ns[static_cast<std::size_t>(i)] =

@@ -1,12 +1,14 @@
-// An OpenSHMEM-like SPMD runtime on std::thread.
+// An OpenSHMEM-like SPMD runtime with pluggable PE executors.
 //
 // This is the substrate the paper's language extensions compile onto.
 // The paper uses a real OpenSHMEM library (ARL's Epiphany implementation
 // on the Parallella; Cray SHMEM on the XC40); we reproduce the subset its
 // backend needs, in-process:
 //
-//   * N processing elements (PEs) = N threads running the same function
-//     (SPMD), each with a private *symmetric heap* arena
+//   * N processing elements (PEs) running the same function (SPMD), each
+//     with a private *symmetric heap* arena. How PEs map onto OS threads
+//     is a PeExecutor strategy (shmem/executor.hpp): thread-per-PE, a
+//     persistent pool, or fibers multiplexing many virtual PEs per core
 //   * collective, deterministic symmetric allocation: every PE performs
 //     the same shmalloc sequence, so an object has the same offset on
 //     every PE — exactly the property OpenSHMEM symmetric objects have —
@@ -23,7 +25,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "noc/model.hpp"
+#include "shmem/executor.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
 
@@ -44,6 +46,7 @@ struct Config {
   std::size_t heap_bytes = 1 << 20;  // symmetric heap per PE
   int n_locks = 0;                   // global locks (IM SHARIN IT)
   noc::ModelPtr model;               // null => no simulated-time accounting
+  ExecutorPtr executor;              // null => builtin thread-per-PE
 };
 
 class Runtime;
@@ -167,9 +170,11 @@ class Runtime {
  public:
   explicit Runtime(Config cfg);
 
-  /// Runs `fn` on n_pes threads (SPMD). Exceptions thrown by a PE are
-  /// captured into the result; peers blocked in barriers/locks are woken
-  /// and abort with "SPMD aborted" errors so a failing PE cannot deadlock
+  /// Runs `fn` on n_pes PEs (SPMD) via the configured executor —
+  /// thread-per-PE by default, a persistent pool or fiber carriers when
+  /// Config::executor says so. Exceptions thrown by a PE are captured
+  /// into the result; peers blocked in barriers/locks are woken and
+  /// abort with "SPMD aborted" errors so a failing PE cannot deadlock
   /// the launch.
   LaunchResult launch(const std::function<void(Pe&)>& fn);
 
@@ -179,6 +184,39 @@ class Runtime {
   [[nodiscard]] const noc::MachineModel* model() const {
     return cfg_.model.get();
   }
+
+  /// The executor scheduling the current launch (the configured one, or
+  /// the builtin thread-per-PE executor).
+  [[nodiscard]] PeExecutor& scheduler() {
+    PeExecutor* s = sched_.load(std::memory_order_acquire);
+    return s != nullptr ? *s : thread_per_pe_executor();
+  }
+
+  // -- the cooperative blocking protocol ------------------------------------
+  // Blocking primitives — the barrier, locks, and the abort-aware polls
+  // in rt::ExecContext — wait through this runtime's own eventcount via
+  // the executor, so virtual PEs yield their carrier instead of parking
+  // the OS thread, and concurrent jobs sharing one executor never
+  // contend on a process-global rendezvous.
+
+  /// Epoch snapshot; take before re-checking the awaited condition.
+  [[nodiscard]] std::uint64_t prepare_wait() const {
+    return ec_.prepare_wait();
+  }
+  /// Blocks PE `pe` until notify_waiters() bumps the epoch past the
+  /// snapshot (fiber executor: yields the carrier instead).
+  void wait(int pe, std::uint64_t epoch) {
+    scheduler().wait(ec_, pe, epoch);
+  }
+  /// Wakes every PE blocked in wait().
+  void notify_waiters() { ec_.notify_all(); }
+  /// True when PEs are cooperatively multiplexed (see
+  /// PeExecutor::cooperative).
+  [[nodiscard]] bool cooperative_pes() {
+    return scheduler().cooperative();
+  }
+  /// Cooperative time-slice point for compute loops.
+  void preempt(int pe) { scheduler().preempt(pe); }
 
   /// Direct arena access (tests and the Figure-1 bench use this to verify
   /// symmetric layout).
@@ -193,9 +231,12 @@ class Runtime {
  private:
   friend class Pe;
 
+  /// A global lock is an atomic owner cell, not a mutex: a fiber
+  /// holding a std::mutex while a sibling fiber on the same OS thread
+  /// try_locks it would be undefined behavior, and the CAS wait-queue
+  /// lets waiters block through the executor's eventcount.
   struct GlobalLock {
-    std::mutex m;
-    std::atomic<int> owner{-1};
+    std::atomic<int> owner{-1};  // PE id, -1 when free
   };
 
   void reset_for_launch();
@@ -204,11 +245,12 @@ class Runtime {
   Config cfg_;
   std::vector<std::vector<std::byte>> arenas_;
 
-  // Central generation barrier.
+  // Central generation barrier: arrivals are counted under bar_m_, but
+  // waiters spin on the atomic generation through the executor's
+  // eventcount so they never sleep holding a lock a fiber could need.
   std::mutex bar_m_;
-  std::condition_variable bar_cv_;
   int bar_count_ = 0;
-  std::uint64_t bar_gen_ = 0;
+  std::atomic<std::uint64_t> bar_gen_{0};
   double bar_max_ns_ = 0.0;
   double bar_release_ns_[2] = {0.0, 0.0};
 
@@ -219,6 +261,8 @@ class Runtime {
   std::vector<double> scratch_f64_;
 
   std::atomic<bool> abort_{false};
+  std::atomic<PeExecutor*> sched_{nullptr};  // non-null while a launch runs
+  EventCount ec_;  // this runtime's blocking rendezvous (per-job, not global)
   std::uint64_t launch_counter_ = 0;
 };
 

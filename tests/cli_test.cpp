@@ -206,6 +206,107 @@ std::vector<std::string> lolserve_order(int n, const std::string& flags) {
   return order;
 }
 
+TEST(LolrunCli, FiberExecutorRunsManyMorePesThanCores) {
+  std::string path = write_program(
+      "fiber", "HAI 1.2\nVISIBLE \"PE \" ME \" OF \" MAH FRENZ\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) +
+                   " --executor fiber --pes-per-thread 64 -np 256"
+                   " --heap-bytes 65536 " +
+                   path);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("PE 0 OF 256"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("PE 255 OF 256"), std::string::npos) << r.output;
+  // Exactly one line per virtual PE (count only program output —
+  // sanitizer builds interleave their own stderr banners).
+  int pe_lines = 0;
+  std::istringstream lines(r.output);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("PE ", 0) == 0) ++pe_lines;
+  }
+  EXPECT_EQ(pe_lines, 256);
+}
+
+TEST(LolrunCli, UnknownExecutorIsRejected) {
+  std::string path = write_program("badexec", "HAI 1.2\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --executor warp " + path);
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("unknown executor"), std::string::npos) << r.output;
+}
+
+TEST(LolserveCli, ClientSpeaksTheWireProtocolToADaemon) {
+  // Spawn a daemon on a unix socket, drive it entirely through
+  // `lolserve --client` (ping, submit incl. a fiber job, bogus cancel,
+  // shutdown), and let the shell reap the daemon so nothing leaks.
+  std::string job = write_program(
+      "client", "HAI 1.2\nVISIBLE \"HAI FRUM \" ME\nKTHXBYE\n");
+  std::string sock = "/tmp/parallol_cli_client.sock";
+  std::string bin = LOLSERVE_BIN;
+  std::string client = bin + " --client --connect unix:" + sock;
+  // popen runs the whole thing under sh -c; group it so run_cmd's
+  // appended 2>&1 covers every command.
+  std::string script =
+      "{ rm -f " + sock + "; " + bin + " --daemon --listen unix:" + sock +
+      " --workers 2 >/dev/null 2>&1 & pid=$!; "
+      "i=0; while [ $i -lt 50 ] && [ ! -S " + sock + " ]; do "
+      "sleep 0.1; i=$((i+1)); done; " +
+      client + " --ping; " +
+      client + " -np 4 --executor fiber " + job + "; echo submit_rc=$?; " +
+      client + " --cancel 424242; " +
+      client + " --shutdown; "
+      "wait $pid; }";
+  auto r = run_cmd(script);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("\"event\":\"pong\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"event\":\"accepted\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"ok\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("HAI FRUM 3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("submit_rc=0"), std::string::npos) << r.output;
+  // Cancel of an unknown id is answered (ok:false), not dropped.
+  EXPECT_NE(r.output.find("\"event\":\"cancel\",\"id\":424242,\"ok\":false"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"event\":\"bye\""), std::string::npos)
+      << r.output;
+}
+
+TEST(LolserveCli, ClientCancelAfterMsKillsItsOwnSpinningJob) {
+  // The daemon only honors cancels from the submitting connection, so
+  // the useful client form is --cancel-after-ms: submit, then cancel
+  // whatever is still running on the same connection. A spinning job
+  // with no step budget must come back "cancelled" and the client must
+  // treat that as the expected outcome (exit 0).
+  std::string job = write_program(
+      "cancelme", "HAI 1.2\nIM IN YR l\nIM OUTTA YR l\nKTHXBYE\n");
+  std::string sock = "/tmp/parallol_cli_cancel.sock";
+  std::string bin = LOLSERVE_BIN;
+  std::string client = bin + " --client --connect unix:" + sock;
+  std::string script =
+      "{ rm -f " + sock + "; " + bin + " --daemon --listen unix:" + sock +
+      " --workers 1 --max-steps 0 >/dev/null 2>&1 & pid=$!; "
+      "i=0; while [ $i -lt 50 ] && [ ! -S " + sock + " ]; do "
+      "sleep 0.1; i=$((i+1)); done; " +
+      client + " --cancel-after-ms 200 " + job + "; echo cancel_rc=$?; " +
+      client + " --shutdown >/dev/null; "
+      "wait $pid; }";
+  auto r = run_cmd(script);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("\"ok\":true"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"cancelled\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("cancel_rc=0"), std::string::npos) << r.output;
+}
+
+TEST(LolserveCli, ClientFailsCleanlyWithNoDaemon) {
+  auto r = run_cmd(std::string(LOLSERVE_BIN) +
+                   " --client --connect unix:/tmp/parallol_no_such.sock "
+                   "--ping");
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("cannot connect"), std::string::npos) << r.output;
+}
+
 TEST(LolserveCli, ShuffleIsSeededAndDeterministic) {
   // --shuffle randomizes the submission order for scheduling-fairness
   // experiments; the same seed must reproduce the same permutation.

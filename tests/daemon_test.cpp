@@ -425,6 +425,10 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
     job.backend = iter % 3 == 0   ? lol::Backend::kInterp
                   : iter % 3 == 1 ? lol::Backend::kVm
                                   : lol::Backend::kNative;
+    job.executor = iter % 3 == 0   ? lol::shmem::ExecutorKind::kThread
+                   : iter % 3 == 1 ? lol::shmem::ExecutorKind::kPool
+                                   : lol::shmem::ExecutorKind::kFiber;
+    job.pes_per_thread = static_cast<int>(rng() % 256);
     for (std::size_t i = 0, n = rng() % 4; i < n; ++i) {
       job.stdin_lines.push_back(random_text(rng, 16));
     }
@@ -444,6 +448,8 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
     EXPECT_EQ(req->job.deadline_ms, job.deadline_ms);
     EXPECT_EQ(req->job.heap_bytes, job.heap_bytes);
     EXPECT_EQ(req->job.backend, job.backend);
+    EXPECT_EQ(req->job.executor, job.executor);
+    EXPECT_EQ(req->job.pes_per_thread, job.pes_per_thread);
     EXPECT_EQ(req->job.stdin_lines, job.stdin_lines);
   }
 }
@@ -521,6 +527,7 @@ TEST(Wire, MalformedRequestsAreRejectedWithErrors) {
       "{\"op\":\"submit\"}",                    // missing source
       "{\"op\":\"submit\",\"source\":42}",      // source wrong type
       "{\"op\":\"submit\",\"source\":\"HAI\",\"backend\":\"turbo\"}",
+      "{\"op\":\"submit\",\"source\":\"HAI\",\"executor\":\"warp\"}",
       "{\"op\":\"nope\"}",                      // unknown op
       "{\"op\":\"cancel\"}",                    // missing id
       "{\"op\":\"cancel\",\"id\":0}",           // id must be nonzero

@@ -34,12 +34,23 @@ std::vector<Backend> backends_under_test() {
   return out;
 }
 
+std::vector<shmem::ExecutorKind> executors_under_test() {
+  std::vector<shmem::ExecutorKind> out = {shmem::ExecutorKind::kThread};
+  if (shmem::fiber_executor_available()) {
+    out.push_back(shmem::ExecutorKind::kFiber);
+  }
+  return out;
+}
+
 const char* backend_label(Backend b) { return lol::to_string(b); }
 
-BackendRun run_one(const Spec& spec, Backend backend) {
+BackendRun run_one(const Spec& spec, Backend backend,
+                   shmem::ExecutorKind executor) {
   BackendRun out;
   out.backend = backend;
-  out.label = backend_label(backend);
+  out.executor = executor;
+  out.label =
+      std::string(backend_label(backend)) + "/" + shmem::to_string(executor);
 
   CompiledProgram prog;
   try {
@@ -56,6 +67,9 @@ BackendRun run_one(const Spec& spec, Backend backend) {
   cfg.seed = spec.seed;
   cfg.max_steps = spec.max_steps;
   cfg.stdin_lines = spec.stdin_lines;
+  cfg.executor = executor;
+  cfg.pes_per_thread = spec.pes_per_thread;
+  cfg.heap_bytes = spec.heap_bytes;
 
   // Mid-run abort: fire the token from a timer thread, like the
   // service's deadline reaper does. The thread always joins before the
@@ -121,8 +135,12 @@ void describe(std::ostringstream& os, const Spec& spec,
 
 std::string divergence(const Spec& spec) {
   std::vector<BackendRun> runs;
-  runs.reserve(3);
-  for (Backend b : backends_under_test()) runs.push_back(run_one(spec, b));
+  runs.reserve(6);
+  for (Backend b : backends_under_test()) {
+    for (shmem::ExecutorKind e : executors_under_test()) {
+      runs.push_back(run_one(spec, b, e));
+    }
+  }
 
   const BackendRun& ref = runs.front();
   bool diverged = false;

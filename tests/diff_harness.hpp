@@ -14,6 +14,11 @@
 // PEs differently between runs, but what each PE prints is deterministic
 // given the program, the seed and the barriers it contains.
 //
+// The same program is also run under every PE executor (thread-per-PE
+// and fiber carriers), so the full conformance matrix is
+// {interp, vm, native} x {thread, fiber}: multiplexing virtual PEs on
+// ucontext fibers must not change what any PE computes or prints.
+//
 // Step-budget caveat: a "step" is a statement in the interpreter and the
 // native code but an instruction in the VM, so budgets near the edge can
 // classify differently by design. Differential cases therefore use
@@ -21,6 +26,7 @@
 // or clearly generous; the classification must then agree.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,12 +57,18 @@ struct Spec {
   std::uint64_t max_steps = 0;          // 0 = unlimited
   std::vector<std::string> stdin_lines; // GIMMEH input
   std::uint64_t abort_after_ms = 0;     // >0: request abort from a timer
+  /// Fiber column only: virtual PEs per carrier (0 = auto).
+  int pes_per_thread = 0;
+  /// Symmetric heap per PE; high-PE specs shrink it so a 512-PE case
+  /// does not allocate half a gigabyte of arenas.
+  std::size_t heap_bytes = 1 << 20;
 };
 
-/// What one backend did with a Spec.
+/// What one (backend, executor) cell did with a Spec.
 struct BackendRun {
   Backend backend = Backend::kInterp;
-  std::string label;  // "interp" / "vm" / "native"
+  shmem::ExecutorKind executor = shmem::ExecutorKind::kThread;
+  std::string label;  // "interp/thread", "vm/fiber", ...
   Outcome outcome = Outcome::kOk;
   std::vector<std::string> pe_output;
   std::vector<std::string> pe_errout;
@@ -72,14 +84,20 @@ bool native_available();
 /// available.
 std::vector<Backend> backends_under_test();
 
+/// The executor axis: thread-per-PE always, fibers where ucontext
+/// exists (everywhere we build, today).
+std::vector<shmem::ExecutorKind> executors_under_test();
+
 [[nodiscard]] const char* backend_label(Backend b);
 
-/// Runs one spec on one backend.
-BackendRun run_one(const Spec& spec, Backend backend);
+/// Runs one spec on one (backend, executor) cell.
+BackendRun run_one(const Spec& spec, Backend backend,
+                   shmem::ExecutorKind executor = shmem::ExecutorKind::kThread);
 
-/// Runs the spec on every available backend and reports divergence:
-/// empty string when all backends agree on classification and per-PE
-/// output, else a human-readable report naming the disagreeing backends.
+/// Runs the spec on every available backend x executor cell and reports
+/// divergence: empty string when all cells agree on classification and
+/// per-PE output, else a human-readable report naming the disagreeing
+/// cells.
 std::string divergence(const Spec& spec);
 
 /// Loads every *.lol file under `dir` (sorted by name) as a Spec with

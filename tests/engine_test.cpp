@@ -8,6 +8,7 @@
 #include "core/engine.hpp"
 #include "noc/machines.hpp"
 #include "rt/io.hpp"
+#include "vm/compiler.hpp"
 
 namespace {
 
@@ -264,6 +265,45 @@ TEST(Engine, AbortTokenWakesBarrierWaiters) {
   killer.join();
   EXPECT_FALSE(r.ok);
   EXPECT_TRUE(r.aborted);
+}
+
+TEST(Engine, VmChunkIsCompiledOncePerCompiledProgram) {
+  auto prog = lol::compile("HAI 1.2\nVISIBLE ME\nKTHXBYE\n");
+  ASSERT_NE(prog.vm_slot, nullptr);
+  EXPECT_EQ(prog.vm_slot->chunk, nullptr) << "chunk built before any run";
+
+  RunConfig cfg;
+  cfg.backend = lol::Backend::kVm;
+  ASSERT_TRUE(lol::run(prog, cfg).ok);
+  auto first = prog.vm_slot->chunk;
+  ASSERT_NE(first, nullptr) << "first VM run must memoize the chunk";
+
+  ASSERT_TRUE(lol::run(prog, cfg).ok);
+  EXPECT_EQ(prog.vm_slot->chunk.get(), first.get())
+      << "warm run recompiled the bytecode";
+}
+
+TEST(Engine, ExecutorKindsProduceIdenticalResults) {
+  auto prog = lol::compile(
+      "HAI 1.2\nVISIBLE \"PE \" ME \" OF \" MAH FRENZ\nKTHXBYE\n");
+  lol::RunResult ref;
+  bool have_ref = false;
+  for (auto kind : {lol::shmem::ExecutorKind::kThread,
+                    lol::shmem::ExecutorKind::kPool,
+                    lol::shmem::ExecutorKind::kFiber}) {
+    RunConfig cfg;
+    cfg.n_pes = 8;
+    cfg.executor = kind;
+    auto r = lol::run(prog, cfg);
+    ASSERT_TRUE(r.ok) << lol::shmem::to_string(kind) << ": "
+                      << r.first_error();
+    if (!have_ref) {
+      ref = std::move(r);
+      have_ref = true;
+    } else {
+      EXPECT_EQ(r.pe_output, ref.pe_output) << lol::shmem::to_string(kind);
+    }
+  }
 }
 
 }  // namespace

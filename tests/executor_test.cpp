@@ -1,0 +1,262 @@
+// PeExecutor semantics: the executor strategies must preserve the shmem
+// runtime's synchronization contract at PE counts far beyond the host's
+// hardware threads, stay abortable while wedged, and (for the pool)
+// survive many launches without spawning threads per launch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "core/paper_programs.hpp"
+#include "shmem/executor.hpp"
+#include "shmem/runtime.hpp"
+
+namespace {
+
+using namespace lol::shmem;
+
+Config high_pe_config(int n_pes, ExecutorPtr exec, int n_locks = 0) {
+  Config cfg;
+  cfg.n_pes = n_pes;
+  cfg.heap_bytes = 4096;
+  cfg.n_locks = n_locks;
+  cfg.executor = std::move(exec);
+  return cfg;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(ExecutorNames, RoundTripAndUnknown) {
+  for (ExecutorKind k :
+       {ExecutorKind::kThread, ExecutorKind::kPool, ExecutorKind::kFiber}) {
+    auto back = executor_from_name(to_string(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(executor_from_name("warp").has_value());
+  EXPECT_FALSE(executor_from_name("").has_value());
+}
+
+// 512 virtual PEs on however few cores this host has: the barrier must
+// still rank-order phases and the ring exchange must still be exact.
+TEST(FiberExecutor, BarrierAndRingAt512Pes) {
+  Runtime rt(high_pe_config(512, make_executor(ExecutorKind::kFiber, 64)));
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    int next = (pe.id() + 1) % pe.n_pes();
+    pe.put_i64(next, off, pe.id());
+    pe.barrier_all();
+    std::int64_t prev = (pe.id() + pe.n_pes() - 1) % pe.n_pes();
+    if (pe.get_i64(pe.id(), off) != prev) {
+      throw std::runtime_error("ring value lost");
+    }
+    // Second phase reuses the slot; the barrier must order it.
+    pe.barrier_all();
+    pe.put_i64(next, off, pe.id() * 2);
+    pe.barrier_all();
+    if (pe.get_i64(pe.id(), off) != prev * 2) {
+      throw std::runtime_error("second phase raced the first");
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+// Locks at 512 PEs with forced multiplexing: every increment of the
+// shared counter must survive (the CAS wait-queue must neither deadlock
+// the carriers nor lose mutual exclusion between sibling fibers).
+TEST(FiberExecutor, LockMutualExclusionAt512Pes) {
+  Runtime rt(high_pe_config(512, make_executor(ExecutorKind::kFiber, 128),
+                            /*n_locks=*/1));
+  auto r = rt.launch([&](Pe& pe) {
+    std::size_t off = pe.shmalloc(8);
+    pe.barrier_all();
+    pe.set_lock(0);
+    // Non-atomic read-modify-write on PE 0's slot: only the lock
+    // protects it.
+    std::int64_t v = pe.get_i64(0, off);
+    pe.put_i64(0, off, v + 1);
+    pe.clear_lock(0);
+    pe.barrier_all();
+    if (pe.id() == 0 && pe.get_i64(0, off) != pe.n_pes()) {
+      throw std::runtime_error("lost update under lock");
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+// Collectives (allreduce/broadcast) are barrier-built; prove them at
+// high PE counts where many virtual PEs share each carrier.
+TEST(FiberExecutor, CollectivesAt512Pes) {
+  Runtime rt(high_pe_config(512, make_executor(ExecutorKind::kFiber, 64)));
+  auto r = rt.launch([&](Pe& pe) {
+    std::int64_t n = pe.n_pes();
+    if (pe.all_reduce_sum_i64(pe.id()) != n * (n - 1) / 2) {
+      throw std::runtime_error("allreduce sum wrong");
+    }
+    if (pe.all_reduce_max_i64(pe.id()) != n - 1) {
+      throw std::runtime_error("allreduce max wrong");
+    }
+    if (pe.broadcast_i64(pe.id() * 7, 3) != 21) {
+      throw std::runtime_error("broadcast wrong");
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+}
+
+// Abort reaches fibers wedged in a barrier: PE 0 spins (yielding at its
+// own pace), everyone else waits in HUGZ on shared carriers; an external
+// abort must unwedge the whole gang promptly.
+TEST(FiberExecutor, AbortUnwedgesBarrierWaiters) {
+  Runtime rt(high_pe_config(64, make_executor(ExecutorKind::kFiber, 16)));
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rt.abort();
+  });
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 0) {
+      // Never joins the barrier; the cooperative preempt in real
+      // backends is modeled by an explicit yield through the scheduler.
+      while (!pe.runtime().aborted()) {
+        pe.runtime().preempt(pe.id());
+      }
+      throw std::runtime_error("aborted while spinning");
+    }
+    pe.barrier_all();
+  });
+  killer.join();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("abort"), std::string::npos)
+      << r.first_error();
+  EXPECT_LT(ms_since(t0), 5000.0);
+}
+
+// Abort reaches fibers waiting on a lock another fiber will never
+// release (it is wedged spinning on the same carrier).
+TEST(FiberExecutor, AbortUnwedgesLockWaiters) {
+  Runtime rt(high_pe_config(8, make_executor(ExecutorKind::kFiber, 8),
+                            /*n_locks=*/1));
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rt.abort();
+  });
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 0) {
+      pe.set_lock(0);
+      while (!pe.runtime().aborted()) {
+        pe.runtime().preempt(pe.id());
+      }
+      throw std::runtime_error("aborted holding the lock");
+    }
+    pe.set_lock(0);  // unreachable acquisition
+    pe.clear_lock(0);
+  });
+  killer.join();
+  EXPECT_FALSE(r.ok);
+  EXPECT_LT(r.first_error().size(), 200u);  // sane message, not garbage
+}
+
+// A failing PE aborts fiber peers exactly like thread peers do.
+TEST(FiberExecutor, FailingPeAbortsFiberPeers) {
+  Runtime rt(high_pe_config(32, make_executor(ExecutorKind::kFiber, 32)));
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 7) throw std::runtime_error("PE 7 exploded");
+    pe.barrier_all();
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.first_error().find("PE 7 exploded"), std::string::npos)
+      << r.first_error();
+}
+
+// The launching thread carries a fiber block itself, so a Runtime with
+// a fiber executor must be reusable across launches like any other.
+TEST(FiberExecutor, RuntimeIsReusableAcrossLaunches) {
+  Runtime rt(high_pe_config(128, make_executor(ExecutorKind::kFiber, 32)));
+  for (int round = 0; round < 5; ++round) {
+    auto r = rt.launch([&](Pe& pe) {
+      if (pe.all_reduce_sum_i64(1) != pe.n_pes()) {
+        throw std::runtime_error("round lost a PE");
+      }
+    });
+    ASSERT_TRUE(r.ok) << "round " << round << ": " << r.first_error();
+  }
+}
+
+// The pooled executor must reuse its workers: many launches, thread
+// count pinned at gang width (PE 0 rides the launcher, so a gang of 8
+// parks 7 workers), and nothing leaks launch over launch.
+TEST(PoolExecutor, ReusesWorkersAcrossManyLaunches) {
+  auto pool = std::make_shared<ThreadPoolExecutor>();
+  Config cfg = high_pe_config(8, pool);
+  Runtime rt(cfg);
+  for (int round = 0; round < 100; ++round) {
+    auto r = rt.launch([&](Pe& pe) {
+      std::size_t off = pe.shmalloc(8);
+      pe.put_i64((pe.id() + 1) % pe.n_pes(), off, pe.id());
+      pe.barrier_all();
+    });
+    ASSERT_TRUE(r.ok) << r.first_error();
+  }
+  EXPECT_EQ(pool->threads_created(), 7u)
+      << "pool spawned threads per launch instead of reusing";
+  EXPECT_EQ(pool->idle_count(), 7u);
+}
+
+// One pool shared by concurrent launches from different runtimes (the
+// service picture: several workers running jobs at once) must give each
+// gang all its PEs — no cross-launch queueing deadlock.
+TEST(PoolExecutor, ConcurrentLaunchesShareThePool) {
+  auto pool = std::make_shared<ThreadPoolExecutor>();
+  constexpr int kLaunchers = 4;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> launchers;
+  launchers.reserve(kLaunchers);
+  for (int i = 0; i < kLaunchers; ++i) {
+    launchers.emplace_back([&] {
+      Runtime rt(high_pe_config(4, pool));
+      for (int round = 0; round < 10; ++round) {
+        auto r = rt.launch([&](Pe& pe) {
+          if (pe.all_reduce_sum_i64(1) != pe.n_pes()) {
+            throw std::runtime_error("gang lost a PE");
+          }
+        });
+        if (!r.ok) return;
+      }
+      ok_count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : launchers) t.join();
+  EXPECT_EQ(ok_count.load(), kLaunchers);
+}
+
+// Engine-level: a full LOLCODE program at 256 PEs on the fiber executor
+// produces exactly the per-PE output the thread executor produces.
+TEST(FiberExecutor, EngineRunMatchesThreadExecutorAt256Pes) {
+  lol::CompiledProgram prog =
+      lol::compile(lol::paper::barrier_sum_listing());
+
+  lol::RunConfig thread_cfg;
+  thread_cfg.n_pes = 256;
+  thread_cfg.heap_bytes = 16 << 10;
+  thread_cfg.backend = lol::Backend::kVm;
+  lol::RunConfig fiber_cfg = thread_cfg;
+  fiber_cfg.executor = ExecutorKind::kFiber;
+  fiber_cfg.pes_per_thread = 64;
+
+  lol::RunResult a = lol::run(prog, thread_cfg);
+  lol::RunResult b = lol::run(prog, fiber_cfg);
+  ASSERT_TRUE(a.ok) << a.first_error();
+  ASSERT_TRUE(b.ok) << b.first_error();
+  EXPECT_EQ(a.pe_output, b.pe_output);
+  // PE 255: a = 255*10+1, b = neighbour 254's a = 2541, c = 5092.
+  EXPECT_EQ(b.pe_output[255], "PE 255 C IZ 5092\n");
+}
+
+}  // namespace

@@ -130,6 +130,60 @@ TEST(CompileCache, ConcurrentRequestsCompileOnce) {
   EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
 }
 
+TEST(CompileCache, ByteBudgetEvictsBeforeEntryBudget) {
+  // Entry capacity 8, but a byte budget sized for roughly two of these
+  // sources: memory pressure, not entry count, must drive eviction.
+  std::string a = "HAI 1.2\nVISIBLE 1\nKTHXBYE\n";
+  std::string b = "HAI 1.2\nVISIBLE 2\nKTHXBYE\n";
+  std::string c = "HAI 1.2\nVISIBLE 3\nKTHXBYE\n";
+  CompileCache cache(8, CompileCache::charged_bytes(a.size()) * 2 + 64);
+  cache.get_or_compile(a);
+  cache.get_or_compile(b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.get_or_compile(c);  // over the byte budget: a (LRU) is evicted
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.resident_bytes(), cache.capacity_bytes());
+
+  bool hit = false;
+  cache.get_or_compile(c, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_compile(a, &hit);  // evicted earlier, so a miss
+  EXPECT_FALSE(hit);
+}
+
+TEST(CompileCache, OversizedSourceStaysResidentUntilReplaced) {
+  // A single source over the whole byte budget must still be cached
+  // (requests for it would otherwise recompile every time); it goes
+  // when something newer lands.
+  std::string big = "HAI 1.2\nBTW " + std::string(4096, 'x') +
+                    "\nVISIBLE 1\nKTHXBYE\n";
+  std::string small = "HAI 1.2\nVISIBLE 2\nKTHXBYE\n";
+  CompileCache cache(8, 1024);
+  bool hit = false;
+  cache.get_or_compile(big, &hit);
+  EXPECT_FALSE(hit);
+  cache.get_or_compile(big, &hit);
+  EXPECT_TRUE(hit) << "over-budget source must not thrash";
+
+  cache.get_or_compile(small);  // newer entry evicts the oversized one
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.get_or_compile(big, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(CompileCache, ZeroByteBudgetDisablesByteEviction) {
+  CompileCache cache(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    cache.get_or_compile("HAI 1.2\nVISIBLE " + std::to_string(i) +
+                         "\nKTHXBYE\n");
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Service
 // ---------------------------------------------------------------------------
@@ -842,6 +896,97 @@ TEST(Service, DrrFairnessHoldsUnderShuffledSubmissionOrder) {
   }
   EXPECT_EQ(a_done, 6);
   EXPECT_EQ(b_done, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Executor selection (pool default, fiber jobs, deadline/cancel parity)
+// ---------------------------------------------------------------------------
+
+TEST(Service, FiberJobAtHighPeCountMatchesPooledOutput) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_pes = 256;
+  Service svc(opts);
+
+  Job pooled = make_job("pooled", lol::paper::barrier_sum_listing(), 128);
+  pooled.heap_bytes = 16 << 10;
+  Job fiber = pooled;
+  fiber.name = "fiber";
+  fiber.executor = lol::shmem::ExecutorKind::kFiber;
+  fiber.pes_per_thread = 32;
+
+  JobResult a = svc.submit(std::move(pooled)).get();
+  JobResult b = svc.submit(std::move(fiber)).get();
+  ASSERT_EQ(a.status, JobStatus::kOk) << a.error;
+  ASSERT_EQ(b.status, JobStatus::kOk) << b.error;
+  EXPECT_EQ(a.pe_output, b.pe_output);
+}
+
+// The acceptance bar from the executor refactor: a fiber-executor job
+// wedged in a barrier (or spinning) dies by deadline_ms in under a
+// second, exactly like a thread-executor job — the reaper's abort must
+// reach fibers parked in the cooperative barrier.
+TEST(Service, DeadlineKillsFiberExecutorJobInUnderOneSecond) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;  // only the clock can kill it
+  opts.max_pes = 256;
+  Service svc(opts);
+
+  // 15 PEs wait in HUGZ across 2 carriers, PE 0 spins forever; a gang
+  // this size stays inside the 1 s bound even under TSan's slowdown.
+  Job j = make_job("fiber-wedge", kWedge, 16);
+  j.executor = lol::shmem::ExecutorKind::kFiber;
+  j.pes_per_thread = 8;
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded) << r.error;
+  EXPECT_LT(wall_ms, 1000.0) << "fiber deadline took " << wall_ms << " ms";
+
+  // The worker survived: a fiber job still runs afterwards.
+  Job after = make_job("after", kHello, 32);
+  after.executor = lol::shmem::ExecutorKind::kFiber;
+  EXPECT_EQ(svc.submit(std::move(after)).get().status, JobStatus::kOk);
+}
+
+TEST(Service, CancelKillsInFlightFiberExecutorJobInUnderOneSecond) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  Service svc(opts);
+
+  BlockingInput input;
+  Job j = make_job("fiber-blocked", kGimmeh, 4);
+  j.executor = lol::shmem::ExecutorKind::kFiber;
+  j.pes_per_thread = 4;
+  j.input = &input;
+  auto sub = svc.submit_job(std::move(j));
+  input.wait_started();  // in flight, blocked in GIMMEH on a carrier
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(svc.cancel(sub.id));
+  JobResult r = sub.result.get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kCancelled) << r.error;
+  EXPECT_LT(wall_ms, 1000.0);
+}
+
+TEST(Service, FiberStepBudgetKillsSpinningJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  Service svc(opts);
+
+  Job j = make_job("fiber-spin", kSpin, 8);
+  j.executor = lol::shmem::ExecutorKind::kFiber;
+  j.pes_per_thread = 8;
+  j.max_steps = 20'000;
+  JobResult r = svc.submit(std::move(j)).get();
+  EXPECT_EQ(r.status, JobStatus::kStepLimit) << r.error;
 }
 
 }  // namespace

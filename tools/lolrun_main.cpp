@@ -25,8 +25,15 @@ int usage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s [options] <program.lol>\n"
-      "  -np <N>            number of PEs (default 1)\n"
+      "  -np <N>            number of PEs (default 1, max 4096)\n"
       "  --backend <b>      vm (default), interp, or native (host cc + dlopen)\n"
+      "  --executor <e>     thread (default), pool, or fiber — fiber\n"
+      "                     multiplexes many virtual PEs per core, so -np\n"
+      "                     can go far beyond the host's hardware threads\n"
+      "  --pes-per-thread <K>  fiber executor: virtual PEs per carrier\n"
+      "                     thread (default auto)\n"
+      "  --heap-bytes <B>   symmetric heap per PE (default 1 MiB; large -np\n"
+      "                     runs want this smaller)\n"
       "  --seed <S>         WHATEVR/WHATEVAR seed\n"
       "  --max-steps <S>    per-PE step budget, 0 = unlimited (default)\n"
       "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
@@ -60,6 +67,22 @@ int main(int argc, char** argv) {
                    backend->c_str());
       return 2;
     }
+  }
+  if (auto executor = cli.option("--executor")) {
+    if (auto e = lol::shmem::executor_from_name(*executor)) {
+      cfg.executor = *e;
+    } else {
+      std::fprintf(stderr, "lolrun: unknown executor '%s'\n",
+                   executor->c_str());
+      return 2;
+    }
+  }
+  if (auto per = cli.option("--pes-per-thread")) {
+    cfg.pes_per_thread = std::atoi(per->c_str());
+  }
+  if (auto heap = cli.option("--heap-bytes")) {
+    cfg.heap_bytes = static_cast<std::size_t>(
+        std::strtoull(heap->c_str(), nullptr, 10));
   }
   bool want_sim = cli.has_flag("--sim");
   if (auto machine = cli.option("--machine")) {

@@ -6,12 +6,17 @@
 //   lolserve --manifest jobs.txt         # lines: <path> [n_pes] [max_steps]
 //                                        #        [tenant] [deadline_ms]
 //   lolserve --daemon --listen tcp:4004  # NDJSON jobs over a socket
+//   lolserve --client --connect tcp:4004 lab.lol   # talk to that daemon
 //
 // Batch mode prints one status line per job *as it completes* plus
 // aggregate throughput and compile-cache statistics. Daemon mode streams
-// per-job JSON events to each client (see src/service/wire.hpp).
+// per-job JSON events to each client (see src/service/wire.hpp). Client
+// mode speaks that NDJSON protocol to a running daemon — submit, cancel,
+// stats — so scripts do not need raw sockets.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -20,11 +25,24 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
 
 #include "driver/cli.hpp"
 #include "service/daemon.hpp"
 #include "service/service.hpp"
+#include "service/wire.hpp"
 
 namespace fs = std::filesystem;
 
@@ -35,11 +53,17 @@ int usage(const char* prog) {
       stderr,
       "usage: %s [options] <job.lol | dir>...\n"
       "       %s --daemon [--listen <unix:PATH|tcp:PORT>] [options]\n"
+      "       %s --client [--connect <unix:PATH|tcp:PORT>] <job.lol>... |\n"
+      "                   --cancel <ID> | --stats | --ping | --shutdown\n"
       "  --workers <N>      worker threads (default 4)\n"
       "  --queue <N>        bounded queue capacity (default 256)\n"
       "  --policy <p>       block (default) or reject when the queue is full\n"
       "  -np <N>            PEs per job (default 1)\n"
       "  --backend <b>      vm (default), interp or native\n"
+      "  --executor <e>     pool (default), thread or fiber (virtual PEs —\n"
+      "                     lets -np exceed the host's cores)\n"
+      "  --pes-per-thread <K>  fiber executor: virtual PEs per carrier\n"
+      "  --max-pes <N>      clamp on per-job n_pes (default 64)\n"
       "  --max-steps <S>    per-PE step budget (default 50000000)\n"
       "  --deadline-ms <D>  per-job wall-clock deadline (default none)\n"
       "  --tenant <name>    tenant for command-line jobs (default \"\")\n"
@@ -56,8 +80,16 @@ int usage(const char* prog) {
       "  --daemon           serve NDJSON jobs over a socket until "
       "{\"op\":\"shutdown\"}\n"
       "  --listen <addr>    unix:/path/to.sock or tcp:PORT (default "
-      "tcp:4004, loopback)\n",
-      prog, prog);
+      "tcp:4004, loopback)\n"
+      "  --client           speak the NDJSON protocol to a running daemon\n"
+      "  --connect <addr>   daemon address for --client (default tcp:4004)\n"
+      "  --cancel <ID>      client: request cancel of job ID (the daemon\n"
+      "                     only honors cancels from the submitting\n"
+      "                     connection; a refusal exits 1)\n"
+      "  --cancel-after-ms <N>  client: cancel this invocation's still-\n"
+      "                     running jobs N ms after submission\n"
+      "  --stats|--ping|--shutdown  client: one-shot daemon requests\n",
+      prog, prog, prog);
   return 2;
 }
 
@@ -132,6 +164,222 @@ bool parse_tenant_weights(const std::string& arg,
   return true;
 }
 
+#if !defined(_WIN32)
+
+/// Connects to a daemon at unix:PATH or tcp:PORT; -1 + message on failure.
+int client_connect(const std::string& addr) {
+  int fd = -1;
+  if (addr.rfind("unix:", 0) == 0) {
+    std::string path = addr.substr(5);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path)) {
+      std::fprintf(stderr, "lolserve: unix socket path too long\n");
+      return -1;
+    }
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  } else if (addr.rfind("tcp:", 0) == 0) {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(static_cast<std::uint16_t>(std::atoi(addr.c_str() + 4)));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "lolserve: --connect wants unix:PATH or tcp:PORT, got '%s'\n",
+                 addr.c_str());
+    return -1;
+  }
+  if (fd < 0) {
+    std::fprintf(stderr, "lolserve: cannot connect to %s: %s\n", addr.c_str(),
+                 std::strerror(errno));
+  }
+  return fd;
+}
+
+bool client_send(int fd, const std::string& line) {
+  if (lol::service::wire::send_all(fd, line + "\n")) return true;
+  std::fprintf(stderr, "lolserve: daemon connection lost mid-send\n");
+  return false;
+}
+
+/// Reads one member of an already-parsed event object as text (events
+/// are parsed once per line, then queried per field).
+std::string event_field(const lol::service::wire::Json& doc,
+                        const char* key) {
+  const auto* v = doc.find(key);
+  if (v == nullptr) return "";
+  if (v->is(lol::service::wire::Json::Kind::kString)) return v->str;
+  if (v->is(lol::service::wire::Json::Kind::kNumber)) {
+    return std::to_string(static_cast<long long>(v->num));
+  }
+  if (v->is(lol::service::wire::Json::Kind::kBool)) {
+    return v->b ? "true" : "false";
+  }
+  return "";
+}
+
+/// What a --client invocation asks of the daemon.
+struct ClientAction {
+  enum Kind { kSubmit, kCancel, kStats, kPing, kShutdown } kind = kSubmit;
+  lol::service::JobId cancel_id = 0;
+  /// kSubmit only: cancel whatever is still running this long after
+  /// submission (same-connection cancel — the scope the daemon allows).
+  std::uint64_t cancel_after_ms = 0;
+};
+
+/// --client: build requests with the wire serializers, stream every
+/// event line to stdout (scripts parse the NDJSON), and for submissions
+/// wait until each job's "done" event has arrived. Exit 0 iff every
+/// submitted job reported status "ok" (with --cancel-after-ms,
+/// "cancelled" counts as expected too) or the one-shot request
+/// succeeded — a refused cancel exits 1.
+int run_client(const std::string& addr, const ClientAction& action,
+               const std::vector<lol::service::Job>& jobs) {
+  int fd = client_connect(addr);
+  if (fd < 0) return 1;
+  lol::service::wire::LineReader reader(fd);
+  std::mutex send_m;  // the cancel timer writes concurrently
+  int rc = 0;
+
+  auto send_line = [&](const std::string& line) {
+    std::lock_guard<std::mutex> g(send_m);
+    return client_send(fd, line);
+  };
+  auto one_shot = [&](const std::string& request)
+      -> std::optional<lol::service::wire::Json> {
+    if (!send_line(request)) return std::nullopt;
+    auto line = reader.next();
+    if (!line) {
+      std::fprintf(stderr, "lolserve: daemon closed the connection\n");
+      return std::nullopt;
+    }
+    std::printf("%s\n", line->c_str());
+    return lol::service::wire::parse_json(*line);
+  };
+  auto expect_event = [&](const std::optional<lol::service::wire::Json>& doc,
+                          const char* want) {
+    return doc && event_field(*doc, "event") == want ? 0 : 1;
+  };
+
+  if (action.kind == ClientAction::kPing) {
+    rc = expect_event(one_shot("{\"op\":\"ping\"}"), "pong");
+  } else if (action.kind == ClientAction::kStats) {
+    rc = expect_event(one_shot("{\"op\":\"stats\"}"), "stats");
+  } else if (action.kind == ClientAction::kShutdown) {
+    rc = expect_event(one_shot("{\"op\":\"shutdown\"}"), "bye");
+  } else if (action.kind == ClientAction::kCancel) {
+    // Note the daemon scopes cancellation to ids submitted on the same
+    // connection (so clients cannot kill other tenants' jobs by walking
+    // the sequential id space); a standalone --cancel can therefore only
+    // be refused, and the refusal is reported in the exit code. Use
+    // --cancel-after-ms with a submission for a cancel the daemon will
+    // honor.
+    auto doc =
+        one_shot(lol::service::wire::cancel_request_line(action.cancel_id));
+    rc = expect_event(doc, "cancel") == 0 &&
+                 event_field(*doc, "ok") == "true"
+             ? 0
+             : 1;
+  } else if (!jobs.empty()) {
+    for (const auto& job : jobs) {
+      if (!send_line(lol::service::wire::submit_line(job))) {
+        ::close(fd);
+        return 1;
+      }
+    }
+
+    // Live ids for the cancel timer: accepted but not yet done.
+    std::mutex live_m;
+    std::vector<lol::service::JobId> live;
+    std::thread canceller;
+    std::atomic<bool> canceller_stop{false};
+    std::mutex canceller_m;
+    std::condition_variable canceller_cv;
+    if (action.cancel_after_ms > 0) {
+      canceller = std::thread([&] {
+        {
+          std::unique_lock<std::mutex> g(canceller_m);
+          canceller_cv.wait_for(
+              g, std::chrono::milliseconds(action.cancel_after_ms),
+              [&] { return canceller_stop.load(); });
+        }
+        if (canceller_stop.load()) return;
+        std::vector<lol::service::JobId> snapshot;
+        {
+          std::lock_guard<std::mutex> g(live_m);
+          snapshot = live;
+        }
+        for (auto id : snapshot) {
+          send_line(lol::service::wire::cancel_request_line(id));
+        }
+      });
+    }
+
+    // Events stream back as jobs finish: count "done"s, surface
+    // everything, and fold unexpected statuses into the exit code.
+    std::size_t done = 0;
+    while (done < jobs.size()) {
+      auto line = reader.next();
+      if (!line) {
+        std::fprintf(stderr,
+                     "lolserve: daemon closed with %zu of %zu jobs pending\n",
+                     jobs.size() - done, jobs.size());
+        rc = 1;
+        break;
+      }
+      std::printf("%s\n", line->c_str());
+      std::fflush(stdout);
+      auto doc = lol::service::wire::parse_json(*line);
+      if (!doc) continue;  // not an event line; surfaced above regardless
+      std::string event = event_field(*doc, "event");
+      if (event == "error") rc = 1;
+      if (event == "accepted") {
+        std::lock_guard<std::mutex> g(live_m);
+        live.push_back(static_cast<lol::service::JobId>(
+            std::strtoull(event_field(*doc, "id").c_str(), nullptr, 10)));
+      }
+      if (event != "done") continue;
+      ++done;
+      {
+        std::lock_guard<std::mutex> g(live_m);
+        auto id = static_cast<lol::service::JobId>(
+            std::strtoull(event_field(*doc, "id").c_str(), nullptr, 10));
+        live.erase(std::remove(live.begin(), live.end(), id), live.end());
+      }
+      std::string status = event_field(*doc, "status");
+      bool expected = status == "ok" || (action.cancel_after_ms > 0 &&
+                                         status == "cancelled");
+      if (!expected) rc = 1;
+    }
+    if (canceller.joinable()) {
+      canceller_stop.store(true);
+      canceller_cv.notify_all();
+      canceller.join();
+    }
+  } else {
+    std::fprintf(stderr,
+                 "lolserve: --client wants jobs to submit or one of "
+                 "--cancel/--stats/--ping/--shutdown\n");
+    rc = 2;
+  }
+  ::close(fd);
+  return rc;
+}
+
+#endif  // !_WIN32
+
 int run_daemon(lol::service::ServiceOptions opts, const std::string& listen) {
   lol::service::DaemonOptions dopts;
   if (listen.rfind("unix:", 0) == 0) {
@@ -205,12 +453,49 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (auto max_pes = cli.option("--max-pes")) {
+    opts.max_pes = std::atoi(max_pes->c_str());
+    if (opts.max_pes < 1) return usage(argv[0]);
+  }
   if (opts.workers < 1) return usage(argv[0]);
 
   if (cli.has_flag("--daemon")) {
     std::string listen = cli.option("--listen").value_or("tcp:4004");
     return run_daemon(std::move(opts), listen);
   }
+
+  bool client = cli.has_flag("--client");
+#if defined(_WIN32)
+  if (client) {
+    std::fprintf(stderr, "lolserve: --client needs POSIX sockets\n");
+    return 2;
+  }
+#else
+  // Flags are consumed on first query, so resolve the whole client
+  // action here; one-shot requests carry no job files and short-circuit
+  // before the batch path demands positional arguments.
+  ClientAction client_action;
+  std::string connect_addr;
+  if (client) {
+    connect_addr = cli.option("--connect").value_or("tcp:4004");
+    if (cli.has_flag("--ping")) {
+      client_action.kind = ClientAction::kPing;
+    } else if (cli.has_flag("--stats")) {
+      client_action.kind = ClientAction::kStats;
+    } else if (cli.has_flag("--shutdown")) {
+      client_action.kind = ClientAction::kShutdown;
+    } else if (auto id = cli.option("--cancel")) {
+      client_action.kind = ClientAction::kCancel;
+      client_action.cancel_id = std::strtoull(id->c_str(), nullptr, 10);
+    } else if (auto after = cli.option("--cancel-after-ms")) {
+      client_action.cancel_after_ms =
+          std::strtoull(after->c_str(), nullptr, 10);
+    }
+    if (client_action.kind != ClientAction::kSubmit) {
+      return run_client(connect_addr, client_action, {});
+    }
+  }
+#endif
 
   int default_pes = std::atoi(cli.option("-np", "--np").value_or("1").c_str());
   std::string default_tenant = cli.option("--tenant").value_or("");
@@ -223,6 +508,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  lol::shmem::ExecutorKind executor = lol::shmem::ExecutorKind::kPool;
+  if (auto name = cli.option("--executor")) {
+    if (auto e = lol::shmem::executor_from_name(*name)) {
+      executor = *e;
+    } else {
+      std::fprintf(stderr, "lolserve: unknown executor '%s'\n", name->c_str());
+      return 2;
+    }
+  }
+  int pes_per_thread =
+      std::atoi(cli.option("--pes-per-thread").value_or("0").c_str());
   int repeat = std::atoi(cli.option("--repeat").value_or("1").c_str());
   bool quiet = cli.has_flag("--quiet");
   bool shuffle = cli.has_flag("--shuffle");
@@ -256,8 +552,14 @@ int main(int argc, char** argv) {
     job.tenant = spec.tenant.empty() ? default_tenant : spec.tenant;
     job.deadline_ms = spec.deadline_ms;
     job.backend = backend;
+    job.executor = executor;
+    job.pes_per_thread = pes_per_thread;
     jobs.push_back(std::move(job));
   }
+
+#if !defined(_WIN32)
+  if (client) return run_client(connect_addr, client_action, jobs);
+#endif
 
   lol::service::Service svc(opts);
   auto t0 = std::chrono::steady_clock::now();
