@@ -1,0 +1,158 @@
+// Collective benchmarks: what the hierarchical synchronization core buys.
+//
+//   * barrier-crossing throughput vs PE count (64 → 4096) on the thread
+//     and fiber executors. This is the number the combining tree exists
+//     for: the pre-tree centralized barrier serialized every PE through
+//     one mutex-protected counter, and stopped scaling exactly where
+//     the paper's teaching gets interesting (2048+ PEs).
+//   * tree vs flat fan-in at high PE counts — radix n_pes degenerates
+//     the tree to a single node, i.e. the shape of the old centralized
+//     barrier (minus its mutex), so the depth-vs-contention tradeoff is
+//     measurable in one binary.
+//   * allreduce (i64 and the canonical-order f64 sum) and broadcast:
+//     one tree crossing each, where the old collectives paid two full
+//     barriers around a linear scan.
+//
+// One "item" is one whole-gang crossing, so items/sec compares directly
+// across PE counts and executors.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "shmem/executor.hpp"
+#include "shmem/runtime.hpp"
+
+namespace {
+
+using lol::shmem::Config;
+using lol::shmem::ExecutorKind;
+using lol::shmem::Pe;
+using lol::shmem::Runtime;
+
+constexpr int kCrossingsPerLaunch = 64;
+
+Config coll_config(int n_pes, ExecutorKind kind, int barrier_radix = 0) {
+  Config cfg;
+  cfg.n_pes = n_pes;
+  cfg.heap_bytes = 4096;
+  cfg.barrier_radix = barrier_radix;
+  if (kind != ExecutorKind::kThread) {
+    cfg.executor = lol::shmem::make_executor(kind, /*pes_per_thread=*/0);
+  }
+  return cfg;
+}
+
+void run_crossings(benchmark::State& state, ExecutorKind kind, Config cfg,
+                   const std::function<void(Pe&)>& body) {
+  Runtime rt(std::move(cfg));
+  for (auto _ : state) {
+    auto r = rt.launch(body);
+    if (!r.ok) state.SkipWithError(r.first_error().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * kCrossingsPerLaunch);
+  state.SetLabel(std::string(lol::shmem::to_string(kind)) +
+                 " radix=" + std::to_string(rt.barrier_radix()) +
+                 " depth=" + std::to_string(rt.barrier_levels()));
+}
+
+void barrier_bench(benchmark::State& state, ExecutorKind kind, int radix) {
+  run_crossings(state, kind,
+                coll_config(static_cast<int>(state.range(0)), kind, radix),
+                [](Pe& pe) {
+                  for (int i = 0; i < kCrossingsPerLaunch; ++i) {
+                    pe.barrier_all();
+                  }
+                });
+}
+
+void BM_Barrier_Thread(benchmark::State& state) {
+  barrier_bench(state, ExecutorKind::kThread, 0);
+}
+void BM_Barrier_Fiber(benchmark::State& state) {
+  barrier_bench(state, ExecutorKind::kFiber, 0);
+}
+// Flat fan-in = one combining node all PEs hammer — the centralized
+// shape, for the tree-vs-flat comparison at scale.
+void BM_Barrier_Fiber_FlatRadix(benchmark::State& state) {
+  barrier_bench(state, ExecutorKind::kFiber,
+                static_cast<int>(state.range(0)));
+}
+// Binary tree: maximum depth, minimum per-node contention.
+void BM_Barrier_Fiber_Radix2(benchmark::State& state) {
+  barrier_bench(state, ExecutorKind::kFiber, 2);
+}
+
+BENCHMARK(BM_Barrier_Thread)->Arg(64)->Arg(256);
+BENCHMARK(BM_Barrier_Fiber)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK(BM_Barrier_Fiber_FlatRadix)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK(BM_Barrier_Fiber_Radix2)->Arg(2048)->Arg(4096);
+
+void BM_AllReduceSumI64_Fiber(benchmark::State& state) {
+  run_crossings(state, ExecutorKind::kFiber,
+                coll_config(static_cast<int>(state.range(0)),
+                            ExecutorKind::kFiber),
+                [](Pe& pe) {
+                  std::int64_t acc = 0;
+                  for (int i = 0; i < kCrossingsPerLaunch; ++i) {
+                    acc += pe.all_reduce_sum_i64(pe.id());
+                  }
+                  benchmark::DoNotOptimize(acc);
+                });
+}
+
+// f64 sum pays the canonical-order fold at the root (the price of
+// byte-identical results across radices and executors).
+void BM_AllReduceSumF64_Fiber(benchmark::State& state) {
+  run_crossings(state, ExecutorKind::kFiber,
+                coll_config(static_cast<int>(state.range(0)),
+                            ExecutorKind::kFiber),
+                [](Pe& pe) {
+                  double acc = 0.0;
+                  for (int i = 0; i < kCrossingsPerLaunch; ++i) {
+                    acc += pe.all_reduce_sum_f64(pe.id() * 0.5);
+                  }
+                  benchmark::DoNotOptimize(acc);
+                });
+}
+
+void BM_Broadcast_Fiber(benchmark::State& state) {
+  run_crossings(state, ExecutorKind::kFiber,
+                coll_config(static_cast<int>(state.range(0)),
+                            ExecutorKind::kFiber),
+                [](Pe& pe) {
+                  std::int64_t acc = 0;
+                  for (int i = 0; i < kCrossingsPerLaunch; ++i) {
+                    acc += pe.broadcast_i64(pe.id(), i % pe.n_pes());
+                  }
+                  benchmark::DoNotOptimize(acc);
+                });
+}
+
+void BM_AllReduceSumI64_Thread(benchmark::State& state) {
+  run_crossings(state, ExecutorKind::kThread,
+                coll_config(static_cast<int>(state.range(0)),
+                            ExecutorKind::kThread),
+                [](Pe& pe) {
+                  std::int64_t acc = 0;
+                  for (int i = 0; i < kCrossingsPerLaunch; ++i) {
+                    acc += pe.all_reduce_sum_i64(pe.id());
+                  }
+                  benchmark::DoNotOptimize(acc);
+                });
+}
+
+BENCHMARK(BM_AllReduceSumI64_Thread)->Arg(64)->Arg(256);
+BENCHMARK(BM_AllReduceSumI64_Fiber)->Arg(256)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK(BM_AllReduceSumF64_Fiber)->Arg(256)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK(BM_Broadcast_Fiber)->Arg(256)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "collectives",
+      "hierarchical synchronization: barrier / allreduce / broadcast "
+      "throughput vs PE count (64-4096), thread vs fiber, tree vs flat");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -111,6 +111,7 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   scfg.heap_bytes = cfg.heap_bytes;
   scfg.n_locks = prog.analysis.lock_count;
   scfg.model = cfg.machine;
+  scfg.barrier_radix = cfg.barrier_radix;
   if (cfg.executor_impl != nullptr) {
     scfg.executor = cfg.executor_impl;
   } else if (cfg.executor != shmem::ExecutorKind::kThread) {

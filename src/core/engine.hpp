@@ -112,6 +112,12 @@ struct RunConfig {
   /// spreading the gang over the hardware threads).
   int pes_per_thread = 0;
 
+  /// Fan-in of the combining-tree barrier and tree collectives
+  /// (shmem/runtime.hpp); values below 2 mean auto. Affects contention
+  /// and the modeled tree depth only — reduction results are
+  /// byte-identical across radices by construction.
+  int barrier_radix = 0;
+
   /// Explicit executor instance; overrides `executor` when set (hosts
   /// that want their own pool lifetime instead of the shared one).
   shmem::ExecutorPtr executor_impl;

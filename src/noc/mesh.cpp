@@ -66,6 +66,15 @@ double MeshModel::barrier_ns(int n_pes) const {
   return cycles_to_ns(cycles);
 }
 
+double MeshModel::tree_barrier_ns(int n_pes, int radix) const {
+  // Combining tree on the mesh: each level is one gather round bounded
+  // by the farthest group member (diameter hops) plus round overhead.
+  double cycles = tree_depth(n_pes, radix) *
+                  (p_.barrier_cycles_per_round +
+                   p_.hop_cycles * static_cast<double>(diameter()));
+  return cycles_to_ns(cycles);
+}
+
 double MeshModel::lock_ns(int src, int home) const {
   double h = static_cast<double>(hops(src, home));
   return cycles_to_ns(p_.lock_overhead_cycles + 2.0 * p_.hop_cycles * h);

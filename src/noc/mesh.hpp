@@ -40,6 +40,7 @@ class MeshModel final : public MachineModel {
                               std::size_t bytes) const override;
   [[nodiscard]] double local_ns(std::size_t bytes) const override;
   [[nodiscard]] double barrier_ns(int n_pes) const override;
+  [[nodiscard]] double tree_barrier_ns(int n_pes, int radix) const override;
   [[nodiscard]] double lock_ns(int src, int home) const override;
 
   /// Manhattan hop count between two PEs under XY routing (0 for self).

@@ -40,11 +40,32 @@ class MachineModel {
   /// Cost of a barrier over `n_pes` PEs (charged after all arrive).
   [[nodiscard]] virtual double barrier_ns(int n_pes) const = 0;
 
+  /// Cost of a combining-tree barrier of fan-in `radix` over `n_pes`
+  /// PEs: the critical path climbs ceil(log_radix(n_pes)) combining
+  /// levels, so wider trees are shallower and cheaper. The default
+  /// keeps models that predate the tree honest by charging their flat
+  /// barrier cost regardless of radix.
+  [[nodiscard]] virtual double tree_barrier_ns(int n_pes, int radix) const {
+    (void)radix;
+    return barrier_ns(n_pes);
+  }
+
   /// Cost of one lock acquire/release round trip from `src` to the lock's
   /// home PE `home`.
   [[nodiscard]] virtual double lock_ns(int src, int home) const = 0;
 };
 
 using ModelPtr = std::shared_ptr<const MachineModel>;
+
+/// Combining-tree depth for n_pes under fan-in `radix` — the number of
+/// levels the runtime's barrier actually climbs. Integer arithmetic, so
+/// models never disagree with the tree by a floating-point ulp.
+[[nodiscard]] constexpr int tree_depth(int n_pes, int radix) {
+  if (n_pes <= 1) return 0;
+  if (radix < 2) radix = 2;
+  int depth = 0;
+  for (int w = n_pes; w > 1; w = (w + radix - 1) / radix) ++depth;
+  return depth;
+}
 
 }  // namespace lol::noc

@@ -27,6 +27,11 @@ double UniformModel::barrier_ns(int n_pes) const {
   return p_.barrier_round_ns * std::ceil(std::log2(static_cast<double>(n_pes)));
 }
 
+double UniformModel::tree_barrier_ns(int n_pes, int radix) const {
+  // One fabric round per combining level.
+  return p_.barrier_round_ns * tree_depth(n_pes, radix);
+}
+
 double UniformModel::lock_ns(int /*src*/, int /*home*/) const {
   return p_.lock_ns;
 }

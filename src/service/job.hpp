@@ -52,6 +52,11 @@ struct Job {
   /// Fiber executor only: virtual PEs per carrier thread (0 = auto).
   int pes_per_thread = 0;
 
+  /// Combining-tree barrier fan-in (RunConfig::barrier_radix); values
+  /// below 2 mean auto. Results are radix-independent by construction,
+  /// so this is a performance/teaching knob, not a semantic one.
+  int barrier_radix = 0;
+
   /// Live input override for GIMMEH (embedders only; must outlive the
   /// job). Null => stdin_lines. Blocking sources should implement
   /// rt::InputSource::try_read_line so deadlines can interrupt them.
@@ -67,6 +72,7 @@ enum class JobStatus {
   kDeadlineExceeded,  // killed: wall-clock deadline expired (reaper abort)
   kCancelled,         // killed or dequeued by Service::cancel
   kRejected,          // never ran: bounded queue was full (kReject policy)
+  kQuotaExceeded,     // never ran: this tenant's queued-job quota was full
 };
 
 [[nodiscard]] constexpr const char* to_string(JobStatus s) {
@@ -78,6 +84,7 @@ enum class JobStatus {
     case JobStatus::kDeadlineExceeded: return "deadline-exceeded";
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kRejected: return "rejected";
+    case JobStatus::kQuotaExceeded: return "quota-exceeded";
   }
   return "?";
 }

@@ -79,20 +79,44 @@ Service::Submission Service::submit_job(Job job, Callback on_done) {
   p.id = sub.id;
   ++stats_.submitted;
 
-  auto reject = [&](const char* why) {
+  auto refuse = [&](JobStatus status, const std::string& why) {
     JobResult r;
     r.id = p.id;
     r.name = p.job.name;
     r.tenant = p.job.tenant;
-    r.status = JobStatus::kRejected;
+    r.status = status;
     r.error = why;
-    ++stats_.rejected;
+    if (status == JobStatus::kQuotaExceeded) {
+      ++stats_.quota_rejected;
+    } else {
+      ++stats_.rejected;
+    }
     g.unlock();
     deliver(p, std::move(r));
     return std::move(sub);
   };
+  auto reject = [&](const char* why) {
+    return refuse(JobStatus::kRejected, why);
+  };
+  auto over_quota = [&] {
+    if (opts_.max_queued_per_tenant == 0) return false;
+    auto t = tenants_.find(p.job.tenant);
+    return t != tenants_.end() &&
+           t->second.q.size() >= opts_.max_queued_per_tenant;
+  };
+  auto refuse_quota = [&] {
+    return refuse(JobStatus::kQuotaExceeded,
+                  "tenant quota exceeded (" +
+                      std::to_string(opts_.max_queued_per_tenant) +
+                      " queued jobs)");
+  };
 
   if (stopping_) return reject("service is shutting down");
+
+  // Per-tenant quota before the global bound: a flooding tenant is
+  // refused outright (distinguishable status, no blocking) rather than
+  // being allowed to fill the shared queue or park on not_full_.
+  if (over_quota()) return refuse_quota();
 
   if (queued_total_ >= opts_.queue_capacity) {
     if (opts_.queue_full == QueueFullPolicy::kReject) {
@@ -102,6 +126,9 @@ Service::Submission Service::submit_job(Job job, Callback on_done) {
       return queued_total_ < opts_.queue_capacity || stopping_;
     });
     if (stopping_) return reject("service is shutting down");
+    // Re-check: siblings of this tenant may have refilled its queue
+    // while this submitter was parked on the global bound.
+    if (over_quota()) return refuse_quota();
   }
 
   auto [it, inserted] = tenants_.try_emplace(p.job.tenant);
@@ -255,6 +282,7 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   }
   cfg.executor = job.executor;
   cfg.pes_per_thread = job.pes_per_thread;
+  cfg.barrier_radix = job.barrier_radix;  // Runtime clamps hostile fan-ins
 
   RunResult run = lol::run(*compiled.program, cfg);
   r.pe_output = std::move(run.pe_output);
@@ -384,7 +412,8 @@ void Service::record(const JobResult& r) {
     case JobStatus::kStepLimit: ++stats_.step_limited; break;
     case JobStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
     case JobStatus::kCancelled: ++stats_.cancelled; break;
-    case JobStatus::kRejected: break;  // rejected jobs never reach here
+    case JobStatus::kRejected: break;       // never ran; never reaches here
+    case JobStatus::kQuotaExceeded: break;  // never ran; never reaches here
   }
 }
 

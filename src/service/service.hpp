@@ -58,6 +58,14 @@ struct ServiceOptions {
   int workers = 4;
   std::size_t queue_capacity = 256;      // pending jobs before backpressure
   QueueFullPolicy queue_full = QueueFullPolicy::kBlock;
+
+  /// Per-tenant cap on *queued* jobs (0 = unlimited). Unlike the global
+  /// bound — which can block the submitter under kBlock — a tenant over
+  /// its quota is rejected immediately with JobStatus::kQuotaExceeded:
+  /// one flooding tenant must never get to park on the shared queue-full
+  /// condition and slow everyone else's submissions down. Running jobs
+  /// do not count against the quota.
+  std::size_t max_queued_per_tenant = 0;
   std::size_t cache_capacity = 128;      // compiled sources kept hot
   std::size_t cache_bytes = 32u << 20;   // estimated-footprint cap (0 = off)
 
@@ -99,6 +107,7 @@ class Service {
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t cancelled = 0;   // queued + in-flight cancels
     std::uint64_t rejected = 0;
+    std::uint64_t quota_rejected = 0;  // per-tenant quota refusals
     CompileCache::Stats cache;
   };
 

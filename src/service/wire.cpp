@@ -320,6 +320,9 @@ std::optional<Request> parse_request(const std::string& line,
     // Same narrowing guard as n_pes; the engine treats 0 as auto.
     req.job.pes_per_thread = static_cast<int>(
         std::min<std::uint64_t>(u64_or(*doc, "pes_per_thread", 0), 4096));
+    // Combining-tree fan-in; < 2 means auto, results are radix-invariant.
+    req.job.barrier_radix = static_cast<int>(
+        std::min<std::uint64_t>(u64_or(*doc, "barrier_radix", 0), 4096));
     if (const Json* lines = doc->find("stdin");
         lines != nullptr && lines->is(Json::Kind::kArray)) {
       for (const Json& l : lines->arr) {
@@ -402,6 +405,7 @@ std::string submit_line(const Job& job) {
          ",\"backend\":\"" + backend_name(job.backend) + "\"" +
          ",\"executor\":\"" + shmem::to_string(job.executor) + "\"" +
          ",\"pes_per_thread\":" + std::to_string(job.pes_per_thread) +
+         ",\"barrier_radix\":" + std::to_string(job.barrier_radix) +
          ",\"seed\":" + n(job.seed) + ",\"max_steps\":" + n(job.max_steps) +
          ",\"deadline_ms\":" + n(job.deadline_ms) +
          ",\"heap_bytes\":" + n(job.heap_bytes) +
@@ -457,6 +461,7 @@ std::string stats_line(const Service::Stats& s) {
          ",\"deadline_exceeded\":" + n(s.deadline_exceeded) +
          ",\"cancelled\":" + n(s.cancelled) +
          ",\"rejected\":" + n(s.rejected) +
+         ",\"quota_rejected\":" + n(s.quota_rejected) +
          ",\"cache_hits\":" + n(s.cache.hits) +
          ",\"cache_misses\":" + n(s.cache.misses) +
          ",\"cache_evictions\":" + n(s.cache.evictions) + "}";

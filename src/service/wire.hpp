@@ -11,9 +11,10 @@
 //   {"op":"submit","source":"HAI ...","name":"lab1","n_pes":4,
 //    "tenant":"alice","deadline_ms":200,"max_steps":100000,
 //    "heap_bytes":1048576,"backend":"vm","seed":7,"stdin":["line1"],
-//    "executor":"pool","pes_per_thread":0}
+//    "executor":"pool","pes_per_thread":0,"barrier_radix":0}
 //   ("executor" picks the PE mapping: pool (default), thread, or fiber
-//    for n_pes far beyond the host's cores)
+//    for n_pes far beyond the host's cores; "barrier_radix" tunes the
+//    combining-tree fan-in, < 2 = auto, results are radix-invariant)
 //   {"op":"cancel","id":7}
 //   {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
 //

@@ -234,6 +234,11 @@ ExecutorPtr process_thread_pool() {
   return pool;
 }
 
+ThreadPoolExecutor& fiber_carrier_pool() {
+  static ThreadPoolExecutor pool;
+  return pool;
+}
+
 ExecutorPtr make_fiber_executor(int pes_per_thread);  // fiber_executor.cpp
 
 ExecutorPtr make_executor(ExecutorKind kind, int pes_per_thread) {

@@ -145,8 +145,9 @@ class PeExecutor {
 
 using ExecutorPtr = std::shared_ptr<PeExecutor>;
 
-/// Two-phase start gate for executors that spawn a thread per PE (or
-/// per carrier): threads wait at the gate, and no PE body runs until
+/// Two-phase start gate for executors that spawn a thread per PE
+/// (fiber carriers claim pooled workers instead — see
+/// fiber_carrier_pool): threads wait at the gate, and no PE body runs until
 /// every spawn has succeeded. On a mid-loop spawn failure (EAGAIN near
 /// the pids limit) the launcher abandons the gang: parked threads
 /// return without running anything, so no PE can wedge in a barrier
@@ -215,6 +216,14 @@ PeExecutor& thread_per_pe_executor();
 /// The process-wide persistent pool (lazily constructed, shared by every
 /// Service and any RunConfig that asks for ExecutorKind::kPool).
 ExecutorPtr process_thread_pool();
+
+/// The process-wide persistent carrier pool backing every FiberExecutor:
+/// fiber launches claim their carrier threads here instead of spawning
+/// them per launch, so warm fiber jobs in the service pay no
+/// spawn/join. Kept separate from process_thread_pool() so PE workers
+/// and fiber carriers don't perturb each other's reuse statistics.
+/// (threads_created() on this pool = peak concurrent carrier demand.)
+ThreadPoolExecutor& fiber_carrier_pool();
 
 /// Builds an executor for `kind`. kThread and kPool return shared
 /// long-lived instances; kFiber constructs a fresh FiberExecutor whose

@@ -1,14 +1,21 @@
-// FiberExecutor — K virtual PEs per OS thread on ucontext coroutines.
+// FiberExecutor — K virtual PEs per OS thread on cooperative fibers.
 //
 // Each launch partitions its N PEs into contiguous blocks over C carrier
-// threads (C = ceil(N / pes_per_thread), capped at N). A carrier gives
-// every resident PE its own stack (mmap'd with a low guard page, so the
-// pages are committed lazily and an overflow faults instead of
-// corrupting a neighbor) and round-robins them cooperatively:
+// threads (C = ceil(N / pes_per_thread), capped at N). Carriers are not
+// spawned per launch: they are claimed from a process-wide persistent
+// pool (fiber_carrier_pool(), a ThreadPoolExecutor), so a service
+// running thousands of warm fiber jobs pays thread creation once at peak
+// demand, and a claim failure under thread limits fails the launch
+// cleanly through the pool's all-or-nothing claim (the same machinery
+// that protects pooled PE launches) instead of std::terminate-ing.
+//
+// A carrier gives every resident PE its own stack (mmap'd with a low
+// guard page, so the pages are committed lazily and an overflow faults
+// instead of corrupting a neighbor) and round-robins them cooperatively:
 //
 //   * a PE that cannot make progress — barrier not released, lock held,
 //     GIMMEH input not there yet — calls PeExecutor::wait(), which
-//     swapcontexts back to the carrier marked *blocked*
+//     switches back to the carrier marked *blocked*
 //   * a PE in a compute loop calls preempt() from the step-budget poll
 //     (every ExecContext::kAbortPollPeriod steps), which yields marked
 //     *runnable* — so spin-waits on symmetric memory still make
@@ -19,10 +26,16 @@
 //     is still picked up promptly); barrier releases, lock clears and
 //     aborts notify_all() and wake it immediately
 //
-// Under ThreadSanitizer and AddressSanitizer the switches are annotated
-// with the sanitizer fiber APIs (__tsan_switch_to_fiber /
-// __sanitizer_start_switch_fiber), so the CI fiber-axis jobs check real
-// races instead of drowning in stack-switch false positives.
+// Context switches: plain builds on x86-64 ELF use a hand-rolled
+// userspace switch (callee-saved registers + stack pointer + fp control
+// words, ~20 ns per switch pair) because glibc's swapcontext saves and
+// restores the signal mask with two syscalls per switch (~460 ns per
+// pair measured) — at 2048 resident fibers that syscall tax *is* the
+// barrier-crossing cost. Sanitizer builds and other platforms keep the
+// ucontext path, annotated with the sanitizer fiber APIs
+// (__tsan_switch_to_fiber / __sanitizer_start_switch_fiber), so the CI
+// fiber-axis jobs check real races instead of drowning in stack-switch
+// false positives.
 #include "shmem/executor.hpp"
 
 #if !defined(_WIN32)
@@ -36,6 +49,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <thread>
 
 #include "support/error.hpp"
@@ -63,6 +77,14 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// The fast userspace switch needs a known ABI and symbol mangling, and
+// must not hide stack switches from sanitizers (their fiber hooks are
+// wired into the ucontext path only).
+#if defined(__x86_64__) && defined(__ELF__) && !defined(LOL_TSAN_FIBERS) && \
+    !defined(LOL_ASAN_FIBERS)
+#define LOL_FAST_FIBER_SWITCH 1
+#endif
+
 namespace lol::shmem {
 
 class FiberExecutor;
@@ -82,13 +104,17 @@ constexpr std::chrono::microseconds kIdleWait{500};
 struct Carrier;
 
 struct Fiber {
-  ucontext_t ctx{};
   std::byte* map_base = nullptr;  // mmap base (guard page + stack)
   std::size_t map_bytes = 0;
   int pe = -1;
   bool done = false;
   bool blocked = false;  // last yield was a blocking wait
   Carrier* carrier = nullptr;
+#if defined(LOL_FAST_FIBER_SWITCH)
+  void* sp = nullptr;  // saved stack pointer while switched away
+#else
+  ucontext_t ctx{};
+#endif
 #if defined(LOL_TSAN_FIBERS)
   void* tsan = nullptr;
 #endif
@@ -102,8 +128,12 @@ struct Fiber {
 struct Carrier {
   EventCount* ec = nullptr;  // the launching Runtime's eventcount
   const std::function<void(int)>* body = nullptr;
-  ucontext_t main_ctx{};
   Fiber* current = nullptr;
+#if defined(LOL_FAST_FIBER_SWITCH)
+  void* main_sp = nullptr;  // carrier stack pointer while inside a fiber
+#else
+  ucontext_t main_ctx{};
+#endif
 #if defined(LOL_TSAN_FIBERS)
   void* main_tsan = nullptr;
 #endif
@@ -122,6 +152,57 @@ std::size_t page_size() {
   return ps;
 }
 
+/// Process-wide free list of guard-paged fiber stacks. A 2048-PE launch
+/// otherwise pays mmap + mprotect + munmap (plus the first-touch page
+/// faults all over again) per fiber per launch — about 20 ms at 2048
+/// PEs, dwarfing the barriers the launch exists to run. Stacks are
+/// uniform (kFiberStackBytes + guard), keep their guard page armed
+/// while pooled, and stay resident up to the cap; beyond it they are
+/// unmapped so an idle process does not hold a peak launch's memory
+/// forever.
+class StackPool {
+ public:
+  std::byte* acquire() {
+    std::lock_guard<std::mutex> g(m_);
+    if (free_.empty()) return nullptr;
+    std::byte* base = free_.back();
+    free_.pop_back();
+    return base;
+  }
+
+  /// True when pooled; false => caller must munmap.
+  ///
+  /// Residency policy: pooled stacks keep whatever pages previous
+  /// launches touched — a high-water-mark cache, like the carrier and
+  /// worker pools keep their threads. A long-running daemon that once
+  /// ran a deep-recursion high-PE fiber job therefore idles at that
+  /// job's stack footprint. madvise(MADV_FREE) on release was measured
+  /// and rejected: even over an *untouched* 8 MiB range the per-stack
+  /// page-range scan costs ~3 µs, which at 2048 stacks per launch took
+  /// 10-25% off barrier-crossing throughput — the hot path this pool
+  /// exists to protect. Revisit with a cheap idle-time trim if daemon
+  /// RSS ever matters more than launch latency.
+  bool release(std::byte* base) {
+    std::lock_guard<std::mutex> g(m_);
+    if (free_.size() >= kMaxPooled) return false;
+    free_.push_back(base);
+    return true;
+  }
+
+ private:
+  // 4096 pooled stacks cover the paper's flagship PE count; the VA
+  // reservation is cheap on 64-bit, and resident memory is only the
+  // pages a previous launch actually touched.
+  static constexpr std::size_t kMaxPooled = 4096;
+  std::mutex m_;
+  std::vector<std::byte*> free_;
+};
+
+StackPool& stack_pool() {
+  static StackPool pool;
+  return pool;
+}
+
 #if defined(LOL_ASAN_FIBERS)
 /// The carrier thread's own stack bounds, needed to re-enter it.
 void carrier_stack_bounds(Carrier& c) {
@@ -135,6 +216,112 @@ void carrier_stack_bounds(Carrier& c) {
   c.main_stack_size = size;
 }
 #endif
+
+}  // namespace
+}  // namespace lol::shmem
+
+#if defined(LOL_FAST_FIBER_SWITCH)
+
+// Saves the System V callee-saved state (rbp, rbx, r12-r15, x87 control
+// word, mxcsr) on the current stack, parks the stack pointer in
+// *save_sp, adopts restore_sp and unwinds the same frame there. The
+// resume address is the ordinary return address the caller pushed, so
+// `ret` completes the switch. No signal-mask syscalls — that is the
+// entire point (see the header comment).
+extern "C" void lol_fctx_swap(void** save_sp, void* restore_sp);
+asm(R"(
+.text
+.align 16
+.globl lol_fctx_swap
+.hidden lol_fctx_swap
+.type lol_fctx_swap, @function
+lol_fctx_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq  $8, %rsp
+  stmxcsr 4(%rsp)
+  fnstcw  (%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  fldcw   (%rsp)
+  ldmxcsr 4(%rsp)
+  addq  $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size lol_fctx_swap, .-lol_fctx_swap
+)");
+
+#endif  // LOL_FAST_FIBER_SWITCH
+
+namespace lol::shmem {
+namespace {
+
+#if defined(LOL_FAST_FIBER_SWITCH)
+
+void switch_to_main(Fiber& f, bool dying);
+
+/// First frame of every fiber. Entered by `ret` from lol_fctx_swap; the
+/// fiber identity rides in the carrier's `current` pointer, which
+/// switch_to_fiber set just before swapping.
+extern "C" void lol_fiber_entry() {
+  Carrier& c = *tls_carrier;
+  Fiber* f = c.current;
+  (*c.body)(f->pe);
+  f->done = true;
+  switch_to_main(*f, /*dying=*/true);
+  __builtin_unreachable();  // a done fiber is never resumed
+}
+
+/// Lays out the bootstrap frame lol_fctx_swap will unwind on first
+/// entry: zeroed callee-saved registers, the thread's current fp/simd
+/// control words, and lol_fiber_entry as the return address — placed so
+/// the entry lands with rsp ≡ 8 (mod 16), exactly as if it had been
+/// call'ed (keeps movaps-using prologues aligned).
+void make_fast_stack(Fiber& f) {
+  std::byte* top = f.map_base + f.map_bytes;
+  auto base = reinterpret_cast<std::uintptr_t>(top) & ~std::uintptr_t{15};
+  auto entry_slot = base - 16;
+  *reinterpret_cast<void**>(entry_slot) =
+      reinterpret_cast<void*>(&lol_fiber_entry);
+  std::uintptr_t sp = entry_slot - 6 * 8;  // rbp, rbx, r12-r15
+  std::memset(reinterpret_cast<void*>(sp), 0, 6 * 8);
+  sp -= 8;  // x87 control word (low 2 bytes) + mxcsr (bytes 4-7)
+  unsigned int mxcsr = 0;
+  unsigned short fcw = 0;
+  __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+  __asm__ volatile("fnstcw %0" : "=m"(fcw));
+  std::memset(reinterpret_cast<void*>(sp), 0, 8);
+  std::memcpy(reinterpret_cast<void*>(sp), &fcw, sizeof fcw);
+  std::memcpy(reinterpret_cast<void*>(sp + 4), &mxcsr, sizeof mxcsr);
+  f.sp = reinterpret_cast<void*>(sp);
+}
+
+/// Switches from the carrier's main context into fiber `f`.
+void switch_to_fiber(Carrier& c, Fiber& f) {
+  c.current = &f;
+  lol_fctx_swap(&c.main_sp, f.sp);
+  c.current = nullptr;
+}
+
+/// Switches from the running fiber back to its carrier.
+void switch_to_main(Fiber& f, bool /*dying*/) {
+  lol_fctx_swap(&f.sp, f.carrier->main_sp);
+}
+
+void prepare_context(Fiber& f) { make_fast_stack(f); }
+
+void release_context(Fiber& /*f*/) {}
+
+#else  // ucontext path (sanitizers, non-x86-64)
 
 /// Switches from the carrier's main context into fiber `f`.
 void switch_to_fiber(Carrier& c, Fiber& f) {
@@ -190,26 +377,9 @@ extern "C" void lol_fiber_trampoline(unsigned hi, unsigned lo) {
   // Unreachable: a done fiber is never resumed.
 }
 
-/// Maps the stack and prepares the context. Runs on the *launching*
-/// thread, before any carrier exists: a failure here must surface as an
-/// ordinary launch error, never as an uncaught exception on a carrier
-/// std::thread (which would terminate the process). ucontexts are
-/// thread-agnostic — building one here and first swapping to it on a
-/// carrier is fine.
-void make_fiber(Fiber& f) {
-  const std::size_t ps = page_size();
-  f.map_bytes = kFiberStackBytes + ps;
-  void* base = ::mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (base == MAP_FAILED) {
-    throw lol::support::RuntimeError(
-        "fiber executor: cannot map a stack for PE " + std::to_string(f.pe) +
-        " (lower n_pes, or raise the address-space limit)");
-  }
-  f.map_base = static_cast<std::byte*>(base);
-  ::mprotect(f.map_base, ps, PROT_NONE);  // stacks grow down into the guard
+void prepare_context(Fiber& f) {
   getcontext(&f.ctx);
-  f.ctx.uc_stack.ss_sp = f.map_base + ps;
+  f.ctx.uc_stack.ss_sp = f.map_base + page_size();
   f.ctx.uc_stack.ss_size = kFiberStackBytes;
   f.ctx.uc_link = nullptr;  // fibers exit via switch_to_main, never uc_link
   auto addr = reinterpret_cast<std::uintptr_t>(&f);
@@ -221,12 +391,46 @@ void make_fiber(Fiber& f) {
 #endif
 }
 
-void destroy_fiber(Fiber& f) {
+void release_context(Fiber& f) {
 #if defined(LOL_TSAN_FIBERS)
   if (f.tsan != nullptr) __tsan_destroy_fiber(f.tsan);
   f.tsan = nullptr;
+#else
+  (void)f;
 #endif
-  if (f.map_base != nullptr) ::munmap(f.map_base, f.map_bytes);
+}
+
+#endif  // LOL_FAST_FIBER_SWITCH
+
+/// Maps the stack and prepares the initial context. Runs on the
+/// *launching* thread, before any carrier is claimed: a failure here
+/// must surface as an ordinary launch error, never as an uncaught
+/// exception on a pool worker. Contexts are thread-agnostic — building
+/// one here and first switching to it on a pooled carrier is fine.
+void make_fiber(Fiber& f) {
+  const std::size_t ps = page_size();
+  f.map_bytes = kFiberStackBytes + ps;
+  if (std::byte* pooled = stack_pool().acquire()) {
+    f.map_base = pooled;  // guard page still armed from first map
+  } else {
+    void* base = ::mmap(nullptr, f.map_bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      throw lol::support::RuntimeError(
+          "fiber executor: cannot map a stack for PE " + std::to_string(f.pe) +
+          " (lower n_pes, or raise the address-space limit)");
+    }
+    f.map_base = static_cast<std::byte*>(base);
+    ::mprotect(f.map_base, ps, PROT_NONE);  // stacks grow down into the guard
+  }
+  prepare_context(f);
+}
+
+void destroy_fiber(Fiber& f) {
+  release_context(f);
+  if (f.map_base != nullptr && !stack_pool().release(f.map_base)) {
+    ::munmap(f.map_base, f.map_bytes);
+  }
   f.map_base = nullptr;
 }
 
@@ -254,7 +458,7 @@ class FiberExecutor final : public PeExecutor {
     // Allocate every stack up front, on this thread: an mmap failure
     // (RLIMIT_AS, cgroup pressure) throws support::RuntimeError out of
     // the launch like any other resource error, instead of escaping a
-    // carrier std::thread and terminating the process.
+    // pooled carrier thread and terminating the process.
     std::vector<Fiber> fibers(static_cast<std::size_t>(n));
     try {
       for (int pe = 0; pe < n; ++pe) {
@@ -270,34 +474,25 @@ class FiberExecutor final : public PeExecutor {
       carrier_main(body, ec, fibers.data(), n);
       return;
     }
-    // Carriers start behind a gate: a spawn failure mid-loop must fail
-    // the launch cleanly (see StartGate), not terminate the process or
-    // leave early carriers' PEs wedged in a barrier waiting for PEs
-    // whose carrier never came to exist.
-    StartGate gate;
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(carriers - 1));
+    // Claim persistent carriers from the process-wide pool. Carrier 0
+    // rides the launching thread (the pool's gang contract), the rest
+    // are parked workers reused launch over launch. The pool's claim is
+    // all-or-nothing: if it cannot grow to `carriers` threads, nothing
+    // was assigned, the claimed workers go back idle, and the failure
+    // surfaces here — the fiber analogue of the StartGate abandon path.
+    auto carrier_body = [&](int c) {
+      const int lo = c * per;
+      const int hi = std::min(n, lo + per);
+      carrier_main(body, ec, fibers.data() + lo, hi - lo);
+    };
     try {
-      for (int c = 1; c < carriers; ++c) {
-        int lo = c * per;
-        int hi = std::min(n, lo + per);
-        threads.emplace_back([this, &gate, &body, &ec, &fibers, lo, hi] {
-          if (gate.wait_for_go()) {
-            carrier_main(body, ec, fibers.data() + lo, hi - lo);
-          }
-        });
-      }
+      fiber_carrier_pool().run_gang(carriers, carrier_body, ec);
     } catch (const std::exception& e) {
-      gate.release(2);
-      for (auto& t : threads) t.join();
       for (Fiber& f : fibers) destroy_fiber(f);
       throw lol::support::RuntimeError(
-          std::string("fiber executor: cannot spawn carrier threads (") +
+          std::string("fiber executor: cannot claim carrier threads (") +
           e.what() + "); raise pes_per_thread to use fewer carriers");
     }
-    gate.release(1);
-    carrier_main(body, ec, fibers.data(), std::min(n, per));
-    for (auto& t : threads) t.join();
   }
 
   void wait(EventCount& ec, int /*pe*/, std::uint64_t epoch) override {
@@ -319,7 +514,7 @@ class FiberExecutor final : public PeExecutor {
 
  private:
   /// Runs the `count` pre-built fibers starting at `block` on the
-  /// calling thread.
+  /// calling thread (the launcher or a pooled carrier worker).
   void carrier_main(const std::function<void(int)>& body, EventCount& ec,
                     Fiber* block, int count) {
     Carrier carrier;

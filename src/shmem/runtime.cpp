@@ -219,50 +219,46 @@ void Pe::charge_local(std::size_t bytes) {
   if (const auto* m = rt_->model()) sim_ns_ += m->local_ns(bytes);
 }
 
-// Collectives: contribute to scratch, barrier, reduce, barrier.
-namespace {
-template <typename T, typename Fn>
-T all_reduce(Pe& pe, std::vector<T>& scratch, T v, Fn combine) {
-  scratch[static_cast<std::size_t>(pe.id())] = v;
-  pe.barrier_all();
-  T acc = scratch[0];
-  for (int i = 1; i < pe.n_pes(); ++i) {
-    acc = combine(acc, scratch[static_cast<std::size_t>(i)]);
-  }
-  pe.barrier_all();
-  return acc;
-}
-}  // namespace
+// Collectives: one tree crossing each. The input goes into this PE's
+// scratch slot before arrival; combining happens tree-side (winners
+// only), and the result comes back through a generation-parity slot —
+// no trailing barrier, half the rendezvous cost of the old
+// barrier/scan/barrier shape, and a log-depth critical path.
 
 std::int64_t Pe::all_reduce_sum_i64(std::int64_t v) {
-  return all_reduce(*this, rt_->scratch_i64_, v,
-                    [](std::int64_t a, std::int64_t b) { return a + b; });
+  rt_->scratch_i64_[static_cast<std::size_t>(id_)] = v;
+  std::uint64_t g = rt_->cross(*this, Runtime::CollOp::kSumI64);
+  return rt_->red_i64_[g & 1];
 }
 
 double Pe::all_reduce_sum_f64(double v) {
-  return all_reduce(*this, rt_->scratch_f64_, v,
-                    [](double a, double b) { return a + b; });
+  rt_->scratch_f64_[static_cast<std::size_t>(id_)] = v;
+  std::uint64_t g = rt_->cross(*this, Runtime::CollOp::kSumF64);
+  return rt_->red_f64_[g & 1];
 }
 
 std::int64_t Pe::all_reduce_max_i64(std::int64_t v) {
-  return all_reduce(*this, rt_->scratch_i64_, v,
-                    [](std::int64_t a, std::int64_t b) {
-                      return a > b ? a : b;
-                    });
+  rt_->scratch_i64_[static_cast<std::size_t>(id_)] = v;
+  std::uint64_t g = rt_->cross(*this, Runtime::CollOp::kMaxI64);
+  return rt_->red_i64_[g & 1];
 }
 
 double Pe::all_reduce_max_f64(double v) {
-  return all_reduce(*this, rt_->scratch_f64_, v,
-                    [](double a, double b) { return a > b ? a : b; });
+  rt_->scratch_f64_[static_cast<std::size_t>(id_)] = v;
+  std::uint64_t g = rt_->cross(*this, Runtime::CollOp::kMaxF64);
+  return rt_->red_f64_[g & 1];
 }
 
 std::int64_t Pe::broadcast_i64(std::int64_t v, int root) {
   check_target(root);
-  if (id_ == root) rt_->scratch_i64_[static_cast<std::size_t>(root)] = v;
-  barrier_all();
-  std::int64_t out = rt_->scratch_i64_[static_cast<std::size_t>(root)];
-  barrier_all();
-  return out;
+  if (id_ == root) {
+    // Entering generation g is only possible after every PE exited g-2,
+    // so the parity slot this writes cannot still be read by stragglers.
+    std::uint64_t g = rt_->bar_gen_.load(std::memory_order_acquire);
+    rt_->bcast_i64_[g & 1] = v;
+  }
+  std::uint64_t g = rt_->cross(*this, Runtime::CollOp::kNone);
+  return rt_->bcast_i64_[g & 1];
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +280,40 @@ Runtime::Runtime(Config cfg) : cfg_(std::move(cfg)) {
   scratch_i64_.resize(static_cast<std::size_t>(cfg_.n_pes));
   scratch_f64_.resize(static_cast<std::size_t>(cfg_.n_pes));
   for (int i = 0; i < cfg_.n_locks; ++i) locks_.emplace_back();
+  build_tree();
+}
+
+void Runtime::build_tree() {
+  // Auto radix 8: groups stay narrow enough that a leaf line is shared
+  // by few arrivals, while 4096 PEs still cross in 4 levels. Any
+  // explicit radix >= 2 is honored (a radix >= n_pes degenerates to one
+  // flat lock-free node — the shape benches compare the tree against).
+  constexpr int kAutoRadix = 8;
+  radix_ = cfg_.barrier_radix >= 2 ? cfg_.barrier_radix : kAutoRadix;
+  // Clamp at the layer every entry point shares: a fan-in beyond n_pes
+  // is already the one-flat-node tree, and an unclamped hostile value
+  // (INT_MAX from a CLI flag) would overflow the width arithmetic.
+  radix_ = std::min(radix_, std::max(2, cfg_.n_pes));
+  level_width_.clear();
+  level_off_.clear();
+  int total = 0;
+  int width = cfg_.n_pes;
+  do {
+    width = (width + radix_ - 1) / radix_;
+    level_off_.push_back(total);
+    level_width_.push_back(width);
+    total += width;
+  } while (width > 1);
+  tree_ = std::make_unique<TreeNode[]>(static_cast<std::size_t>(total));
+  pe_ns_ = std::make_unique<PeSlot[]>(static_cast<std::size_t>(cfg_.n_pes));
+}
+
+int Runtime::child_count(int level, int node_i) const {
+  const int children =
+      level == 0 ? cfg_.n_pes
+                 : level_width_[static_cast<std::size_t>(level - 1)];
+  const int lo = node_i * radix_;
+  return std::min(children, lo + radix_) - lo;
 }
 
 std::byte* Runtime::arena(int pe) {
@@ -300,10 +330,20 @@ void Runtime::abort() {
 
 void Runtime::reset_for_launch() {
   abort_.store(false, std::memory_order_release);
-  bar_count_ = 0;
   bar_gen_.store(0, std::memory_order_relaxed);
-  bar_max_ns_ = 0.0;
   bar_release_ns_[0] = bar_release_ns_[1] = 0.0;
+  red_i64_[0] = red_i64_[1] = 0;
+  red_f64_[0] = red_f64_[1] = 0.0;
+  bcast_i64_[0] = bcast_i64_[1] = 0;
+  // An aborted launch leaves partial arrivals in the tree; scrub them.
+  const std::size_t nodes = static_cast<std::size_t>(
+      level_off_.back() + level_width_.back());
+  for (std::size_t i = 0; i < nodes; ++i) {
+    tree_[i].count.store(0, std::memory_order_relaxed);
+    tree_[i].combined_ns = 0.0;
+    tree_[i].combined_i64 = 0;
+  }
+  for (int i = 0; i < cfg_.n_pes; ++i) pe_ns_[static_cast<std::size_t>(i)].ns = 0.0;
   // Owners are reset so a previous aborted launch cannot leave one held.
   for (auto& lock : locks_) lock.owner.store(-1, std::memory_order_relaxed);
   for (auto& a : arenas_) std::fill(a.begin(), a.end(), std::byte{0});
@@ -312,39 +352,160 @@ void Runtime::reset_for_launch() {
   ++launch_counter_;
 }
 
-void Runtime::barrier(Pe& pe) {
-  std::uint64_t my_gen;
-  bool released = false;
-  {
-    std::lock_guard<std::mutex> g(bar_m_);
-    if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
-    my_gen = bar_gen_.load(std::memory_order_relaxed);
-    bar_max_ns_ = std::max(bar_max_ns_, pe.sim_ns_);
-    if (++bar_count_ == cfg_.n_pes) {
-      double release = bar_max_ns_;
-      if (cfg_.model) release += cfg_.model->barrier_ns(cfg_.n_pes);
-      bar_release_ns_[my_gen & 1] = release;
-      bar_count_ = 0;
-      bar_max_ns_ = 0.0;
-      bar_gen_.store(my_gen + 1, std::memory_order_release);
-      released = true;
+void Runtime::barrier(Pe& pe) { (void)cross(pe, CollOp::kNone); }
+
+void Runtime::combine_node(int level, int node_i, int width, TreeNode& node,
+                           CollOp op) {
+  const int lo = node_i * radix_;
+  // Child accessors: leaf children are PEs (scratch/pe_ns slots),
+  // interior children are the nodes of the level below.
+  const TreeNode* kids =
+      level == 0 ? nullptr
+                 : tree_.get() + level_off_[static_cast<std::size_t>(level - 1)];
+  if (cfg_.model != nullptr) {
+    double max_ns = 0.0;
+    for (int c = lo; c < lo + width; ++c) {
+      double v = level == 0 ? pe_ns_[static_cast<std::size_t>(c)].ns
+                            : kids[c].combined_ns;
+      max_ns = std::max(max_ns, v);
     }
+    node.combined_ns = max_ns;
   }
-  if (released) {
-    notify_waiters();
+  // Value combining happens in fixed left-to-right child order, so the
+  // partials are deterministic for any arrival interleaving. Only the
+  // integer ops combine up the tree: they are exactly associative, so
+  // any bracketing — i.e. any radix — produces identical bytes. The
+  // f64 ops are not (sum re-brackets rounding; max is order-sensitive
+  // for NaN and ±0.0 inputs), so kSumF64/kMaxF64 skip the tree and the
+  // root folds the scratch array in canonical index order instead —
+  // byte-identical to the historical linear scan, whatever the radix.
+  switch (op) {
+    case CollOp::kSumI64: {
+      std::int64_t acc = 0;
+      for (int c = lo; c < lo + width; ++c) {
+        acc += level == 0 ? scratch_i64_[static_cast<std::size_t>(c)]
+                          : kids[c].combined_i64;
+      }
+      node.combined_i64 = acc;
+      break;
+    }
+    case CollOp::kMaxI64: {
+      std::int64_t acc = level == 0 ? scratch_i64_[static_cast<std::size_t>(lo)]
+                                    : kids[lo].combined_i64;
+      for (int c = lo + 1; c < lo + width; ++c) {
+        std::int64_t v = level == 0 ? scratch_i64_[static_cast<std::size_t>(c)]
+                                    : kids[c].combined_i64;
+        acc = v > acc ? v : acc;
+      }
+      node.combined_i64 = acc;
+      break;
+    }
+    case CollOp::kNone:
+    case CollOp::kSumF64:
+    case CollOp::kMaxF64:
+      break;
+  }
+}
+
+void Runtime::fire_root(std::uint64_t my_gen, CollOp op) {
+  const TreeNode& root = tree_[static_cast<std::size_t>(level_off_.back())];
+  double release = root.combined_ns;
+  if (cfg_.model) {
+    release += cfg_.model->tree_barrier_ns(cfg_.n_pes, radix_);
+  }
+  const std::size_t slot = my_gen & 1;
+  switch (op) {
+    case CollOp::kSumI64:
+    case CollOp::kMaxI64:
+      red_i64_[slot] = root.combined_i64;
+      break;
+    case CollOp::kSumF64: {
+      // Canonical-order fold (see combine_node): O(n) loads once per
+      // crossing, by the single PE that reached the root.
+      double acc = scratch_f64_[0];
+      for (int i = 1; i < cfg_.n_pes; ++i) {
+        acc += scratch_f64_[static_cast<std::size_t>(i)];
+      }
+      red_f64_[slot] = acc;
+      break;
+    }
+    case CollOp::kMaxF64: {
+      // Same canonical fold: f64 max is order-sensitive for NaN and
+      // ±0.0, so the tree must not re-bracket it either.
+      double acc = scratch_f64_[0];
+      for (int i = 1; i < cfg_.n_pes; ++i) {
+        double v = scratch_f64_[static_cast<std::size_t>(i)];
+        acc = v > acc ? v : acc;
+      }
+      red_f64_[slot] = acc;
+      break;
+    }
+    case CollOp::kNone:
+      break;
+  }
+  bar_release_ns_[slot] = release;
+  bar_gen_.store(my_gen + 1, std::memory_order_release);
+  notify_waiters();
+}
+
+std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
+  if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
+  // Entering PEs always read their own crossing's generation: g cannot
+  // advance to g+1 until every PE (this one included) has arrived.
+  const std::uint64_t my_gen = bar_gen_.load(std::memory_order_acquire);
+  // Simulated time is only accounted under a machine model; without one
+  // the release timestamp stays 0 and PEs keep their own (zero) clocks,
+  // so the hot path skips a padded store plus per-group scans per
+  // crossing.
+  const bool sim = cfg_.model != nullptr;
+  if (sim) pe_ns_[static_cast<std::size_t>(pe.id_)].ns = pe.sim_ns_;
+
+  // Climb while this PE is the last arrival of each node. Winners never
+  // block; losers fall through to the eventcount wait below. The
+  // arrival fetch_add is acq_rel: it publishes this PE's scratch/ns
+  // stores to the eventual winner and, for the winner, acquires every
+  // sibling's stores — so the plain combined_* fields are ordered.
+  int child = pe.id_;
+  bool winner = true;
+  const int levels = static_cast<int>(level_width_.size());
+  for (int level = 0; level < levels; ++level) {
+    const int node_i = child / radix_;
+    TreeNode& node =
+        tree_[static_cast<std::size_t>(level_off_[static_cast<std::size_t>(
+                                           level)] +
+                                       node_i)];
+    const int width = child_count(level, node_i);
+    if (node.count.fetch_add(1, std::memory_order_acq_rel) + 1 < width) {
+      winner = false;
+      break;
+    }
+    // Reset before ascending: the next use of this node is generation
+    // g+1, which cannot start until g releases — after this store.
+    node.count.store(0, std::memory_order_relaxed);
+    combine_node(level, node_i, width, node, op);
+    child = node_i;
+  }
+
+  if (winner) {
+    fire_root(my_gen, op);
   } else {
-    // Eventcount wait outside bar_m_: a fiber must never yield holding
-    // a mutex a sibling PE on the same carrier could need.
+    // Eventcount wait: fibers yield their carrier here, threads park;
+    // abort()/deadline wakeups land on the same notify path as the
+    // release, so a wedged PE dies whether it is a leaf waiter, a
+    // mid-tree loser, or parked one arrival short of the root.
     for (;;) {
       std::uint64_t e = prepare_wait();
       if (bar_gen_.load(std::memory_order_acquire) != my_gen) break;
       if (aborted()) {
         throw RuntimeError("SPMD aborted while waiting in barrier (HUGZ)");
       }
-      wait(pe.id(), e);
+      wait(pe.id_, e);
     }
   }
-  pe.sim_ns_ = bar_release_ns_[my_gen & 1];
+  // Release timestamp broadcast: every PE leaves the crossing at the
+  // same simulated instant (max across arrivals + modeled tree cost).
+  if (sim) pe.sim_ns_ = bar_release_ns_[my_gen & 1];
+  return my_gen;
 }
 
 LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {

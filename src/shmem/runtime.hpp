@@ -18,7 +18,10 @@
 //     tear (as on real hardware) but are not undefined behaviour, which
 //     lets the Figure-2 "races without barriers" experiment run cleanly
 //   * barrier_all, global exclusive locks (shmem_set/test/clear_lock),
-//     64-bit fetch-add atomics, and allreduce/broadcast collectives
+//     64-bit fetch-add atomics, and allreduce/broadcast collectives.
+//     Barriers and collectives cross a combining tree of configurable
+//     radix (one crossing per collective, log-depth critical path),
+//     with results byte-identical across executors and radices
 //   * optional simulated time: when a noc::MachineModel is configured,
 //     every remote operation charges the calling PE its modeled cost, so
 //     benches can compare Epiphany-mesh vs XC40 behaviour deterministically
@@ -29,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -47,6 +51,12 @@ struct Config {
   int n_locks = 0;                   // global locks (IM SHARIN IT)
   noc::ModelPtr model;               // null => no simulated-time accounting
   ExecutorPtr executor;              // null => builtin thread-per-PE
+
+  /// Fan-in of the combining-tree barrier (and of the tree collectives
+  /// built on it). Values below 2 mean "auto" (a radix tuned for wide
+  /// gangs). The radix changes contention and modeled tree depth, never
+  /// results: collectives combine in a fixed canonical order.
+  int barrier_radix = 0;
 };
 
 class Runtime;
@@ -181,6 +191,12 @@ class Runtime {
   [[nodiscard]] int n_pes() const { return cfg_.n_pes; }
   [[nodiscard]] std::size_t heap_bytes() const { return cfg_.heap_bytes; }
   [[nodiscard]] int n_locks() const { return cfg_.n_locks; }
+  /// The resolved combining-tree fan-in (auto already applied).
+  [[nodiscard]] int barrier_radix() const { return radix_; }
+  /// Tree depth: how many combining levels one crossing climbs.
+  [[nodiscard]] int barrier_levels() const {
+    return static_cast<int>(level_off_.size());
+  }
   [[nodiscard]] const noc::MachineModel* model() const {
     return cfg_.model.get();
   }
@@ -239,24 +255,73 @@ class Runtime {
     std::atomic<int> owner{-1};  // PE id, -1 when free
   };
 
+  // -- the combining-tree barrier ------------------------------------------
+  // One crossing serves both barrier_all and the collectives. PEs arrive
+  // at padded per-group leaf nodes; the last arrival of each group (the
+  // "winner") combines its children and ascends, so only ceil(n/radix)
+  // PEs touch level 1, and exactly one PE reaches the root per
+  // generation. The root winner publishes the release timestamp (and any
+  // reduction result) into generation-parity slots, bumps the global
+  // generation, and fans the release out through the per-Runtime
+  // eventcount — the same wake path fibers, aborts and deadlines already
+  // use, so wedged PEs stay killable at every tree position.
+
+  /// What a tree crossing carries besides the rendezvous itself.
+  enum class CollOp { kNone, kSumI64, kMaxI64, kSumF64, kMaxF64 };
+
+  /// One combining node, alone on its cache line so leaf groups arrive
+  /// on private lines instead of a single shared counter.
+  struct alignas(64) TreeNode {
+    std::atomic<int> count{0};  // arrivals this generation; winner resets
+    // Winner-written partials; ordered by the arrival counter's acq_rel
+    // chain, so plain fields are race-free. Only exactly-associative
+    // (integer) reductions carry a value partial — f64 reductions fold
+    // at the root in canonical order (see Runtime::fire_root).
+    double combined_ns = 0.0;
+    std::int64_t combined_i64 = 0;
+  };
+
+  /// Per-PE slot on its own line (barrier arrivals write sim_ns here).
+  struct alignas(64) PeSlot {
+    double ns = 0.0;
+  };
+
   void reset_for_launch();
   void barrier(Pe& pe);
+  void build_tree();
+  /// Children of node `node_i` at `level` (ragged last group).
+  [[nodiscard]] int child_count(int level, int node_i) const;
+  /// Full crossing: arrive, climb as winner or wait, sync sim_ns.
+  /// Returns this crossing's generation (selects the result slot).
+  std::uint64_t cross(Pe& pe, CollOp op);
+  void combine_node(int level, int node_i, int width, TreeNode& node,
+                    CollOp op);
+  void fire_root(std::uint64_t my_gen, CollOp op);
 
   Config cfg_;
   std::vector<std::vector<std::byte>> arenas_;
 
-  // Central generation barrier: arrivals are counted under bar_m_, but
-  // waiters spin on the atomic generation through the executor's
-  // eventcount so they never sleep holding a lock a fiber could need.
-  std::mutex bar_m_;
-  int bar_count_ = 0;
+  int radix_ = 0;                    // resolved fan-in (>= 2)
+  std::vector<int> level_width_;     // nodes per level; level 0 = leaves
+  std::vector<int> level_off_;       // level start offsets into tree_
+  std::unique_ptr<TreeNode[]> tree_; // all levels, contiguous
+  std::unique_ptr<PeSlot[]> pe_ns_;  // per-PE sim_ns contribution
+
   std::atomic<std::uint64_t> bar_gen_{0};
-  double bar_max_ns_ = 0.0;
+  // Generation-parity result slots: written by the root winner of
+  // generation g before the release store, read by g's waiters after it;
+  // generation g+2 cannot fire before every PE exited g, so two slots
+  // suffice (same invariant the pre-tree barrier relied on).
   double bar_release_ns_[2] = {0.0, 0.0};
+  std::int64_t red_i64_[2] = {0, 0};
+  double red_f64_[2] = {0.0, 0.0};
+  std::int64_t bcast_i64_[2] = {0, 0};
 
   std::deque<GlobalLock> locks_;
 
-  // Collective scratch (one slot per PE), reused via double barrier.
+  // Collective inputs (one slot per PE). Safe to overwrite on the next
+  // crossing without a trailing barrier: every read of these happens
+  // tree-side, strictly before the release that lets any PE advance.
   std::vector<std::int64_t> scratch_i64_;
   std::vector<double> scratch_f64_;
 

@@ -429,6 +429,7 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
                    : iter % 3 == 1 ? lol::shmem::ExecutorKind::kPool
                                    : lol::shmem::ExecutorKind::kFiber;
     job.pes_per_thread = static_cast<int>(rng() % 256);
+    job.barrier_radix = static_cast<int>(rng() % 64);
     for (std::size_t i = 0, n = rng() % 4; i < n; ++i) {
       job.stdin_lines.push_back(random_text(rng, 16));
     }
@@ -450,6 +451,7 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
     EXPECT_EQ(req->job.backend, job.backend);
     EXPECT_EQ(req->job.executor, job.executor);
     EXPECT_EQ(req->job.pes_per_thread, job.pes_per_thread);
+    EXPECT_EQ(req->job.barrier_radix, job.barrier_radix);
     EXPECT_EQ(req->job.stdin_lines, job.stdin_lines);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <thread>
@@ -70,6 +71,16 @@ BackendRun run_one(const Spec& spec, Backend backend,
   cfg.executor = executor;
   cfg.pes_per_thread = spec.pes_per_thread;
   cfg.heap_bytes = spec.heap_bytes;
+  cfg.barrier_radix = spec.barrier_radix;
+  // CI exports the variable (possibly empty) on every matrix leg. Only
+  // a non-empty value overrides, and only for specs that left the radix
+  // at auto — a spec naming an explicit radix is testing that radix
+  // (BarrierRadixIsOutputInvariant must not collapse to a tautology in
+  // the radix-override leg).
+  if (const char* env = std::getenv("LOL_BARRIER_RADIX");
+      env != nullptr && env[0] != '\0' && spec.barrier_radix == 0) {
+    cfg.barrier_radix = std::atoi(env);
+  }
 
   // Mid-run abort: fire the token from a timer thread, like the
   // service's deadline reaper does. The thread always joins before the

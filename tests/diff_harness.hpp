@@ -59,6 +59,11 @@ struct Spec {
   std::uint64_t abort_after_ms = 0;     // >0: request abort from a timer
   /// Fiber column only: virtual PEs per carrier (0 = auto).
   int pes_per_thread = 0;
+  /// Combining-tree barrier fan-in (0 = auto). The LOL_BARRIER_RADIX
+  /// environment variable overrides this for every spec — CI uses it to
+  /// run the whole suite under a non-default radix and prove outputs
+  /// are radix-invariant.
+  int barrier_radix = 0;
   /// Symmetric heap per PE; high-PE specs shrink it so a 512-PE case
   /// does not allocate half a gigabyte of arenas.
   std::size_t heap_bytes = 1 << 20;

@@ -104,6 +104,38 @@ TEST(Differential, HighPeFiberMatchesThreadExecutor) {
   }
 }
 
+// The barrier radix is a pure performance knob: the same program at the
+// same PE count must print byte-identical output for a binary tree, the
+// auto radix, and the flat degenerate — on both executors. (CI also
+// runs the entire suite under LOL_BARRIER_RADIX=3 in one matrix leg.)
+TEST(Differential, BarrierRadixIsOutputInvariant) {
+  Spec bsum;
+  bsum.name = "paper-barrier-sum-256pe";
+  bsum.source = lol::paper::barrier_sum_listing();
+  bsum.n_pes = 256;
+  bsum.heap_bytes = 16 << 10;
+  bsum.pes_per_thread = 64;
+
+  Spec ref = bsum;  // radix 0 = auto, thread executor
+  auto ref_run = lol::difftest::run_one(ref, lol::Backend::kVm,
+                                        lol::shmem::ExecutorKind::kThread);
+  ASSERT_EQ(ref_run.outcome, lol::difftest::Outcome::kOk) << ref_run.error;
+
+  for (int radix : {2, 16, 256}) {
+    for (auto executor : {lol::shmem::ExecutorKind::kThread,
+                          lol::shmem::ExecutorKind::kFiber}) {
+      SCOPED_TRACE(std::string("radix ") + std::to_string(radix) + " on " +
+                   lol::shmem::to_string(executor));
+      Spec spec = bsum;
+      spec.barrier_radix = radix;
+      auto run = lol::difftest::run_one(spec, lol::Backend::kVm, executor);
+      ASSERT_EQ(run.outcome, lol::difftest::Outcome::kOk) << run.error;
+      EXPECT_EQ(run.pe_output, ref_run.pe_output);
+      EXPECT_EQ(run.pe_errout, ref_run.pe_errout);
+    }
+  }
+}
+
 TEST(Differential, ExamplePrograms) {
   std::vector<Spec> specs = lol::difftest::load_lol_dir(LOL_EXAMPLES_DIR, 4);
   ASSERT_FALSE(specs.empty())

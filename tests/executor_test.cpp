@@ -175,6 +175,26 @@ TEST(FiberExecutor, FailingPeAbortsFiberPeers) {
       << r.first_error();
 }
 
+// Carriers are claimed from the persistent process-wide pool, not
+// spawned per launch: after the first launch has grown the pool to this
+// gang's carrier demand, further launches must create zero threads.
+TEST(FiberExecutor, CarriersPersistAcrossLaunches) {
+  Runtime rt(high_pe_config(64, make_executor(ExecutorKind::kFiber, 16)));
+  auto warm = [&] {
+    auto r = rt.launch([&](Pe& pe) {
+      if (pe.all_reduce_sum_i64(1) != pe.n_pes()) {
+        throw std::runtime_error("lost a PE");
+      }
+    });
+    ASSERT_TRUE(r.ok) << r.first_error();
+  };
+  warm();  // may grow the pool to 3 parked carriers (carrier 0 = launcher)
+  const std::uint64_t after_first = fiber_carrier_pool().threads_created();
+  for (int round = 0; round < 50; ++round) warm();
+  EXPECT_EQ(fiber_carrier_pool().threads_created(), after_first)
+      << "fiber launches spawned carrier threads instead of reusing the pool";
+}
+
 // The launching thread carries a fiber block itself, so a Runtime with
 // a fiber executor must be reusable across launches like any other.
 TEST(FiberExecutor, RuntimeIsReusableAcrossLaunches) {

@@ -83,6 +83,29 @@ TEST(Mesh, BarrierScalesLogarithmically) {
   EXPECT_NEAR(b16 / b2, 4.0, 1e-9);   // 4 rounds
 }
 
+TEST(Mesh, TreeBarrierDepthTracksRadix) {
+  MeshModel m;
+  EXPECT_EQ(m.tree_barrier_ns(1, 8), 0.0);
+  // Radix 2 climbs ceil(log2 n) levels — the dissemination-round count
+  // the flat model already charges.
+  EXPECT_DOUBLE_EQ(m.tree_barrier_ns(16, 2), m.barrier_ns(16));
+  // Wider fan-in, shallower tree, cheaper crossing.
+  EXPECT_LT(m.tree_barrier_ns(4096, 16), m.tree_barrier_ns(4096, 2));
+  EXPECT_LT(m.tree_barrier_ns(4096, 64), m.tree_barrier_ns(4096, 16));
+  // Radix >= n is one combining round, never free.
+  EXPECT_GT(m.tree_barrier_ns(4096, 4096), 0.0);
+  EXPECT_DOUBLE_EQ(m.tree_barrier_ns(16, 16), m.tree_barrier_ns(16, 4096));
+}
+
+TEST(Uniform, TreeBarrierDepthTracksRadix) {
+  UniformModel m;
+  EXPECT_EQ(m.tree_barrier_ns(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.tree_barrier_ns(1024, 2), m.barrier_ns(1024));
+  EXPECT_DOUBLE_EQ(m.tree_barrier_ns(4096, 8),
+                   4.0 * m.params().barrier_round_ns);  // log8(4096) = 4
+  EXPECT_LT(m.tree_barrier_ns(4096, 64), m.tree_barrier_ns(4096, 8));
+}
+
 TEST(Mesh, LockCostGrowsWithDistanceToHome) {
   MeshModel m;
   EXPECT_GT(m.lock_ns(15, 0), m.lock_ns(1, 0));

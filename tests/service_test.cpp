@@ -293,6 +293,61 @@ TEST(Service, BlockPolicyAppliesBackpressure) {
   EXPECT_EQ(svc.stats().rejected, 0u);
 }
 
+TEST(Service, TenantQuotaRejectsFloodWithoutTouchingOthers) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 64;
+  opts.max_queued_per_tenant = 2;
+  opts.start_paused = true;  // keep everything queued deterministically
+  Service svc(opts);
+
+  auto flood_job = [&](const char* name) {
+    Job j = make_job(name, kHello, 1);
+    j.tenant = "flooder";
+    return svc.submit(std::move(j));
+  };
+  auto f1 = flood_job("a");
+  auto f2 = flood_job("b");
+  auto f3 = flood_job("c");  // over quota -> refused immediately
+
+  JobResult refused = f3.get();  // resolves without any worker running
+  EXPECT_EQ(refused.status, JobStatus::kQuotaExceeded);
+  EXPECT_NE(refused.error.find("tenant quota exceeded"), std::string::npos)
+      << refused.error;
+
+  // A different tenant is untouched by the flooder's quota.
+  Job other = make_job("other", kHello, 1);
+  other.tenant = "polite";
+  auto f4 = svc.submit(std::move(other));
+  EXPECT_EQ(svc.queue_depth(), 3u);  // a, b, other — never c
+
+  svc.start();
+  EXPECT_EQ(f1.get().status, JobStatus::kOk);
+  EXPECT_EQ(f2.get().status, JobStatus::kOk);
+  EXPECT_EQ(f4.get().status, JobStatus::kOk);
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.quota_rejected, 1u);
+  EXPECT_EQ(stats.rejected, 0u);  // distinguishable from queue-full
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(Service, TenantQuotaFreesUpAsTheQueueDrains) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_queued_per_tenant = 1;
+  Service svc(opts);  // workers running: queued jobs drain promptly
+
+  // Sequential submits never see the quota: each job leaves the queue
+  // before the next submit (quota counts queued jobs, not running ones).
+  for (int i = 0; i < 4; ++i) {
+    JobResult r = svc.submit(make_job("seq", kHello, 1)).get();
+    ASSERT_EQ(r.status, JobStatus::kOk) << r.error;
+  }
+  EXPECT_EQ(svc.stats().quota_rejected, 0u);
+}
+
 TEST(Service, StepBudgetKillsLoopingJobWithoutStallingThePool) {
   ServiceOptions opts;
   opts.workers = 2;
@@ -530,6 +585,49 @@ TEST(Service, DeadlineKillsBarrierWedgedJob) {
   // The worker survived: a normal job still runs afterwards.
   EXPECT_EQ(svc.submit(make_job("after", kHello, 2)).get().status,
             JobStatus::kOk);
+}
+
+// The combining-tree barrier keeps the deadline contract: PEs wedged
+// mid-tree (leaf waiters and climbed group winners alike, radix 2 makes
+// the tree as deep as it gets) die by the wall clock on fibers too.
+TEST(Service, DeadlineKillsTreeWedgedFiberJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  opts.max_pes = 64;
+  Service svc(opts);
+
+  Job j = make_job("tree-wedge", kWedge, 16);
+  j.executor = lol::shmem::ExecutorKind::kFiber;
+  j.pes_per_thread = 8;
+  j.barrier_radix = 2;
+  j.deadline_ms = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  JobResult r = svc.submit(std::move(j)).get();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_LT(wall_ms, 1000.0);
+}
+
+// And cancel() reaches the same wedge through the same abort path.
+TEST(Service, CancelKillsTreeWedgedFiberJob) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.default_max_steps = 0;
+  opts.max_pes = 64;
+  Service svc(opts);
+
+  Job j = make_job("tree-wedge", kWedge, 16);
+  j.executor = lol::shmem::ExecutorKind::kFiber;
+  j.pes_per_thread = 8;
+  j.barrier_radix = 3;
+  auto sub = svc.submit_job(std::move(j));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(svc.cancel(sub.id));
+  JobResult r = sub.result.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
 }
 
 TEST(Service, DefaultDeadlineAppliesWhenJobDoesNotAsk) {

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "noc/machines.hpp"
+#include "noc/uniform.hpp"
+#include "shmem/executor.hpp"
 #include "shmem/runtime.hpp"
 
 namespace {
@@ -389,5 +394,206 @@ TEST_P(ShmemPeSweep, RingExchange) {
 
 INSTANTIATE_TEST_SUITE_P(PeCounts, ShmemPeSweep,
                          ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Combining-tree barrier: the hierarchical synchronization core must be
+// invisible to programs — any radix, any executor, same results — and
+// stay abortable wherever in the tree a PE happens to be wedged.
+// ---------------------------------------------------------------------------
+
+TEST(TreeBarrier, ResolvesAutoRadixAndDepth) {
+  Config cfg;
+  cfg.n_pes = 4096;
+  cfg.heap_bytes = 4096;  // accessor test; default arenas would be 4 GiB
+  Runtime rt(cfg);
+  EXPECT_EQ(rt.barrier_radix(), 8);  // auto
+  EXPECT_EQ(rt.barrier_levels(), 4);  // 4096 -> 512 -> 64 -> 8 -> 1
+
+  cfg.barrier_radix = 2;
+  cfg.n_pes = 8;
+  Runtime rt2(cfg);
+  EXPECT_EQ(rt2.barrier_radix(), 2);
+  EXPECT_EQ(rt2.barrier_levels(), 3);  // 8 -> 4 -> 2 -> 1
+
+  // A fan-in wider than the gang degenerates to one flat node.
+  cfg.barrier_radix = 4096;
+  Runtime rt3(cfg);
+  EXPECT_EQ(rt3.barrier_levels(), 1);
+}
+
+// Barriers, reductions and broadcast agree for every radix, including
+// ragged trees (37 is not a power of anything) and the flat degenerate.
+TEST(TreeBarrier, CollectivesAgreeAcrossRadices) {
+  for (int radix : {0, 2, 3, 5, 8, 37, 64}) {
+    Config cfg;
+    cfg.n_pes = 37;
+    cfg.barrier_radix = radix;
+    Runtime rt(cfg);
+    auto r = rt.launch([&](Pe& pe) {
+      std::int64_t n = pe.n_pes();
+      std::size_t off = pe.shmalloc(8);
+      int next = (pe.id() + 1) % pe.n_pes();
+      pe.put_i64(next, off, pe.id());
+      pe.barrier_all();
+      std::int64_t prev = (pe.id() + n - 1) % n;
+      if (pe.get_i64(pe.id(), off) != prev) {
+        throw RuntimeError("ring value lost at radix " +
+                           std::to_string(radix));
+      }
+      if (pe.all_reduce_sum_i64(pe.id()) != n * (n - 1) / 2) {
+        throw RuntimeError("allreduce sum wrong");
+      }
+      if (pe.all_reduce_max_i64(pe.id() * 3 - n) != 2 * n - 3) {
+        throw RuntimeError("allreduce max wrong");
+      }
+      if (pe.all_reduce_max_f64(static_cast<double>(pe.id()) * 0.25) !=
+          (n - 1) * 0.25) {
+        throw RuntimeError("allreduce f64 max wrong");
+      }
+      if (pe.broadcast_i64(pe.id() * 7, 5) != 35) {
+        throw RuntimeError("broadcast wrong");
+      }
+      // Back-to-back crossings reuse generation-parity slots; make the
+      // double buffering earn its keep.
+      if (pe.all_reduce_sum_i64(1) != n || pe.all_reduce_sum_i64(2) != 2 * n) {
+        throw RuntimeError("consecutive reductions interfered");
+      }
+    });
+    EXPECT_TRUE(r.ok) << "radix " << radix << ": " << r.first_error();
+  }
+}
+
+/// One f64 allreduce over rounding-sensitive values; returns the bit
+/// pattern every PE observed (asserting they all agree).
+std::uint64_t f64_sum_bits(int n_pes, int radix, bool fiber) {
+  Config cfg;
+  cfg.n_pes = n_pes;
+  cfg.barrier_radix = radix;
+  if (fiber) {
+    cfg.executor =
+        lol::shmem::make_executor(lol::shmem::ExecutorKind::kFiber, 16);
+  }
+  Runtime rt(cfg);
+  std::vector<double> results(static_cast<std::size_t>(n_pes));
+  auto r = rt.launch([&](Pe& pe) {
+    // Mixed magnitudes: any re-bracketing of the sum changes the bits.
+    double v = 1.0 / (pe.id() + 1) + pe.id() * 1e-13;
+    results[static_cast<std::size_t>(pe.id())] = pe.all_reduce_sum_f64(v);
+  });
+  EXPECT_TRUE(r.ok) << r.first_error();
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &results[0], sizeof bits);
+  for (int i = 1; i < n_pes; ++i) {
+    std::uint64_t other = 0;
+    std::memcpy(&other, &results[static_cast<std::size_t>(i)], sizeof other);
+    EXPECT_EQ(other, bits) << "PE " << i << " saw a different f64 sum";
+  }
+  return bits;
+}
+
+// The determinism contract the differential suite leans on: f64 sums
+// are byte-identical across executors AND radices, because the root
+// folds the contributions in canonical index order regardless of tree
+// shape. The expected bits are the plain sequential fold.
+TEST(TreeBarrier, F64SumByteIdenticalAcrossExecutorsAndRadices) {
+  const int n = 48;
+  double expect = 0.0;
+  for (int i = 0; i < n; ++i) expect += 1.0 / (i + 1) + i * 1e-13;
+  std::uint64_t expect_bits = 0;
+  std::memcpy(&expect_bits, &expect, sizeof expect_bits);
+
+  for (int radix : {0, 2, 7, 48}) {
+    EXPECT_EQ(f64_sum_bits(n, radix, /*fiber=*/false), expect_bits)
+        << "thread executor, radix " << radix;
+    EXPECT_EQ(f64_sum_bits(n, radix, /*fiber=*/true), expect_bits)
+        << "fiber executor, radix " << radix;
+  }
+}
+
+// Abort lands on PEs wedged at every position in the tree. With radix 2
+// and PE 7 never arriving: groups (0,1), (2,3), (4,5) completed (their
+// winners climbed and are parked mid-tree or one arrival short of the
+// root), PE 6 is a leaf waiter. All of them must die promptly.
+void abort_wedged_tree(bool fiber) {
+  Config cfg;
+  cfg.n_pes = 8;
+  cfg.barrier_radix = 2;
+  if (fiber) {
+    cfg.executor =
+        lol::shmem::make_executor(lol::shmem::ExecutorKind::kFiber, 8);
+  }
+  Runtime rt(cfg);
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rt.abort();
+  });
+  auto r = rt.launch([&](Pe& pe) {
+    if (pe.id() == 7) {
+      while (!pe.runtime().aborted()) pe.runtime().preempt(pe.id());
+      throw RuntimeError("aborted while spinning");
+    }
+    pe.barrier_all();
+  });
+  killer.join();
+  EXPECT_FALSE(r.ok);
+  int aborted = 0;
+  for (const auto& e : r.errors) {
+    if (e.find("abort") != std::string::npos) ++aborted;
+  }
+  EXPECT_EQ(aborted, 8) << r.first_error();
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  EXPECT_LT(wall_ms, 5000.0);
+}
+
+TEST(TreeBarrier, AbortWakesEveryTreePositionThreads) {
+  abort_wedged_tree(/*fiber=*/false);
+}
+TEST(TreeBarrier, AbortWakesEveryTreePositionFibers) {
+  abort_wedged_tree(/*fiber=*/true);
+}
+
+// The modeled barrier cost understands tree depth: radix 4 over 16 PEs
+// is exactly two combining rounds of the uniform fabric.
+TEST(TreeBarrier, SimChargesTreeDepth) {
+  lol::noc::UniformParams p;
+  Config cfg;
+  cfg.n_pes = 16;
+  cfg.barrier_radix = 4;
+  cfg.model = std::make_shared<lol::noc::UniformModel>(p);
+  Runtime rt(cfg);
+  auto r = rt.launch([&](Pe& pe) { pe.barrier_all(); });
+  ASSERT_TRUE(r.ok) << r.first_error();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(r.sim_ns[static_cast<std::size_t>(i)],
+                     2.0 * p.barrier_round_ns);
+  }
+}
+
+// Whatever the radix, all PEs leave a crossing at one simulated instant
+// and the reduction results match — the radix only moves the modeled
+// depth, never the data.
+TEST(TreeBarrier, SimClocksAlignForEveryRadix) {
+  for (int radix : {0, 2, 16}) {
+    Config cfg;
+    cfg.n_pes = 16;
+    cfg.barrier_radix = radix;
+    cfg.model = lol::noc::epiphany3();
+    Runtime rt(cfg);
+    auto r = rt.launch([&](Pe& pe) {
+      std::size_t off = pe.shmalloc(8);
+      if (pe.id() == 0) pe.put_i64(5, off, 1);  // skew PE 0's clock
+      pe.barrier_all();
+    });
+    ASSERT_TRUE(r.ok) << r.first_error();
+    for (int i = 1; i < 16; ++i) {
+      EXPECT_DOUBLE_EQ(r.sim_ns[static_cast<std::size_t>(i)], r.sim_ns[0])
+          << "radix " << radix;
+    }
+    EXPECT_GT(r.max_sim_ns(), 0.0);
+  }
+}
 
 }  // namespace

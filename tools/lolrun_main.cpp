@@ -32,6 +32,8 @@ int usage(const char* prog) {
       "                     can go far beyond the host's hardware threads\n"
       "  --pes-per-thread <K>  fiber executor: virtual PEs per carrier\n"
       "                     thread (default auto)\n"
+      "  --barrier-radix <R>  combining-tree barrier fan-in (default auto;\n"
+      "                     results are identical for every radix)\n"
       "  --heap-bytes <B>   symmetric heap per PE (default 1 MiB; large -np\n"
       "                     runs want this smaller)\n"
       "  --seed <S>         WHATEVR/WHATEVAR seed\n"
@@ -79,6 +81,9 @@ int main(int argc, char** argv) {
   }
   if (auto per = cli.option("--pes-per-thread")) {
     cfg.pes_per_thread = std::atoi(per->c_str());
+  }
+  if (auto radix = cli.option("--barrier-radix")) {
+    cfg.barrier_radix = std::atoi(radix->c_str());
   }
   if (auto heap = cli.option("--heap-bytes")) {
     cfg.heap_bytes = static_cast<std::size_t>(

@@ -63,7 +63,14 @@ int usage(const char* prog) {
       "  --executor <e>     pool (default), thread or fiber (virtual PEs —\n"
       "                     lets -np exceed the host's cores)\n"
       "  --pes-per-thread <K>  fiber executor: virtual PEs per carrier\n"
+      "  --barrier-radix <R>  combining-tree barrier fan-in for batch/\n"
+      "                     client jobs (default auto; results are radix-\n"
+      "                     invariant; daemon jobs set \"barrier_radix\"\n"
+      "                     per submission on the wire)\n"
       "  --max-pes <N>      clamp on per-job n_pes (default 64)\n"
+      "  --max-queued-per-tenant <N>  per-tenant queued-job quota; over-\n"
+      "                     quota submissions get status quota-exceeded\n"
+      "                     (default 0 = unlimited)\n"
       "  --max-steps <S>    per-PE step budget (default 50000000)\n"
       "  --deadline-ms <D>  per-job wall-clock deadline (default none)\n"
       "  --tenant <name>    tenant for command-line jobs (default \"\")\n"
@@ -457,6 +464,10 @@ int main(int argc, char** argv) {
     opts.max_pes = std::atoi(max_pes->c_str());
     if (opts.max_pes < 1) return usage(argv[0]);
   }
+  if (auto quota = cli.option("--max-queued-per-tenant")) {
+    opts.max_queued_per_tenant = static_cast<std::size_t>(
+        std::strtoull(quota->c_str(), nullptr, 10));
+  }
   if (opts.workers < 1) return usage(argv[0]);
 
   if (cli.has_flag("--daemon")) {
@@ -519,6 +530,8 @@ int main(int argc, char** argv) {
   }
   int pes_per_thread =
       std::atoi(cli.option("--pes-per-thread").value_or("0").c_str());
+  int barrier_radix =
+      std::atoi(cli.option("--barrier-radix").value_or("0").c_str());
   int repeat = std::atoi(cli.option("--repeat").value_or("1").c_str());
   bool quiet = cli.has_flag("--quiet");
   bool shuffle = cli.has_flag("--shuffle");
@@ -554,6 +567,7 @@ int main(int argc, char** argv) {
     job.backend = backend;
     job.executor = executor;
     job.pes_per_thread = pes_per_thread;
+    job.barrier_radix = barrier_radix;
     jobs.push_back(std::move(job));
   }
 
@@ -609,7 +623,8 @@ int main(int argc, char** argv) {
   std::printf(
       "lolserve: %llu jobs (%llu ok, %llu compile-error, %llu "
       "runtime-error, %llu step-limit, %llu deadline-exceeded, %llu "
-      "cancelled, %llu rejected) on %d workers in %.3f s — %.1f jobs/s\n",
+      "cancelled, %llu rejected, %llu quota-exceeded) on %d workers in "
+      "%.3f s — %.1f jobs/s\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.ok),
       static_cast<unsigned long long>(stats.compile_errors),
@@ -617,8 +632,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.step_limited),
       static_cast<unsigned long long>(stats.deadline_exceeded),
       static_cast<unsigned long long>(stats.cancelled),
-      static_cast<unsigned long long>(stats.rejected), opts.workers, wall_s,
-      wall_s > 0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.quota_rejected), opts.workers,
+      wall_s, wall_s > 0 ? static_cast<double>(futures.size()) / wall_s : 0.0);
   std::printf(
       "lolserve: compile cache %llu hits / %llu misses (%.1f%% hit rate), "
       "%llu evictions\n",
