@@ -17,6 +17,7 @@
 
 #include "codegen/c_emitter.hpp"
 #include "driver/cli.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 // Baked in by CMake: where lolrt_c.h lives (the generated C includes it)
@@ -186,6 +187,10 @@ std::shared_ptr<const NativeProgram> NativeProgram::get_or_build(
                     (extra.empty() ? "" : extra + " ") + shell_quote(c_path) +
                     " -I" + shell_quote(inc) + " -o " + shell_quote(so_path) +
                     " 2>" + shell_quote(log_path);
+  static obs::Counter& cc_invocations = obs::Registry::global().counter(
+      "lol_native_cc_invocations_total",
+      "Host C compiler invocations by the native backend");
+  cc_invocations.inc();
   if (std::system(cmd.c_str()) != 0) {
     if (error != nullptr) {
       std::string log =

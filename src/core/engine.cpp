@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "codegen/native_backend.hpp"
 #include "interp/interpreter.hpp"
+#include "obs/metrics.hpp"
 #include "parse/parser.hpp"
 #include "rt/exec_context.hpp"
 #include "shmem/executor.hpp"
@@ -13,6 +15,28 @@
 #include "vm/vm.hpp"
 
 namespace lol {
+
+namespace {
+
+/// Engine-level counters, resolved once (cold path: once per run).
+struct EngineMetrics {
+  obs::CounterFamily& runs_by_backend;
+  obs::Counter& step_limited;
+  EngineMetrics()
+      : runs_by_backend(obs::Registry::global().counter_family(
+            "lol_engine_runs_total", "SPMD runs started, by backend",
+            "backend")),
+        step_limited(obs::Registry::global().counter(
+            "lol_engine_step_limited_total",
+            "Runs killed by the per-PE step budget")) {}
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(Backend b) {
   switch (b) {
@@ -80,6 +104,8 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   if (cfg.abort != nullptr && cfg.abort->requested()) {
     return aborted_before_launch(cfg.n_pes);
   }
+  engine_metrics().runs_by_backend.with(to_string(cfg.backend)).inc();
+  const auto t_run0 = std::chrono::steady_clock::now();
 
   // The native backend translates to C and invokes the host cc once per
   // distinct program (process-wide cache); build before the Runtime so a
@@ -112,6 +138,7 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   scfg.n_locks = prog.analysis.lock_count;
   scfg.model = cfg.machine;
   scfg.barrier_radix = cfg.barrier_radix;
+  scfg.profile = cfg.profile;
   if (cfg.executor_impl != nullptr) {
     scfg.executor = cfg.executor_impl;
   } else if (cfg.executor != shmem::ExecutorKind::kThread) {
@@ -187,9 +214,20 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   RunResult result;
   result.ok = lr.ok;
   result.step_limited = step_limited.load(std::memory_order_relaxed);
+  if (result.step_limited) engine_metrics().step_limited.inc();
   result.aborted = cfg.abort != nullptr && cfg.abort->requested();
   result.errors = std::move(lr.errors);
   result.sim_ns = std::move(lr.sim_ns);
+  result.pe_profiles = std::move(lr.profiles);
+  // Everything before the first PE body — native/vm memo lookups,
+  // runtime construction, executor claim — counts as the claim phase.
+  result.claim_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t_run0)
+          .count() -
+      lr.exec_ms;
+  if (result.claim_ms < 0.0) result.claim_ms = 0.0;
+  result.exec_ms = lr.exec_ms;
   if (cfg.sink == nullptr) {
     result.pe_output = capture.take_out();
     result.pe_errout = capture.take_err();

@@ -22,6 +22,7 @@
 #include "ast/ast.hpp"
 #include "core/abort.hpp"
 #include "noc/model.hpp"
+#include "obs/profile.hpp"
 #include "rt/io.hpp"
 #include "sema/analyzer.hpp"
 #include "shmem/executor.hpp"
@@ -121,6 +122,12 @@ struct RunConfig {
   /// Explicit executor instance; overrides `executor` when set (hosts
   /// that want their own pool lifetime instead of the shared one).
   shmem::ExecutorPtr executor_impl;
+
+  /// Sample wall-clock wait times (barrier park, lock spin) into the
+  /// per-PE profiles returned in RunResult::pe_profiles. Event counts
+  /// (steps, crossings, acquisitions, GIMMEH blocks) are collected
+  /// regardless; the clock reads are opt-in (lolrun --profile).
+  bool profile = false;
 };
 
 /// Outcome of an SPMD run.
@@ -132,6 +139,14 @@ struct RunResult {
   std::vector<std::string> pe_errout;  // per-PE captured stderr
   std::vector<std::string> errors;     // per-PE error ("" when fine)
   std::vector<double> sim_ns;          // per-PE simulated time
+  /// Per-PE runtime profiles (steps, barrier/lock events, GIMMEH
+  /// blocks; *_wait_ns populated only when RunConfig::profile was set).
+  std::vector<obs::PeProfile> pe_profiles;
+  /// Lifecycle timing for job traces: run() entry until the first PE
+  /// body started (native/vm memo, runtime build, executor claim), and
+  /// from then until the gang joined.
+  double claim_ms = 0.0;
+  double exec_ms = 0.0;
 
   /// First non-empty per-PE error.
   [[nodiscard]] std::string first_error() const;

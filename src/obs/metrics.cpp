@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace lol::obs {
+
+namespace {
+
+// Label values may contain anything a client sent; Prometheus label
+// escaping covers backslash, double-quote, and newline.
+std::string escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_.emplace_back(0);
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const {
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+CounterFamily::CounterFamily(std::string name, std::string help,
+                             std::string label_key)
+    : name_(std::move(name)), help_(std::move(help)),
+      label_key_(std::move(label_key)) {}
+
+Counter& CounterFamily::with(std::string_view label_value) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& ch : children_) {
+    if (ch.label == label_value) return ch.c;
+  }
+  // Cardinality cap: once full, every new label value shares the
+  // "_other" series instead of growing the registry.
+  if (children_.size() >= kMaxChildren && label_value != "_other") {
+    for (auto& ch : children_) {
+      if (ch.label == "_other") return ch.c;
+    }
+    label_value = "_other";
+  }
+  children_.emplace_back(std::string(label_value));
+  return children_.back().c;
+}
+
+std::size_t CounterFamily::n_children() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return children_.size();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& e : counters_) {
+    if (e.name == name) return e.v;
+  }
+  counters_.emplace_back(std::string(name), std::string(help));
+  return counters_.back().v;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& e : gauges_) {
+    if (e.name == name) return e.v;
+  }
+  gauges_.emplace_back(std::string(name), std::string(help));
+  return gauges_.back().v;
+}
+
+CounterFamily& Registry::counter_family(std::string_view name,
+                                        std::string_view help,
+                                        std::string_view label_key) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& f : families_) {
+    if (f.name_ == name) return f;
+  }
+  families_.emplace_back(std::string(name), std::string(help),
+                         std::string(label_key));
+  return families_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& e : hists_) {
+    if (e.name == name) return e.v;
+  }
+  hists_.emplace_back(std::string(name), std::string(help),
+                      std::move(bounds));
+  return hists_.back().v;
+}
+
+std::string Registry::expose() const {
+  // Render each family to (name, block) then sort for a stable scrape.
+  std::vector<std::pair<std::string, std::string>> blocks;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (const auto& e : counters_) {
+      std::string b = "# HELP " + e.name + " " + e.help + "\n# TYPE " +
+                      e.name + " counter\n" + e.name + " " +
+                      std::to_string(e.v.value()) + "\n";
+      blocks.emplace_back(e.name, std::move(b));
+    }
+    for (const auto& e : gauges_) {
+      std::string b = "# HELP " + e.name + " " + e.help + "\n# TYPE " +
+                      e.name + " gauge\n" + e.name + " " +
+                      std::to_string(e.v.value()) + "\n";
+      blocks.emplace_back(e.name, std::move(b));
+    }
+    for (const auto& f : families_) {
+      std::string b = "# HELP " + f.name_ + " " + f.help_ + "\n# TYPE " +
+                      f.name_ + " counter\n";
+      std::lock_guard<std::mutex> flk(f.m_);
+      std::vector<const CounterFamily::Child*> kids;
+      kids.reserve(f.children_.size());
+      for (const auto& ch : f.children_) kids.push_back(&ch);
+      std::sort(kids.begin(), kids.end(),
+                [](const auto* a, const auto* b2) {
+                  return a->label < b2->label;
+                });
+      for (const auto* ch : kids) {
+        b += f.name_ + "{" + f.label_key_ + "=\"" +
+             escape_label(ch->label) + "\"} " +
+             std::to_string(ch->c.value()) + "\n";
+      }
+      blocks.emplace_back(f.name_, std::move(b));
+    }
+    for (const auto& e : hists_) {
+      std::string b = "# HELP " + e.name + " " + e.help + "\n# TYPE " +
+                      e.name + " histogram\n";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < e.v.bounds().size(); ++i) {
+        cum += e.v.bucket_value(i);
+        b += e.name + "_bucket{le=\"" + fmt_double(e.v.bounds()[i]) +
+             "\"} " + std::to_string(cum) + "\n";
+      }
+      cum += e.v.bucket_value(e.v.bounds().size());
+      b += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+      b += e.name + "_sum " + fmt_double(e.v.sum()) + "\n";
+      b += e.name + "_count " + std::to_string(e.v.count()) + "\n";
+      blocks.emplace_back(e.name, std::move(b));
+    }
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (auto& [n, b] : blocks) out += b;
+  return out;
+}
+
+}  // namespace lol::obs

@@ -1,0 +1,138 @@
+// Process-wide metrics registry: named counters, gauges, and
+// fixed-bucket histograms on cache-line-padded atomics, exposed in
+// Prometheus text format.
+//
+// Design rules that keep the hot path cheap:
+//   - Instruments are found-or-created under a mutex ONCE (call sites
+//     cache the reference in a function-local static); after that an
+//     update is a single relaxed fetch_add on a dedicated cache line.
+//   - Labels are limited to one key per family with a small, bounded
+//     value set (tenant/backend/status).  A family caps its children at
+//     kMaxChildren; further distinct values collapse into an "_other"
+//     series so client-chosen tenant names cannot grow the registry
+//     unboundedly.
+//   - Instruments live in std::deque so addresses are stable for the
+//     lifetime of the registry; references never dangle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/profile.hpp"  // LOL_OBS_RUNTIME_METRICS default
+
+namespace lol::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed upper-bound buckets chosen at registration; observe() is a
+/// linear scan over <= ~8 bounds plus three relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::size_t n_buckets() const { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Raw (non-cumulative) count of bucket i; i == bounds().size() is +Inf.
+  std::uint64_t bucket_value(std::size_t i) const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;            // strictly increasing upper bounds
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (+Inf)
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A set of counters sharing a name, distinguished by one label.
+class CounterFamily {
+ public:
+  /// Distinct label values beyond this collapse into the "_other" child.
+  static constexpr std::size_t kMaxChildren = 32;
+
+  CounterFamily(std::string name, std::string help, std::string label_key);
+
+  /// Find-or-create the child for `label_value` (mutex-guarded; cache
+  /// the returned reference when the label is known statically).
+  Counter& with(std::string_view label_value);
+
+  const std::string& name() const { return name_; }
+  std::size_t n_children() const;
+
+ private:
+  friend class Registry;
+  std::string name_, help_, label_key_;
+  mutable std::mutex m_;
+  struct Child {
+    explicit Child(std::string v) : label(std::move(v)) {}
+    std::string label;
+    Counter c;
+  };
+  std::deque<Child> children_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in instrument lives in.
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  CounterFamily& counter_family(std::string_view name, std::string_view help,
+                                std::string_view label_key);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds);
+
+  /// Prometheus text exposition: # HELP / # TYPE lines, families sorted
+  /// by name, histogram buckets cumulative with `le="+Inf"`, `_sum`,
+  /// `_count`.
+  std::string expose() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    template <typename... A>
+    Entry(std::string n, std::string h, A&&... a)
+        : name(std::move(n)), help(std::move(h)),
+          v(std::forward<A>(a)...) {}
+    std::string name, help;
+    T v;
+  };
+
+  mutable std::mutex m_;
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<CounterFamily> families_;
+  std::deque<Entry<Histogram>> hists_;
+};
+
+}  // namespace lol::obs

@@ -28,6 +28,7 @@ struct ExecContext {
   std::uint64_t max_steps = 0;   // 0 = unlimited
   std::uint64_t steps_left = 0;  // remaining budget when limited
   std::uint64_t abort_countdown = 1;  // steps until the next abort check
+  std::uint64_t steps_done = 0;  // retired steps, flushed to the PE profile
 
   ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i,
               std::uint64_t max_steps_budget = 0)
@@ -37,6 +38,17 @@ struct ExecContext {
         in(&i),
         max_steps(max_steps_budget),
         steps_left(max_steps_budget) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Flush retired-step count into the PE profile exactly once, at the
+  /// end of the PE body (the profile outlives the context: the runtime
+  /// aggregates it after the gang joins). Counting locally and flushing
+  /// on destruction keeps count_step() free of indirection.
+  ~ExecContext() {
+    if (pe != nullptr) pe->profile().steps += steps_done;
+  }
 
   /// Charges one execution step (a statement in the interpreter, an
   /// instruction in the VM). Throws support::StepLimitError once the
@@ -51,6 +63,7 @@ struct ExecContext {
       if (steps_left == 0) throw support::StepLimitError(max_steps);
       --steps_left;
     }
+    ++steps_done;
     if (--abort_countdown == 0) {
       abort_countdown = kAbortPollPeriod;
       if (pe->runtime().aborted()) {
@@ -70,9 +83,14 @@ struct ExecContext {
     const bool coop = rt.cooperative_pes();
     const std::chrono::milliseconds wait =
         coop ? std::chrono::milliseconds(0) : kInputPollWait;
+    bool blocked = false;
     for (;;) {
       TryRead r = in->try_read_line(pe->id(), wait);
       if (!r.timed_out) return std::move(r.line);
+      if (!blocked) {
+        blocked = true;
+        ++pe->profile().gimmeh_blocks;
+      }
       if (rt.aborted()) {
         throw support::RuntimeError("SPMD aborted while blocked in GIMMEH");
       }

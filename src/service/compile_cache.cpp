@@ -2,9 +2,41 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace lol::service {
+
+namespace {
+
+/// Registry mirrors of the per-cache Stats (cold path: every update
+/// already holds the cache mutex).
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& resident_bytes;
+  CacheMetrics()
+      : hits(obs::Registry::global().counter(
+            "lol_compile_cache_hits_total",
+            "Compile-cache lookups served from a resident entry")),
+        misses(obs::Registry::global().counter(
+            "lol_compile_cache_misses_total",
+            "Compile-cache lookups that had to compile")),
+        evictions(obs::Registry::global().counter(
+            "lol_compile_cache_evictions_total",
+            "Entries evicted by the LRU count/byte budgets")),
+        resident_bytes(obs::Registry::global().gauge(
+            "lol_compile_cache_resident_bytes",
+            "Estimated footprint of resident compile-cache entries")) {}
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::uint64_t hash_source(std::string_view source) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
@@ -19,6 +51,11 @@ CompileCache::CompileCache(std::size_t capacity, std::size_t capacity_bytes)
     : capacity_(capacity == 0 ? 1 : capacity),
       capacity_bytes_(capacity_bytes) {}
 
+CompileCache::~CompileCache() {
+  cache_metrics().resident_bytes.sub(
+      static_cast<std::int64_t>(resident_bytes_));
+}
+
 void CompileCache::evict_while_over_budget_locked() {
   // Evict from the LRU tail until both budgets hold, but never the
   // most recent entry: an over-budget source stays resident until the
@@ -30,8 +67,11 @@ void CompileCache::evict_while_over_budget_locked() {
     lru_.pop_back();
     auto it = entries_.find(victim);
     resident_bytes_ -= it->second.bytes;
+    cache_metrics().resident_bytes.sub(
+        static_cast<std::int64_t>(it->second.bytes));
     entries_.erase(it);
     ++stats_.evictions;
+    cache_metrics().evictions.inc();
   }
 }
 
@@ -47,6 +87,7 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.source == source) {
       ++stats_.hits;
+      cache_metrics().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       fut = it->second.result;
       if (hit != nullptr) *hit = true;
@@ -54,10 +95,12 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
       // True 64-bit collision: different source, same hash. Vanishingly
       // rare — compile uncached rather than evict the resident entry.
       ++stats_.misses;
+      cache_metrics().misses.inc();
       if (hit != nullptr) *hit = false;
       i_compile = true;
     } else {
       ++stats_.misses;
+      cache_metrics().misses.inc();
       if (hit != nullptr) *hit = false;
       i_compile = true;
       // Publish the future before compiling so concurrent requests for
@@ -67,6 +110,7 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
       std::size_t bytes = charged_bytes(source.size());
       entries_.emplace(key, Entry{source, fut, lru_.begin(), bytes});
       resident_bytes_ += bytes;
+      cache_metrics().resident_bytes.add(static_cast<std::int64_t>(bytes));
       evict_while_over_budget_locked();
     }
   }
@@ -104,6 +148,8 @@ void CompileCache::clear() {
   std::lock_guard<std::mutex> g(m_);
   entries_.clear();
   lru_.clear();
+  cache_metrics().resident_bytes.sub(
+      static_cast<std::int64_t>(resident_bytes_));
   resident_bytes_ = 0;
 }
 

@@ -68,6 +68,10 @@ class CompileCache {
   explicit CompileCache(std::size_t capacity = 128,
                         std::size_t capacity_bytes = 32u << 20);
 
+  /// Releases this cache's contribution to the process-wide
+  /// resident-bytes gauge (tests construct many short-lived caches).
+  ~CompileCache();
+
   /// Returns the cached compile for `source`, compiling at most once per
   /// source even under concurrent requests for it: the first caller
   /// publishes a future and compiles outside the lock, later callers

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "service/wire.hpp"
 
 namespace lol::service {
@@ -224,6 +225,10 @@ bool Daemon::handle_line(const std::shared_ptr<Conn>& conn,
     }
     case wire::Request::Op::kStats:
       send_line(*conn, wire::stats_line(svc_.stats()));
+      return true;
+    case wire::Request::Op::kMetrics:
+      send_line(*conn,
+                wire::metrics_line(obs::Registry::global().expose()));
       return true;
     case wire::Request::Op::kPing:
       send_line(*conn, wire::pong_line());

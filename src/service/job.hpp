@@ -89,6 +89,17 @@ enum class JobStatus {
   return "?";
 }
 
+/// One phase of a job's lifecycle, timestamped relative to submission.
+/// The service emits spans in order: queued → compile (or
+/// compile[cached]) → claim (runtime build + executor claim, up to the
+/// first PE starting) → run (first PE start to gang join) → drain
+/// (result/output collection). Refused jobs carry only `queued`.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;  // offset from submit_job acceptance
+  double dur_ms = 0.0;
+};
+
 /// Outcome delivered through the future returned by Service::submit.
 struct JobResult {
   JobId id = 0;
@@ -101,6 +112,7 @@ struct JobResult {
   bool compile_cache_hit = false;      // source was already compiled
   double queue_ms = 0.0;               // submit -> worker pickup
   double run_ms = 0.0;                 // compile(+cache) + execution
+  std::vector<TraceSpan> trace;        // lifecycle phases (see TraceSpan)
 
   [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };

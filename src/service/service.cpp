@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace lol::service {
 
 namespace {
@@ -11,6 +13,54 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Global service metrics, resolved once. Per-Service exact counts live
+/// in Service::AtomicStats; these registry instruments aggregate across
+/// every Service in the process (a daemon runs exactly one) and feed the
+/// Prometheus exposition. Tenant-labelled families are protected by the
+/// registry's cardinality cap: a hostile client inventing tenant names
+/// lands in the "_other" series instead of growing the process.
+struct SvcMetrics {
+  obs::Counter& submitted;
+  obs::CounterFamily& done_by_status;
+  obs::Gauge& queue_depth;
+  obs::Gauge& running;
+  obs::Histogram& queue_wait_ms;
+  obs::Histogram& total_ms;
+  obs::CounterFamily& deadline_by_tenant;
+  obs::CounterFamily& quota_by_tenant;
+  SvcMetrics()
+      : submitted(obs::Registry::global().counter(
+            "lol_jobs_submitted_total", "Jobs accepted by submit_job")),
+        done_by_status(obs::Registry::global().counter_family(
+            "lol_jobs_done_total",
+            "Jobs whose result was delivered, by final status", "status")),
+        queue_depth(obs::Registry::global().gauge(
+            "lol_queue_depth", "Jobs queued and not yet picked up")),
+        running(obs::Registry::global().gauge(
+            "lol_jobs_running", "Jobs currently executing on workers")),
+        queue_wait_ms(obs::Registry::global().histogram(
+            "lol_queue_wait_ms", "Submit-to-worker-pickup latency (ms)",
+            {1, 5, 20, 100, 500, 2000})),
+        total_ms(obs::Registry::global().histogram(
+            "lol_job_total_ms",
+            "End-to-end latency, submit to result delivered (ms)",
+            {1, 5, 20, 100, 500, 2000, 10000})),
+        deadline_by_tenant(obs::Registry::global().counter_family(
+            "lol_deadline_exceeded_total",
+            "Jobs killed by the wall-clock deadline reaper, by tenant",
+            "tenant")),
+        quota_by_tenant(obs::Registry::global().counter_family(
+            "lol_quota_rejected_total",
+            "Submissions refused by the per-tenant queued-job quota, "
+            "by tenant",
+            "tenant")) {}
+};
+
+SvcMetrics& svc_metrics() {
+  static SvcMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -77,7 +127,8 @@ Service::Submission Service::submit_job(Job job, Callback on_done) {
   std::unique_lock<std::mutex> g(m_);
   sub.id = next_id_++;
   p.id = sub.id;
-  ++stats_.submitted;
+  counts_.submitted.fetch_add(1, std::memory_order_relaxed);
+  svc_metrics().submitted.inc();
 
   auto refuse = [&](JobStatus status, const std::string& why) {
     JobResult r;
@@ -86,11 +137,16 @@ Service::Submission Service::submit_job(Job job, Callback on_done) {
     r.tenant = p.job.tenant;
     r.status = status;
     r.error = why;
+    // Refused jobs never reach a worker; their whole lifecycle is the
+    // queued span (submit to refusal, effectively instantaneous).
+    r.trace.push_back({"queued", 0.0, ms_since(p.enqueued)});
     if (status == JobStatus::kQuotaExceeded) {
-      ++stats_.quota_rejected;
+      counts_.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+      svc_metrics().quota_by_tenant.with(p.job.tenant).inc();
     } else {
-      ++stats_.rejected;
+      counts_.rejected.fetch_add(1, std::memory_order_relaxed);
     }
+    svc_metrics().done_by_status.with(to_string(status)).inc();
     g.unlock();
     deliver(p, std::move(r));
     return std::move(sub);
@@ -146,6 +202,7 @@ Service::Submission Service::submit_job(Job job, Callback on_done) {
     rotation_.push_back(&ts);
   }
   ++queued_total_;
+  svc_metrics().queue_depth.add(1);
   g.unlock();
   not_empty_.notify_one();
   return sub;
@@ -169,6 +226,7 @@ Service::Pending Service::pop_locked() {
     Pending p = std::move(t->q.front());
     t->q.pop_front();
     --queued_total_;
+    svc_metrics().queue_depth.sub(1);
     if (--t->credit == 0 || t->q.empty()) {
       rotation_.pop_front();
       if (t->q.empty()) {
@@ -196,6 +254,7 @@ void Service::worker_loop() {
       inflight = std::make_shared<Inflight>();
       running_.emplace(p.id, inflight);
     }
+    svc_metrics().running.add(1);
     not_full_.notify_one();
 
     // Resolve the wall-clock budget like the step budget: job request,
@@ -237,6 +296,7 @@ void Service::worker_loop() {
       std::lock_guard<std::mutex> g(m_);
       running_.erase(p.id);
     }
+    svc_metrics().running.sub(1);
     record(r);
     deliver(p, std::move(r));
   }
@@ -250,9 +310,16 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   r.name = job.name;
   r.tenant = job.tenant;
   r.queue_ms = queue_ms;
+  // Lifecycle trace: spans are timestamped as offsets from submission
+  // (queued start = 0), so a tail-latency outlier in the done event is
+  // attributable to a phase at a glance.
+  r.trace.push_back({"queued", 0.0, queue_ms});
 
   CachedCompile compiled = cache_.get_or_compile(job.source,
                                                  &r.compile_cache_hit);
+  double compile_ms = ms_since(t0);
+  r.trace.push_back({r.compile_cache_hit ? "compile[cached]" : "compile",
+                     queue_ms, compile_ms});
   if (!compiled.ok()) {
     r.status = JobStatus::kCompileError;
     r.error = compiled.error;
@@ -285,6 +352,9 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   cfg.barrier_radix = job.barrier_radix;  // Runtime clamps hostile fan-ins
 
   RunResult run = lol::run(*compiled.program, cfg);
+  const double claim_start = queue_ms + compile_ms;
+  r.trace.push_back({"claim", claim_start, run.claim_ms});
+  r.trace.push_back({"run", claim_start + run.claim_ms, run.exec_ms});
   r.pe_output = std::move(run.pe_output);
   r.pe_errout = std::move(run.pe_errout);
   // A completed run beats a late abort; otherwise the abort reason (set
@@ -306,6 +376,12 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
     r.error = run.first_error();
   }
   r.run_ms = ms_since(t0);
+  // Whatever execute() spent past the gang join — output moves, status
+  // classification — is the drain phase.
+  double drain_ms =
+      r.run_ms - compile_ms - run.claim_ms - run.exec_ms;
+  if (drain_ms < 0.0) drain_ms = 0.0;
+  r.trace.push_back({"drain", queue_ms + r.run_ms - drain_ms, drain_ms});
   return r;
 }
 
@@ -318,7 +394,8 @@ bool Service::cancel(JobId id) {
       Pending p = std::move(*it);
       ts.q.erase(it);
       --queued_total_;
-      ++stats_.cancelled;
+      svc_metrics().queue_depth.sub(1);
+      counts_.cancelled.fetch_add(1, std::memory_order_relaxed);
       if (ts.q.empty()) {
         // Reap the drained tenant now rather than leaving it parked in
         // the rotation until the next pop (which may never come).
@@ -335,6 +412,8 @@ bool Service::cancel(JobId id) {
       r.tenant = p.job.tenant;
       r.status = JobStatus::kCancelled;
       r.error = "cancelled while queued";
+      r.trace.push_back({"queued", 0.0, ms_since(p.enqueued)});
+      svc_metrics().done_by_status.with(to_string(r.status)).inc();
       deliver(p, std::move(r));
       return true;
     }
@@ -403,23 +482,48 @@ void Service::deliver(Pending& p, JobResult r) {
 }
 
 void Service::record(const JobResult& r) {
-  std::lock_guard<std::mutex> g(m_);
-  ++stats_.completed;
+  // Lock-free: workers record results without touching m_, so a result
+  // landing never contends with submitters or monitoring scrapes.
+  auto bump = [](std::atomic<std::uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  };
+  bump(counts_.completed);
   switch (r.status) {
-    case JobStatus::kOk: ++stats_.ok; break;
-    case JobStatus::kCompileError: ++stats_.compile_errors; break;
-    case JobStatus::kRuntimeError: ++stats_.runtime_errors; break;
-    case JobStatus::kStepLimit: ++stats_.step_limited; break;
-    case JobStatus::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
-    case JobStatus::kCancelled: ++stats_.cancelled; break;
+    case JobStatus::kOk: bump(counts_.ok); break;
+    case JobStatus::kCompileError: bump(counts_.compile_errors); break;
+    case JobStatus::kRuntimeError: bump(counts_.runtime_errors); break;
+    case JobStatus::kStepLimit: bump(counts_.step_limited); break;
+    case JobStatus::kDeadlineExceeded:
+      bump(counts_.deadline_exceeded);
+      svc_metrics().deadline_by_tenant.with(r.tenant).inc();
+      break;
+    case JobStatus::kCancelled: bump(counts_.cancelled); break;
     case JobStatus::kRejected: break;       // never ran; never reaches here
     case JobStatus::kQuotaExceeded: break;  // never ran; never reaches here
   }
+  svc_metrics().done_by_status.with(to_string(r.status)).inc();
+  svc_metrics().queue_wait_ms.observe(r.queue_ms);
+  svc_metrics().total_ms.observe(r.queue_ms + r.run_ms);
 }
 
 Service::Stats Service::stats() const {
-  std::lock_guard<std::mutex> g(m_);
-  Stats s = stats_;
+  // Assembled from relaxed loads — no service mutex, so a monitoring
+  // scrape can never stall submitters or workers (the old snapshot
+  // copied stats_ under m_). The cache keeps its own (cold) lock.
+  auto load = [](const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  Stats s;
+  s.submitted = load(counts_.submitted);
+  s.completed = load(counts_.completed);
+  s.ok = load(counts_.ok);
+  s.compile_errors = load(counts_.compile_errors);
+  s.runtime_errors = load(counts_.runtime_errors);
+  s.step_limited = load(counts_.step_limited);
+  s.deadline_exceeded = load(counts_.deadline_exceeded);
+  s.cancelled = load(counts_.cancelled);
+  s.rejected = load(counts_.rejected);
+  s.quota_rejected = load(counts_.quota_rejected);
   s.cache = cache_.stats();
   return s;
 }

@@ -27,6 +27,7 @@
 //   svc.cancel(sub.id);            // or: JobResult r = sub.result.get();
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -216,6 +217,27 @@ class Service {
   void record(const JobResult& r);
   void deliver(Pending& p, JobResult r);  // callback + promise
 
+  /// Per-Service lock-free counters. Workers bump these without m_, and
+  /// stats() assembles a snapshot from relaxed loads — the old design
+  /// copied a Stats struct under the service mutex, stalling submitters
+  /// and workers behind every monitoring scrape. Padded so a worker
+  /// recording results never false-shares with submitters counting
+  /// rejections. Mirrored into obs::Registry::global() at the same
+  /// sites; these stay per-instance so multiple Services (tests run
+  /// many) keep exact independent counts.
+  struct AtomicStats {
+    alignas(64) std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> quota_rejected{0};
+    alignas(64) std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> compile_errors{0};
+    std::atomic<std::uint64_t> runtime_errors{0};
+    std::atomic<std::uint64_t> step_limited{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> cancelled{0};
+  };
+
   ServiceOptions opts_;
   CompileCache cache_;
 
@@ -229,7 +251,7 @@ class Service {
   JobId next_id_ = 1;
   bool stopping_ = false;
   bool started_ = false;
-  Stats stats_;
+  AtomicStats counts_;
 
   std::vector<std::thread> workers_;
 

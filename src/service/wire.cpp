@@ -255,6 +255,8 @@ std::string quote(std::string_view s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
@@ -344,6 +346,10 @@ std::optional<Request> parse_request(const std::string& line,
     req.op = Request::Op::kStats;
     return req;
   }
+  if (op == "metrics") {
+    req.op = Request::Op::kMetrics;
+    return req;
+  }
   if (op == "ping") {
     req.op = Request::Op::kPing;
     return req;
@@ -421,6 +427,7 @@ std::string request_line(const Request& req) {
     case Request::Op::kSubmit: return submit_line(req.job);
     case Request::Op::kCancel: return cancel_request_line(req.id);
     case Request::Op::kStats: return "{\"op\":\"stats\"}";
+    case Request::Op::kMetrics: return "{\"op\":\"metrics\"}";
     case Request::Op::kPing: return "{\"op\":\"ping\"}";
     case Request::Op::kShutdown: return "{\"op\":\"shutdown\"}";
   }
@@ -440,9 +447,16 @@ std::string result_line(const JobResult& r) {
                     to_string(r.status) + "\",\"error\":" + quote(r.error) +
                     ",\"cached\":" + (r.compile_cache_hit ? "true" : "false") +
                     ",\"queue_ms\":" + fmt_ms(r.queue_ms) +
-                    ",\"run_ms\":" + fmt_ms(r.run_ms) +
-                    ",\"output\":" + json_array(r.pe_output) +
-                    ",\"errout\":" + json_array(r.pe_errout) + "}";
+                    ",\"run_ms\":" + fmt_ms(r.run_ms) + ",\"trace\":[";
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const TraceSpan& sp = r.trace[i];
+    if (i != 0) out += ',';
+    out += "{\"span\":" + quote(sp.name) +
+           ",\"start_ms\":" + fmt_ms(sp.start_ms) +
+           ",\"dur_ms\":" + fmt_ms(sp.dur_ms) + "}";
+  }
+  out += "],\"output\":" + json_array(r.pe_output) +
+         ",\"errout\":" + json_array(r.pe_errout) + "}";
   return out;
 }
 
@@ -465,6 +479,10 @@ std::string stats_line(const Service::Stats& s) {
          ",\"cache_hits\":" + n(s.cache.hits) +
          ",\"cache_misses\":" + n(s.cache.misses) +
          ",\"cache_evictions\":" + n(s.cache.evictions) + "}";
+}
+
+std::string metrics_line(std::string_view exposition) {
+  return "{\"event\":\"metrics\",\"text\":" + quote(exposition) + "}";
 }
 
 std::string pong_line() { return "{\"event\":\"pong\"}"; }

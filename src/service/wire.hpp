@@ -16,15 +16,17 @@
 //    for n_pes far beyond the host's cores; "barrier_radix" tunes the
 //    combining-tree fan-in, < 2 = auto, results are radix-invariant)
 //   {"op":"cancel","id":7}
-//   {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+//   {"op":"stats"}   {"op":"metrics"}   {"op":"ping"}   {"op":"shutdown"}
 //
 // Events:
 //   {"event":"accepted","id":7,"name":"lab1","tenant":"alice"}
 //   {"event":"done","id":7,"name":"lab1","tenant":"alice","status":"ok",
 //    "error":"","cached":true,"queue_ms":0.1,"run_ms":1.9,
+//    "trace":[{"span":"queued","start_ms":0.0,"dur_ms":0.1},...],
 //    "output":["..."],"errout":["..."]}
 //   {"event":"cancel","id":7,"ok":true}
 //   {"event":"stats",...}   {"event":"pong"}   {"event":"bye"}
+//   {"event":"metrics","text":"# HELP ...\n..."}  (Prometheus exposition)
 //   {"event":"error","message":"..."}
 #pragma once
 
@@ -64,7 +66,7 @@ std::string quote(std::string_view s);
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kSubmit, kCancel, kStats, kPing, kShutdown };
+  enum class Op { kSubmit, kCancel, kStats, kMetrics, kPing, kShutdown };
   Op op = Op::kPing;
   Job job;        // kSubmit
   JobId id = 0;   // kCancel
@@ -122,6 +124,9 @@ std::string accepted_line(JobId id, const Job& job);
 std::string result_line(const JobResult& r);
 std::string cancel_line(JobId id, bool ok);
 std::string stats_line(const Service::Stats& s);
+/// Prometheus text exposition wrapped into one NDJSON event (the
+/// exposition itself is multi-line; the JSON string escapes it).
+std::string metrics_line(std::string_view exposition);
 std::string pong_line();
 std::string bye_line();
 std::string error_line(std::string_view message);

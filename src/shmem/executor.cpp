@@ -3,9 +3,31 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace lol::shmem {
+
+#if LOL_OBS_RUNTIME_METRICS
+namespace {
+struct PoolMetrics {
+  obs::Counter& worker_claims;
+  obs::Counter& threads_created;
+  PoolMetrics()
+      : worker_claims(obs::Registry::global().counter(
+            "lol_executor_worker_claims_total",
+            "Workers claimed from persistent pools (PE workers and fiber "
+            "carriers)")),
+        threads_created(obs::Registry::global().counter(
+            "lol_executor_threads_created_total",
+            "OS threads ever created by persistent executor pools")) {}
+};
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+}  // namespace
+#endif
 
 const char* to_string(ExecutorKind k) {
   switch (k) {
@@ -191,6 +213,9 @@ void ThreadPoolExecutor::run_gang(int n,
           Worker* raw = w.get();
           raw->thread = std::thread([this, raw] { worker_main(raw); });
           ++threads_created_;
+#if LOL_OBS_RUNTIME_METRICS
+          pool_metrics().threads_created.inc();
+#endif
           all_.push_back(std::move(w));
           claimed.push_back(raw);
         }
@@ -205,6 +230,9 @@ void ThreadPoolExecutor::run_gang(int n,
           e.what() + "); lower n_pes or use --executor fiber");
     }
   }
+#if LOL_OBS_RUNTIME_METRICS
+  pool_metrics().worker_claims.inc(static_cast<std::uint64_t>(n - 1));
+#endif
   for (int i = 1; i < n; ++i) {
     Worker* w = claimed[static_cast<std::size_t>(i - 1)];
     {

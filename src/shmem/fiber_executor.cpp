@@ -52,6 +52,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 #if defined(__SANITIZE_THREAD__)
@@ -531,6 +532,9 @@ class FiberExecutor final : public PeExecutor {
     tls_carrier = &carrier;
 
     int live = count;
+#if LOL_OBS_RUNTIME_METRICS
+    std::uint64_t switches = 0;
+#endif
     while (live > 0) {
       const std::uint64_t pass_epoch = ec.prepare_wait();
       bool all_blocked = true;
@@ -538,6 +542,9 @@ class FiberExecutor final : public PeExecutor {
         Fiber& f = block[i];
         if (f.done || f.map_base == nullptr) continue;
         switch_to_fiber(carrier, f);
+#if LOL_OBS_RUNTIME_METRICS
+        ++switches;
+#endif
         if (f.done) {
           destroy_fiber(f);
           --live;
@@ -553,6 +560,15 @@ class FiberExecutor final : public PeExecutor {
         ec.wait_for_usec(pass_epoch, kIdleWait.count());
       }
     }
+
+#if LOL_OBS_RUNTIME_METRICS
+    // One atomic add per carrier per launch, covering both the asm and
+    // ucontext switch paths (every switch funnels through this loop).
+    static obs::Counter& fiber_switches = obs::Registry::global().counter(
+        "lol_fiber_switches_total",
+        "Carrier-to-fiber context switches performed by the fiber executor");
+    fiber_switches.inc(switches);
+#endif
 
     tls_carrier = prev;
   }

@@ -1,8 +1,11 @@
 #include "shmem/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "obs/metrics.hpp"
 
 namespace lol::shmem {
 
@@ -11,6 +14,42 @@ using support::RuntimeError;
 namespace {
 
 constexpr std::size_t kAlign = 8;
+
+#if LOL_OBS_RUNTIME_METRICS
+/// Process-wide runtime counters, resolved once: after the first call an
+/// update is a single relaxed fetch_add on a private cache line.
+struct RtMetrics {
+  obs::Counter& barrier_crossings;
+  obs::Counter& lock_acquisitions;
+  obs::Counter& lock_contended;
+  obs::Gauge& tree_levels;
+  RtMetrics()
+      : barrier_crossings(obs::Registry::global().counter(
+            "lol_barrier_crossings_total",
+            "Whole-gang combining-tree crossings (barriers + collectives)")),
+        lock_acquisitions(obs::Registry::global().counter(
+            "lol_lock_acquisitions_total",
+            "Global symmetric lock acquisitions (set_lock and won test_lock)")),
+        lock_contended(obs::Registry::global().counter(
+            "lol_lock_contended_total",
+            "Lock acquisitions that found the lock held and had to wait")),
+        tree_levels(obs::Registry::global().gauge(
+            "lol_barrier_tree_levels",
+            "Combining-tree depth of the most recently built runtime")) {}
+};
+
+RtMetrics& rt_metrics() {
+  static RtMetrics m;
+  return m;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+#endif
 
 /// Relaxed word-atomic copy *into* an arena. Tears at word granularity
 /// under races (like real one-sided hardware) but is never UB.
@@ -159,6 +198,12 @@ void Pe::set_lock(int lock_id) {
   }
   // Eventcount-shaped acquire loop: block through the executor (a fiber
   // yields its carrier here) and stay abortable between attempts.
+#if LOL_OBS_RUNTIME_METRICS
+  ++prof_.lock_acquires;
+  rt_metrics().lock_acquisitions.inc();
+  bool contended = false;
+  std::uint64_t t_wait0 = 0;
+#endif
   for (;;) {
     std::uint64_t e = rt_->prepare_wait();
     int expected = -1;
@@ -167,11 +212,24 @@ void Pe::set_lock(int lock_id) {
                                            std::memory_order_acquire)) {
       break;
     }
+#if LOL_OBS_RUNTIME_METRICS
+    if (!contended) {
+      contended = true;
+      ++prof_.lock_contended;
+      rt_metrics().lock_contended.inc();
+      if (rt_->cfg_.profile) t_wait0 = now_ns();
+    }
+#endif
     if (rt_->aborted()) {
       throw RuntimeError("SPMD aborted while waiting for lock");
     }
     rt_->wait(id_, e);
   }
+#if LOL_OBS_RUNTIME_METRICS
+  if (contended && rt_->cfg_.profile) {
+    prof_.lock_wait_ns += now_ns() - t_wait0;
+  }
+#endif
   if (const auto* m = rt_->model()) {
     sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
   }
@@ -191,6 +249,12 @@ bool Pe::test_lock(int lock_id) {
   bool got = lock.owner.compare_exchange_strong(expected, id_,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire);
+#if LOL_OBS_RUNTIME_METRICS
+  if (got) {
+    ++prof_.lock_acquires;
+    rt_metrics().lock_acquisitions.inc();
+  }
+#endif
   if (const auto* m = rt_->model()) {
     sim_ns_ += m->lock_ns(id_, lock_id % rt_->n_pes());
   }
@@ -306,6 +370,9 @@ void Runtime::build_tree() {
   } while (width > 1);
   tree_ = std::make_unique<TreeNode[]>(static_cast<std::size_t>(total));
   pe_ns_ = std::make_unique<PeSlot[]>(static_cast<std::size_t>(cfg_.n_pes));
+#if LOL_OBS_RUNTIME_METRICS
+  rt_metrics().tree_levels.set(static_cast<std::int64_t>(level_off_.size()));
+#endif
 }
 
 int Runtime::child_count(int level, int node_i) const {
@@ -444,6 +511,11 @@ void Runtime::fire_root(std::uint64_t my_gen, CollOp op) {
       break;
   }
   bar_release_ns_[slot] = release;
+#if LOL_OBS_RUNTIME_METRICS
+  // One increment per whole-gang crossing, by the single root winner —
+  // the global counter costs nothing per PE.
+  rt_metrics().barrier_crossings.inc();
+#endif
   bar_gen_.store(my_gen + 1, std::memory_order_release);
   notify_waiters();
 }
@@ -459,6 +531,9 @@ std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
   // crossing.
   const bool sim = cfg_.model != nullptr;
   if (sim) pe_ns_[static_cast<std::size_t>(pe.id_)].ns = pe.sim_ns_;
+#if LOL_OBS_RUNTIME_METRICS
+  ++pe.prof_.barrier_crossings;
+#endif
 
   // Climb while this PE is the last arrival of each node. Winners never
   // block; losers fall through to the eventcount wait below. The
@@ -493,6 +568,10 @@ std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
     // abort()/deadline wakeups land on the same notify path as the
     // release, so a wedged PE dies whether it is a leaf waiter, a
     // mid-tree loser, or parked one arrival short of the root.
+#if LOL_OBS_RUNTIME_METRICS
+    const bool timed = cfg_.profile;
+    const std::uint64_t t_wait0 = timed ? now_ns() : 0;
+#endif
     for (;;) {
       std::uint64_t e = prepare_wait();
       if (bar_gen_.load(std::memory_order_acquire) != my_gen) break;
@@ -501,6 +580,9 @@ std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
       }
       wait(pe.id_, e);
     }
+#if LOL_OBS_RUNTIME_METRICS
+    if (timed) pe.prof_.barrier_wait_ns += now_ns() - t_wait0;
+#endif
   }
   // Release timestamp broadcast: every PE leaves the crossing at the
   // same simulated instant (max across arrivals + modeled tree cost).
@@ -523,7 +605,17 @@ LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
         launch_counter_ * 0x9E3779B97F4A7C15ULL;
   }
 
+  // Executor-claim vs run split for job traces: the first PE body to
+  // start stamps t_first (single writer via the exchange; read after the
+  // gang joins, so the plain time_point is race-free).
+  std::atomic<bool> first_started{false};
+  std::chrono::steady_clock::time_point t_first{};
+  const auto t_launch = std::chrono::steady_clock::now();
+
   auto body = [&](int i) {
+    if (!first_started.exchange(true, std::memory_order_relaxed)) {
+      t_first = std::chrono::steady_clock::now();
+    }
     Pe& pe = pes[static_cast<std::size_t>(i)];
     try {
       fn(pe);
@@ -551,9 +643,23 @@ LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
   }
   sched_.store(nullptr, std::memory_order_release);
 
+  const auto t_done = std::chrono::steady_clock::now();
+  auto ms = [](std::chrono::steady_clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+  if (first_started.load(std::memory_order_relaxed)) {
+    result.claim_ms = ms(t_first - t_launch);
+    result.exec_ms = ms(t_done - t_first);
+  } else {
+    result.claim_ms = ms(t_done - t_launch);
+  }
+
+  result.profiles.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     result.sim_ns[static_cast<std::size_t>(i)] =
         pes[static_cast<std::size_t>(i)].sim_ns_;
+    result.profiles[static_cast<std::size_t>(i)] =
+        pes[static_cast<std::size_t>(i)].prof_;
     if (!result.errors[static_cast<std::size_t>(i)].empty()) {
       result.ok = false;
     }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "noc/model.hpp"
+#include "obs/profile.hpp"
 #include "shmem/executor.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
@@ -57,6 +58,11 @@ struct Config {
   /// gangs). The radix changes contention and modeled tree depth, never
   /// results: collectives combine in a fixed canonical order.
   int barrier_radix = 0;
+
+  /// Sample wall-clock wait times (barrier park, lock spin) into each
+  /// PE's obs::PeProfile. Event counts are always collected; the clock
+  /// reads are opt-in because they are not free at high PE counts.
+  bool profile = false;
 };
 
 class Runtime;
@@ -140,6 +146,15 @@ class Pe {
   /// An arbitrary per-launch, per-PE stable tag backends may use.
   [[nodiscard]] std::uint64_t launch_seed() const { return launch_seed_; }
 
+  // -- per-PE profiling ---------------------------------------------------------
+
+  /// Plain counters owned by the thread/fiber running this PE; backends
+  /// bump them directly (steps, GIMMEH blocks) and the runtime adds
+  /// barrier/lock events. Aggregated into LaunchResult after the gang
+  /// joins — never read concurrently with the PE running.
+  [[nodiscard]] obs::PeProfile& profile() { return prof_; }
+  [[nodiscard]] const obs::PeProfile& profile() const { return prof_; }
+
  private:
   friend class Runtime;
   Runtime* rt_ = nullptr;
@@ -147,6 +162,7 @@ class Pe {
   std::size_t bump_ = 0;
   double sim_ns_ = 0.0;
   std::uint64_t launch_seed_ = 0;
+  obs::PeProfile prof_;
 
   void check_target(int target) const;
   void check_range(std::size_t offset, std::size_t n) const;
@@ -159,6 +175,14 @@ struct LaunchResult {
   std::vector<std::string> errors;
   /// Per-PE simulated time (ns); zeros when no machine model configured.
   std::vector<double> sim_ns;
+  /// Per-PE runtime profiles (steps filled in by the backend; barrier
+  /// and lock event counts always valid; *_wait_ns only populated when
+  /// Config::profile was set).
+  std::vector<obs::PeProfile> profiles;
+  /// Milliseconds from launch() entry until the first PE body started
+  /// (executor claim + gang setup), and from then until the gang joined.
+  double claim_ms = 0.0;
+  double exec_ms = 0.0;
 
   /// First non-empty error, preferring a root cause over the "SPMD
   /// aborted ..." collateral reported by peers the abort woke up.

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -169,6 +170,60 @@ TEST(LolrunCli, NoStdinFlagDropsPipedInput) {
   EXPECT_NE(r.output.find("[]"), std::string::npos) << r.output;
 }
 
+TEST(LolrunCli, ProfileFlagPrintsPerPeTable) {
+  std::string path = write_program(
+      "prof", "HAI 1.2\nVISIBLE ME\nHUGZ\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " -np 2 --profile " + path);
+  EXPECT_EQ(r.status, 0) << r.output;
+  EXPECT_NE(r.output.find("[profile]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("steps"), std::string::npos) << r.output;
+  // One table row per PE.
+  int rows = 0;
+  std::istringstream lines(r.output);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("[profile]", 0) == 0 &&
+        line.find("steps") == std::string::npos &&
+        line.find("claim") == std::string::npos) {
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, 2) << r.output;
+}
+
+TEST(LolrunCli, ProfiledStepsAgreeWithTheStepBudget) {
+  // The per-PE steps column is denominated in budget units: running
+  // again with --max-steps set to exactly that count succeeds, one
+  // less dies with the step-limit exit status (3).
+  std::string path = write_program(
+      "profsteps", "HAI 1.2\nVISIBLE ME\nVISIBLE MAH FRENZ\nKTHXBYE\n");
+  auto prof = run_cmd(std::string(LOLRUN_BIN) + " --profile " + path);
+  ASSERT_EQ(prof.status, 0) << prof.output;
+  // Parse the steps column of the single PE row:
+  //   [profile]      0        <steps> ...
+  std::uint64_t steps = 0;
+  std::istringstream lines(prof.output);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("[profile]", 0) != 0 ||
+        line.find("steps") != std::string::npos ||
+        line.find("claim") != std::string::npos) {
+      continue;
+    }
+    std::istringstream row(line.substr(std::strlen("[profile]")));
+    std::uint64_t pe = 0;
+    row >> pe >> steps;
+    break;
+  }
+  ASSERT_GT(steps, 1u) << prof.output;
+
+  auto exact = run_cmd(std::string(LOLRUN_BIN) + " --max-steps " +
+                       std::to_string(steps) + " " + path);
+  EXPECT_EQ(exact.status, 0) << exact.output;
+  auto tight = run_cmd(std::string(LOLRUN_BIN) + " --max-steps " +
+                       std::to_string(steps - 1) + " " + path);
+  ASSERT_TRUE(WIFEXITED(tight.status));
+  EXPECT_EQ(WEXITSTATUS(tight.status), 3) << tight.output;
+}
+
 TEST(LolrunCli, StepLimitUsesDistinctExitStatus) {
   // Exit-status parity with lcc binaries: 3 = step-limited, 1 = error.
   std::string path = write_program(
@@ -251,6 +306,7 @@ TEST(LolserveCli, ClientSpeaksTheWireProtocolToADaemon) {
       "sleep 0.1; i=$((i+1)); done; " +
       client + " --ping; " +
       client + " -np 4 --executor fiber " + job + "; echo submit_rc=$?; " +
+      client + " --metrics; echo metrics_rc=$?; " +
       client + " --cancel 424242; " +
       client + " --shutdown; "
       "wait $pid; }";
@@ -264,6 +320,14 @@ TEST(LolserveCli, ClientSpeaksTheWireProtocolToADaemon) {
       << r.output;
   EXPECT_NE(r.output.find("HAI FRUM 3"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("submit_rc=0"), std::string::npos) << r.output;
+  // --metrics prints the decoded Prometheus exposition, scraper-ready.
+  EXPECT_NE(r.output.find("metrics_rc=0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("# TYPE lol_jobs_submitted_total counter"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("lol_jobs_done_total{status=\"ok\"}"),
+            std::string::npos)
+      << r.output;
   // Cancel of an unknown id is answered (ok:false), not dropped.
   EXPECT_NE(r.output.find("\"event\":\"cancel\",\"id\":424242,\"ok\":false"),
             std::string::npos)

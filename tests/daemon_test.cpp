@@ -276,6 +276,79 @@ TEST(Daemon, StatsReflectServedJobs) {
   EXPECT_GE(stats->find("ok")->num, 1.0);
 }
 
+TEST(Daemon, DoneEventsCarryLifecycleTraces) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(kHelloSubmit);
+  auto done = c.read_event("done");
+  ASSERT_TRUE(done.has_value());
+  const wire::Json* trace = done->find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->is(wire::Json::Kind::kArray));
+  ASSERT_GE(trace->arr.size(), 2u);
+  EXPECT_EQ(trace->arr[0].find("span")->str, "queued");
+  for (const auto& sp : trace->arr) {
+    EXPECT_GE(sp.find("start_ms")->num, 0.0);
+    EXPECT_GE(sp.find("dur_ms")->num, 0.0);
+  }
+}
+
+TEST(Daemon, MetricsScrapeMidBurstIsParseableAndMonotonic) {
+  DaemonFixture fx;
+  ASSERT_TRUE(fx.started);
+  Client c(fx.daemon.tcp_port());
+  ASSERT_TRUE(c.connected());
+
+  auto scrape = [&]() -> std::string {
+    c.send_line(R"({"op":"metrics"})");
+    auto event = c.read_event("metrics");
+    EXPECT_TRUE(event.has_value());
+    if (!event) return "";
+    const wire::Json* text = event->find("text");
+    EXPECT_NE(text, nullptr);
+    return text != nullptr ? text->str : "";
+  };
+  auto counter_value = [](const std::string& text,
+                          const std::string& name) -> double {
+    std::size_t pos = text.find("\n" + name + " ");
+    if (pos == std::string::npos) return -1.0;
+    return std::atof(text.c_str() + pos + 1 + name.size());
+  };
+
+  // First burst, first scrape.
+  for (int i = 0; i < 8; ++i) c.send_line(kHelloSubmit);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(c.read_event("done").has_value());
+  std::string first = scrape();
+  ASSERT_FALSE(first.empty());
+  double submitted1 = counter_value(first, "lol_jobs_submitted_total");
+  EXPECT_GE(submitted1, 8.0);
+
+  // Every line is a comment or `name[{labels}] value`.
+  std::size_t start = 0;
+  while (start < first.size()) {
+    std::size_t nl = first.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "unterminated exposition line";
+    std::string line = first.substr(start, nl - start);
+    ASSERT_FALSE(line.empty());
+    if (line[0] != '#') {
+      EXPECT_NE(line.rfind(' '), std::string::npos) << line;
+    }
+    start = nl + 1;
+  }
+
+  // Second burst: counters are monotonic between scrapes.
+  for (int i = 0; i < 8; ++i) c.send_line(kHelloSubmit);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(c.read_event("done").has_value());
+  std::string second = scrape();
+  double submitted2 = counter_value(second, "lol_jobs_submitted_total");
+  EXPECT_GE(submitted2, submitted1 + 8.0);
+  EXPECT_GE(counter_value(second, "lol_barrier_crossings_total"),
+            counter_value(first, "lol_barrier_crossings_total"));
+}
+
 TEST(Daemon, ShutdownOpUnblocksWait) {
   DaemonFixture fx;
   ASSERT_TRUE(fx.started);
@@ -358,6 +431,25 @@ TEST(Wire, RejectsMalformedJson) {
 TEST(Wire, QuoteEscapesControlCharacters) {
   EXPECT_EQ(wire::quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
   EXPECT_EQ(wire::quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Wire, QuoteRoundTripsEveryControlCharacter) {
+  // All of U+0000..U+001F must survive quote() -> parse_json() exactly
+  // (RFC 8259 requires them escaped; a raw control byte in the output
+  // would also break NDJSON framing for \n).
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s = "a";
+    s += static_cast<char>(c);
+    s += "b";
+    std::string quoted = wire::quote(s);
+    for (char q : quoted) {
+      EXPECT_GE(static_cast<unsigned char>(q), 0x20u)
+          << "raw control byte " << c << " in: " << quoted;
+    }
+    auto doc = wire::parse_json(quoted);
+    ASSERT_TRUE(doc.has_value()) << "char " << c << ": " << quoted;
+    EXPECT_EQ(doc->str, s) << "char " << c;
+  }
 }
 
 TEST(Wire, RequestRoundTripsJobFields) {
@@ -466,8 +558,8 @@ TEST(Wire, CancelAndControlRequestsRoundTrip) {
     EXPECT_EQ(req->op, wire::Request::Op::kCancel);
     EXPECT_EQ(req->id, id);
   }
-  for (auto op : {wire::Request::Op::kStats, wire::Request::Op::kPing,
-                  wire::Request::Op::kShutdown}) {
+  for (auto op : {wire::Request::Op::kStats, wire::Request::Op::kMetrics,
+                  wire::Request::Op::kPing, wire::Request::Op::kShutdown}) {
     wire::Request r;
     r.op = op;
     std::string err;

@@ -40,6 +40,8 @@ int usage(const char* prog) {
       "  --max-steps <S>    per-PE step budget, 0 = unlimited (default)\n"
       "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
       "  --sim              print per-run simulated time (needs --machine)\n"
+      "  --profile          print a per-PE runtime profile (steps, barrier\n"
+      "                     and lock waits, GIMMEH blocks) to stderr\n"
       "  --tag              prefix output lines with [peN]\n"
       "  --no-stdin         do not feed piped stdin to GIMMEH\n"
       "  --dump-ast         print the parsed AST and exit\n"
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  bool profile = cli.has_flag("--profile");
+  cfg.profile = profile;
   bool tag = cli.has_flag("--tag");
   bool no_stdin = cli.has_flag("--no-stdin");
   bool dump_ast = cli.has_flag("--dump-ast");
@@ -137,6 +141,27 @@ int main(int argc, char** argv) {
     lol::rt::StdioSink sink(tag);
     cfg.sink = &sink;
     lol::RunResult result = lol::run(prog, cfg);
+    if (profile) {
+      // Profile goes to stderr even for failed runs: a step-limited job
+      // is exactly when the per-PE step counts matter.
+      std::fprintf(stderr,
+                   "[profile] claim=%.3fms exec=%.3fms\n"
+                   "[profile] %6s %12s %10s %12s %8s %10s %8s\n",
+                   result.claim_ms, result.exec_ms, "pe", "steps",
+                   "barriers", "barrier_ms", "locks", "lock_ms", "gimmeh");
+      for (std::size_t i = 0; i < result.pe_profiles.size(); ++i) {
+        const lol::obs::PeProfile& p = result.pe_profiles[i];
+        std::fprintf(stderr,
+                     "[profile] %6zu %12llu %10llu %12.3f %8llu %10.3f"
+                     " %8llu\n",
+                     i, static_cast<unsigned long long>(p.steps),
+                     static_cast<unsigned long long>(p.barrier_crossings),
+                     static_cast<double>(p.barrier_wait_ns) / 1e6,
+                     static_cast<unsigned long long>(p.lock_acquires),
+                     static_cast<double>(p.lock_wait_ns) / 1e6,
+                     static_cast<unsigned long long>(p.gimmeh_blocks));
+      }
+    }
     if (!result.ok) {
       for (const auto& e : result.errors) {
         if (!e.empty()) std::fprintf(stderr, "error: %s\n", e.c_str());

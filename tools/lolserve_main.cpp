@@ -40,6 +40,7 @@
 #endif
 
 #include "driver/cli.hpp"
+#include "obs/metrics.hpp"
 #include "service/daemon.hpp"
 #include "service/service.hpp"
 #include "service/wire.hpp"
@@ -54,7 +55,8 @@ int usage(const char* prog) {
       "usage: %s [options] <job.lol | dir>...\n"
       "       %s --daemon [--listen <unix:PATH|tcp:PORT>] [options]\n"
       "       %s --client [--connect <unix:PATH|tcp:PORT>] <job.lol>... |\n"
-      "                   --cancel <ID> | --stats | --ping | --shutdown\n"
+      "                   --cancel <ID> | --stats | --metrics | --ping |\n"
+      "                   --shutdown\n"
       "  --workers <N>      worker threads (default 4)\n"
       "  --queue <N>        bounded queue capacity (default 256)\n"
       "  --policy <p>       block (default) or reject when the queue is full\n"
@@ -88,6 +90,10 @@ int usage(const char* prog) {
       "{\"op\":\"shutdown\"}\n"
       "  --listen <addr>    unix:/path/to.sock or tcp:PORT (default "
       "tcp:4004, loopback)\n"
+      "  --metrics-interval <sec>  daemon: append a Prometheus metrics\n"
+      "                     snapshot every <sec> seconds\n"
+      "  --metrics-out <file>  destination for --metrics-interval\n"
+      "                     snapshots (default stderr)\n"
       "  --client           speak the NDJSON protocol to a running daemon\n"
       "  --connect <addr>   daemon address for --client (default tcp:4004)\n"
       "  --cancel <ID>      client: request cancel of job ID (the daemon\n"
@@ -95,7 +101,9 @@ int usage(const char* prog) {
       "                     connection; a refusal exits 1)\n"
       "  --cancel-after-ms <N>  client: cancel this invocation's still-\n"
       "                     running jobs N ms after submission\n"
-      "  --stats|--ping|--shutdown  client: one-shot daemon requests\n",
+      "  --stats|--ping|--shutdown  client: one-shot daemon requests\n"
+      "  --metrics          client: print the daemon's Prometheus text\n"
+      "                     exposition (decoded, scraper-ready)\n",
       prog, prog, prog);
   return 2;
 }
@@ -239,7 +247,14 @@ std::string event_field(const lol::service::wire::Json& doc,
 
 /// What a --client invocation asks of the daemon.
 struct ClientAction {
-  enum Kind { kSubmit, kCancel, kStats, kPing, kShutdown } kind = kSubmit;
+  enum Kind {
+    kSubmit,
+    kCancel,
+    kStats,
+    kMetrics,
+    kPing,
+    kShutdown
+  } kind = kSubmit;
   lol::service::JobId cancel_id = 0;
   /// kSubmit only: cancel whatever is still running this long after
   /// submission (same-connection cancel — the scope the daemon allows).
@@ -284,6 +299,31 @@ int run_client(const std::string& addr, const ClientAction& action,
     rc = expect_event(one_shot("{\"op\":\"ping\"}"), "pong");
   } else if (action.kind == ClientAction::kStats) {
     rc = expect_event(one_shot("{\"op\":\"stats\"}"), "stats");
+  } else if (action.kind == ClientAction::kMetrics) {
+    // Unlike the other one-shots this prints the *decoded* exposition,
+    // not the NDJSON envelope, so the output pipes straight into any
+    // Prometheus-text consumer.
+    if (!send_line("{\"op\":\"metrics\"}")) {
+      ::close(fd);
+      return 1;
+    }
+    auto line = reader.next();
+    if (!line) {
+      std::fprintf(stderr, "lolserve: daemon closed the connection\n");
+      rc = 1;
+    } else {
+      auto doc = lol::service::wire::parse_json(*line);
+      const lol::service::wire::Json* text =
+          doc && event_field(*doc, "event") == "metrics" ? doc->find("text")
+                                                         : nullptr;
+      if (text != nullptr &&
+          text->is(lol::service::wire::Json::Kind::kString)) {
+        std::fputs(text->str.c_str(), stdout);
+      } else {
+        std::printf("%s\n", line->c_str());  // surface the error event
+        rc = 1;
+      }
+    }
   } else if (action.kind == ClientAction::kShutdown) {
     rc = expect_event(one_shot("{\"op\":\"shutdown\"}"), "bye");
   } else if (action.kind == ClientAction::kCancel) {
@@ -387,7 +427,8 @@ int run_client(const std::string& addr, const ClientAction& action,
 
 #endif  // !_WIN32
 
-int run_daemon(lol::service::ServiceOptions opts, const std::string& listen) {
+int run_daemon(lol::service::ServiceOptions opts, const std::string& listen,
+               int metrics_interval_s, const std::string& metrics_out) {
   lol::service::DaemonOptions dopts;
   if (listen.rfind("unix:", 0) == 0) {
     dopts.unix_path = listen.substr(5);
@@ -414,7 +455,46 @@ int run_daemon(lol::service::ServiceOptions opts, const std::string& listen) {
     std::fprintf(stderr, "lolserve: listening on tcp:127.0.0.1:%d\n",
                  daemon.tcp_port());
   }
+  // Periodic metrics snapshots: one appended Prometheus exposition per
+  // interval, for fleets that collect files instead of scraping sockets.
+  std::thread metrics_thread;
+  std::mutex metrics_m;
+  std::condition_variable metrics_cv;
+  bool metrics_stop = false;
+  if (metrics_interval_s > 0) {
+    metrics_thread = std::thread([&] {
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> g(metrics_m);
+          if (metrics_cv.wait_for(g,
+                                  std::chrono::seconds(metrics_interval_s),
+                                  [&] { return metrics_stop; })) {
+            return;
+          }
+        }
+        std::string text = lol::obs::Registry::global().expose();
+        std::FILE* f = metrics_out.empty()
+                           ? stderr
+                           : std::fopen(metrics_out.c_str(), "a");
+        if (f == nullptr) continue;  // transient; retry next interval
+        std::fwrite(text.data(), 1, text.size(), f);
+        if (f == stderr) {
+          std::fflush(f);
+        } else {
+          std::fclose(f);
+        }
+      }
+    });
+  }
   daemon.wait();  // until a client sends {"op":"shutdown"}
+  if (metrics_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(metrics_m);
+      metrics_stop = true;
+    }
+    metrics_cv.notify_all();
+    metrics_thread.join();
+  }
   daemon.stop();
   svc.shutdown();
   auto stats = svc.stats();
@@ -472,7 +552,11 @@ int main(int argc, char** argv) {
 
   if (cli.has_flag("--daemon")) {
     std::string listen = cli.option("--listen").value_or("tcp:4004");
-    return run_daemon(std::move(opts), listen);
+    int metrics_interval = std::atoi(
+        cli.option("--metrics-interval").value_or("0").c_str());
+    std::string metrics_out = cli.option("--metrics-out").value_or("");
+    return run_daemon(std::move(opts), listen, metrics_interval,
+                      metrics_out);
   }
 
   bool client = cli.has_flag("--client");
@@ -493,6 +577,8 @@ int main(int argc, char** argv) {
       client_action.kind = ClientAction::kPing;
     } else if (cli.has_flag("--stats")) {
       client_action.kind = ClientAction::kStats;
+    } else if (cli.has_flag("--metrics")) {
+      client_action.kind = ClientAction::kMetrics;
     } else if (cli.has_flag("--shutdown")) {
       client_action.kind = ClientAction::kShutdown;
     } else if (auto id = cli.option("--cancel")) {
@@ -583,11 +669,21 @@ int main(int argc, char** argv) {
   std::mutex print_m;
   auto print_result = [&](const lol::service::JobResult& r) {
     if (quiet) return;
+    // Lifecycle spans inline on the status line: where each job's time
+    // actually went (queue vs compile vs claim vs run vs drain).
+    std::string trace;
+    for (const auto& sp : r.trace) {
+      char buf[80];
+      std::snprintf(buf, sizeof buf, "%s%s %.2f",
+                    trace.empty() ? "" : " > ", sp.name.c_str(), sp.dur_ms);
+      trace += buf;
+    }
     std::lock_guard<std::mutex> g(print_m);
-    std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms)%s%s\n",
+    std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms) [trace: %s]%s%s\n",
                 lol::service::to_string(r.status), r.name.c_str(),
                 r.compile_cache_hit ? " [cached]" : "", r.queue_ms,
-                r.run_ms, r.error.empty() ? "" : " — ", r.error.c_str());
+                r.run_ms, trace.c_str(), r.error.empty() ? "" : " — ",
+                r.error.c_str());
     std::fflush(stdout);
   };
 

@@ -48,6 +48,23 @@ if [ "$found" -eq 0 ]; then
   echo "run_benches.sh: no bench_* binaries in '$BUILD_DIR' (is Google Benchmark installed?)" >&2
   exit 1
 fi
+
+# Observability overhead guard: when a metrics-compiled-out tree exists
+# next to the main one (cmake -B <build>-noobs -DLOL_OBS=OFF), rerun the
+# barrier bench from it. BENCH_collectives_noobs.json is the zero-cost
+# baseline the instrumented numbers are compared against.
+noobs_bin="$BUILD_DIR-noobs/bench_collectives"
+if [ -x "$noobs_bin" ]; then
+  out_json="$OUT_DIR/BENCH_collectives_noobs.json"
+  echo "== bench_collectives (LOL_OBS=OFF baseline) =="
+  if ! "$noobs_bin" --benchmark_format=json \
+                    --benchmark_out="$out_json" \
+                    --benchmark_out_format=json "$@"; then
+    echo "  (failed: bench_collectives noobs baseline)" >&2
+    exit 1
+  fi
+  [ -s "$out_json" ] || { echo "  (empty report: $out_json)" >&2; exit 1; }
+fi
 if [ -n "$failed" ]; then
   echo "run_benches.sh: failed or empty:$failed" >&2
   exit 1
