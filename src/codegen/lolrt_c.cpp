@@ -43,6 +43,8 @@ struct lolrt_pe {
   char err[512] = {0};
   bool failed = false;
   bool step_limited = false;  // the failure was an exhausted step budget
+  bool pe_killed = false;     // the failure was injected (PeKilledError)
+  unsigned long long killed_step = 0;
 };
 
 namespace {
@@ -169,6 +171,11 @@ lol::rt::SymHandle make_handle(size_t off, long long count, int elem) {
   }                                                   \
   catch (const lol::support::StepLimitError& e) {     \
     (pe)->step_limited = true;                        \
+    store_err((pe), e.what());                        \
+  }                                                   \
+  catch (const lol::support::PeKilledError& e) {      \
+    (pe)->pe_killed = true;                           \
+    (pe)->killed_step = e.step();                     \
     store_err((pe), e.what());                        \
   }                                                   \
   catch (const std::exception& e) {                   \
@@ -337,8 +344,16 @@ void lolrt_hugz(lolrt_pe* pe) {
   LOLRT_END(pe)
 }
 
-long long lolrt_whatevr(lolrt_pe* pe) { return pe->ctx->rng.next_numbr(); }
-double lolrt_whatevar(lolrt_pe* pe) { return pe->ctx->rng.next_numbar(); }
+long long lolrt_whatevr(lolrt_pe* pe) {
+  LOLRT_TRY
+  return pe->ctx->rng_numbr();
+  LOLRT_END(pe)
+}
+double lolrt_whatevar(lolrt_pe* pe) {
+  LOLRT_TRY
+  return pe->ctx->rng_numbar();
+  LOLRT_END(pe)
+}
 
 void lolrt_lock(lolrt_pe* pe, int lock_id) {
   LOLRT_TRY
@@ -602,6 +617,10 @@ void run_native_pe(lolrt_main_fn fn, lol::rt::ExecContext& ctx) {
   if (pe_ctx.failed) {
     if (pe_ctx.step_limited) {
       throw lol::support::StepLimitError(ctx.max_steps);
+    }
+    if (pe_ctx.pe_killed) {
+      throw lol::support::PeKilledError(
+          ctx.pe->id(), static_cast<std::uint64_t>(pe_ctx.killed_step));
     }
     throw lol::support::RuntimeError(pe_ctx.err);
   }

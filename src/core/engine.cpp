@@ -8,6 +8,7 @@
 #include "interp/interpreter.hpp"
 #include "obs/metrics.hpp"
 #include "parse/parser.hpp"
+#include "replay/controller.hpp"
 #include "rt/exec_context.hpp"
 #include "shmem/executor.hpp"
 #include "shmem/runtime.hpp"
@@ -132,6 +133,24 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
     }
   }
 
+  // Deterministic scheduling: build the controller before the Runtime so
+  // a bad replay trace fails cheaply with a diagnostic.
+  std::unique_ptr<replay::ScheduleController> ctrl;
+  if (cfg.schedule == replay::ScheduleMode::kReplay) {
+    if (cfg.replay_trace == nullptr) {
+      return error_result(cfg.n_pes, "replay requested without a trace");
+    }
+    std::string terr;
+    if (!cfg.replay_trace->matches(cfg.n_pes, cfg.seed, cfg.program_hash,
+                                   &terr)) {
+      return error_result(cfg.n_pes, "replay trace mismatch: " + terr);
+    }
+    ctrl = std::make_unique<replay::ScheduleController>(cfg.replay_trace);
+  } else if (cfg.schedule != replay::ScheduleMode::kNone) {
+    ctrl = std::make_unique<replay::ScheduleController>(
+        cfg.schedule, cfg.n_pes, cfg.perturb_seed);
+  }
+
   shmem::Config scfg;
   scfg.n_pes = cfg.n_pes;
   scfg.heap_bytes = cfg.heap_bytes;
@@ -139,6 +158,15 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   scfg.model = cfg.machine;
   scfg.barrier_radix = cfg.barrier_radix;
   scfg.profile = cfg.profile;
+  scfg.schedule = ctrl.get();
+  if (cfg.fault.noc_spike()) {
+    if (scfg.model == nullptr) {
+      return error_result(cfg.n_pes,
+                          "fault injection: noc=F needs a --machine model "
+                          "whose latencies it can spike");
+    }
+    scfg.model = replay::make_spike_model(scfg.model, cfg.fault.noc_factor);
+  }
   if (cfg.executor_impl != nullptr) {
     scfg.executor = cfg.executor_impl;
   } else if (cfg.executor != shmem::ExecutorKind::kThread) {
@@ -156,6 +184,11 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   rt::OutputSink* sink = cfg.sink != nullptr ? cfg.sink : &capture;
   rt::VectorInput vec_input(cfg.stdin_lines, cfg.n_pes);
   rt::InputSource* input = cfg.input != nullptr ? cfg.input : &vec_input;
+  std::optional<replay::FaultyInput> faulty_input;
+  if (cfg.fault.input_fault()) {
+    faulty_input.emplace(*input, cfg.fault.input_fail_after);
+    input = &*faulty_input;
+  }
 
   // Pre-compile once for the VM backend; shared read-only by all PEs.
   // The per-program slot memoizes the chunk across runs (warm service
@@ -177,6 +210,7 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   }
 
   std::atomic<bool> step_limited{false};
+  std::atomic<bool> pe_failed{false};
   AbortToken::Binding abort_binding(cfg.abort, runtime);
   shmem::LaunchResult lr;
   try {
@@ -186,6 +220,9 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
     // so an early deadline/cancel can never be lost.
     if (cfg.abort != nullptr && cfg.abort->requested()) pe.runtime().abort();
     rt::ExecContext ctx(pe, cfg.seed, *sink, *input, cfg.max_steps);
+    if (cfg.fault.kill() && cfg.fault.kill_pe == pe.id()) {
+      ctx.kill_at_step = cfg.fault.kill_step;
+    }
     try {
       switch (cfg.backend) {
         case Backend::kInterp:
@@ -201,6 +238,9 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
     } catch (const support::StepLimitError&) {
       step_limited.store(true, std::memory_order_relaxed);
       throw;  // the launch captures it as this PE's error and aborts peers
+    } catch (const support::PeKilledError&) {
+      pe_failed.store(true, std::memory_order_relaxed);
+      throw;
     }
     });
   } catch (const std::exception& e) {
@@ -216,9 +256,70 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   result.step_limited = step_limited.load(std::memory_order_relaxed);
   if (result.step_limited) engine_metrics().step_limited.inc();
   result.aborted = cfg.abort != nullptr && cfg.abort->requested();
+  result.pe_failed = pe_failed.load(std::memory_order_relaxed);
   result.errors = std::move(lr.errors);
   result.sim_ns = std::move(lr.sim_ns);
   result.pe_profiles = std::move(lr.profiles);
+
+  if (ctrl != nullptr) {
+    if (cfg.schedule == replay::ScheduleMode::kReplay) {
+      // Divergence: the controller flagged it, the trace did not fully
+      // drain, or the per-PE RNG draw counts disagree with the footer.
+      std::string why = ctrl->failure();
+      if (why.empty() && result.ok) {
+        if (ctrl->events_consumed() != cfg.replay_trace->schedule.size()) {
+          why = "trace not fully consumed: " +
+                std::to_string(ctrl->events_consumed()) + " of " +
+                std::to_string(cfg.replay_trace->schedule.size()) +
+                " events replayed";
+        } else {
+          for (std::size_t i = 0; i < result.pe_profiles.size() &&
+                                  i < cfg.replay_trace->rng_draws.size();
+               ++i) {
+            if (result.pe_profiles[i].rng_draws !=
+                cfg.replay_trace->rng_draws[i]) {
+              why = "PE " + std::to_string(i) + " drew " +
+                    std::to_string(result.pe_profiles[i].rng_draws) +
+                    " WHATEVR values, trace recorded " +
+                    std::to_string(cfg.replay_trace->rng_draws[i]);
+              break;
+            }
+          }
+        }
+      }
+      if (!why.empty()) {
+        result.replay_diverged = true;
+        result.ok = false;
+        // Surface the divergence unless a PE already reported a real root
+        // cause (collateral "SPMD aborted" deaths don't count).
+        const std::string root = support::first_root_error(result.errors);
+        if (!result.errors.empty() &&
+            (root.empty() || root.find("SPMD aborted") != std::string::npos)) {
+          result.errors[0] = "replay diverged: " + why;
+        }
+      }
+    } else {
+      // Record/perturb: package the handoff sequence as a trace.
+      replay::Trace t;
+      t.n_pes = cfg.n_pes;
+      t.seed = cfg.seed;
+      t.perturb_seed = cfg.perturb_seed;
+      t.program_hash = cfg.program_hash;
+      t.perturbed = cfg.schedule == replay::ScheduleMode::kPerturb;
+      t.schedule = ctrl->recorded();
+      t.rng_draws.reserve(result.pe_profiles.size());
+      for (const auto& p : result.pe_profiles) t.rng_draws.push_back(p.rng_draws);
+      result.schedule_trace = t.serialize();
+      // A schedule deadlock diagnosed by the controller beats the generic
+      // "SPMD aborted" messages the other PEs die with.
+      if (!ctrl->failure().empty() && !result.errors.empty()) {
+        const std::string root = support::first_root_error(result.errors);
+        if (root.empty() || root.find("SPMD aborted") != std::string::npos) {
+          result.errors[0] = ctrl->failure();
+        }
+      }
+    }
+  }
   // Everything before the first PE body — native/vm memo lookups,
   // runtime construction, executor claim — counts as the claim phase.
   result.claim_ms =

@@ -23,6 +23,8 @@
 #include "core/abort.hpp"
 #include "noc/model.hpp"
 #include "obs/profile.hpp"
+#include "replay/fault.hpp"
+#include "replay/trace.hpp"
 #include "rt/io.hpp"
 #include "sema/analyzer.hpp"
 #include "shmem/executor.hpp"
@@ -128,6 +130,25 @@ struct RunConfig {
   /// (steps, crossings, acquisitions, GIMMEH blocks) are collected
   /// regardless; the clock reads are opt-in (lolrun --profile).
   bool profile = false;
+
+  /// Deterministic scheduling (replay/controller.hpp). kNone (default)
+  /// runs free. kRecord serializes the gang on an execution token and
+  /// captures the handoff order into RunResult::schedule_trace. kPerturb
+  /// does the same with a seeded random token order (perturb_seed).
+  /// kReplay re-enforces a recorded order from `replay_trace`. Recorded
+  /// and replayed runs are byte-identical across backends and executors.
+  replay::ScheduleMode schedule = replay::ScheduleMode::kNone;
+  std::uint64_t perturb_seed = 0;
+  /// Required when schedule == kReplay; must match this run's n_pes,
+  /// seed and (when both sides carry one) program_hash.
+  std::shared_ptr<const replay::Trace> replay_trace;
+  /// FNV-1a hash of the program source (replay::fnv1a), stamped into
+  /// recorded traces and checked on replay. 0 = unknown (check skipped).
+  std::uint64_t program_hash = 0;
+
+  /// Fault injection (replay/fault.hpp): kill a PE at a step, spike the
+  /// modeled NoC latency, fail the GIMMEH source after N reads.
+  replay::FaultPlan fault;
 };
 
 /// Outcome of an SPMD run.
@@ -135,6 +156,8 @@ struct RunResult {
   bool ok = false;
   bool step_limited = false;  // some PE exceeded RunConfig::max_steps
   bool aborted = false;       // RunConfig::abort was requested
+  bool pe_failed = false;     // a PE was killed by fault injection
+  bool replay_diverged = false;  // kReplay: execution left the trace
   std::vector<std::string> pe_output;  // per-PE captured stdout
   std::vector<std::string> pe_errout;  // per-PE captured stderr
   std::vector<std::string> errors;     // per-PE error ("" when fine)
@@ -147,6 +170,9 @@ struct RunResult {
   /// from then until the gang joined.
   double claim_ms = 0.0;
   double exec_ms = 0.0;
+  /// Serialized schedule trace (replay::Trace::serialize) when the run
+  /// was recorded or perturbed; empty otherwise.
+  std::string schedule_trace;
 
   /// First non-empty per-PE error.
   [[nodiscard]] std::string first_error() const;

@@ -576,9 +576,9 @@ Value Interpreter::eval(const ast::Expr& e, Env& env) {
     case ast::ExprKind::kMahFrenz:
       return Value::numbr(ctx_.pe->n_pes());
     case ast::ExprKind::kWhatevr:
-      return Value::numbr(ctx_.rng.next_numbr());
+      return Value::numbr(ctx_.rng_numbr());
     case ast::ExprKind::kWhatevar:
-      return Value::numbar(ctx_.rng.next_numbar());
+      return Value::numbar(ctx_.rng_numbar());
     case ast::ExprKind::kBinary: {
       const auto& b = static_cast<const ast::BinaryExpr&>(e);
       Value lhs = eval(*b.lhs, env);

@@ -31,6 +31,10 @@ struct PeProfile {
   std::uint64_t lock_contended = 0;     ///< acquisitions that found the lock held
   std::uint64_t lock_wait_ns = 0;       ///< time spinning/parked on locks (profile runs)
   std::uint64_t gimmeh_blocks = 0;      ///< GIMMEH reads that had to wait for input
+  /// WHATEVR/WHATEVAR draws. Always maintained (not gated on
+  /// LOL_OBS_RUNTIME_METRICS): replay verification compares these counts
+  /// against a recorded trace to detect divergence in every build.
+  std::uint64_t rng_draws = 0;
 
   PeProfile& operator+=(const PeProfile& o) {
     steps += o.steps;
@@ -40,6 +44,7 @@ struct PeProfile {
     lock_contended += o.lock_contended;
     lock_wait_ns += o.lock_wait_ns;
     gimmeh_blocks += o.gimmeh_blocks;
+    rng_draws += o.rng_draws;
     return *this;
   }
 };

@@ -1,0 +1,194 @@
+#include "replay/controller.hpp"
+
+#include "shmem/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lol::replay {
+
+using support::RuntimeError;
+
+ScheduleController::ScheduleController(ScheduleMode mode, int n_pes,
+                                       std::uint64_t perturb_seed)
+    : mode_(mode), n_pes_(n_pes), rng_(perturb_seed * 0x9E3779B97F4A7C15ULL ^
+                                       0xA0761D6478BD642FULL) {
+  st_.assign(static_cast<std::size_t>(n_pes_), St::kReady);
+  // Initial pick — who runs first. Every PE is ready, so it cannot fail.
+  std::lock_guard<std::mutex> g(m_);
+  (void)pick_locked(nullptr);
+}
+
+ScheduleController::ScheduleController(std::shared_ptr<const Trace> trace)
+    : mode_(ScheduleMode::kReplay),
+      n_pes_(trace->n_pes),
+      trace_(std::move(trace)),
+      rng_(0) {
+  st_.assign(static_cast<std::size_t>(n_pes_), St::kReady);
+  std::lock_guard<std::mutex> g(m_);
+  failure_ = pick_locked(nullptr);
+  if (!failure_.empty()) {
+    // Empty trace against a live gang: caught at the first pe_start.
+    diverged_ = true;
+    released_.store(true, std::memory_order_release);
+  }
+}
+
+std::string ScheduleController::pick_locked(shmem::Runtime* rt) {
+  if (rt != nullptr && rt->aborted()) {
+    // The run is dying; stop enforcing and let every waiter observe the
+    // abort through its own check.
+    released_.store(true, std::memory_order_release);
+    current_ = -1;
+    return "";
+  }
+  if (done_ == n_pes_) {
+    current_ = -1;
+    return "";
+  }
+  if (mode_ == ScheduleMode::kReplay) {
+    if (pos_ >= trace_->schedule.size()) {
+      return "replay diverged: trace exhausted after " +
+             std::to_string(pos_) + " events with " +
+             std::to_string(n_pes_ - done_) + " PE(s) still live";
+    }
+    const std::uint32_t next = trace_->schedule[pos_];
+    const char* why = nullptr;
+    if (next >= static_cast<std::uint32_t>(n_pes_)) {
+      why = "out of range";
+    } else if (st_[next] == St::kDone) {
+      why = "already done";
+    } else if (st_[next] == St::kParked) {
+      why = "parked (was runnable when recorded)";
+    }
+    if (why != nullptr) {
+      return "replay diverged at event " + std::to_string(pos_) +
+             ": trace schedules PE " + std::to_string(next) + " but it is " +
+             why;
+    }
+    ++pos_;
+    current_ = static_cast<int>(next);
+    return "";
+  }
+  // Record / perturb: choose among ready PEs. Round-robin scans forward
+  // from the current holder; perturb picks uniformly (seeded).
+  int next = -1;
+  if (mode_ == ScheduleMode::kPerturb) {
+    int n_ready = 0;
+    for (St s : st_) n_ready += s == St::kReady || s == St::kRunning ? 1 : 0;
+    if (n_ready > 0) {
+      int k = static_cast<int>(rng_.next() % static_cast<std::uint64_t>(n_ready));
+      for (int i = 0; i < n_pes_; ++i) {
+        const St s = st_[static_cast<std::size_t>(i)];
+        if ((s == St::kReady || s == St::kRunning) && k-- == 0) {
+          next = i;
+          break;
+        }
+      }
+    }
+  } else {
+    const int base = current_ >= 0 ? current_ : n_pes_ - 1;
+    for (int d = 1; d <= n_pes_; ++d) {
+      const int i = (base + d) % n_pes_;
+      const St s = st_[static_cast<std::size_t>(i)];
+      if (s == St::kReady || s == St::kRunning) {
+        next = i;
+        break;
+      }
+    }
+  }
+  if (next < 0) {
+    return "schedule deadlock: every live PE is blocked (a lock held by an "
+           "exited PE, or cyclic barrier/lock waits) — " +
+           std::to_string(n_pes_ - done_) + " PE(s) wedged";
+  }
+  sched_.push_back(static_cast<std::uint32_t>(next));
+  current_ = next;
+  return "";
+}
+
+void ScheduleController::wait_turn(shmem::Runtime& rt, int pe) {
+  for (;;) {
+    const std::uint64_t e = rt.prepare_wait();
+    if (released_.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard<std::mutex> g(m_);
+      if (current_ == pe) {
+        st_[static_cast<std::size_t>(pe)] = St::kRunning;
+        return;
+      }
+    }
+    if (rt.aborted()) {
+      throw RuntimeError("SPMD aborted while awaiting its schedule turn");
+    }
+    rt.wait(pe, e);
+  }
+}
+
+void ScheduleController::reschedule(shmem::Runtime& rt, int pe, bool park) {
+  if (released_.load(std::memory_order_acquire)) return;
+  std::string fail;
+  {
+    std::lock_guard<std::mutex> g(m_);
+    st_[static_cast<std::size_t>(pe)] = park ? St::kParked : St::kReady;
+    fail = pick_locked(&rt);
+    if (!fail.empty()) {
+      failure_ = fail;
+      diverged_ = mode_ == ScheduleMode::kReplay;
+      released_.store(true, std::memory_order_release);
+    }
+  }
+  // Wake token waiters outside the controller mutex (abort() re-enters
+  // on_notify, which locks it).
+  rt.wake_waiters();
+  if (!fail.empty()) {
+    rt.abort();
+    throw RuntimeError(fail);
+  }
+  wait_turn(rt, pe);
+}
+
+void ScheduleController::pe_start(shmem::Runtime& rt, int pe) {
+  // The PE has been ready (and schedulable) since construction; it just
+  // was not running yet. Block until the schedule reaches it.
+  wait_turn(rt, pe);
+}
+
+void ScheduleController::pe_exit(shmem::Runtime& rt, int pe) {
+  if (released_.load(std::memory_order_acquire)) return;
+  std::string fail;
+  {
+    std::lock_guard<std::mutex> g(m_);
+    if (st_[static_cast<std::size_t>(pe)] == St::kDone) return;
+    st_[static_cast<std::size_t>(pe)] = St::kDone;
+    ++done_;
+    if (current_ == pe) {
+      fail = pick_locked(&rt);
+      if (!fail.empty()) {
+        failure_ = fail;
+        diverged_ = mode_ == ScheduleMode::kReplay;
+        released_.store(true, std::memory_order_release);
+      }
+    }
+  }
+  rt.wake_waiters();
+  // pe_exit must not throw (it runs outside the PE body's try block);
+  // the failure is stashed for the engine and the launch is aborted so
+  // the wedged peers die with "SPMD aborted" instead of hanging.
+  if (!fail.empty()) rt.abort();
+}
+
+void ScheduleController::yield(shmem::Runtime& rt, int pe) {
+  reschedule(rt, pe, /*park=*/false);
+}
+
+void ScheduleController::blocked(shmem::Runtime& rt, int pe) {
+  reschedule(rt, pe, /*park=*/true);
+}
+
+void ScheduleController::on_notify() {
+  std::lock_guard<std::mutex> g(m_);
+  for (St& s : st_) {
+    if (s == St::kParked) s = St::kReady;
+  }
+}
+
+}  // namespace lol::replay

@@ -1,0 +1,102 @@
+// The ScheduleController: token-serialized deterministic scheduling.
+//
+// Installed into shmem::Config::schedule for one launch, the controller
+// serializes the gang on a single execution token. Every choice point
+// the runtime reports (PE start, barrier arrival, lock attempt, put/get,
+// GIMMEH, WHATEVR draw) becomes a token handoff, and the handoff target
+// is chosen by mode:
+//
+//   kRecord  — deterministic round-robin over runnable PEs
+//   kPerturb — seeded SplitMix64 pick over runnable PEs (the schedule
+//              shaker: different seeds exercise different interleavings,
+//              and because the pick sequence is the only nondeterminism
+//              left, a given seed is itself reproducible)
+//   kReplay  — the next entry of a recorded Trace, enforced exactly;
+//              any disagreement (the trace schedules a PE that is done
+//              or parked, or runs out early) is a detected divergence,
+//              not a hang
+//
+// Parked PEs (barrier losers, lock waiters) leave the runnable set until
+// the runtime's notify path (lock release, barrier fire, abort) readies
+// them again, so a crossing costs O(n) handoffs rather than O(n^2)
+// spins. If no PE is runnable and the gang is not done, the program has
+// genuinely deadlocked (e.g. every PE waits on a lock whose holder
+// exited) — the controller aborts the launch with a diagnosis instead of
+// wedging until the service deadline.
+//
+// One controller drives exactly one launch; build a fresh one per run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "replay/trace.hpp"
+#include "shmem/schedule_hook.hpp"
+#include "support/rng.hpp"
+
+namespace lol::replay {
+
+class ScheduleController final : public shmem::ScheduleHook {
+ public:
+  /// Record (round-robin) or perturb (seeded) scheduling for `n_pes`.
+  ScheduleController(ScheduleMode mode, int n_pes, std::uint64_t perturb_seed);
+
+  /// Replay scheduling: enforce `trace` (which must outlive the run).
+  explicit ScheduleController(std::shared_ptr<const Trace> trace);
+
+  void pe_start(shmem::Runtime& rt, int pe) override;
+  void pe_exit(shmem::Runtime& rt, int pe) override;
+  void yield(shmem::Runtime& rt, int pe) override;
+  void blocked(shmem::Runtime& rt, int pe) override;
+  void on_notify() override;
+
+  /// The handoff sequence so far (record/perturb modes). Only read after
+  /// the launch joined.
+  [[nodiscard]] const std::vector<std::uint32_t>& recorded() const {
+    return sched_;
+  }
+  /// Replay mode: how many trace events were consumed.
+  [[nodiscard]] std::size_t events_consumed() const { return pos_; }
+  /// Non-empty when the controller itself failed the run: a replay
+  /// divergence or a detected schedule deadlock. (Usually the failure is
+  /// also thrown into the PE that hit it; this covers the pe_exit path,
+  /// which must not throw.) Only read after the launch joined.
+  [[nodiscard]] const std::string& failure() const { return failure_; }
+  /// True when the failure was a replay divergence (vs a deadlock).
+  [[nodiscard]] bool diverged() const { return diverged_; }
+
+ private:
+  enum class St : unsigned char { kReady, kRunning, kParked, kDone };
+
+  /// Common body of yield()/blocked(): release the token, pick the next
+  /// PE, wake it, wait until scheduled again.
+  void reschedule(shmem::Runtime& rt, int pe, bool park);
+  /// Picks the next token holder. Returns a failure message ("" = ok).
+  /// `rt` may be null during the constructor's initial pick.
+  std::string pick_locked(shmem::Runtime* rt);
+  /// Blocks `pe` until it holds the token (or the run aborted/released).
+  void wait_turn(shmem::Runtime& rt, int pe);
+
+  const ScheduleMode mode_;
+  const int n_pes_;
+  std::shared_ptr<const Trace> trace_;  // kReplay only
+  support::SplitMix64 rng_;             // kPerturb only
+
+  std::mutex m_;
+  std::vector<St> st_;
+  int current_ = -1;  // token holder; -1 = none (all done or released)
+  int done_ = 0;
+  std::vector<std::uint32_t> sched_;  // recorded handoffs
+  std::size_t pos_ = 0;               // replay cursor
+  std::string failure_;
+  bool diverged_ = false;
+  // Set once the run aborted (or the controller failed it): scheduling
+  // is released and every waiter falls through to its own abort check.
+  std::atomic<bool> released_{false};
+};
+
+}  // namespace lol::replay

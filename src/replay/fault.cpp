@@ -1,0 +1,166 @@
+#include "replay/fault.hpp"
+
+#include <charconv>
+
+#include "support/error.hpp"
+
+namespace lol::replay {
+
+namespace {
+
+bool fail(std::string* err, std::string why) {
+  if (err != nullptr) *err = "bad fault spec: " + std::move(why);
+  return false;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  auto [p, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc{} && p == e && p != b;
+}
+
+bool parse_f64(std::string_view s, double* out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  auto [p, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc{} && p == e && p != b;
+}
+
+/// The latency spike: every modeled cost scaled by a constant factor.
+class SpikeModel final : public noc::MachineModel {
+ public:
+  SpikeModel(noc::ModelPtr inner, double factor)
+      : inner_(std::move(inner)), f_(factor) {}
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+spike(x" + std::to_string(f_) + ")";
+  }
+  [[nodiscard]] double put_ns(int src, int dst,
+                              std::size_t bytes) const override {
+    return f_ * inner_->put_ns(src, dst, bytes);
+  }
+  [[nodiscard]] double get_ns(int src, int dst,
+                              std::size_t bytes) const override {
+    return f_ * inner_->get_ns(src, dst, bytes);
+  }
+  [[nodiscard]] double local_ns(std::size_t bytes) const override {
+    return f_ * inner_->local_ns(bytes);
+  }
+  [[nodiscard]] double barrier_ns(int n_pes) const override {
+    return f_ * inner_->barrier_ns(n_pes);
+  }
+  [[nodiscard]] double tree_barrier_ns(int n_pes, int radix) const override {
+    return f_ * inner_->tree_barrier_ns(n_pes, radix);
+  }
+  [[nodiscard]] double lock_ns(int src, int home) const override {
+    return f_ * inner_->lock_ns(src, home);
+  }
+
+ private:
+  noc::ModelPtr inner_;
+  double f_;
+};
+
+}  // namespace
+
+bool parse_fault_spec(std::string_view spec, FaultPlan* out,
+                      std::string* err) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string_view clause = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (clause.empty()) return fail(err, "empty clause");
+    if (clause.substr(0, 3) == "pe=") {
+      std::size_t at = clause.find("@step=");
+      if (at == std::string_view::npos) {
+        return fail(err, "kill clause must be pe=K@step=S");
+      }
+      std::uint64_t pe = 0;
+      std::uint64_t step = 0;
+      if (!parse_u64(clause.substr(3, at - 3), &pe) || pe >= 4096) {
+        return fail(err, "bad PE id in '" + std::string(clause) + "'");
+      }
+      if (!parse_u64(clause.substr(at + 6), &step) || step == 0) {
+        return fail(err, "bad step (must be >= 1) in '" + std::string(clause) +
+                             "'");
+      }
+      plan.kill_pe = static_cast<int>(pe);
+      plan.kill_step = step;
+    } else if (clause.substr(0, 4) == "noc=") {
+      double f = 0.0;
+      if (!parse_f64(clause.substr(4), &f) || !(f > 1.0) || !(f < 1e9)) {
+        return fail(err, "noc factor must be in (1, 1e9), got '" +
+                             std::string(clause.substr(4)) + "'");
+      }
+      plan.noc_factor = f;
+    } else if (clause.substr(0, 6) == "input=") {
+      std::uint64_t n = 0;
+      if (!parse_u64(clause.substr(6), &n) || n > (1ull << 40)) {
+        return fail(err, "bad read count in '" + std::string(clause) + "'");
+      }
+      plan.input_fail_after = static_cast<std::int64_t>(n);
+    } else {
+      return fail(err, "unknown clause '" + std::string(clause) +
+                           "' (want pe=K@step=S, noc=F or input=N)");
+    }
+  }
+  if (out != nullptr) *out = plan;
+  return true;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  std::string out;
+  auto add = [&](std::string clause) {
+    if (!out.empty()) out += ',';
+    out += std::move(clause);
+  };
+  if (plan.kill()) {
+    add("pe=" + std::to_string(plan.kill_pe) +
+        "@step=" + std::to_string(plan.kill_step));
+  }
+  if (plan.noc_spike()) {
+    // Round-trippable plain form (to_string pads zeros; fine to parse).
+    add("noc=" + std::to_string(plan.noc_factor));
+  }
+  if (plan.input_fault()) {
+    add("input=" + std::to_string(plan.input_fail_after));
+  }
+  return out;
+}
+
+noc::ModelPtr make_spike_model(noc::ModelPtr inner, double factor) {
+  return std::make_shared<SpikeModel>(std::move(inner), factor);
+}
+
+void FaultyInput::check_alive() {
+  // fetch_sub past zero marks the source dead for every later reader
+  // too (the counter stays negative).
+  if (allowed_.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+    throw support::RuntimeError(
+        "GIMMEH input source failed (fault injection: source died "
+        "mid-stream)");
+  }
+}
+
+std::optional<std::string> FaultyInput::read_line(int pe) {
+  check_alive();
+  return inner_->read_line(pe);
+}
+
+rt::TryRead FaultyInput::try_read_line(int pe, std::chrono::milliseconds wait) {
+  check_alive();
+  rt::TryRead r = inner_->try_read_line(pe, wait);
+  if (r.timed_out) {
+    // The poll consumed no line; restore the budget so only successful
+    // reads count against it.
+    allowed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return r;
+}
+
+}  // namespace lol::replay

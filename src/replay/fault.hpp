@@ -1,0 +1,81 @@
+// Fault injection: defined, reproducible failures for an SPMD run.
+//
+// Three fault classes, matching what the service must degrade under:
+//
+//   * kill PE k at step s      — the PE dies with PeKilledError at its
+//     s-th retired step; peers blocked in barriers/locks are woken by
+//     the abort and the run surfaces RunResult::pe_failed (the service
+//     maps it to JobStatus::kPeFailed) instead of wedging
+//   * NoC latency spike        — wraps the configured --machine model,
+//     scaling every remote-operation cost by a factor; the run succeeds
+//     with proportionally inflated simulated time (a congested fabric)
+//   * GIMMEH source failure    — the input source dies after N
+//     successful reads; the next read throws a RuntimeError naming the
+//     fault, so "input infrastructure failed mid-run" is
+//     distinguishable from ordinary end-of-input (which is just EOF)
+//
+// The textual spec grammar (shared by lolrun --fault, lolserve and the
+// wire protocol's "fault" field) is comma-separated clauses:
+//
+//   pe=K@step=S    kill PE K at its S-th step
+//   noc=F          multiply modeled remote-op costs by F (requires a
+//                  machine model)
+//   input=N        fail the GIMMEH source after N successful reads
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "noc/model.hpp"
+#include "rt/io.hpp"
+
+namespace lol::replay {
+
+/// Which faults one run injects. Default-constructed = no faults.
+struct FaultPlan {
+  int kill_pe = -1;               // PE to kill; < 0 = no kill fault
+  std::uint64_t kill_step = 1;    // 1-based retired-step index of the kill
+  double noc_factor = 0.0;        // > 1 = scale modeled remote-op costs
+  std::int64_t input_fail_after = -1;  // >= 0 = reads allowed before failure
+
+  [[nodiscard]] bool kill() const { return kill_pe >= 0; }
+  [[nodiscard]] bool noc_spike() const { return noc_factor > 1.0; }
+  [[nodiscard]] bool input_fault() const { return input_fail_after >= 0; }
+  [[nodiscard]] bool any() const {
+    return kill() || noc_spike() || input_fault();
+  }
+};
+
+/// Parses the spec grammar above. False + `*err` on malformed input.
+bool parse_fault_spec(std::string_view spec, FaultPlan* out, std::string* err);
+
+/// Canonical spec text for `plan` ("" when no faults) — the wire
+/// round-trip inverse of parse_fault_spec.
+[[nodiscard]] std::string to_spec(const FaultPlan& plan);
+
+/// Wraps a machine model, scaling every cost by `factor` (the latency
+/// spike: same topology, congested links).
+[[nodiscard]] noc::ModelPtr make_spike_model(noc::ModelPtr inner,
+                                             double factor);
+
+/// Wraps an input source that dies after `fail_after` successful reads:
+/// the next read throws support::RuntimeError naming the fault. The
+/// counter is global across PEs (the shared source fails, not one PE's
+/// view of it).
+class FaultyInput final : public rt::InputSource {
+ public:
+  FaultyInput(rt::InputSource& inner, std::int64_t fail_after)
+      : inner_(&inner), allowed_(fail_after) {}
+
+  std::optional<std::string> read_line(int pe) override;
+  rt::TryRead try_read_line(int pe, std::chrono::milliseconds wait) override;
+
+ private:
+  void check_alive();
+  rt::InputSource* inner_;
+  std::atomic<std::int64_t> allowed_;
+};
+
+}  // namespace lol::replay

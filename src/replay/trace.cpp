@@ -1,0 +1,260 @@
+#include "replay/trace.hpp"
+
+#include <charconv>
+
+namespace lol::replay {
+
+namespace {
+
+// Hard caps against hostile traces: parsing must not be a memory or CPU
+// amplification vector (the service accepts traces over the wire).
+constexpr std::uint64_t kMaxEvents = 1u << 24;  // 16M handoffs (64 MiB)
+constexpr int kMaxPes = 4096;                   // matches the runtime cap
+
+/// Strict cursor over the trace text.
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool lit(std::string_view want) {
+    if (s.substr(pos, want.size()) != want) return false;
+    pos += want.size();
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    const char* b = s.data() + pos;
+    const char* e = s.data() + s.size();
+    auto [p, ec] = std::from_chars(b, e, *out);
+    if (ec != std::errc{} || p == b) return false;
+    pos += static_cast<std::size_t>(p - b);
+    return true;
+  }
+
+  bool hex64(std::uint64_t* out) {
+    const char* b = s.data() + pos;
+    const char* e = s.data() + s.size();
+    auto [p, ec] = std::from_chars(b, e, *out, 16);
+    if (ec != std::errc{} || p == b) return false;
+    pos += static_cast<std::size_t>(p - b);
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos >= s.size(); }
+};
+
+std::string hex(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[v & 0xF]);
+    v >>= 4;
+  } while (v != 0);
+  return out;
+}
+
+bool fail(std::string* err, std::string why) {
+  if (err != nullptr) *err = std::move(why);
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(ScheduleMode m) {
+  switch (m) {
+    case ScheduleMode::kNone: return "none";
+    case ScheduleMode::kRecord: return "record";
+    case ScheduleMode::kPerturb: return "perturb";
+    case ScheduleMode::kReplay: return "replay";
+  }
+  return "none";
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t schedule_fnv(const std::vector<std::uint32_t>& schedule) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t v : schedule) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+std::string Trace::serialize() const {
+  std::string out;
+  out += "{\"parallol_trace\":1,\"mode\":\"";
+  out += perturbed ? "perturb" : "record";
+  out += "\",\"n_pes\":" + std::to_string(n_pes);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"perturb_seed\":" + std::to_string(perturb_seed);
+  out += ",\"program_hash\":\"" + hex(program_hash) + "\"";
+  out += ",\"events\":" + std::to_string(schedule.size()) + "}\n";
+  // Run-length encode the handoffs: consecutive picks of the same PE
+  // (a PE left running across several choice points) collapse to PxN.
+  for (std::size_t i = 0; i < schedule.size();) {
+    std::size_t j = i + 1;
+    while (j < schedule.size() && schedule[j] == schedule[i]) ++j;
+    if (i != 0) out += ',';
+    out += std::to_string(schedule[i]);
+    if (j - i > 1) out += "x" + std::to_string(j - i);
+    i = j;
+  }
+  out += '\n';
+  out += "{\"rng_draws\":[";
+  for (std::size_t i = 0; i < rng_draws.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(rng_draws[i]);
+  }
+  out += "],\"fnv\":\"" + hex(schedule_fnv(schedule)) + "\"}\n";
+  return out;
+}
+
+std::optional<Trace> Trace::parse(std::string_view text, std::string* err) {
+  auto bad = [&](std::string why) -> std::optional<Trace> {
+    fail(err, "bad schedule trace: " + std::move(why));
+    return std::nullopt;
+  };
+
+  // Split into exactly three lines (a trailing newline is optional).
+  std::size_t nl1 = text.find('\n');
+  if (nl1 == std::string_view::npos) return bad("missing header line");
+  std::size_t nl2 = text.find('\n', nl1 + 1);
+  if (nl2 == std::string_view::npos) return bad("truncated: no schedule line");
+  std::size_t nl3 = text.find('\n', nl2 + 1);
+  std::string_view header = text.substr(0, nl1);
+  std::string_view sched = text.substr(nl1 + 1, nl2 - nl1 - 1);
+  std::string_view footer =
+      nl3 == std::string_view::npos ? text.substr(nl2 + 1)
+                                    : text.substr(nl2 + 1, nl3 - nl2 - 1);
+  if (footer.empty()) return bad("truncated: no footer line");
+  if (nl3 != std::string_view::npos &&
+      text.find_first_not_of(" \n", nl3) != std::string_view::npos) {
+    return bad("trailing garbage after footer");
+  }
+
+  Trace t;
+  // Header — canonical field order only (this is serialize()'s inverse,
+  // not a JSON parser).
+  {
+    Cursor c{header};
+    std::uint64_t v = 0;
+    if (!c.lit("{\"parallol_trace\":") || !c.u64(&v)) {
+      return bad("not a parallol trace header");
+    }
+    if (v != 1) return bad("unsupported trace version " + std::to_string(v));
+    if (!c.lit(",\"mode\":\"")) return bad("header: missing mode");
+    if (c.lit("record\"")) {
+      t.perturbed = false;
+    } else if (c.lit("perturb\"")) {
+      t.perturbed = true;
+    } else {
+      return bad("header: unknown mode");
+    }
+    if (!c.lit(",\"n_pes\":") || !c.u64(&v)) return bad("header: bad n_pes");
+    if (v < 1 || v > static_cast<std::uint64_t>(kMaxPes)) {
+      return bad("header: n_pes " + std::to_string(v) + " out of range");
+    }
+    t.n_pes = static_cast<int>(v);
+    if (!c.lit(",\"seed\":") || !c.u64(&t.seed)) return bad("header: bad seed");
+    if (!c.lit(",\"perturb_seed\":") || !c.u64(&t.perturb_seed)) {
+      return bad("header: bad perturb_seed");
+    }
+    if (!c.lit(",\"program_hash\":\"") || !c.hex64(&t.program_hash) ||
+        !c.lit("\"")) {
+      return bad("header: bad program_hash");
+    }
+    if (!c.lit(",\"events\":") || !c.u64(&v)) return bad("header: bad events");
+    if (v > kMaxEvents) {
+      return bad("header: " + std::to_string(v) + " events exceeds the " +
+                 std::to_string(kMaxEvents) + " cap");
+    }
+    if (!c.lit("}") || !c.at_end()) return bad("header: trailing garbage");
+    t.schedule.reserve(static_cast<std::size_t>(v));
+
+    // Schedule line: comma-separated `P` or `PxN` runs.
+    Cursor sc{sched};
+    while (!sc.at_end()) {
+      std::uint64_t pe = 0;
+      if (!sc.u64(&pe)) return bad("schedule: expected a PE id");
+      if (pe >= static_cast<std::uint64_t>(t.n_pes)) {
+        return bad("schedule: PE " + std::to_string(pe) +
+                   " out of range for n_pes=" + std::to_string(t.n_pes));
+      }
+      std::uint64_t count = 1;
+      if (sc.lit("x")) {
+        if (!sc.u64(&count) || count == 0) return bad("schedule: bad run length");
+      }
+      if (t.schedule.size() + count > v) {
+        return bad("schedule: more events than the header declares");
+      }
+      t.schedule.insert(t.schedule.end(), static_cast<std::size_t>(count),
+                        static_cast<std::uint32_t>(pe));
+      if (!sc.at_end() && !sc.lit(",")) return bad("schedule: expected ','");
+    }
+    if (t.schedule.size() != v) {
+      return bad("schedule: " + std::to_string(t.schedule.size()) +
+                 " events, header declares " + std::to_string(v));
+    }
+  }
+
+  // Footer.
+  {
+    Cursor c{footer};
+    if (!c.lit("{\"rng_draws\":[")) return bad("footer: missing rng_draws");
+    if (!c.lit("]")) {
+      for (;;) {
+        std::uint64_t d = 0;
+        if (!c.u64(&d)) return bad("footer: bad rng_draws entry");
+        t.rng_draws.push_back(d);
+        if (c.lit("]")) break;
+        if (!c.lit(",")) return bad("footer: expected ','");
+        if (t.rng_draws.size() > static_cast<std::size_t>(kMaxPes)) {
+          return bad("footer: too many rng_draws entries");
+        }
+      }
+    }
+    if (t.rng_draws.size() != static_cast<std::size_t>(t.n_pes)) {
+      return bad("footer: rng_draws has " + std::to_string(t.rng_draws.size()) +
+                 " entries for n_pes=" + std::to_string(t.n_pes));
+    }
+    std::uint64_t fnv = 0;
+    if (!c.lit(",\"fnv\":\"") || !c.hex64(&fnv) || !c.lit("\"}") ||
+        !c.at_end()) {
+      return bad("footer: bad checksum field");
+    }
+    if (fnv != schedule_fnv(t.schedule)) {
+      return bad("footer: schedule checksum mismatch (corrupt trace?)");
+    }
+  }
+  return t;
+}
+
+bool Trace::matches(int n_pes_now, std::uint64_t seed_now,
+                    std::uint64_t program_hash_now, std::string* err) const {
+  if (n_pes_now != n_pes) {
+    return fail(err, "trace was recorded with n_pes=" + std::to_string(n_pes) +
+                         ", this run has n_pes=" + std::to_string(n_pes_now));
+  }
+  if (seed_now != seed) {
+    return fail(err, "trace was recorded with seed=" + std::to_string(seed) +
+                         ", this run has seed=" + std::to_string(seed_now));
+  }
+  if (program_hash != 0 && program_hash_now != 0 &&
+      program_hash != program_hash_now) {
+    return fail(err, "trace was recorded from a different program "
+                     "(program_hash mismatch)");
+  }
+  return true;
+}
+
+}  // namespace lol::replay

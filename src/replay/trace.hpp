@@ -1,0 +1,77 @@
+// Schedule traces: the serialized form of one recorded SPMD schedule.
+//
+// Under a ScheduleController (replay/controller.hpp) the runtime
+// serializes the gang on an execution token; the token-handoff sequence
+// fully determines the execution. A Trace is that sequence plus the
+// header needed to key it — (program_hash, n_pes, seed) — and a footer
+// of per-PE WHATEVR/WHATEVAR draw counts used to detect divergence when
+// the trace is replayed against a different program than it was
+// recorded from.
+//
+// Wire format: three NDJSON-ish lines, text so traces diff cleanly and
+// ship inline over the lolserve wire protocol:
+//
+//   {"parallol_trace":1,"mode":"perturb","n_pes":4,"seed":20170529,
+//    "perturb_seed":7,"program_hash":"1a2b...","events":123}
+//   0x41,1,2x7,3,...                    <- handoffs, run-length encoded
+//   {"rng_draws":[9,9,9,9],"fnv":"cbf29ce484222325"}
+//
+// The parser is strict: anything that does not round-trip through
+// serialize() is rejected with a diagnostic, never half-loaded
+// (hostile/truncated traces are a tested path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lol::replay {
+
+/// How the engine drives scheduling for one run.
+enum class ScheduleMode {
+  kNone,     // free-running (the default; no serialization)
+  kRecord,   // serialize with a deterministic round-robin pick; record
+  kPerturb,  // serialize with a seeded random pick; record
+  kReplay,   // serialize and enforce a previously recorded trace
+};
+
+[[nodiscard]] const char* to_string(ScheduleMode m);
+
+/// One recorded schedule. `schedule[i]` is the PE given the execution
+/// token at handoff i; the first entry is the first PE to run.
+struct Trace {
+  int n_pes = 0;
+  std::uint64_t seed = 0;          // RunConfig::seed it was recorded under
+  std::uint64_t perturb_seed = 0;  // 0 when recorded round-robin
+  std::uint64_t program_hash = 0;  // fnv1a of the source; 0 = unknown
+  bool perturbed = false;          // header "mode" (informational)
+  std::vector<std::uint32_t> schedule;
+  std::vector<std::uint64_t> rng_draws;  // per-PE WHATEVR/WHATEVAR draws
+
+  /// Canonical three-line text form (ends with '\n').
+  [[nodiscard]] std::string serialize() const;
+
+  /// Strict inverse of serialize(). nullopt + `*err` on any malformed,
+  /// truncated or inconsistent input (bad RLE, event-count mismatch,
+  /// checksum mismatch, out-of-range PE ids, oversized traces).
+  static std::optional<Trace> parse(std::string_view text, std::string* err);
+
+  /// Checks that this trace can drive a run with the given shape.
+  /// False + `*err` on n_pes/seed mismatch, or on program-hash mismatch
+  /// when both sides know their hash.
+  [[nodiscard]] bool matches(int n_pes_now, std::uint64_t seed_now,
+                             std::uint64_t program_hash_now,
+                             std::string* err) const;
+};
+
+/// FNV-1a over arbitrary bytes — used for program hashing (trace keying)
+/// and for the trace's own schedule checksum.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+/// FNV-1a folded over the handoff sequence (little-endian u32 bytes).
+[[nodiscard]] std::uint64_t schedule_fnv(
+    const std::vector<std::uint32_t>& schedule);
+
+}  // namespace lol::replay

@@ -29,6 +29,10 @@ struct ExecContext {
   std::uint64_t steps_left = 0;  // remaining budget when limited
   std::uint64_t abort_countdown = 1;  // steps until the next abort check
   std::uint64_t steps_done = 0;  // retired steps, flushed to the PE profile
+  /// Fault injection (replay/fault.hpp): kill this PE with
+  /// support::PeKilledError when steps_done reaches this value. 0 = off.
+  /// Set by the engine after construction, before the backend runs.
+  std::uint64_t kill_at_step = 0;
 
   ExecContext(shmem::Pe& p, std::uint64_t seed, OutputSink& o, InputSource& i,
               std::uint64_t max_steps_budget = 0)
@@ -64,6 +68,9 @@ struct ExecContext {
       --steps_left;
     }
     ++steps_done;
+    if (kill_at_step != 0 && steps_done >= kill_at_step) {
+      throw support::PeKilledError(pe->id(), steps_done);
+    }
     if (--abort_countdown == 0) {
       abort_countdown = kAbortPollPeriod;
       if (pe->runtime().aborted()) {
@@ -78,11 +85,16 @@ struct ExecContext {
   /// never block (stdin_lines) take the fast path on the first poll.
   /// Under a cooperative executor the poll is zero-length and the PE
   /// yields between polls instead of sleeping on its carrier thread.
+  /// Each read is a recorded scheduling choice point: with a schedule
+  /// hook installed, the interleaving of reads from a shared source
+  /// follows the controlled token order.
   std::optional<std::string> read_line() {
     shmem::Runtime& rt = pe->runtime();
+    rt.schedule_yield(pe->id());
+    const bool ctrl = rt.schedule_hook() != nullptr;
     const bool coop = rt.cooperative_pes();
     const std::chrono::milliseconds wait =
-        coop ? std::chrono::milliseconds(0) : kInputPollWait;
+        coop || ctrl ? std::chrono::milliseconds(0) : kInputPollWait;
     bool blocked = false;
     for (;;) {
       TryRead r = in->try_read_line(pe->id(), wait);
@@ -94,8 +106,29 @@ struct ExecContext {
       if (rt.aborted()) {
         throw support::RuntimeError("SPMD aborted while blocked in GIMMEH");
       }
-      if (coop) rt.wait(pe->id(), rt.prepare_wait());
+      if (ctrl) {
+        // Stay runnable (the data comes from outside the gang; no
+        // notify will ready a parked PE when it arrives).
+        rt.schedule_yield(pe->id());
+      } else if (coop) {
+        rt.wait(pe->id(), rt.prepare_wait());
+      }
     }
+  }
+
+  /// WHATEVR / WHATEVAR draws. Backends must draw through these (never
+  /// through `rng` directly): each draw is counted into the PE profile
+  /// for replay divergence checks and is a recorded scheduling choice
+  /// point under a schedule hook.
+  std::int64_t rng_numbr() {
+    pe->runtime().schedule_yield(pe->id());
+    ++pe->profile().rng_draws;
+    return rng.next_numbr();
+  }
+  double rng_numbar() {
+    pe->runtime().schedule_yield(pe->id());
+    ++pe->profile().rng_draws;
+    return rng.next_numbar();
   }
 };
 

@@ -61,6 +61,18 @@ struct Job {
   /// job). Null => stdin_lines. Blocking sources should implement
   /// rt::InputSource::try_read_line so deadlines can interrupt them.
   rt::InputSource* input = nullptr;
+
+  /// Deterministic scheduling (replay/trace.hpp). kRecord/kPerturb
+  /// serialize the gang and return the schedule in
+  /// JobResult::schedule_trace; kReplay enforces `replay_trace`. The
+  /// service keys the trace against this job's source hash.
+  replay::ScheduleMode schedule = replay::ScheduleMode::kNone;
+  std::uint64_t perturb_seed = 0;
+  std::string replay_trace;  // serialized Trace (kReplay only)
+
+  /// Fault-injection spec, replay::parse_fault_spec grammar
+  /// ("pe=K@step=S", "noc=F", "input=N", comma-separated). "" = none.
+  std::string fault_spec;
 };
 
 /// How a job ended.
@@ -73,6 +85,8 @@ enum class JobStatus {
   kCancelled,         // killed or dequeued by Service::cancel
   kRejected,          // never ran: bounded queue was full (kReject policy)
   kQuotaExceeded,     // never ran: this tenant's queued-job quota was full
+  kPeFailed,          // killed: fault injection took a PE down mid-run
+  kReplayDiverged,    // replay: execution left the recorded schedule
 };
 
 [[nodiscard]] constexpr const char* to_string(JobStatus s) {
@@ -85,6 +99,8 @@ enum class JobStatus {
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kRejected: return "rejected";
     case JobStatus::kQuotaExceeded: return "quota-exceeded";
+    case JobStatus::kPeFailed: return "pe-failed";
+    case JobStatus::kReplayDiverged: return "replay-diverged";
   }
   return "?";
 }
@@ -113,6 +129,8 @@ struct JobResult {
   double queue_ms = 0.0;               // submit -> worker pickup
   double run_ms = 0.0;                 // compile(+cache) + execution
   std::vector<TraceSpan> trace;        // lifecycle phases (see TraceSpan)
+  /// Serialized schedule trace when the job recorded or perturbed.
+  std::string schedule_trace;
 
   [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };

@@ -351,12 +351,41 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   cfg.pes_per_thread = job.pes_per_thread;
   cfg.barrier_radix = job.barrier_radix;  // Runtime clamps hostile fan-ins
 
+  // Deterministic scheduling + fault injection. Traces are keyed on the
+  // source hash so a stale trace against edited code is refused up front.
+  cfg.schedule = job.schedule;
+  cfg.perturb_seed = job.perturb_seed;
+  cfg.program_hash = replay::fnv1a(job.source);
+  std::shared_ptr<replay::Trace> trace;
+  if (job.schedule == replay::ScheduleMode::kReplay) {
+    std::string terr;
+    auto parsed = replay::Trace::parse(job.replay_trace, &terr);
+    if (!parsed) {
+      r.status = JobStatus::kRejected;
+      r.error = "bad replay trace: " + terr;
+      r.run_ms = ms_since(t0);
+      return r;
+    }
+    trace = std::make_shared<replay::Trace>(std::move(*parsed));
+    cfg.replay_trace = trace;
+  }
+  if (!job.fault_spec.empty()) {
+    std::string ferr;
+    if (!replay::parse_fault_spec(job.fault_spec, &cfg.fault, &ferr)) {
+      r.status = JobStatus::kRejected;
+      r.error = ferr;
+      r.run_ms = ms_since(t0);
+      return r;
+    }
+  }
+
   RunResult run = lol::run(*compiled.program, cfg);
   const double claim_start = queue_ms + compile_ms;
   r.trace.push_back({"claim", claim_start, run.claim_ms});
   r.trace.push_back({"run", claim_start + run.claim_ms, run.exec_ms});
   r.pe_output = std::move(run.pe_output);
   r.pe_errout = std::move(run.pe_errout);
+  r.schedule_trace = std::move(run.schedule_trace);
   // A completed run beats a late abort; otherwise the abort reason (set
   // before the token fired) decides how the failure is reported.
   int reason = inflight.abort_reason.load(std::memory_order_acquire);
@@ -368,6 +397,12 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   } else if (reason == kReasonDeadline) {
     r.status = JobStatus::kDeadlineExceeded;
     r.error = "deadline exceeded (job aborted)";  // worker adds the budget
+  } else if (run.pe_failed) {
+    r.status = JobStatus::kPeFailed;
+    r.error = run.first_error();
+  } else if (run.replay_diverged) {
+    r.status = JobStatus::kReplayDiverged;
+    r.error = run.first_error();
   } else if (run.step_limited) {
     r.status = JobStatus::kStepLimit;
     r.error = run.first_error();
@@ -498,8 +533,10 @@ void Service::record(const JobResult& r) {
       svc_metrics().deadline_by_tenant.with(r.tenant).inc();
       break;
     case JobStatus::kCancelled: bump(counts_.cancelled); break;
-    case JobStatus::kRejected: break;       // never ran; never reaches here
+    case JobStatus::kRejected: break;       // bad trace/fault spec refusal
     case JobStatus::kQuotaExceeded: break;  // never ran; never reaches here
+    case JobStatus::kPeFailed: bump(counts_.pe_failed); break;
+    case JobStatus::kReplayDiverged: bump(counts_.replay_diverged); break;
   }
   svc_metrics().done_by_status.with(to_string(r.status)).inc();
   svc_metrics().queue_wait_ms.observe(r.queue_ms);
@@ -524,6 +561,8 @@ Service::Stats Service::stats() const {
   s.cancelled = load(counts_.cancelled);
   s.rejected = load(counts_.rejected);
   s.quota_rejected = load(counts_.quota_rejected);
+  s.pe_failed = load(counts_.pe_failed);
+  s.replay_diverged = load(counts_.replay_diverged);
   s.cache = cache_.stats();
   return s;
 }

@@ -109,6 +109,8 @@ class Service {
     std::uint64_t cancelled = 0;   // queued + in-flight cancels
     std::uint64_t rejected = 0;
     std::uint64_t quota_rejected = 0;  // per-tenant quota refusals
+    std::uint64_t pe_failed = 0;       // fault injection took a PE down
+    std::uint64_t replay_diverged = 0;
     CompileCache::Stats cache;
   };
 
@@ -236,6 +238,8 @@ class Service {
     std::atomic<std::uint64_t> step_limited{0};
     std::atomic<std::uint64_t> deadline_exceeded{0};
     std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> pe_failed{0};
+    std::atomic<std::uint64_t> replay_diverged{0};
   };
 
   ServiceOptions opts_;

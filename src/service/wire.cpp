@@ -331,6 +331,26 @@ std::optional<Request> parse_request(const std::string& line,
         if (l.is(Json::Kind::kString)) req.job.stdin_lines.push_back(l.str);
       }
     }
+    // Deterministic scheduling + fault injection. "schedule" and the
+    // trace/fault payloads are validated by the service (bad values
+    // resolve the job as kRejected with a diagnostic), except the mode
+    // name itself, which is a protocol error like an unknown backend.
+    std::string schedule = str_or(*doc, "schedule", "none");
+    if (schedule == "none") {
+      req.job.schedule = replay::ScheduleMode::kNone;
+    } else if (schedule == "record") {
+      req.job.schedule = replay::ScheduleMode::kRecord;
+    } else if (schedule == "perturb") {
+      req.job.schedule = replay::ScheduleMode::kPerturb;
+    } else if (schedule == "replay") {
+      req.job.schedule = replay::ScheduleMode::kReplay;
+    } else {
+      if (error != nullptr) *error = "unknown schedule '" + schedule + "'";
+      return std::nullopt;
+    }
+    req.job.perturb_seed = u64_or(*doc, "perturb_seed", 0);
+    req.job.replay_trace = str_or(*doc, "replay", "");
+    req.job.fault_spec = str_or(*doc, "fault", "");
     return req;
   }
   if (op == "cancel") {
@@ -415,6 +435,10 @@ std::string submit_line(const Job& job) {
          ",\"seed\":" + n(job.seed) + ",\"max_steps\":" + n(job.max_steps) +
          ",\"deadline_ms\":" + n(job.deadline_ms) +
          ",\"heap_bytes\":" + n(job.heap_bytes) +
+         ",\"schedule\":\"" + replay::to_string(job.schedule) + "\"" +
+         ",\"perturb_seed\":" + n(job.perturb_seed) +
+         ",\"replay\":" + quote(job.replay_trace) +
+         ",\"fault\":" + quote(job.fault_spec) +
          ",\"stdin\":" + json_array(job.stdin_lines) + "}";
 }
 
@@ -456,7 +480,11 @@ std::string result_line(const JobResult& r) {
            ",\"dur_ms\":" + fmt_ms(sp.dur_ms) + "}";
   }
   out += "],\"output\":" + json_array(r.pe_output) +
-         ",\"errout\":" + json_array(r.pe_errout) + "}";
+         ",\"errout\":" + json_array(r.pe_errout);
+  if (!r.schedule_trace.empty()) {
+    out += ",\"sched_trace\":" + quote(r.schedule_trace);
+  }
+  out += "}";
   return out;
 }
 
@@ -476,6 +504,8 @@ std::string stats_line(const Service::Stats& s) {
          ",\"cancelled\":" + n(s.cancelled) +
          ",\"rejected\":" + n(s.rejected) +
          ",\"quota_rejected\":" + n(s.quota_rejected) +
+         ",\"pe_failed\":" + n(s.pe_failed) +
+         ",\"replay_diverged\":" + n(s.replay_diverged) +
          ",\"cache_hits\":" + n(s.cache.hits) +
          ",\"cache_misses\":" + n(s.cache.misses) +
          ",\"cache_evictions\":" + n(s.cache.evictions) + "}";

@@ -138,6 +138,7 @@ std::byte* Pe::local_addr(std::size_t offset) {
 }
 
 void Pe::put(int target, std::size_t offset, const void* src, std::size_t n) {
+  rt_->schedule_yield(id_);
   check_target(target);
   check_range(offset, n);
   arena_write(rt_->arena(target) + offset, src, n);
@@ -145,6 +146,7 @@ void Pe::put(int target, std::size_t offset, const void* src, std::size_t n) {
 }
 
 void Pe::get(void* dst, int target, std::size_t offset, std::size_t n) {
+  rt_->schedule_yield(id_);
   check_target(target);
   check_range(offset, n);
   arena_read(dst, rt_->arena(target) + offset, n);
@@ -173,6 +175,7 @@ double Pe::get_f64(int target, std::size_t offset) {
 
 std::int64_t Pe::atomic_fetch_add_i64(int target, std::size_t offset,
                                       std::int64_t delta) {
+  rt_->schedule_yield(id_);
   check_target(target);
   check_range(offset, sizeof(std::int64_t));
   auto* word =
@@ -196,6 +199,7 @@ void Pe::set_lock(int lock_id) {
                        " already holds this lock (IM SRSLY MESIN WIF is not "
                        "recursive)");
   }
+  rt_->schedule_yield(id_);
   // Eventcount-shaped acquire loop: block through the executor (a fiber
   // yields its carrier here) and stay abortable between attempts.
 #if LOL_OBS_RUNTIME_METRICS
@@ -223,7 +227,13 @@ void Pe::set_lock(int lock_id) {
     if (rt_->aborted()) {
       throw RuntimeError("SPMD aborted while waiting for lock");
     }
-    rt_->wait(id_, e);
+    if (auto* hook = rt_->schedule_hook()) {
+      // Park until the owner's clear_lock() readies us, then retry the
+      // CAS under the token — acquisition order follows the schedule.
+      hook->blocked(*rt_, id_);
+    } else {
+      rt_->wait(id_, e);
+    }
   }
 #if LOL_OBS_RUNTIME_METRICS
   if (contended && rt_->cfg_.profile) {
@@ -245,6 +255,7 @@ bool Pe::test_lock(int lock_id) {
     throw RuntimeError("PE " + std::to_string(id_) +
                        " already holds this lock");
   }
+  rt_->schedule_yield(id_);
   int expected = -1;
   bool got = lock.owner.compare_exchange_strong(expected, id_,
                                                 std::memory_order_acq_rel,
@@ -272,6 +283,7 @@ void Pe::clear_lock(int lock_id) {
                        " releases a lock it does not hold (DUN MESIN WIF "
                        "without IM ... MESIN WIF)");
   }
+  rt_->schedule_yield(id_);
   lock.owner.store(-1, std::memory_order_release);
   rt_->notify_waiters();
   if (const auto* m = rt_->model()) {
@@ -521,6 +533,10 @@ void Runtime::fire_root(std::uint64_t my_gen, CollOp op) {
 }
 
 std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
+  // Barrier arrival is a recorded choice point: under a schedule hook
+  // the token order fixes which PE climbs each tree node last (and so
+  // which one wins the root and combines).
+  schedule_yield(pe.id_);
   if (aborted()) throw RuntimeError("SPMD aborted while entering barrier");
   // Entering PEs always read their own crossing's generation: g cannot
   // advance to g+1 until every PE (this one included) has arrived.
@@ -578,7 +594,13 @@ std::uint64_t Runtime::cross(Pe& pe, CollOp op) {
       if (aborted()) {
         throw RuntimeError("SPMD aborted while waiting in barrier (HUGZ)");
       }
-      wait(pe.id_, e);
+      if (auto* hook = cfg_.schedule) {
+        // Park: only the winner's release (notify_waiters -> on_notify)
+        // makes losers schedulable again.
+        hook->blocked(*this, pe.id_);
+      } else {
+        wait(pe.id_, e);
+      }
     }
 #if LOL_OBS_RUNTIME_METRICS
     if (timed) pe.prof_.barrier_wait_ns += now_ns() - t_wait0;
@@ -618,6 +640,7 @@ LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
     }
     Pe& pe = pes[static_cast<std::size_t>(i)];
     try {
+      if (cfg_.schedule != nullptr) cfg_.schedule->pe_start(*this, i);
       fn(pe);
     } catch (const std::exception& e) {
       result.errors[static_cast<std::size_t>(i)] =
@@ -628,6 +651,9 @@ LaunchResult Runtime::launch(const std::function<void(Pe&)>& fn) {
           "PE " + std::to_string(i) + ": unknown exception";
       abort();
     }
+    // Every exit path (return, error, abort) retires the PE with the
+    // hook so remaining PEs can be scheduled. Must not throw.
+    if (cfg_.schedule != nullptr) cfg_.schedule->pe_exit(*this, i);
   };
 
   PeExecutor* ex =

@@ -40,6 +40,7 @@
 #include "noc/model.hpp"
 #include "obs/profile.hpp"
 #include "shmem/executor.hpp"
+#include "shmem/schedule_hook.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
 
@@ -63,6 +64,12 @@ struct Config {
   /// PE's obs::PeProfile. Event counts are always collected; the clock
   /// reads are opt-in because they are not free at high PE counts.
   bool profile = false;
+
+  /// Scheduling choice-point hook (shmem/schedule_hook.hpp). When set,
+  /// the launch is serialized on an execution token the hook hands out —
+  /// deterministic record/replay mode. Not owned; must outlive the
+  /// launch. Null (the default) = free-running.
+  ScheduleHook* schedule = nullptr;
 };
 
 class Runtime;
@@ -248,8 +255,17 @@ class Runtime {
   void wait(int pe, std::uint64_t epoch) {
     scheduler().wait(ec_, pe, epoch);
   }
-  /// Wakes every PE blocked in wait().
-  void notify_waiters() { ec_.notify_all(); }
+  /// Wakes every PE blocked in wait(). Also tells the schedule hook (if
+  /// any) that an awaited condition may have changed, so parked PEs
+  /// become schedulable again.
+  void notify_waiters() {
+    if (cfg_.schedule != nullptr) cfg_.schedule->on_notify();
+    ec_.notify_all();
+  }
+  /// Plain eventcount wake without the schedule-hook signal — used by
+  /// the hook itself to hand the token over (going through on_notify
+  /// would re-ready PEs it just parked).
+  void wake_waiters() { ec_.notify_all(); }
   /// True when PEs are cooperatively multiplexed (see
   /// PeExecutor::cooperative).
   [[nodiscard]] bool cooperative_pes() {
@@ -257,6 +273,14 @@ class Runtime {
   }
   /// Cooperative time-slice point for compute loops.
   void preempt(int pe) { scheduler().preempt(pe); }
+
+  /// The scheduling hook driving this runtime, or null (free-running).
+  [[nodiscard]] ScheduleHook* schedule_hook() const { return cfg_.schedule; }
+  /// Choice point: under a schedule hook, offer the execution token back
+  /// and block until scheduled again; free of cost when no hook is set.
+  void schedule_yield(int pe) {
+    if (cfg_.schedule != nullptr) cfg_.schedule->yield(*this, pe);
+  }
 
   /// Direct arena access (tests and the Figure-1 bench use this to verify
   /// symmetric layout).

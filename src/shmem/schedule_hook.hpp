@@ -1,0 +1,57 @@
+// Scheduling choice-point hook for deterministic record/replay.
+//
+// A free-running SPMD launch has exactly five sources of run-to-run
+// variation: barrier arrival order, lock acquisition order, GIMMEH read
+// interleaving, the interleaving of one-sided put/get traffic, and which
+// PE the executor starts first. A ScheduleHook turns every one of those
+// into an explicit choice point: when a hook is installed the runtime
+// serializes the gang on a single execution token — at most one PE runs
+// between choice points — and asks the hook who runs next at each
+// handoff. The token-handoff sequence then *is* the schedule: record it
+// and a later run that enforces the same sequence reproduces the whole
+// execution byte-for-byte, data races included, on any backend and any
+// executor (the hook waits through the runtime's eventcount, so fibers
+// yield their carriers exactly like they do in barriers).
+//
+// The cost is serialization; a hooked run is a debugging/testing mode,
+// not a throughput mode. A null hook (the default) costs one predicted
+// branch per choice point.
+#pragma once
+
+namespace lol::shmem {
+
+class Runtime;
+
+/// Consulted by the runtime at every scheduling choice point. All calls
+/// except on_notify() are made by the PE named in the call, on its own
+/// thread/fiber; on_notify() can come from any thread (abort included)
+/// and must be safe to call concurrently.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+
+  /// PE `pe`'s body is about to run. Blocks until the schedule gives it
+  /// the token for the first time — so the hook, not the executor,
+  /// decides the observable claim order.
+  virtual void pe_start(Runtime& rt, int pe) = 0;
+
+  /// PE `pe`'s body finished (normally or by exception). Releases the
+  /// token if held. Must not throw.
+  virtual void pe_exit(Runtime& rt, int pe) = 0;
+
+  /// Choice point: the running PE offers the token back and blocks until
+  /// it is scheduled again. The PE stays runnable (use for put/get, lock
+  /// attempts, RNG draws, GIMMEH polls, barrier arrival).
+  virtual void yield(Runtime& rt, int pe) = 0;
+
+  /// Like yield(), but the PE is parked — not schedulable until the next
+  /// on_notify() (use inside condition-wait loops: barrier losers, lock
+  /// waiters). The caller re-checks its condition when this returns.
+  virtual void blocked(Runtime& rt, int pe) = 0;
+
+  /// Some awaited condition may have changed (lock released, barrier
+  /// generation bumped, abort requested): parked PEs become runnable.
+  virtual void on_notify() = 0;
+};
+
+}  // namespace lol::shmem

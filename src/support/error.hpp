@@ -70,4 +70,25 @@ class StepLimitError : public RuntimeError {
   std::uint64_t budget_ = 0;
 };
 
+/// Raised when fault injection (replay/fault.hpp) kills a PE at a
+/// configured step. Distinct from RuntimeError so the engine can flag
+/// RunResult::pe_failed and the service can classify the job as
+/// JobStatus::kPeFailed rather than an ordinary program error.
+class PeKilledError : public RuntimeError {
+ public:
+  PeKilledError(int pe, std::uint64_t step)
+      : RuntimeError("PE " + std::to_string(pe) +
+                     " killed by fault injection at step " +
+                     std::to_string(step)),
+        pe_(pe),
+        step_(step) {}
+
+  [[nodiscard]] int pe() const { return pe_; }
+  [[nodiscard]] std::uint64_t step() const { return step_; }
+
+ private:
+  int pe_ = -1;
+  std::uint64_t step_ = 0;
+};
+
 }  // namespace lol::support

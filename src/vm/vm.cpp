@@ -436,10 +436,10 @@ void Vm::run() {
         push(Value::numbr(ctx_.pe->n_pes()));
         break;
       case Op::kWhatevr:
-        push(Value::numbr(ctx_.rng.next_numbr()));
+        push(Value::numbr(ctx_.rng_numbr()));
         break;
       case Op::kWhatevar:
-        push(Value::numbar(ctx_.rng.next_numbar()));
+        push(Value::numbar(ctx_.rng_numbar()));
         break;
       case Op::kHugz:
         ctx_.pe->barrier_all();

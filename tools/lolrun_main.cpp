@@ -40,6 +40,20 @@ int usage(const char* prog) {
       "  --max-steps <S>    per-PE step budget, 0 = unlimited (default)\n"
       "  --machine <m>      epiphany3 | xc40 | smp: enable simulated time\n"
       "  --sim              print per-run simulated time (needs --machine)\n"
+      "  --record <file>    serialize the gang on a deterministic schedule\n"
+      "                     and write the trace to <file>\n"
+      "  --replay <file>    re-run a recorded trace; byte-identical across\n"
+      "                     backends and executors (exit 6 on divergence)\n"
+      "  --perturb-seed <S> record with a seeded random schedule instead of\n"
+      "                     round-robin (used with --record)\n"
+      "  --shake <N>        schedule shaker: run once recorded, then under N\n"
+      "                     perturbation seeds; exit 4 + failing seed (and\n"
+      "                     its trace, with --record) on any output mismatch\n"
+      "  --shake-seed <B>   first perturbation seed for --shake (default 1)\n"
+      "  --fault <spec>     fault injection: pe=K@step=S (kill a PE),\n"
+      "                     noc=F (latency spike, needs --machine),\n"
+      "                     input=N (GIMMEH source dies after N reads);\n"
+      "                     comma-separated. Killed PE => exit 5\n"
       "  --profile          print a per-PE runtime profile (steps, barrier\n"
       "                     and lock waits, GIMMEH blocks) to stderr\n"
       "  --tag              prefix output lines with [peN]\n"
@@ -100,6 +114,51 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Record/replay + fault injection (src/replay/).
+  std::optional<std::string> record_path = cli.option("--record");
+  std::optional<std::string> replay_path = cli.option("--replay");
+  int shake = 0;
+  if (auto s = cli.option("--shake")) shake = std::atoi(s->c_str());
+  std::uint64_t shake_seed = 1;
+  if (auto s = cli.option("--shake-seed")) {
+    shake_seed = std::strtoull(s->c_str(), nullptr, 10);
+  }
+  if (auto seed = cli.option("--perturb-seed")) {
+    cfg.schedule = lol::replay::ScheduleMode::kPerturb;
+    cfg.perturb_seed = std::strtoull(seed->c_str(), nullptr, 10);
+  } else if (record_path) {
+    cfg.schedule = lol::replay::ScheduleMode::kRecord;
+  }
+  if (replay_path) {
+    if (record_path || shake != 0 ||
+        cfg.schedule == lol::replay::ScheduleMode::kPerturb) {
+      std::fprintf(stderr,
+                   "lolrun: --replay excludes --record/--shake/--perturb-seed\n");
+      return 2;
+    }
+    auto text = lol::driver::read_file(*replay_path);
+    if (!text) {
+      std::fprintf(stderr, "lolrun: cannot read trace '%s'\n",
+                   replay_path->c_str());
+      return 2;
+    }
+    std::string terr;
+    auto trace = lol::replay::Trace::parse(*text, &terr);
+    if (!trace) {
+      std::fprintf(stderr, "lolrun: bad trace '%s': %s\n",
+                   replay_path->c_str(), terr.c_str());
+      return 2;
+    }
+    cfg.schedule = lol::replay::ScheduleMode::kReplay;
+    cfg.replay_trace = std::make_shared<lol::replay::Trace>(std::move(*trace));
+  }
+  if (auto spec = cli.option("--fault")) {
+    std::string ferr;
+    if (!lol::replay::parse_fault_spec(*spec, &cfg.fault, &ferr)) {
+      std::fprintf(stderr, "lolrun: %s\n", ferr.c_str());
+      return 2;
+    }
+  }
   bool profile = cli.has_flag("--profile");
   cfg.profile = profile;
   bool tag = cli.has_flag("--tag");
@@ -127,6 +186,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  cfg.program_hash = lol::replay::fnv1a(*source);
+
   try {
     lol::CompiledProgram prog = lol::compile(*source);
     if (dump_ast) {
@@ -138,9 +199,76 @@ int main(int argc, char** argv) {
           lol::vm::compile_program(prog.program, prog.analysis));
       return 0;
     }
+    if (shake > 0) {
+      // Schedule shaker: one recorded baseline, then `shake` perturbed
+      // runs. Any divergence in output/status is a real schedule
+      // sensitivity (a race, a missing HUGZ); the failing seed's trace
+      // is the repro artifact.
+      lol::RunConfig scfg = cfg;
+      scfg.sink = nullptr;  // capture per-PE output for comparison
+      scfg.schedule = lol::replay::ScheduleMode::kRecord;
+      scfg.perturb_seed = 0;
+      lol::RunResult base = lol::run(prog, scfg);
+      std::fprintf(stderr, "[shake] baseline: %s\n",
+                   base.ok ? "ok" : base.first_error().c_str());
+      for (int k = 0; k < shake; ++k) {
+        const std::uint64_t s = shake_seed + static_cast<std::uint64_t>(k);
+        scfg.schedule = lol::replay::ScheduleMode::kPerturb;
+        scfg.perturb_seed = s;
+        lol::RunResult r = lol::run(prog, scfg);
+        if (r.ok == base.ok && r.step_limited == base.step_limited &&
+            r.pe_output == base.pe_output && r.pe_errout == base.pe_errout) {
+          std::fprintf(stderr, "[shake] seed %llu: ok\n",
+                       static_cast<unsigned long long>(s));
+          continue;
+        }
+        std::fprintf(stderr,
+                     "[shake] seed %llu DIVERGED from the recorded baseline\n",
+                     static_cast<unsigned long long>(s));
+        for (std::size_t i = 0;
+             i < r.pe_output.size() && i < base.pe_output.size(); ++i) {
+          if (base.pe_output[i] != r.pe_output[i]) {
+            std::fprintf(stderr, "[shake]   pe%zu stdout differs\n", i);
+          }
+          if (base.pe_errout[i] != r.pe_errout[i]) {
+            std::fprintf(stderr, "[shake]   pe%zu stderr differs\n", i);
+          }
+        }
+        if (!r.ok) {
+          std::fprintf(stderr, "[shake]   error: %s\n",
+                       r.first_error().c_str());
+        }
+        if (record_path) {
+          if (lol::driver::write_file(*record_path, r.schedule_trace)) {
+            std::fprintf(stderr, "[shake]   trace written to %s\n",
+                         record_path->c_str());
+          } else {
+            std::fprintf(stderr, "[shake]   cannot write trace to %s\n",
+                         record_path->c_str());
+          }
+        }
+        std::fprintf(
+            stderr,
+            "[shake] reproduce with: lolrun --perturb-seed %llu "
+            "--record t.trace %s; lolrun --replay t.trace %s\n",
+            static_cast<unsigned long long>(s), pos[0].c_str(),
+            pos[0].c_str());
+        return 4;
+      }
+      std::fprintf(stderr, "[shake] %d seeds, no divergence\n", shake);
+      return 0;
+    }
+
     lol::rt::StdioSink sink(tag);
     cfg.sink = &sink;
     lol::RunResult result = lol::run(prog, cfg);
+    if (record_path && !result.schedule_trace.empty()) {
+      if (!lol::driver::write_file(*record_path, result.schedule_trace)) {
+        std::fprintf(stderr, "lolrun: cannot write trace to '%s'\n",
+                     record_path->c_str());
+        return 1;
+      }
+    }
     if (profile) {
       // Profile goes to stderr even for failed runs: a step-limited job
       // is exactly when the per-PE step counts matter.
@@ -167,7 +295,10 @@ int main(int argc, char** argv) {
         if (!e.empty()) std::fprintf(stderr, "error: %s\n", e.c_str());
       }
       // Exit-status parity with lcc-compiled executables: 3 = killed by
-      // the step budget, 1 = ordinary runtime failure.
+      // the step budget, 5 = fault injection killed a PE, 6 = replay
+      // diverged, 1 = ordinary runtime failure.
+      if (result.pe_failed) return 5;
+      if (result.replay_diverged) return 6;
       return result.step_limited ? 3 : 1;
     }
     if (want_sim && cfg.machine != nullptr) {

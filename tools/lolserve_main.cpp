@@ -86,6 +86,12 @@ int usage(const char* prog) {
       "  --manifest <file>  extra jobs, one per line: <path> [n_pes] "
       "[max_steps] [tenant] [deadline_ms]\n"
       "  --quiet            suppress per-job lines, print the summary only\n"
+      "  --record <file>    run jobs on a recorded deterministic schedule\n"
+      "                     and write the trace to <file> (batch + client)\n"
+      "  --replay <file>    enforce a recorded schedule trace on the jobs\n"
+      "  --perturb-seed <S> record under a seeded schedule perturbation\n"
+      "  --fault <spec>     inject faults: pe=K@step=S, noc=F, input=N\n"
+      "                     (comma-separated; job resolves as pe-failed)\n"
       "  --daemon           serve NDJSON jobs over a socket until "
       "{\"op\":\"shutdown\"}\n"
       "  --listen <addr>    unix:/path/to.sock or tcp:PORT (default "
@@ -259,6 +265,9 @@ struct ClientAction {
   /// kSubmit only: cancel whatever is still running this long after
   /// submission (same-connection cancel — the scope the daemon allows).
   std::uint64_t cancel_after_ms = 0;
+  /// kSubmit only: save the "sched_trace" from each done event here
+  /// (recorded/perturbed jobs; the last job's trace wins).
+  std::string record_path;
 };
 
 /// --client: build requests with the wire serializers, stream every
@@ -404,6 +413,16 @@ int run_client(const std::string& addr, const ClientAction& action,
         auto id = static_cast<lol::service::JobId>(
             std::strtoull(event_field(*doc, "id").c_str(), nullptr, 10));
         live.erase(std::remove(live.begin(), live.end(), id), live.end());
+      }
+      if (!action.record_path.empty()) {
+        const lol::service::wire::Json* trace = doc->find("sched_trace");
+        if (trace != nullptr &&
+            trace->is(lol::service::wire::Json::Kind::kString) &&
+            !lol::driver::write_file(action.record_path, trace->str)) {
+          std::fprintf(stderr, "lolserve: cannot write trace to '%s'\n",
+                       action.record_path.c_str());
+          rc = 1;
+        }
       }
       std::string status = event_field(*doc, "status");
       bool expected = status == "ok" || (action.cancel_after_ms > 0 &&
@@ -624,6 +643,36 @@ int main(int argc, char** argv) {
   std::uint64_t shuffle_seed = std::strtoull(
       cli.option("--shuffle-seed").value_or("20170529").c_str(), nullptr, 10);
 
+  // Record/replay + fault injection, applied to every job in the batch.
+  std::string record_path = cli.option("--record").value_or("");
+  auto schedule = lol::replay::ScheduleMode::kNone;
+  std::uint64_t perturb_seed = 0;
+  std::string replay_trace_text;
+  if (auto seed = cli.option("--perturb-seed")) {
+    schedule = lol::replay::ScheduleMode::kPerturb;
+    perturb_seed = std::strtoull(seed->c_str(), nullptr, 10);
+  } else if (!record_path.empty()) {
+    schedule = lol::replay::ScheduleMode::kRecord;
+  }
+  if (auto replay_path = cli.option("--replay")) {
+    auto text = lol::driver::read_file(*replay_path);
+    if (!text) {
+      std::fprintf(stderr, "lolserve: cannot read trace '%s'\n",
+                   replay_path->c_str());
+      return 1;
+    }
+    schedule = lol::replay::ScheduleMode::kReplay;
+    replay_trace_text = std::move(*text);
+  }
+  std::string fault_spec = cli.option("--fault").value_or("");
+  if (!fault_spec.empty()) {
+    std::string ferr;
+    if (!lol::replay::parse_fault_spec(fault_spec, nullptr, &ferr)) {
+      std::fprintf(stderr, "lolserve: %s\n", ferr.c_str());
+      return 2;
+    }
+  }
+
   std::vector<JobSpec> specs;
   if (auto manifest = cli.option("--manifest")) {
     if (!read_manifest(*manifest, specs)) return 1;
@@ -654,11 +703,18 @@ int main(int argc, char** argv) {
     job.executor = executor;
     job.pes_per_thread = pes_per_thread;
     job.barrier_radix = barrier_radix;
+    job.schedule = schedule;
+    job.perturb_seed = perturb_seed;
+    job.replay_trace = replay_trace_text;
+    job.fault_spec = fault_spec;
     jobs.push_back(std::move(job));
   }
 
 #if !defined(_WIN32)
-  if (client) return run_client(connect_addr, client_action, jobs);
+  if (client) {
+    client_action.record_path = record_path;
+    return run_client(connect_addr, client_action, jobs);
+  }
 #endif
 
   lol::service::Service svc(opts);
@@ -708,7 +764,14 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   for (auto& fut : futures) {
-    if (!fut.get().ok()) ++failed;
+    lol::service::JobResult r = fut.get();
+    if (!r.ok()) ++failed;
+    if (!record_path.empty() && !r.schedule_trace.empty() &&
+        !lol::driver::write_file(record_path, r.schedule_trace)) {
+      std::fprintf(stderr, "lolserve: cannot write trace to '%s'\n",
+                   record_path.c_str());
+      ++failed;
+    }
   }
 
   double wall_s =

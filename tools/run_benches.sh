@@ -23,12 +23,14 @@ fi
 
 mkdir -p "$OUT_DIR"
 found=0
+ran_collectives=0
 failed=""
 for bin in "$BUILD_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   case "$bin" in *.json|*.txt) continue ;; esac
   found=1
   name=$(basename "$bin")
+  [ "$name" = "bench_collectives" ] && ran_collectives=1
   out_json="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name =="
   if ! "$bin" --benchmark_format=json \
@@ -52,9 +54,15 @@ fi
 # Observability overhead guard: when a metrics-compiled-out tree exists
 # next to the main one (cmake -B <build>-noobs -DLOL_OBS=OFF), rerun the
 # barrier bench from it. BENCH_collectives_noobs.json is the zero-cost
-# baseline the instrumented numbers are compared against.
+# baseline the instrumented numbers are compared against — which only
+# makes sense when the instrumented bench_collectives actually ran
+# above; otherwise the baseline would be archived with nothing to
+# compare it to, so skip it.
 noobs_bin="$BUILD_DIR-noobs/bench_collectives"
-if [ -x "$noobs_bin" ]; then
+if [ "$ran_collectives" -eq 0 ] && [ -x "$noobs_bin" ]; then
+  echo "== skipping noobs baseline (bench_collectives not in this run) =="
+fi
+if [ "$ran_collectives" -eq 1 ] && [ -x "$noobs_bin" ]; then
   out_json="$OUT_DIR/BENCH_collectives_noobs.json"
   echo "== bench_collectives (LOL_OBS=OFF baseline) =="
   if ! "$noobs_bin" --benchmark_format=json \
