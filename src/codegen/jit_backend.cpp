@@ -1,0 +1,114 @@
+#include "codegen/jit_backend.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "codegen/jit_emitter.hpp"
+#include "codegen/single_flight.hpp"
+#include "obs/metrics.hpp"
+#include "vm/vm.hpp"
+
+namespace lol::codegen {
+
+namespace {
+
+/// Build outcome carried through the single-flight cache: failed builds
+/// keep the diagnostic so every waiter reports the same error.
+struct JitBuild {
+  std::shared_ptr<const JitProgram> prog;
+  std::string error;
+};
+
+/// Same capacity rationale as the native object cache: daemon clients
+/// choose sources, so the emitted-code map must be bounded. Eviction only
+/// drops the cache's reference — in-flight runs and JitSlot memos hold
+/// the shared_ptr, and the ExecMem unmaps when the last one releases.
+SingleFlight<JitBuild>& jit_cache() {
+  static auto* c = new SingleFlight<JitBuild>(64);
+  return *c;
+}
+
+struct JitMetrics {
+  obs::Counter& compiles;
+  obs::Histogram& compile_ms;
+  JitMetrics()
+      : compiles(obs::Registry::global().counter(
+            "lol_jit_compiles_total",
+            "Bytecode-to-x86-64 JIT compilations (cache misses)")),
+        compile_ms(obs::Registry::global().histogram(
+            "lol_jit_compile_ms", "JIT compile latency (emit + map), ms",
+            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 25.0, 100.0})) {}
+};
+
+JitMetrics& jit_metrics() {
+  static JitMetrics m;
+  return m;
+}
+
+}  // namespace
+
+bool jit_available() {
+#if !defined(__x86_64__)
+  return false;
+#else
+  static const bool ok = [] {
+    const char* env = std::getenv("LOL_JIT");
+    if (env != nullptr && env[0] == '0' && env[1] == '\0') return false;
+    return ExecMem::supported();
+  }();
+  return ok;
+#endif
+}
+
+std::shared_ptr<const JitProgram> JitProgram::get_or_build(
+    std::shared_ptr<const vm::Chunk> chunk, std::string* error) {
+  if (!jit_available()) {
+    if (error != nullptr) {
+      *error = "JIT backend unavailable on this host (needs x86-64, mmap "
+               "PROT_EXEC, LOL_JIT != 0)";
+    }
+    return nullptr;
+  }
+  std::string key = chunk_cache_key(*chunk);
+  JitBuild built = jit_cache().get_or_build(
+      key,
+      [&]() -> JitBuild {
+        JitBuild b;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::uint8_t> code;
+        if (!emit_chunk_x86_64(*chunk, &code, &b.error)) return b;
+        auto prog = std::shared_ptr<JitProgram>(new JitProgram());
+        prog->chunk_ = chunk;
+        if (!prog->mem_.map_and_seal(code.data(), code.size(), &b.error)) {
+          return b;
+        }
+        b.prog = std::move(prog);
+        jit_metrics().compiles.inc();
+        jit_metrics().compile_ms.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        return b;
+      },
+      [](const JitBuild& b) { return b.prog != nullptr; });
+  if (built.prog == nullptr && error != nullptr) {
+    *error = built.error.empty() ? "JIT build failed" : built.error;
+  }
+  return built.prog;
+}
+
+void JitProgram::run_pe(rt::ExecContext& ctx) const {
+  vm::Vm vm(*chunk_, ctx);
+  vm.reset_for_run();
+  detail::jit_pending() = nullptr;
+  auto entry = reinterpret_cast<void (*)(vm::Vm*)>(
+      const_cast<void*>(mem_.base()));
+  entry(&vm);
+  if (detail::jit_pending() != nullptr) {
+    std::exception_ptr e = detail::jit_pending();
+    detail::jit_pending() = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lol::codegen

@@ -1,0 +1,73 @@
+// Direct x86-64 execution of VM bytecode (Backend::kJit).
+//
+// Where Backend::kNative forks the host C toolchain per cold program
+// (~100ms, an external dependency), the JIT lowers the already-compiled
+// bytecode chunk to machine code in-process — a cold compile is the
+// emitter plus one mmap/mprotect, microseconds instead of a fork/exec.
+// Semantics are the VM's own op_* bodies called from emitted code, so
+// step budgets, deadlines, abort, replay scheduling and fault injection
+// carry over unchanged and output stays byte-identical to the other
+// backends by construction.
+//
+// Availability: x86-64 + POSIX mmap, a kernel that allows the W^X
+// RW->RX flip, and LOL_JIT != 0. When unavailable the engine silently
+// falls back to the cc+dlopen native backend (the portability tier).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "codegen/jit_memory.hpp"
+#include "vm/chunk.hpp"
+
+namespace lol::rt {
+struct ExecContext;
+}
+
+namespace lol::codegen {
+
+/// True when Backend::kJit can execute here. Memoized after first call.
+bool jit_available();
+
+/// One program's emitted machine code plus the chunk it interprets.
+/// Immutable and shareable across concurrent runs — all mutable state
+/// lives in the per-PE Vm handed to run_pe.
+class JitProgram {
+ public:
+  JitProgram(const JitProgram&) = delete;
+  JitProgram& operator=(const JitProgram&) = delete;
+
+  /// Emits (or fetches from the process-wide single-flight cache) the
+  /// machine code for `chunk`. Keyed by the chunk's serialized bytes, so
+  /// N concurrent cold misses on one program emit exactly once. Returns
+  /// null and fills `error` when the JIT is unavailable or emission
+  /// fails.
+  static std::shared_ptr<const JitProgram> get_or_build(
+      std::shared_ptr<const vm::Chunk> chunk, std::string* error);
+
+  /// Runs one PE: resets a Vm over the chunk, enters the emitted code,
+  /// and rethrows any exception a helper parked (StepLimitError,
+  /// RuntimeError, PeKilledError, abort).
+  void run_pe(rt::ExecContext& ctx) const;
+
+  /// Bytes of sealed executable code (compile-cache accounting).
+  [[nodiscard]] std::size_t code_bytes() const { return mem_.size(); }
+
+ private:
+  JitProgram() = default;
+
+  std::shared_ptr<const vm::Chunk> chunk_;
+  ExecMem mem_;
+};
+
+/// Per-CompiledProgram memo mirroring NativeSlot/VmSlot: filled under its
+/// own lock on the first Backend::kJit run so warm runs skip the cache
+/// key serialization.
+struct JitSlot {
+  std::mutex m;
+  std::shared_ptr<const JitProgram> prog;
+};
+
+}  // namespace lol::codegen

@@ -1,0 +1,269 @@
+#include "codegen/jit_emitter.hpp"
+
+#include <cstring>
+
+namespace lol::codegen {
+
+namespace {
+
+using vm::Op;
+
+/// Append-only byte buffer with little-endian immediates and rel32
+/// back-patching.
+struct CodeBuf {
+  std::vector<std::uint8_t> b;
+
+  void u8(std::uint8_t x) { b.push_back(x); }
+  void u32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) b.push_back((x >> (8 * i)) & 0xFF);
+  }
+  void u64(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) b.push_back((x >> (8 * i)) & 0xFF);
+  }
+  [[nodiscard]] std::size_t size() const { return b.size(); }
+  void patch32(std::size_t off, std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) b[off + i] = (x >> (8 * i)) & 0xFF;
+  }
+};
+
+/// A rel32 whose target is only known after layout: the byte offset of a
+/// bytecode block, the epilogue, or a function-call stub.
+struct Fixup {
+  enum class Kind { kBlock, kEpilogue, kStub };
+  std::size_t at;  // offset of the rel32 immediate
+  Kind kind;
+  std::size_t target = 0;  // pc (kBlock) or function index (kStub)
+};
+
+class Emitter {
+ public:
+  explicit Emitter(const vm::Chunk& chunk) : chunk_(chunk) {}
+
+  bool emit(std::vector<std::uint8_t>* out, std::string* error) {
+    const JitHelperFn* table = jit_helper_table();
+
+    // Prologue: save callee-saved regs, align rsp to 16 (entry has
+    // rsp % 16 == 8 from the caller's call), park Vm* in rbx and the
+    // aligned rsp in r12 for the unwind path.
+    buf_.u8(0x53);                            // push rbx
+    buf_.u8(0x41); buf_.u8(0x54);             // push r12
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xEC); buf_.u8(0x08);  // sub rsp,8
+    buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xFB);                 // mov rbx,rdi
+    buf_.u8(0x49); buf_.u8(0x89); buf_.u8(0xE4);                 // mov r12,rsp
+
+    block_off_.resize(chunk_.code.size());
+    for (std::size_t pc = 0; pc < chunk_.code.size(); ++pc) {
+      block_off_[pc] = buf_.size();
+      const vm::Instr& in = chunk_.code[pc];
+      auto helper = table[static_cast<std::size_t>(in.op)];
+      switch (in.op) {
+        case Op::kJump:
+          // Helper charges the step; then a real machine jump.
+          call_helper(helper, in);
+          jmp_to_block(static_cast<std::size_t>(in.a));
+          break;
+        case Op::kJumpIfFalse:
+          // Helper pops the condition and returns 1 when the branch is
+          // taken (status already sign-checked by call_helper).
+          call_helper(helper, in);
+          buf_.u8(0x0F); buf_.u8(0x85);  // jnz rel32
+          fixups_.push_back({buf_.size(), Fixup::Kind::kBlock,
+                             static_cast<std::size_t>(in.a)});
+          buf_.u32(0);
+          break;
+        case Op::kCall:
+          // Helper builds the callee frame (args popped, depth checked);
+          // then a machine call into the function's stub keeps LOLCODE
+          // recursion on the machine stack.
+          call_helper(helper, in);
+          buf_.u8(0xE8);  // call rel32
+          fixups_.push_back({buf_.size(), Fixup::Kind::kStub,
+                             static_cast<std::size_t>(in.a)});
+          buf_.u32(0);
+          break;
+        case Op::kReturn:
+          // Helper pops the frame and pushes the return value; undo the
+          // stub's alignment adjustment and return to the machine caller.
+          call_helper(helper, in);
+          buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xC4); buf_.u8(0x08);
+          buf_.u8(0xC3);  // add rsp,8; ret
+          break;
+        case Op::kHalt:
+          call_helper(helper, in);
+          buf_.u8(0xE9);  // jmp rel32 -> epilogue
+          fixups_.push_back({buf_.size(), Fixup::Kind::kEpilogue, 0});
+          buf_.u32(0);
+          break;
+        default:
+          // Straight-line op: helper does step + semantics, fall through.
+          call_helper(helper, in);
+          break;
+      }
+    }
+
+    // Epilogue (normal exit and the helper-threw unwind path): restore
+    // the prologue rsp — discarding any nested, destructor-free JIT
+    // frames — and the callee-saved registers.
+    epilogue_off_ = buf_.size();
+    buf_.u8(0x4C); buf_.u8(0x89); buf_.u8(0xE4);                 // mov rsp,r12
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xC4); buf_.u8(0x08);  // add rsp,8
+    buf_.u8(0x41); buf_.u8(0x5C);                                // pop r12
+    buf_.u8(0x5B);                                               // pop rbx
+    buf_.u8(0xC3);                                               // ret
+
+    // Per-function call stubs. Separate from the body so backward jumps
+    // to a function's entry pc (loops starting at entry) don't re-run the
+    // stack adjustment.
+    stub_off_.resize(chunk_.funcs.size());
+    for (std::size_t f = 0; f < chunk_.funcs.size(); ++f) {
+      stub_off_[f] = buf_.size();
+      buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xEC); buf_.u8(0x08);  // sub rsp,8
+      jmp_to_block(static_cast<std::size_t>(chunk_.funcs[f].entry));
+    }
+
+    for (const Fixup& fx : fixups_) {
+      std::size_t target = 0;
+      switch (fx.kind) {
+        case Fixup::Kind::kBlock:
+          if (fx.target >= block_off_.size()) {
+            if (error != nullptr) *error = "JIT: jump target out of range";
+            return false;
+          }
+          target = block_off_[fx.target];
+          break;
+        case Fixup::Kind::kEpilogue:
+          target = epilogue_off_;
+          break;
+        case Fixup::Kind::kStub:
+          target = stub_off_[fx.target];
+          break;
+      }
+      // rel32 is relative to the end of the 4-byte immediate.
+      std::int64_t rel = static_cast<std::int64_t>(target) -
+                         static_cast<std::int64_t>(fx.at + 4);
+      buf_.patch32(fx.at, static_cast<std::uint32_t>(rel));
+    }
+
+    *out = std::move(buf_.b);
+    return true;
+  }
+
+ private:
+  /// The per-instruction core: call helper(vm, a, b, c) and bail to the
+  /// epilogue when it reports a parked exception (negative status).
+  void call_helper(JitHelperFn helper, const vm::Instr& in) {
+    buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+    buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(in.a));  // mov esi,a
+    buf_.u8(0xBA); buf_.u32(static_cast<std::uint32_t>(in.b));  // mov edx,b
+    buf_.u8(0xB9); buf_.u32(static_cast<std::uint32_t>(in.c));  // mov ecx,c
+    buf_.u8(0x48); buf_.u8(0xB8);  // movabs rax, imm64
+    buf_.u64(reinterpret_cast<std::uint64_t>(helper));
+    buf_.u8(0xFF); buf_.u8(0xD0);  // call rax
+    buf_.u8(0x85); buf_.u8(0xC0);  // test eax,eax
+    buf_.u8(0x0F); buf_.u8(0x88);  // js rel32 -> epilogue
+    fixups_.push_back({buf_.size(), Fixup::Kind::kEpilogue, 0});
+    buf_.u32(0);
+  }
+
+  void jmp_to_block(std::size_t pc) {
+    buf_.u8(0xE9);  // jmp rel32
+    fixups_.push_back({buf_.size(), Fixup::Kind::kBlock, pc});
+    buf_.u32(0);
+  }
+
+  const vm::Chunk& chunk_;
+  CodeBuf buf_;
+  std::vector<std::size_t> block_off_;
+  std::vector<std::size_t> stub_off_;
+  std::size_t epilogue_off_ = 0;
+  std::vector<Fixup> fixups_;
+};
+
+void key_u32(std::string& k, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) k.push_back(static_cast<char>((x >> (8 * i)) & 0xFF));
+}
+
+void key_u64(std::string& k, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) k.push_back(static_cast<char>((x >> (8 * i)) & 0xFF));
+}
+
+void key_str(std::string& k, const std::string& s) {
+  key_u64(k, s.size());
+  k += s;
+}
+
+void key_value(std::string& k, const rt::Value& v) {
+  if (v.is_noob()) {
+    k.push_back(0);
+  } else if (v.is_troof()) {
+    k.push_back(1);
+    k.push_back(v.troof_raw() ? 1 : 0);
+  } else if (v.is_numbr()) {
+    k.push_back(2);
+    key_u64(k, static_cast<std::uint64_t>(v.numbr_raw()));
+  } else if (v.is_numbar()) {
+    k.push_back(3);
+    std::uint64_t bits;
+    double d = v.numbar_raw();
+    std::memcpy(&bits, &d, sizeof bits);
+    key_u64(k, bits);
+  } else {
+    k.push_back(4);
+    key_str(k, v.yarn_raw());
+  }
+}
+
+}  // namespace
+
+bool emit_chunk_x86_64(const vm::Chunk& chunk, std::vector<std::uint8_t>* out,
+                       std::string* error) {
+  return Emitter(chunk).emit(out, error);
+}
+
+std::string chunk_cache_key(const vm::Chunk& chunk) {
+  std::string k;
+  k.reserve(chunk.code.size() * 13 + 64);
+  key_u64(k, chunk.code.size());
+  for (const vm::Instr& in : chunk.code) {
+    k.push_back(static_cast<char>(in.op));
+    key_u32(k, static_cast<std::uint32_t>(in.a));
+    key_u32(k, static_cast<std::uint32_t>(in.b));
+    key_u32(k, static_cast<std::uint32_t>(in.c));
+  }
+  key_u64(k, chunk.consts.size());
+  for (const rt::Value& v : chunk.consts) key_value(k, v);
+  key_u64(k, chunk.decls.size());
+  for (const vm::DeclMeta& d : chunk.decls) {
+    key_str(k, d.name);
+    key_u32(k, static_cast<std::uint32_t>(d.slot));
+    k.push_back(d.static_type ? static_cast<char>(1 + static_cast<int>(
+                                    *d.static_type))
+                              : 0);
+    k.push_back(static_cast<char>((d.srsly << 0) | (d.is_array << 1) |
+                                  (d.has_init << 2) | (d.has_size << 3) |
+                                  (d.symmetric << 4)));
+    key_u32(k, static_cast<std::uint32_t>(d.sym_slot));
+    key_u32(k, static_cast<std::uint32_t>(d.lock_id));
+    k.push_back(static_cast<char>(d.elem));
+  }
+  key_u64(k, chunk.funcs.size());
+  for (const vm::FuncMeta& f : chunk.funcs) {
+    key_str(k, f.name);
+    key_u32(k, f.entry);
+    key_u32(k, static_cast<std::uint32_t>(f.n_slots));
+    key_u32(k, static_cast<std::uint32_t>(f.argc));
+  }
+  key_u32(k, static_cast<std::uint32_t>(chunk.main_slots));
+  key_u64(k, chunk.name_maps.size());
+  for (const auto& map : chunk.name_maps) {
+    key_u64(k, map.size());
+    for (const auto& [name, slot] : map) {
+      key_str(k, name);
+      key_u32(k, static_cast<std::uint32_t>(slot));
+    }
+  }
+  key_u32(k, static_cast<std::uint32_t>(chunk.lock_count));
+  return k;
+}
+
+}  // namespace lol::codegen

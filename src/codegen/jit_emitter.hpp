@@ -1,0 +1,62 @@
+// Lowers VM bytecode to x86-64 machine code.
+//
+// The scheme is call-threading: each bytecode instruction becomes a short
+// machine-code block that calls the per-opcode helper (jit_runtime.cpp)
+// with its operands baked in as immediates, so every op executes the exact
+// same C++ the VM's dispatch loop runs — byte-identical output, step
+// accounting, replay scheduling and fault injection by construction. What
+// the JIT removes is the fetch/decode/dispatch: jumps become machine
+// jumps, LOLCODE calls become machine calls, and a cold "compile" is just
+// this emitter plus an mmap — no fork/exec of a host toolchain.
+//
+// ABI and register plan (SysV x86-64):
+//   rbx — the vm::Vm* for this PE (callee-saved, survives helper calls)
+//   r12 — rsp snapshot from the prologue; the epilogue restores it, which
+//         safely discards any nested JIT frames when a helper threw
+//   entry signature: void (*)(vm::Vm*)
+//
+// Helpers return <0 after catching a C++ exception (stashed in a
+// thread-local, rethrown by the wrapper in jit_backend.cpp); every call
+// site tests the sign and bails to the epilogue. JIT frames contain no
+// destructors, so skipping them is sanitizer-clean.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "vm/chunk.hpp"
+
+namespace lol::vm {
+class Vm;
+}
+
+namespace lol::codegen {
+
+/// One per-opcode helper: (vm, a, b, c) -> status. Status >= 0 is the
+/// op-specific result (branch taken for kJumpIfFalse), < 0 means a C++
+/// exception was caught and parked in detail::jit_pending().
+using JitHelperFn = std::int32_t (*)(vm::Vm*, std::int32_t, std::int32_t,
+                                     std::int32_t);
+
+/// Helper table indexed by static_cast<std::size_t>(vm::Op). Defined in
+/// jit_runtime.cpp next to the helper bodies.
+const JitHelperFn* jit_helper_table();
+
+namespace detail {
+/// The exception a helper caught on this thread, awaiting rethrow.
+std::exception_ptr& jit_pending();
+}  // namespace detail
+
+/// Emits position-independent x86-64 for `chunk` into `out`. The code's
+/// entry point is offset 0 with signature void(vm::Vm*). Returns false
+/// with `error` set when the chunk cannot be lowered.
+bool emit_chunk_x86_64(const vm::Chunk& chunk, std::vector<std::uint8_t>* out,
+                       std::string* error);
+
+/// Deterministic binary serialization of a chunk, used as the JIT code
+/// cache key: identical bytecode => identical key => one emitted program.
+std::string chunk_cache_key(const vm::Chunk& chunk);
+
+}  // namespace lol::codegen

@@ -1,0 +1,41 @@
+// W^X executable-memory allocation for the JIT backend: code is written
+// into fresh PROT_READ|PROT_WRITE pages, then sealed to PROT_READ|PROT_EXEC
+// before anything may jump into it. Pages are never writable and
+// executable at the same time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lol::codegen {
+
+class ExecMem {
+ public:
+  ExecMem() = default;
+  ~ExecMem();
+  ExecMem(ExecMem&& other) noexcept;
+  ExecMem& operator=(ExecMem&& other) noexcept;
+  ExecMem(const ExecMem&) = delete;
+  ExecMem& operator=(const ExecMem&) = delete;
+
+  /// True when this platform can mmap anonymous pages and flip them to
+  /// PROT_EXEC (probed once; e.g. fails under a hardened W^X-only kernel).
+  static bool supported();
+
+  /// Copies `n` bytes of machine code into fresh pages and seals them
+  /// executable. Returns false (with `error` set) on failure.
+  bool map_and_seal(const std::uint8_t* code, std::size_t n,
+                    std::string* error);
+
+  [[nodiscard]] const void* base() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void release();
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lol::codegen

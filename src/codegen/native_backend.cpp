@@ -1,21 +1,24 @@
 #include "codegen/native_backend.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <dlfcn.h>
+#include <sys/wait.h>
 #include <unistd.h>
 #define LOL_HAVE_DLOPEN 1
 #endif
 
 #include "codegen/c_emitter.hpp"
+#include "codegen/single_flight.hpp"
 #include "driver/cli.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
@@ -53,40 +56,81 @@ std::string env_or(const char* name, const char* fallback) {
   return v != nullptr && *v != '\0' ? v : fallback;
 }
 
-/// Loaded-program cache, keyed by the generated C text. LRU-bounded:
-/// daemon clients choose sources, so an unbounded map of dlopen()ed
-/// objects (plus their C text keys) would be client-controlled memory
-/// growth — the same DoS class the service's tenant maps guard against.
-/// Eviction only drops the map's reference; the shared_ptr keeps the
-/// loaded object alive until the last in-flight run (or NativeSlot memo)
-/// releases it, and ~NativeProgram dlcloses then, so eviction can never
-/// unmap code that is still executing.
-constexpr std::size_t kCacheCapacity = 64;
-
-struct CacheEntry {
+/// Build outcome carried through the single-flight cache so every waiter
+/// on a failed build reports the same diagnostic.
+struct NativeBuild {
   std::shared_ptr<const NativeProgram> prog;
-  std::uint64_t stamp = 0;  // recency; larger = more recently used
+  std::string error;
 };
 
-std::mutex cache_m;
-std::uint64_t cache_clock = 0;
-std::unordered_map<std::string, CacheEntry>& cache() {
-  static auto* c = new std::unordered_map<std::string, CacheEntry>;
+/// Loaded-program cache, keyed by the generated C text, single-flight:
+/// N concurrent misses on one source invoke the host cc exactly once;
+/// the losers of the old "first build wins" race used to each fork a
+/// compiler whose object was then discarded. LRU-bounded: daemon clients
+/// choose sources, so an unbounded map of dlopen()ed objects (plus their
+/// C text keys) would be client-controlled memory growth — the same DoS
+/// class the service's tenant maps guard against. Eviction only drops
+/// the map's reference; the shared_ptr keeps the loaded object alive
+/// until the last in-flight run (or NativeSlot memo) releases it, and
+/// ~NativeProgram dlcloses then, so eviction can never unmap code that
+/// is still executing. Failed builds are not retained (retryable).
+SingleFlight<NativeBuild>& cache() {
+  static auto* c = new SingleFlight<NativeBuild>(64);
   return *c;
 }
 
-/// Caller holds cache_m.
-void evict_lru_locked() {
-  while (cache().size() >= kCacheCapacity) {
-    auto victim = cache().begin();
-    for (auto it = cache().begin(); it != cache().end(); ++it) {
-      if (it->second.stamp < victim->second.stamp) victim = it;
-    }
-    cache().erase(victim);
+}  // namespace
+
+std::string describe_cc_failure(int wait_status) {
+#ifdef LOL_HAVE_DLOPEN
+  if (wait_status == -1) return "could not spawn the host C compiler";
+  if (WIFSIGNALED(wait_status)) {
+    return "host C compiler killed by signal " +
+           std::to_string(WTERMSIG(wait_status));
   }
+  if (WIFEXITED(wait_status)) {
+    return "host C compiler failed (exit " +
+           std::to_string(WEXITSTATUS(wait_status)) + ")";
+  }
+#endif
+  return "host C compiler failed (status " + std::to_string(wait_status) +
+         ")";
 }
 
-}  // namespace
+/// Private per-process scratch directory (mkdtemp, mode 0700) for the
+/// native backend's .c/.so/.log files. The old scheme wrote predictable
+/// lolnative_<pid>_<n> names into the shared world-writable temp dir —
+/// an invitation for symlink games by other local users. Empty when the
+/// directory cannot be created (builds then fail with a diagnostic).
+const std::string& native_scratch_dir() {
+  // The string is deliberately heap-allocated and never freed (the
+  // static reference keeps it reachable, so leak checkers stay quiet):
+  // the atexit cleanup below runs *after* normal static destruction
+  // (it is registered mid-initialization, before this function-local
+  // static's destructor), so the path must outlive every static.
+  static const std::string& dir = *[]() -> std::string* {
+    auto* made = new std::string();
+    std::error_code ec;
+    std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+    if (ec) base = "/tmp";
+    std::string tmpl = (base / "lolnative_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+#ifdef LOL_HAVE_DLOPEN
+    if (::mkdtemp(buf.data()) != nullptr) {
+      *made = buf.data();
+      // Best-effort tidy-up; scratch files themselves are unlinked as
+      // soon as each object is loaded.
+      std::atexit([] {
+        std::error_code rm_ec;
+        std::filesystem::remove(native_scratch_dir(), rm_ec);
+      });
+    }
+#endif
+    return made;
+  }();
+  return dir;
+}
 
 std::string native_cc() { return env_or("CC", "cc"); }
 
@@ -144,98 +188,103 @@ std::shared_ptr<const NativeProgram> NativeProgram::get_or_build(
     return nullptr;
   }
 
-  {
-    std::lock_guard<std::mutex> g(cache_m);
-    auto it = cache().find(c_code);
-    if (it != cache().end()) {
-      it->second.stamp = ++cache_clock;
-      return it->second.prog;
-    }
+  NativeBuild built = cache().get_or_build(
+      c_code,
+      [&]() -> NativeBuild {
+        NativeBuild b;
+
+        // Unique scratch names in the private 0700 scratch dir; the
+        // files are unlinked as soon as the object is loaded (POSIX
+        // keeps the mapping alive), so nothing leaks even on the error
+        // paths below.
+        const std::string& dir = native_scratch_dir();
+        if (dir.empty()) {
+          b.error = "cannot create native-backend scratch directory";
+          return b;
+        }
+        static std::atomic<std::uint64_t> counter{0};
+        std::string stem =
+            (std::filesystem::path(dir) /
+             ("lolnative_" + std::to_string(counter.fetch_add(1))))
+                .string();
+        std::string c_path = stem + ".c";
+        std::string so_path = stem + ".so";
+        std::string log_path = stem + ".log";
+
+        auto cleanup = [&] {
+          std::remove(c_path.c_str());
+          std::remove(so_path.c_str());
+          std::remove(log_path.c_str());
+        };
+
+        if (!driver::write_file(c_path, c_code)) {
+          b.error = "cannot write " + c_path;
+          return b;
+        }
+
+        std::string inc = env_or("LOLRT_INC", LOL_NATIVE_INCLUDE_DIR);
+        std::string extra = env_or("LOLRT_CFLAGS", LOL_NATIVE_EXTRA_CFLAGS);
+        // lolrt_* stays undefined in the object and resolves at dlopen
+        // time against this executable's exports (ENABLE_EXPORTS /
+        // -rdynamic).
+        std::string cmd = native_cc() + " -std=c99 -O1 -fPIC -shared " +
+                          (extra.empty() ? "" : extra + " ") +
+                          shell_quote(c_path) + " -I" + shell_quote(inc) +
+                          " -o " + shell_quote(so_path) + " 2>" +
+                          shell_quote(log_path);
+        static obs::Counter& cc_invocations =
+            obs::Registry::global().counter(
+                "lol_native_cc_invocations_total",
+                "Host C compiler invocations by the native backend");
+        static obs::Histogram& compile_ms =
+            obs::Registry::global().histogram(
+                "lol_native_compile_ms",
+                "Host cc compile + dlopen latency, ms",
+                {1.0, 5.0, 25.0, 100.0, 250.0, 1000.0, 5000.0});
+        cc_invocations.inc();
+        const auto t0 = std::chrono::steady_clock::now();
+        int rc = std::system(cmd.c_str());
+        if (rc != 0) {
+          std::string log =
+              driver::read_file(log_path).value_or("(no compiler output)");
+          b.error = describe_cc_failure(rc) + ": " + cmd + "\n" + log;
+          cleanup();
+          return b;
+        }
+
+        void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+        if (handle == nullptr) {
+          const char* why = dlerror();
+          b.error = std::string("dlopen failed: ") +
+                    (why != nullptr ? why : "(unknown)") +
+                    " — is the embedding executable exporting lolrt_* "
+                    "(ENABLE_EXPORTS / -rdynamic)?";
+          cleanup();
+          return b;
+        }
+        auto entry =
+            reinterpret_cast<lolrt_main_fn>(dlsym(handle, "lol_user_main"));
+        cleanup();  // mapping stays valid after unlink
+        if (entry == nullptr) {
+          b.error = "generated object has no lol_user_main symbol";
+          dlclose(handle);
+          return b;
+        }
+
+        auto prog = std::shared_ptr<NativeProgram>(new NativeProgram());
+        prog->handle_ = handle;
+        prog->entry_ = entry;
+        b.prog = std::move(prog);
+        compile_ms.observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+        return b;
+      },
+      [](const NativeBuild& b) { return b.prog != nullptr; });
+  if (built.prog == nullptr && error != nullptr) {
+    *error = built.error.empty() ? "native build failed" : built.error;
   }
-
-  // Unique scratch names; the files are unlinked as soon as the object
-  // is loaded (POSIX keeps the mapping alive), so nothing leaks even on
-  // the error paths below.
-  static std::atomic<std::uint64_t> counter{0};
-  std::error_code fs_ec;
-  std::filesystem::path dir = std::filesystem::temp_directory_path(fs_ec);
-  if (fs_ec) dir = "/tmp";
-  std::string stem =
-      (dir / ("lolnative_" + std::to_string(::getpid()) + "_" +
-              std::to_string(counter.fetch_add(1))))
-          .string();
-  std::string c_path = stem + ".c";
-  std::string so_path = stem + ".so";
-  std::string log_path = stem + ".log";
-
-  auto cleanup = [&] {
-    std::remove(c_path.c_str());
-    std::remove(so_path.c_str());
-    std::remove(log_path.c_str());
-  };
-
-  if (!driver::write_file(c_path, c_code)) {
-    if (error != nullptr) *error = "cannot write " + c_path;
-    return nullptr;
-  }
-
-  std::string inc = env_or("LOLRT_INC", LOL_NATIVE_INCLUDE_DIR);
-  std::string extra = env_or("LOLRT_CFLAGS", LOL_NATIVE_EXTRA_CFLAGS);
-  // lolrt_* stays undefined in the object and resolves at dlopen time
-  // against this executable's exports (ENABLE_EXPORTS / -rdynamic).
-  std::string cmd = native_cc() + " -std=c99 -O1 -fPIC -shared " +
-                    (extra.empty() ? "" : extra + " ") + shell_quote(c_path) +
-                    " -I" + shell_quote(inc) + " -o " + shell_quote(so_path) +
-                    " 2>" + shell_quote(log_path);
-  static obs::Counter& cc_invocations = obs::Registry::global().counter(
-      "lol_native_cc_invocations_total",
-      "Host C compiler invocations by the native backend");
-  cc_invocations.inc();
-  if (std::system(cmd.c_str()) != 0) {
-    if (error != nullptr) {
-      std::string log =
-          driver::read_file(log_path).value_or("(no compiler output)");
-      *error = "host C compiler failed: " + cmd + "\n" + log;
-    }
-    cleanup();
-    return nullptr;
-  }
-
-  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (handle == nullptr) {
-    if (error != nullptr) {
-      const char* why = dlerror();
-      *error = std::string("dlopen failed: ") +
-               (why != nullptr ? why : "(unknown)") +
-               " — is the embedding executable exporting lolrt_* "
-               "(ENABLE_EXPORTS / -rdynamic)?";
-    }
-    cleanup();
-    return nullptr;
-  }
-  auto entry =
-      reinterpret_cast<lolrt_main_fn>(dlsym(handle, "lol_user_main"));
-  cleanup();  // mapping stays valid after unlink
-  if (entry == nullptr) {
-    if (error != nullptr) {
-      *error = "generated object has no lol_user_main symbol";
-    }
-    dlclose(handle);
-    return nullptr;
-  }
-
-  auto prog = std::shared_ptr<NativeProgram>(new NativeProgram());
-  prog->handle_ = handle;
-  prog->entry_ = entry;
-
-  std::lock_guard<std::mutex> g(cache_m);
-  evict_lru_locked();
-  // First build wins if two threads raced on the same source; the loser's
-  // object is dropped (its dlclose is safe — nothing ran through it yet).
-  auto [it, inserted] = cache().emplace(
-      std::move(c_code), CacheEntry{std::move(prog), ++cache_clock});
-  if (!inserted) it->second.stamp = cache_clock;
-  return it->second.prog;
+  return built.prog;
 #endif
 }
 

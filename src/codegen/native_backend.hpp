@@ -46,6 +46,16 @@ bool native_available();
 /// The host C compiler the native backend shells out to ($CC, else cc).
 std::string native_cc();
 
+/// The per-process private scratch directory (mkdtemp, mode 0700) that
+/// holds the backend's transient .c/.so/.log files. Created on first
+/// use; empty string when creation failed (builds then error out).
+const std::string& native_scratch_dir();
+
+/// Decodes the wait status std::system returned for the compile command
+/// into a human diagnostic: spawn failure (-1), death by signal (e.g.
+/// the OOM killer) and a nonzero compiler exit all read differently.
+std::string describe_cc_failure(int wait_status);
+
 /// A loaded native translation of one program: the dlopen()ed shared
 /// object plus its lol_user_main entry point. Immutable and shareable
 /// across concurrent runs — all mutable execution state lives in the

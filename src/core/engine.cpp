@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "codegen/jit_backend.hpp"
 #include "codegen/native_backend.hpp"
 #include "interp/interpreter.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,7 @@ const char* to_string(Backend b) {
     case Backend::kInterp: return "interp";
     case Backend::kVm: return "vm";
     case Backend::kNative: return "native";
+    case Backend::kJit: return "jit";
   }
   return "vm";
 }
@@ -52,6 +54,7 @@ std::optional<Backend> backend_from_name(std::string_view name) {
   if (name == "interp") return Backend::kInterp;
   if (name == "vm") return Backend::kVm;
   if (name == "native") return Backend::kNative;
+  if (name == "jit") return Backend::kJit;
   return std::nullopt;
 }
 
@@ -71,7 +74,14 @@ CompiledProgram compile(std::string_view source) {
   out.analysis = sema::analyze(out.program);
   out.native_slot = std::make_shared<codegen::NativeSlot>();
   out.vm_slot = std::make_shared<vm::VmSlot>();
+  out.jit_slot = std::make_shared<codegen::JitSlot>();
   return out;
+}
+
+std::size_t CompiledProgram::jit_code_bytes() const {
+  if (jit_slot == nullptr) return 0;
+  std::lock_guard<std::mutex> g(jit_slot->m);
+  return jit_slot->prog != nullptr ? jit_slot->prog->code_bytes() : 0;
 }
 
 namespace {
@@ -108,11 +118,19 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   engine_metrics().runs_by_backend.with(to_string(cfg.backend)).inc();
   const auto t_run0 = std::chrono::steady_clock::now();
 
+  // Resolve the effective backend: kJit silently degrades to the
+  // cc+dlopen portability tier when this host can't execute emitted
+  // pages (non-x86-64, W^X-only kernel, LOL_JIT=0).
+  Backend backend = cfg.backend;
+  if (backend == Backend::kJit && !codegen::jit_available()) {
+    backend = Backend::kNative;
+  }
+
   // The native backend translates to C and invokes the host cc once per
   // distinct program (process-wide cache); build before the Runtime so a
   // missing compiler fails cheaply with a diagnostic instead of a throw.
   std::shared_ptr<const codegen::NativeProgram> native;
-  if (cfg.backend == Backend::kNative) {
+  if (backend == Backend::kNative) {
     std::string nerr;
     if (prog.native_slot != nullptr) {
       // Warm path: reuse this program's loaded object without re-emitting
@@ -190,12 +208,13 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
     input = &*faulty_input;
   }
 
-  // Pre-compile once for the VM backend; shared read-only by all PEs.
-  // The per-program slot memoizes the chunk across runs (warm service
-  // jobs skip bytecode compilation entirely); its lock serializes
-  // concurrent first builds from workers sharing one cached program.
+  // Pre-compile once for the VM and JIT backends; shared read-only by
+  // all PEs. The per-program slot memoizes the chunk across runs (warm
+  // service jobs skip bytecode compilation entirely); its lock
+  // serializes concurrent first builds from workers sharing one cached
+  // program.
   std::shared_ptr<const vm::Chunk> chunk;
-  if (cfg.backend == Backend::kVm) {
+  if (backend == Backend::kVm || backend == Backend::kJit) {
     if (prog.vm_slot != nullptr) {
       std::lock_guard<std::mutex> g(prog.vm_slot->m);
       if (prog.vm_slot->chunk == nullptr) {
@@ -206,6 +225,26 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
     } else {
       chunk = std::make_shared<const vm::Chunk>(
           vm::compile_program(prog.program, prog.analysis));
+    }
+  }
+
+  // Lower the chunk to machine code for the JIT backend (per-program
+  // memo over the process-wide single-flight code cache, mirroring the
+  // native slot).
+  std::shared_ptr<const codegen::JitProgram> jit;
+  if (backend == Backend::kJit) {
+    std::string jerr;
+    if (prog.jit_slot != nullptr) {
+      std::lock_guard<std::mutex> g(prog.jit_slot->m);
+      if (prog.jit_slot->prog == nullptr) {
+        prog.jit_slot->prog = codegen::JitProgram::get_or_build(chunk, &jerr);
+      }
+      jit = prog.jit_slot->prog;
+    } else {
+      jit = codegen::JitProgram::get_or_build(chunk, &jerr);
+    }
+    if (jit == nullptr) {
+      return error_result(cfg.n_pes, "jit backend: " + jerr);
     }
   }
 
@@ -224,7 +263,7 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
       ctx.kill_at_step = cfg.fault.kill_step;
     }
     try {
-      switch (cfg.backend) {
+      switch (backend) {
         case Backend::kInterp:
           interp::run_pe(prog.program, prog.analysis, ctx);
           break;
@@ -233,6 +272,9 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
           break;
         case Backend::kNative:
           codegen::run_native_pe(native->entry(), ctx);
+          break;
+        case Backend::kJit:
+          jit->run_pe(ctx);
           break;
       }
     } catch (const support::StepLimitError&) {

@@ -30,6 +30,7 @@
 #include "shmem/executor.hpp"
 
 namespace lol::codegen {
+struct JitSlot;
 struct NativeSlot;
 }
 
@@ -47,9 +48,14 @@ enum class Backend {
             // in-process on the same shmem substrate; needs a host C
             // compiler (lol::codegen::native_available()) or the run
             // fails with an explanatory error
+  kJit,     // VM bytecode lowered directly to x86-64 in executable pages
+            // (W^X mmap) — no host toolchain, microsecond cold compiles.
+            // Falls back to kNative automatically when the host is not
+            // x86-64, the kernel refuses PROT_EXEC, or LOL_JIT=0
+            // (lol::codegen::jit_available())
 };
 
-/// Canonical backend name ("interp" / "vm" / "native") — the single
+/// Canonical backend name ("interp" / "vm" / "native" / "jit") — the single
 /// mapping every surface shares: lolrun/lolserve --backend flags, the
 /// daemon wire protocol, the differential harness.
 [[nodiscard]] const char* to_string(Backend b);
@@ -74,6 +80,17 @@ struct CompiledProgram {
   /// (see vm/compiler.hpp). Null on hand-constructed instances means
   /// every run compiles afresh — correct, just slower.
   std::shared_ptr<vm::VmSlot> vm_slot;
+
+  /// Backend::kJit memo: the emitted machine code for this program,
+  /// filled on first JIT run (see codegen/jit_backend.hpp). Shares the
+  /// vm_slot chunk. Null on hand-constructed instances falls back to
+  /// the process-wide JIT code cache.
+  std::shared_ptr<codegen::JitSlot> jit_slot;
+
+  /// Bytes of sealed JIT code currently memoized in jit_slot (0 when
+  /// none) — the service compile cache charges these against its byte
+  /// budget after a JIT run.
+  [[nodiscard]] std::size_t jit_code_bytes() const;
 };
 
 /// SPMD run configuration.

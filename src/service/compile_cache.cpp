@@ -1,5 +1,6 @@
 #include "service/compile_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -142,6 +143,28 @@ std::size_t CompileCache::size() const {
 std::size_t CompileCache::resident_bytes() const {
   std::lock_guard<std::mutex> g(m_);
   return resident_bytes_;
+}
+
+void CompileCache::recharge(const std::string& source) {
+  const std::uint64_t key = hash_source(source);
+  std::lock_guard<std::mutex> g(m_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.source != source) return;
+  Entry& e = it->second;
+  if (e.result.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return;
+  }
+  const CachedCompile& c = e.result.get();
+  if (c.program == nullptr) return;
+  std::size_t now = charged_bytes(source.size()) + c.program->jit_code_bytes();
+  if (now == e.bytes) return;
+  resident_bytes_ += now;
+  resident_bytes_ -= e.bytes;
+  cache_metrics().resident_bytes.add(static_cast<std::int64_t>(now) -
+                                     static_cast<std::int64_t>(e.bytes));
+  e.bytes = now;
+  evict_while_over_budget_locked();
 }
 
 void CompileCache::clear() {

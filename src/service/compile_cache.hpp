@@ -92,6 +92,13 @@ class CompileCache {
   /// Drops every entry (stats are kept).
   void clear();
 
+  /// Re-charges `source`'s entry against the byte budget, folding in
+  /// state attached to the CompiledProgram after compilation — today the
+  /// sealed JIT code memoized by a Backend::kJit run. No-op when the
+  /// entry is gone, still compiling, or unchanged; may evict LRU-tail
+  /// entries when the new charge pushes the cache over budget.
+  void recharge(const std::string& source);
+
  private:
   struct Entry {
     std::string source;  // collision guard: full text compared on hit

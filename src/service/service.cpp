@@ -380,6 +380,11 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   }
 
   RunResult run = lol::run(*compiled.program, cfg);
+  if (job.backend == Backend::kJit) {
+    // A first JIT run memoized sealed machine code on the cached
+    // program; fold those bytes into the compile cache's byte budget.
+    cache_.recharge(job.source);
+  }
   const double claim_start = queue_ms + compile_ms;
   r.trace.push_back({"claim", claim_start, run.claim_ms});
   r.trace.push_back({"run", claim_start + run.claim_ms, run.exec_ms});

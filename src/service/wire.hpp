@@ -76,7 +76,7 @@ struct Request {
 std::optional<Request> parse_request(const std::string& line,
                                      std::string* error);
 
-/// Wire name of a backend ("interp" / "vm" / "native").
+/// Wire name of a backend ("interp" / "vm" / "native" / "jit").
 [[nodiscard]] const char* backend_name(Backend b);
 
 // -- request serializers (no trailing newline) ------------------------------

@@ -1,5 +1,10 @@
 // The bytecode VM executor. One Vm instance runs one PE of the SPMD
 // launch, sharing the chunk (read-only) with every other PE.
+//
+// Each opcode's semantics live in a public op_* method so the JIT backend
+// can call the exact same bodies from emitted machine code: the two
+// backends are byte-identical by construction, and the interpreter loop
+// below is just a dispatch table over these methods.
 #pragma once
 
 #include "rt/exec_context.hpp"
@@ -16,6 +21,44 @@ class Vm {
   /// Executes the chunk from the top of main. Throws support::RuntimeError
   /// on semantic errors.
   void run();
+
+  /// Clears all execution state and pushes the main frame. run() does this
+  /// itself; the JIT calls it before entering emitted code.
+  void reset_for_run();
+
+  [[nodiscard]] rt::ExecContext& ctx() { return ctx_; }
+
+  // One method per opcode. Operand names mirror Instr::{a,b,c}. Control
+  // flow returns its result instead of mutating a pc the caller owns:
+  // op_jump_if_false reports whether the branch is taken, op_call returns
+  // the callee entry pc, op_return the saved return pc.
+  void op_const(std::int32_t a);
+  void op_pop();
+  void op_load_it();
+  void op_store_it();
+  void op_declare(std::int32_t a);
+  void op_unbind(std::int32_t a);
+  void op_load_var(std::int32_t a, std::int32_t b);
+  void op_store_var(std::int32_t a, std::int32_t b);
+  void op_copy_array(std::int32_t a, std::int32_t b, std::int32_t c);
+  void op_lock(std::int32_t a, std::int32_t b, std::int32_t c);
+  void op_binary(std::int32_t a);
+  void op_unary(std::int32_t a);
+  void op_nary(std::int32_t a, std::int32_t b);
+  void op_cast(std::int32_t a, std::int32_t b);
+  [[nodiscard]] bool op_jump_if_false();
+  [[nodiscard]] std::size_t op_call(std::int32_t a, std::int32_t b,
+                                    std::size_t ret_pc);
+  [[nodiscard]] std::size_t op_return();
+  void op_me();
+  void op_mah_frenz();
+  void op_whatevr();
+  void op_whatevar();
+  void op_hugz();
+  void op_bff_push();
+  void op_bff_pop(std::int32_t a);
+  void op_visible(std::int32_t a, std::int32_t b);
+  void op_gimmeh();
 
  private:
   /// One variable slot: scalar value, private array, or symmetric handle.

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "codegen/jit_backend.hpp"
 #include "codegen/native_backend.hpp"
 #include "core/abort.hpp"
 #include "driver/cli.hpp"
@@ -29,14 +30,18 @@ const char* to_string(Outcome o) {
 
 bool native_available() { return codegen::native_available(); }
 
+bool jit_available() { return codegen::jit_available(); }
+
 std::vector<Backend> backends_under_test() {
   std::vector<Backend> out = {Backend::kInterp, Backend::kVm};
   if (native_available()) out.push_back(Backend::kNative);
+  if (jit_available()) out.push_back(Backend::kJit);
   return out;
 }
 
 std::vector<shmem::ExecutorKind> executors_under_test() {
-  std::vector<shmem::ExecutorKind> out = {shmem::ExecutorKind::kThread};
+  std::vector<shmem::ExecutorKind> out = {shmem::ExecutorKind::kThread,
+                                          shmem::ExecutorKind::kPool};
   if (shmem::fiber_executor_available()) {
     out.push_back(shmem::ExecutorKind::kFiber);
   }

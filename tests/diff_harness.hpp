@@ -14,10 +14,12 @@
 // PEs differently between runs, but what each PE prints is deterministic
 // given the program, the seed and the barriers it contains.
 //
-// The same program is also run under every PE executor (thread-per-PE
-// and fiber carriers), so the full conformance matrix is
-// {interp, vm, native} x {thread, fiber}: multiplexing virtual PEs on
-// ucontext fibers must not change what any PE computes or prints.
+// The same program is also run under every PE executor (thread-per-PE,
+// the persistent pool and fiber carriers), so the full conformance
+// matrix is {interp, vm, native, jit} x {thread, pool, fiber}:
+// multiplexing virtual PEs on fibers — or executing emitted x86-64
+// instead of dispatching bytecode — must not change what any PE
+// computes or prints.
 //
 // Step-budget caveat: a "step" is a statement in the interpreter and the
 // native code but an instruction in the VM, so budgets near the edge can
@@ -85,12 +87,15 @@ struct BackendRun {
 /// GTEST_SKIP the native column when false; interp-vs-VM still runs.
 bool native_available();
 
-/// The backends this host can compare: interp and VM always, native when
-/// available.
+/// True when Backend::kJit can run here (x86-64, executable mmap).
+bool jit_available();
+
+/// The backends this host can compare: interp and VM always, native and
+/// jit when available.
 std::vector<Backend> backends_under_test();
 
-/// The executor axis: thread-per-PE always, fibers where ucontext
-/// exists (everywhere we build, today).
+/// The executor axis: thread-per-PE and the persistent pool always,
+/// fibers where ucontext exists (everywhere we build, today).
 std::vector<shmem::ExecutorKind> executors_under_test();
 
 [[nodiscard]] const char* backend_label(Backend b);

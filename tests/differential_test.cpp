@@ -1,21 +1,25 @@
 // Differential cross-backend conformance suite: every program must mean
-// the same thing on the interpreter, the VM and the lcc native path
-// (Tables 1–3 of the source paper frame conformance exactly this way).
-// Cases cover the example programs shipped in examples/lol/, the paper's
-// §VI listings, and a table of edge-case snippets — including
-// deterministic-seed multi-PE programs, step-limit budgets and external
-// aborts, so the *classification* parity the service relies on is pinned
-// down, not just happy-path output.
+// the same thing on the interpreter, the VM, the lcc native path and the
+// direct x86-64 JIT (Tables 1–3 of the source paper frame conformance
+// exactly this way). Cases cover the example programs shipped in
+// examples/lol/, the paper's §VI listings, and a table of edge-case
+// snippets — including deterministic-seed multi-PE programs, step-limit
+// budgets, external aborts and record/replay trace identity, so the
+// *classification* parity the service relies on is pinned down, not just
+// happy-path output.
 //
-// When the host has no C compiler the native column is skipped (the
-// harness still cross-checks interp vs VM); CI always has one.
+// When the host has no C compiler the native column is skipped, and on
+// non-x86-64 hosts (or under LOL_JIT=0) the jit column is skipped; the
+// harness still cross-checks the remaining backends. CI runs all four.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/paper_programs.hpp"
 #include "diff_harness.hpp"
+#include "replay/trace.hpp"
 
 #ifndef LOL_EXAMPLES_DIR
 #define LOL_EXAMPLES_DIR "examples/lol"
@@ -39,14 +43,22 @@ void expect_agreement(const Spec& spec) {
   EXPECT_EQ(report, "") << report;
 }
 
-TEST(Differential, NativeBackendAvailabilityIsReported) {
-  // Not an assertion — a visible record in the test log of whether the
-  // native column ran on this host.
+TEST(Differential, BackendAvailabilityIsReported) {
+  // A visible record in the test log of which optional columns ran on
+  // this host, plus a pin that the count matches the availability probes
+  // (a backend silently falling out of backends_under_test() would
+  // otherwise shrink the matrix without failing anything).
+  std::size_t expected = 2;  // interp + vm, always
+  if (lol::difftest::native_available()) ++expected;
+  if (lol::difftest::jit_available()) ++expected;
+  EXPECT_EQ(lol::difftest::backends_under_test().size(), expected);
   if (!lol::difftest::native_available()) {
-    GTEST_SKIP() << "no host C compiler: differential suite compares "
-                    "interp vs VM only";
+    GTEST_SKIP() << "no host C compiler: native column skipped";
   }
-  EXPECT_EQ(lol::difftest::backends_under_test().size(), 3u);
+  if (!lol::difftest::jit_available()) {
+    GTEST_SKIP() << "no x86-64 executable mmap (or LOL_JIT=0): jit "
+                    "column skipped";
+  }
 }
 
 // The teaching-scale acceptance case: the §VI programs at PE counts far
@@ -416,6 +428,61 @@ TEST(Differential, ExternalAbortClassifiesIdentically) {
     auto r = lol::difftest::run_one(spin, b);
     EXPECT_EQ(r.outcome, Outcome::kAborted);
     EXPECT_LT(r.wall_ms, 5000.0);
+  }
+}
+
+TEST(Differential, RecordedTraceReplaysIdenticallyOnEveryBackend) {
+  // Record/replay closes the conformance loop: a schedule recorded on
+  // one backend must drive every other backend to byte-identical output.
+  // This is stronger than free-running agreement — the replayed schedule
+  // pins the exact interleaving, so a backend that sequences its shared
+  // stores or barrier arrivals differently from the recorded semantics
+  // is diagnosed as divergence instead of hiding behind determinism.
+  const std::string source =
+      "HAI 1.2\n"
+      "WE HAS A count ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "HUGZ\n"
+      "TXT MAH BFF 0 AN STUFF\n"
+      "  IM SRSLY MESIN WIF UR count\n"
+      "  UR count R SUM OF UR count AN 1\n"
+      "  DUN MESIN WIF UR count\n"
+      "TTYL\n"
+      "HUGZ\n"
+      "BOTH SAEM ME AN 0, O RLY?\n"
+      "YA RLY\n  VISIBLE count\nOIC\n"
+      "KTHXBYE\n";
+  auto prog = lol::compile(source);
+
+  for (lol::Backend rec_backend : lol::difftest::backends_under_test()) {
+    SCOPED_TRACE(std::string("recorded on ") +
+                 lol::difftest::backend_label(rec_backend));
+    lol::RunConfig rec_cfg;
+    rec_cfg.n_pes = 4;
+    rec_cfg.backend = rec_backend;
+    rec_cfg.schedule = lol::replay::ScheduleMode::kRecord;
+    lol::RunResult rec = lol::run(prog, rec_cfg);
+    ASSERT_TRUE(rec.ok) << rec.first_error();
+    ASSERT_FALSE(rec.schedule_trace.empty());
+    std::string err;
+    auto trace = lol::replay::Trace::parse(rec.schedule_trace, &err);
+    ASSERT_TRUE(trace.has_value()) << err;
+    auto shared =
+        std::make_shared<lol::replay::Trace>(std::move(*trace));
+
+    for (lol::Backend rep_backend : lol::difftest::backends_under_test()) {
+      SCOPED_TRACE(std::string("replayed on ") +
+                   lol::difftest::backend_label(rep_backend));
+      lol::RunConfig cfg;
+      cfg.n_pes = 4;
+      cfg.backend = rep_backend;
+      cfg.schedule = lol::replay::ScheduleMode::kReplay;
+      cfg.replay_trace = shared;
+      lol::RunResult rep = lol::run(prog, cfg);
+      ASSERT_TRUE(rep.ok) << rep.first_error();
+      EXPECT_FALSE(rep.replay_diverged);
+      EXPECT_EQ(rep.pe_output, rec.pe_output);
+      EXPECT_EQ(rep.pe_errout, rec.pe_errout);
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/jit_backend.hpp"
 #include "codegen/native_backend.hpp"
 #include "core/engine.hpp"
 #include "noc/machines.hpp"
@@ -187,6 +188,7 @@ TEST(Replay, ByteIdenticalAcrossBackendsAndExecutors) {
 
   std::vector<Backend> backends = {Backend::kInterp, Backend::kVm};
   if (lol::codegen::native_available()) backends.push_back(Backend::kNative);
+  if (lol::codegen::jit_available()) backends.push_back(Backend::kJit);
   for (Backend be : backends) {
     for (ExecutorKind ex :
          {ExecutorKind::kThread, ExecutorKind::kPool, ExecutorKind::kFiber}) {
