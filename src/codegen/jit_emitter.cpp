@@ -35,12 +35,20 @@ struct Fixup {
   std::size_t target = 0;  // pc (kBlock) or function index (kStub)
 };
 
+/// Abstract operand type for the inline-arithmetic analysis: what the
+/// emitter can predict about a stack slot at emit time. Predictions are
+/// only heuristics — the typed prep re-checks the real operand types at
+/// run time and falls back to the generic helper on mismatch — so the
+/// analysis can never make the program wrong, only a fast path cold.
+enum class Tag : std::uint8_t { kOther, kInt, kDbl };
+
 class Emitter {
  public:
   explicit Emitter(const vm::Chunk& chunk) : chunk_(chunk) {}
 
   bool emit(std::vector<std::uint8_t>* out, std::string* error) {
     const JitHelperFn* table = jit_helper_table();
+    build_type_facts();
 
     // Prologue: save callee-saved regs, align rsp to 16 (entry has
     // rsp % 16 == 8 from the caller's call), park Vm* in rbx and the
@@ -54,6 +62,9 @@ class Emitter {
     block_off_.resize(chunk_.code.size());
     for (std::size_t pc = 0; pc < chunk_.code.size(); ++pc) {
       block_off_[pc] = buf_.size();
+      // Control flow can land here from elsewhere with an unknown
+      // stack shape: forget everything the straight line proved.
+      if (pc < jump_target_.size() && jump_target_[pc]) astack_.clear();
       const vm::Instr& in = chunk_.code[pc];
       auto helper = table[static_cast<std::size_t>(in.op)];
       switch (in.op) {
@@ -61,6 +72,7 @@ class Emitter {
           // Helper charges the step; then a real machine jump.
           call_helper(helper, in);
           jmp_to_block(static_cast<std::size_t>(in.a));
+          astack_.clear();
           break;
         case Op::kJumpIfFalse:
           // Helper pops the condition and returns 1 when the branch is
@@ -70,6 +82,7 @@ class Emitter {
           fixups_.push_back({buf_.size(), Fixup::Kind::kBlock,
                              static_cast<std::size_t>(in.a)});
           buf_.u32(0);
+          astack_.clear();
           break;
         case Op::kCall:
           // Helper builds the callee frame (args popped, depth checked);
@@ -80,6 +93,7 @@ class Emitter {
           fixups_.push_back({buf_.size(), Fixup::Kind::kStub,
                              static_cast<std::size_t>(in.a)});
           buf_.u32(0);
+          astack_.clear();
           break;
         case Op::kReturn:
           // Helper pops the frame and pushes the return value; undo the
@@ -87,16 +101,40 @@ class Emitter {
           call_helper(helper, in);
           buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xC4); buf_.u8(0x08);
           buf_.u8(0xC3);  // add rsp,8; ret
+          astack_.clear();
           break;
         case Op::kHalt:
           call_helper(helper, in);
           buf_.u8(0xE9);  // jmp rel32 -> epilogue
           fixups_.push_back({buf_.size(), Fixup::Kind::kEpilogue, 0});
           buf_.u32(0);
+          astack_.clear();
           break;
+        case Op::kBinary: {
+          // Typed inline fast path where the analysis predicts both
+          // operands: skip the helper call and the full Value/variant
+          // machinery for the hot arithmetic the paper's kernels are
+          // made of. Misprediction is handled at run time by the prep's
+          // type re-check, which diverts to the generic helper.
+          Tag cls = binary_fast_class(in);
+          if (cls == Tag::kInt || cls == Tag::kDbl) {
+            emit_binfast(helper, in, cls);
+          } else {
+            call_helper(helper, in);
+          }
+          if (astack_.size() >= 2) {
+            astack_.pop_back();
+            astack_.pop_back();
+            astack_.push_back(cls);
+          } else {
+            astack_.clear();
+          }
+          break;
+        }
         default:
           // Straight-line op: helper does step + semantics, fall through.
           call_helper(helper, in);
+          track(in);
           break;
       }
     }
@@ -149,6 +187,211 @@ class Emitter {
   }
 
  private:
+  /// Collects the static facts the operand-type analysis predicts from:
+  /// which pcs control flow can jump to (the abstract stack dies there)
+  /// and which frame slots hold typed scalars (declared NUMBR/NUMBAR,
+  /// SRSLY or symmetric). Main and function frames share slot numbers;
+  /// a slot declared with different types anywhere degrades to kOther —
+  /// cheap, and still only a prediction.
+  void build_type_facts() {
+    jump_target_.assign(chunk_.code.size(), false);
+    for (const vm::Instr& in : chunk_.code) {
+      if (in.op == Op::kJump || in.op == Op::kJumpIfFalse) {
+        auto t = static_cast<std::size_t>(in.a);
+        if (t < jump_target_.size()) jump_target_[t] = true;
+      }
+    }
+    for (const vm::FuncMeta& f : chunk_.funcs) {
+      if (f.entry < jump_target_.size()) jump_target_[f.entry] = true;
+    }
+
+    for (const vm::DeclMeta& d : chunk_.decls) {
+      if (d.slot < 0) continue;
+      Tag t = Tag::kOther;
+      if (!d.is_array) {
+        std::optional<ast::TypeKind> ty =
+            d.symmetric ? std::optional<ast::TypeKind>(d.elem)
+                        : d.static_type;
+        if (ty == ast::TypeKind::kNumbr) {
+          t = Tag::kInt;
+        } else if (ty == ast::TypeKind::kNumbar) {
+          t = Tag::kDbl;
+        }
+      }
+      auto slot = static_cast<std::size_t>(d.slot);
+      if (slot >= slot_tag_.size()) {
+        slot_tag_.resize(slot + 1, Tag::kOther);
+        slot_seen_.resize(slot + 1, false);
+      }
+      if (!slot_seen_[slot]) {
+        slot_seen_[slot] = true;
+        slot_tag_[slot] = t;
+      } else if (slot_tag_[slot] != t) {
+        slot_tag_[slot] = Tag::kOther;
+      }
+    }
+  }
+
+  /// Abstract-stack transfer for the straight-line ops the analysis
+  /// models. Anything else has a stack effect we don't track (kDeclare
+  /// pops per decl flags, kNary pops a count, ...): drop to unknown.
+  void track(const vm::Instr& in) {
+    switch (in.op) {
+      case Op::kConst: {
+        const rt::Value& v = chunk_.consts[static_cast<std::size_t>(in.a)];
+        astack_.push_back(v.is_numbr()    ? Tag::kInt
+                          : v.is_numbar() ? Tag::kDbl
+                                          : Tag::kOther);
+        break;
+      }
+      case Op::kLoadVar: {
+        Tag t = Tag::kOther;
+        if (in.b == 0) {
+          auto slot = static_cast<std::size_t>(in.a);
+          if (slot < slot_tag_.size() && slot_seen_[slot]) {
+            t = slot_tag_[slot];
+          }
+        }
+        astack_.push_back(t);
+        break;
+      }
+      case Op::kMe:
+      case Op::kMahFrenz:
+      case Op::kWhatevr:
+        astack_.push_back(Tag::kInt);
+        break;
+      case Op::kWhatevar:
+        astack_.push_back(Tag::kDbl);
+        break;
+      case Op::kLoadIt:
+      case Op::kGimmeh:
+        astack_.push_back(Tag::kOther);
+        break;
+      case Op::kPop:
+      case Op::kStoreIt:
+        if (!astack_.empty()) astack_.pop_back();
+        break;
+      default:
+        astack_.clear();
+        break;
+    }
+  }
+
+  /// Whether this kBinary gets the inline path, and which one: both
+  /// operands predicted NUMBR and the op is total on NUMBRs (no
+  /// division/modulo — those throw on zero and stay generic), or both
+  /// predicted NUMBAR for the closed float ops.
+  [[nodiscard]] Tag binary_fast_class(const vm::Instr& in) const {
+    if (astack_.size() < 2) return Tag::kOther;
+    Tag rhs = astack_[astack_.size() - 1];
+    Tag lhs = astack_[astack_.size() - 2];
+    if (lhs != rhs) return Tag::kOther;
+    auto op = static_cast<ast::BinOp>(in.a);
+    if (lhs == Tag::kInt) {
+      switch (op) {
+        case ast::BinOp::kSum:
+        case ast::BinOp::kDiff:
+        case ast::BinOp::kProdukt:
+        case ast::BinOp::kBiggr:
+        case ast::BinOp::kSmallr:
+          return Tag::kInt;
+        default:
+          return Tag::kOther;
+      }
+    }
+    if (lhs == Tag::kDbl) {
+      switch (op) {
+        case ast::BinOp::kSum:
+        case ast::BinOp::kDiff:
+        case ast::BinOp::kProdukt:
+          return Tag::kDbl;
+        default:
+          return Tag::kOther;
+      }
+    }
+    return Tag::kOther;
+  }
+
+  /// Inline arithmetic block:
+  ///
+  ///   mov  rdi, rbx
+  ///   movabs rax, <typed prep>
+  ///   call rax                ; BinFastI in rax:rdx / BinFastD rax+xmm0
+  ///   cmp  rax, 1
+  ///   jb   fallback           ; lhs == 0: operands not both typed
+  ///   cmp  rax, -1
+  ///   je   epilogue           ; prep threw (step budget, abort)
+  ///   <op on [rax] and rdx/xmm0>
+  ///   jmp  done
+  /// fallback:
+  ///   <generic kBinary helper sequence>   ; charges its own step
+  /// done:
+  ///
+  /// The prep already charged the step and popped the right operand, so
+  /// the in-place update IS the whole op — result lands where kBinary
+  /// would have pushed it.
+  void emit_binfast(JitHelperFn generic, const vm::Instr& in, Tag cls) {
+    buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+    buf_.u8(0x48); buf_.u8(0xB8);                 // movabs rax, prep
+    buf_.u64(cls == Tag::kInt ? jit_binfast_numbr_addr()
+                              : jit_binfast_numbar_addr());
+    buf_.u8(0xFF); buf_.u8(0xD0);                 // call rax
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xF8); buf_.u8(0x01);  // cmp rax,1
+    buf_.u8(0x72);                                // jb rel8 -> fallback
+    std::size_t jb_at = buf_.size();
+    buf_.u8(0);
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xF8); buf_.u8(0xFF);  // cmp rax,-1
+    buf_.u8(0x0F); buf_.u8(0x84);                 // je rel32 -> epilogue
+    fixups_.push_back({buf_.size(), Fixup::Kind::kEpilogue, 0});
+    buf_.u32(0);
+
+    auto op = static_cast<ast::BinOp>(in.a);
+    if (cls == Tag::kInt) {
+      switch (op) {
+        case ast::BinOp::kSum:
+          buf_.u8(0x48); buf_.u8(0x01); buf_.u8(0x10);  // add [rax],rdx
+          break;
+        case ast::BinOp::kDiff:
+          buf_.u8(0x48); buf_.u8(0x29); buf_.u8(0x10);  // sub [rax],rdx
+          break;
+        case ast::BinOp::kProdukt:
+          buf_.u8(0x48); buf_.u8(0x8B); buf_.u8(0x08);  // mov rcx,[rax]
+          buf_.u8(0x48); buf_.u8(0x0F); buf_.u8(0xAF); buf_.u8(0xCA);
+          buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0x08);  // imul; mov [rax],rcx
+          break;
+        case ast::BinOp::kBiggr:
+        case ast::BinOp::kSmallr:
+          buf_.u8(0x48); buf_.u8(0x8B); buf_.u8(0x08);  // mov rcx,[rax]
+          buf_.u8(0x48); buf_.u8(0x39); buf_.u8(0xD1);  // cmp rcx,rdx
+          buf_.u8(0x48); buf_.u8(0x0F);                 // cmovl/cmovg rcx,rdx
+          buf_.u8(op == ast::BinOp::kBiggr ? 0x4C : 0x4F);
+          buf_.u8(0xCA);
+          buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0x08);  // mov [rax],rcx
+          break;
+        default:
+          break;  // unreachable: binary_fast_class filtered
+      }
+    } else {
+      buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0x10); buf_.u8(0x08);
+      buf_.u8(0xF2); buf_.u8(0x0F);  // movsd xmm1,[rax]; <op>sd xmm1,xmm0
+      buf_.u8(op == ast::BinOp::kSum    ? 0x58
+              : op == ast::BinOp::kDiff ? 0x5C
+                                        : 0x59);
+      buf_.u8(0xC8);
+      buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0x11); buf_.u8(0x08);
+    }                                             // movsd [rax],xmm1
+
+    buf_.u8(0xEB);                                // jmp rel8 -> done
+    std::size_t done_at = buf_.size();
+    buf_.u8(0);
+
+    std::size_t fallback = buf_.size();
+    buf_.b[jb_at] = static_cast<std::uint8_t>(fallback - (jb_at + 1));
+    call_helper(generic, in);
+    std::size_t done = buf_.size();
+    buf_.b[done_at] = static_cast<std::uint8_t>(done - (done_at + 1));
+  }
+
   /// The per-instruction core: call helper(vm, a, b, c) and bail to the
   /// epilogue when it reports a parked exception (negative status).
   void call_helper(JitHelperFn helper, const vm::Instr& in) {
@@ -177,6 +420,11 @@ class Emitter {
   std::vector<std::size_t> stub_off_;
   std::size_t epilogue_off_ = 0;
   std::vector<Fixup> fixups_;
+  // Operand-type analysis state (build_type_facts / track).
+  std::vector<bool> jump_target_;
+  std::vector<Tag> slot_tag_;
+  std::vector<bool> slot_seen_;
+  std::vector<Tag> astack_;
 };
 
 void key_u32(std::string& k, std::uint32_t x) {

@@ -44,6 +44,16 @@ using JitHelperFn = std::int32_t (*)(vm::Vm*, std::int32_t, std::int32_t,
 /// jit_runtime.cpp next to the helper bodies.
 const JitHelperFn* jit_helper_table();
 
+/// Addresses of the typed kBinary fast-path preps (jit_runtime.cpp),
+/// embedded by the emitter as movabs immediates. SysV struct returns:
+/// the NUMBR prep yields {lhs-ptr, rhs} in rax:rdx, the NUMBAR prep
+/// lhs-ptr in rax with rhs in xmm0. A zero lhs means the operands were
+/// not both that type (no step charged — the emitted code falls back to
+/// the generic kBinary helper); -1 means the prep threw and parked the
+/// exception like any helper.
+std::uint64_t jit_binfast_numbr_addr();
+std::uint64_t jit_binfast_numbar_addr();
+
 namespace detail {
 /// The exception a helper caught on this thread, awaiting rethrow.
 std::exception_ptr& jit_pending();

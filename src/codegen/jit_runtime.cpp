@@ -161,8 +161,40 @@ const JitHelperFn kTable[kOpCount] = {
     /* kHalt        */ h_step_only,
 };
 
+// Typed kBinary fast-path preps. Same exception discipline as the
+// helpers (park + sentinel), but the return is a two-field struct so the
+// emitted code receives the operand view directly in registers: BinFastI
+// in rax:rdx, BinFastD in rax + xmm0 (SysV). lhs == 0 signals a type
+// mismatch (no step charged — fall back to the generic helper); lhs ==
+// -1 signals a parked exception (bail to the epilogue).
+vm::BinFastI jf_binfast_numbr(Vm* vm) {
+  try {
+    return vm->binfast_prep_numbr();
+  } catch (...) {
+    detail::jit_pending() = std::current_exception();
+    return {reinterpret_cast<std::int64_t*>(-1), 0};
+  }
+}
+
+vm::BinFastD jf_binfast_numbar(Vm* vm) {
+  try {
+    return vm->binfast_prep_numbar();
+  } catch (...) {
+    detail::jit_pending() = std::current_exception();
+    return {reinterpret_cast<double*>(-1), 0.0};
+  }
+}
+
 }  // namespace
 
 const JitHelperFn* jit_helper_table() { return kTable; }
+
+std::uint64_t jit_binfast_numbr_addr() {
+  return reinterpret_cast<std::uint64_t>(&jf_binfast_numbr);
+}
+
+std::uint64_t jit_binfast_numbar_addr() {
+  return reinterpret_cast<std::uint64_t>(&jf_binfast_numbar);
+}
 
 }  // namespace lol::codegen

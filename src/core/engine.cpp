@@ -8,6 +8,7 @@
 #include "codegen/native_backend.hpp"
 #include "interp/interpreter.hpp"
 #include "obs/metrics.hpp"
+#include "opt/opt.hpp"
 #include "parse/parser.hpp"
 #include "replay/controller.hpp"
 #include "rt/exec_context.hpp"
@@ -68,10 +69,21 @@ double RunResult::max_sim_ns() const {
   return m;
 }
 
-CompiledProgram compile(std::string_view source) {
+CompiledProgram compile(std::string_view source, const CompileOptions& opts) {
   CompiledProgram out;
+  out.options = opts;
   out.program = parse::parse_program(source);
+  // Sema first, on the raw AST: invalid programs throw the same
+  // diagnostic at every opt level, and the passes may assume validity.
   out.analysis = sema::analyze(out.program);
+  if (opts.opt_level > 0) {
+    opt::Options oo;
+    oo.level = opts.opt_level;
+    oo.unroll_max_trip = opts.unroll_max_trip;
+    opt::optimize(out.program, oo);
+    // Analysis borrows AST nodes the passes may have replaced.
+    out.analysis = sema::analyze(out.program);
+  }
   out.native_slot = std::make_shared<codegen::NativeSlot>();
   out.vm_slot = std::make_shared<vm::VmSlot>();
   out.jit_slot = std::make_shared<codegen::JitSlot>();

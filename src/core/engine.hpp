@@ -63,11 +63,24 @@ enum class Backend {
 /// Inverse of to_string; nullopt for unknown names.
 [[nodiscard]] std::optional<Backend> backend_from_name(std::string_view name);
 
+/// Front-end configuration for compile(). Level 0 runs the raw AST,
+/// level 1 runs the folding passes, level 2 (the default everywhere)
+/// adds the loop pipeline — see opt/opt.hpp. All levels are observably
+/// equivalent per PE except step *counts* near a max_steps edge.
+struct CompileOptions {
+  int opt_level = 2;
+  int unroll_max_trip = 16;  // forwarded to opt::Options
+};
+
 /// A compiled (parsed + analyzed) program. Movable; the analysis borrows
 /// AST nodes owned by `program`, whose addresses are stable under moves.
 struct CompiledProgram {
   ast::Program program;
   sema::Analysis analysis;
+
+  /// The options this program was compiled with (cache keys and replay
+  /// hashes must distinguish optimized shapes).
+  CompileOptions options;
 
   /// Backend::kNative memo: the loaded shared object for this program,
   /// filled on first native run so repeats skip C emission (see
@@ -197,9 +210,12 @@ struct RunResult {
   [[nodiscard]] double max_sim_ns() const;
 };
 
-/// Lexes, parses and analyzes `source`. Throws support::LexError,
-/// support::ParseError or support::SemaError with source locations.
-CompiledProgram compile(std::string_view source);
+/// Lexes, parses, analyzes and optimizes `source`. Throws
+/// support::LexError, support::ParseError or support::SemaError with
+/// source locations; sema runs on the raw AST first, so invalid programs
+/// produce identical diagnostics at every opt level.
+CompiledProgram compile(std::string_view source,
+                        const CompileOptions& opts = {});
 
 /// Runs a compiled program SPMD on cfg.n_pes PEs.
 RunResult run(const CompiledProgram& prog, const RunConfig& cfg = {});

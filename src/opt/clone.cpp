@@ -1,0 +1,211 @@
+#include "opt/clone.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace lol::opt {
+
+using namespace ast;
+
+namespace {
+
+ExprPtr clone_opt(const ExprPtr& e) { return e ? clone_expr(*e) : nullptr; }
+
+std::vector<ExprPtr> clone_exprs(const std::vector<ExprPtr>& v) {
+  std::vector<ExprPtr> out;
+  out.reserve(v.size());
+  for (const auto& e : v) out.push_back(clone_expr(*e));
+  return out;
+}
+
+}  // namespace
+
+ExprPtr clone_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumbrLit: {
+      const auto& n = static_cast<const NumbrLit&>(e);
+      return std::make_unique<NumbrLit>(n.value, n.loc);
+    }
+    case ExprKind::kNumbarLit: {
+      const auto& n = static_cast<const NumbarLit&>(e);
+      return std::make_unique<NumbarLit>(n.value, n.loc);
+    }
+    case ExprKind::kTroofLit: {
+      const auto& n = static_cast<const TroofLit&>(e);
+      return std::make_unique<TroofLit>(n.value, n.loc);
+    }
+    case ExprKind::kNoobLit:
+      return std::make_unique<NoobLit>(e.loc);
+    case ExprKind::kYarnLit: {
+      const auto& n = static_cast<const YarnLit&>(e);
+      return std::make_unique<YarnLit>(n.segments, n.loc);
+    }
+    case ExprKind::kVarRef: {
+      const auto& n = static_cast<const VarRef&>(e);
+      return std::make_unique<VarRef>(n.name, n.locality, n.loc);
+    }
+    case ExprKind::kSrsRef: {
+      const auto& n = static_cast<const SrsRef&>(e);
+      return std::make_unique<SrsRef>(clone_expr(*n.name_expr), n.locality,
+                                      n.loc);
+    }
+    case ExprKind::kIndex: {
+      const auto& n = static_cast<const IndexExpr&>(e);
+      return std::make_unique<IndexExpr>(clone_expr(*n.base),
+                                         clone_expr(*n.index), n.loc);
+    }
+    case ExprKind::kItRef:
+      return std::make_unique<ItRef>(e.loc);
+    case ExprKind::kMe:
+      return std::make_unique<MeExpr>(e.loc);
+    case ExprKind::kMahFrenz:
+      return std::make_unique<MahFrenzExpr>(e.loc);
+    case ExprKind::kWhatevr:
+      return std::make_unique<WhatevrExpr>(e.loc);
+    case ExprKind::kWhatevar:
+      return std::make_unique<WhatevarExpr>(e.loc);
+    case ExprKind::kBinary: {
+      const auto& n = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(n.op, clone_expr(*n.lhs),
+                                          clone_expr(*n.rhs), n.loc);
+    }
+    case ExprKind::kNary: {
+      const auto& n = static_cast<const NaryExpr&>(e);
+      return std::make_unique<NaryExpr>(n.op, clone_exprs(n.operands), n.loc);
+    }
+    case ExprKind::kUnary: {
+      const auto& n = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(n.op, clone_expr(*n.operand), n.loc);
+    }
+    case ExprKind::kCast: {
+      const auto& n = static_cast<const CastExpr&>(e);
+      return std::make_unique<CastExpr>(clone_expr(*n.value), n.type, n.loc);
+    }
+    case ExprKind::kCall: {
+      const auto& n = static_cast<const CallExpr&>(e);
+      return std::make_unique<CallExpr>(n.callee, clone_exprs(n.args), n.loc);
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+StmtPtr clone_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kVarDecl: {
+      const auto& d = static_cast<const VarDeclStmt&>(s);
+      auto out = std::make_unique<VarDeclStmt>(d.loc);
+      out->scope = d.scope;
+      out->name = d.name;
+      out->declared_type = d.declared_type;
+      out->srsly = d.srsly;
+      out->is_array = d.is_array;
+      out->array_size = clone_opt(d.array_size);
+      out->init = clone_opt(d.init);
+      out->sharin = d.sharin;
+      return out;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      return std::make_unique<AssignStmt>(clone_expr(*a.target),
+                                          clone_expr(*a.value), a.loc);
+    }
+    case StmtKind::kExpr: {
+      const auto& x = static_cast<const ExprStmt&>(s);
+      return std::make_unique<ExprStmt>(clone_expr(*x.expr), x.loc);
+    }
+    case StmtKind::kVisible: {
+      const auto& v = static_cast<const VisibleStmt&>(s);
+      auto out = std::make_unique<VisibleStmt>(v.loc);
+      out->args = clone_exprs(v.args);
+      out->newline = v.newline;
+      out->to_stderr = v.to_stderr;
+      return out;
+    }
+    case StmtKind::kGimmeh: {
+      const auto& g = static_cast<const GimmehStmt&>(s);
+      return std::make_unique<GimmehStmt>(clone_expr(*g.target), g.loc);
+    }
+    case StmtKind::kCastTo: {
+      const auto& c = static_cast<const CastToStmt&>(s);
+      return std::make_unique<CastToStmt>(clone_expr(*c.target), c.type,
+                                          c.loc);
+    }
+    case StmtKind::kORly: {
+      const auto& o = static_cast<const ORlyStmt&>(s);
+      auto out = std::make_unique<ORlyStmt>(o.loc);
+      out->ya_rly = clone_body(o.ya_rly);
+      for (const auto& [cond, body] : o.mebbe) {
+        out->mebbe.emplace_back(clone_expr(*cond), clone_body(body));
+      }
+      out->no_wai = clone_body(o.no_wai);
+      return out;
+    }
+    case StmtKind::kWtf: {
+      const auto& w = static_cast<const WtfStmt&>(s);
+      auto out = std::make_unique<WtfStmt>(w.loc);
+      for (const auto& c : w.cases) {
+        WtfStmt::Case cc;
+        cc.literal = clone_expr(*c.literal);
+        cc.body = clone_body(c.body);
+        out->cases.push_back(std::move(cc));
+      }
+      out->default_body = clone_body(w.default_body);
+      out->has_default = w.has_default;
+      return out;
+    }
+    case StmtKind::kLoop: {
+      const auto& l = static_cast<const LoopStmt&>(s);
+      auto out = std::make_unique<LoopStmt>(l.loc);
+      out->label = l.label;
+      out->update = l.update;
+      out->func = l.func;
+      out->var = l.var;
+      out->cond_kind = l.cond_kind;
+      out->cond = clone_opt(l.cond);
+      out->body = clone_body(l.body);
+      return out;
+    }
+    case StmtKind::kGtfo:
+      return std::make_unique<GtfoStmt>(s.loc);
+    case StmtKind::kFoundYr: {
+      const auto& f = static_cast<const FoundYrStmt&>(s);
+      return std::make_unique<FoundYrStmt>(clone_expr(*f.value), f.loc);
+    }
+    case StmtKind::kFuncDef: {
+      const auto& f = static_cast<const FuncDefStmt&>(s);
+      auto out = std::make_unique<FuncDefStmt>(f.loc);
+      out->name = f.name;
+      out->params = f.params;
+      out->body = clone_body(f.body);
+      return out;
+    }
+    case StmtKind::kCanHas: {
+      const auto& c = static_cast<const CanHasStmt&>(s);
+      return std::make_unique<CanHasStmt>(c.library, c.loc);
+    }
+    case StmtKind::kHugz:
+      return std::make_unique<HugzStmt>(s.loc);
+    case StmtKind::kLock: {
+      const auto& l = static_cast<const LockStmt&>(s);
+      return std::make_unique<LockStmt>(l.op, clone_expr(*l.target), l.loc);
+    }
+    case StmtKind::kTxt: {
+      const auto& t = static_cast<const TxtStmt&>(s);
+      auto out = std::make_unique<TxtStmt>(t.loc);
+      out->target_pe = clone_expr(*t.target_pe);
+      out->body = clone_body(t.body);
+      out->block_form = t.block_form;
+      return out;
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+StmtList clone_body(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(clone_stmt(*s));
+  return out;
+}
+
+}  // namespace lol::opt

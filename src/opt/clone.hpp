@@ -1,0 +1,18 @@
+// Deep-cloning of AST subtrees.
+//
+// AST nodes own their children through unique_ptr and are deliberately
+// non-copyable; the optimizer is the one consumer that needs structural
+// copies (loop unrolling duplicates bodies, propagation duplicates
+// literal initializers). Clones preserve source locations so diagnostics
+// from optimized programs still point at the original text.
+#pragma once
+
+#include "ast/ast.hpp"
+
+namespace lol::opt {
+
+[[nodiscard]] ast::ExprPtr clone_expr(const ast::Expr& e);
+[[nodiscard]] ast::StmtPtr clone_stmt(const ast::Stmt& s);
+[[nodiscard]] ast::StmtList clone_body(const ast::StmtList& body);
+
+}  // namespace lol::opt

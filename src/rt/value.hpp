@@ -52,6 +52,14 @@ class Value {
     return std::holds_alternative<std::string>(v_);
   }
 
+  /// Mutable payload pointers, non-null exactly when the value holds
+  /// that type. The JIT's inline arithmetic updates stack slots through
+  /// these in place; any assignment to the Value invalidates them.
+  [[nodiscard]] std::int64_t* numbr_ptr() {
+    return std::get_if<std::int64_t>(&v_);
+  }
+  [[nodiscard]] double* numbar_ptr() { return std::get_if<double>(&v_); }
+
   /// Unchecked accessors (call only after the matching is_*()).
   [[nodiscard]] bool troof_raw() const { return std::get<bool>(v_); }
   [[nodiscard]] std::int64_t numbr_raw() const {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "opt/opt.hpp"
 #include "support/error.hpp"
 
 namespace lol::service {
@@ -48,6 +49,19 @@ std::uint64_t hash_source(std::string_view source) {
   return h;
 }
 
+std::uint64_t cache_key(std::string_view source, const CompileOptions& opts) {
+  return opt::mix_hash(hash_source(source), opts.opt_level,
+                       opts.unroll_max_trip);
+}
+
+namespace {
+
+bool same_options(const CompileOptions& a, const CompileOptions& b) {
+  return a.opt_level == b.opt_level && a.unroll_max_trip == b.unroll_max_trip;
+}
+
+}  // namespace
+
 CompileCache::CompileCache(std::size_t capacity, std::size_t capacity_bytes)
     : capacity_(capacity == 0 ? 1 : capacity),
       capacity_bytes_(capacity_bytes) {}
@@ -77,8 +91,9 @@ void CompileCache::evict_while_over_budget_locked() {
 }
 
 CachedCompile CompileCache::get_or_compile(const std::string& source,
+                                           const CompileOptions& opts,
                                            bool* hit) {
-  const std::uint64_t key = hash_source(source);
+  const std::uint64_t key = cache_key(source, opts);
   std::shared_future<CachedCompile> fut;
   std::promise<CachedCompile> mine;
   bool i_compile = false;
@@ -86,7 +101,8 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
   {
     std::lock_guard<std::mutex> g(m_);
     auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.source == source) {
+    if (it != entries_.end() && it->second.source == source &&
+        same_options(it->second.opts, opts)) {
       ++stats_.hits;
       cache_metrics().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -109,7 +125,7 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
       fut = mine.get_future().share();
       lru_.push_front(key);
       std::size_t bytes = charged_bytes(source.size());
-      entries_.emplace(key, Entry{source, fut, lru_.begin(), bytes});
+      entries_.emplace(key, Entry{source, opts, fut, lru_.begin(), bytes});
       resident_bytes_ += bytes;
       cache_metrics().resident_bytes.add(static_cast<std::int64_t>(bytes));
       evict_while_over_budget_locked();
@@ -120,7 +136,8 @@ CachedCompile CompileCache::get_or_compile(const std::string& source,
 
   CachedCompile out;
   try {
-    out.program = std::make_shared<const CompiledProgram>(compile(source));
+    out.program = std::make_shared<const CompiledProgram>(
+        compile(source, opts));
   } catch (const std::exception& e) {
     // Mostly support::LolError; anything else still must resolve the
     // published future or concurrent waiters would hang.
@@ -145,11 +162,15 @@ std::size_t CompileCache::resident_bytes() const {
   return resident_bytes_;
 }
 
-void CompileCache::recharge(const std::string& source) {
-  const std::uint64_t key = hash_source(source);
+void CompileCache::recharge(const std::string& source,
+                            const CompileOptions& opts) {
+  const std::uint64_t key = cache_key(source, opts);
   std::lock_guard<std::mutex> g(m_);
   auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.source != source) return;
+  if (it == entries_.end() || it->second.source != source ||
+      !same_options(it->second.opts, opts)) {
+    return;
+  }
   Entry& e = it->second;
   if (e.result.wait_for(std::chrono::seconds(0)) !=
       std::future_status::ready) {

@@ -23,8 +23,17 @@
 
 namespace lol::service {
 
-/// 64-bit FNV-1a over the source text — the cache key.
+/// 64-bit FNV-1a over the source text — the base of the cache key.
 [[nodiscard]] std::uint64_t hash_source(std::string_view source);
+
+/// The full cache key: the source hash mixed with the compile options
+/// (opt level, unroll bound) and the optimizer pipeline version, via
+/// opt::mix_hash. The same source submitted at -O0 and -O2 is two
+/// distinct entries — folding and unrolling legitimately change step
+/// counts, so the compiled artifacts are not interchangeable — and a
+/// pipeline-version bump invalidates every optimized entry at once.
+[[nodiscard]] std::uint64_t cache_key(std::string_view source,
+                                      const CompileOptions& opts);
 
 /// What the cache stores per source: either a shared compiled program or
 /// the diagnostic the compiler produced.
@@ -72,13 +81,22 @@ class CompileCache {
   /// resident-bytes gauge (tests construct many short-lived caches).
   ~CompileCache();
 
-  /// Returns the cached compile for `source`, compiling at most once per
-  /// source even under concurrent requests for it: the first caller
-  /// publishes a future and compiles outside the lock, later callers
-  /// block on that future (a hit). `hit` (optional) reports whether this
-  /// call was served from cache.
+  /// Returns the cached compile for `source` at `opts`, compiling at
+  /// most once per (source, options) even under concurrent requests for
+  /// it: the first caller publishes a future and compiles outside the
+  /// lock, later callers block on that future (a hit). `hit` (optional)
+  /// reports whether this call was served from cache. Optimization runs
+  /// exactly here — once at insert time — so every later run of the
+  /// entry, on any backend, executes the already-optimized program.
   CachedCompile get_or_compile(const std::string& source,
+                               const CompileOptions& opts,
                                bool* hit = nullptr);
+
+  /// Shorthand at the default options (-O2).
+  CachedCompile get_or_compile(const std::string& source,
+                               bool* hit = nullptr) {
+    return get_or_compile(source, CompileOptions{}, hit);
+  }
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
@@ -97,11 +115,14 @@ class CompileCache {
   /// sealed JIT code memoized by a Backend::kJit run. No-op when the
   /// entry is gone, still compiling, or unchanged; may evict LRU-tail
   /// entries when the new charge pushes the cache over budget.
-  void recharge(const std::string& source);
+  void recharge(const std::string& source, const CompileOptions& opts = {});
 
  private:
   struct Entry {
-    std::string source;  // collision guard: full text compared on hit
+    // Collision guard: full text + options compared on hit, so a true
+    // 64-bit key collision can never hand back the wrong program.
+    std::string source;
+    CompileOptions opts;
     std::shared_future<CachedCompile> result;
     std::list<std::uint64_t>::iterator lru_pos;
     std::size_t bytes = 0;  // charged_bytes(source.size()) at insertion

@@ -73,6 +73,13 @@ struct Job {
   /// Fault-injection spec, replay::parse_fault_spec grammar
   /// ("pe=K@step=S", "noc=F", "input=N", comma-separated). "" = none.
   std::string fault_spec;
+
+  /// Optimizing middle-end level (0 = off, 1 = folding/propagation,
+  /// 2 = full pipeline, the default). Part of the compile-cache key:
+  /// the same source at different levels is compiled and cached
+  /// separately, because folding/unrolling legitimately change step
+  /// counts (see src/opt/opt.hpp).
+  int opt_level = 2;
 };
 
 /// How a job ended.
@@ -131,6 +138,11 @@ struct JobResult {
   std::vector<TraceSpan> trace;        // lifecycle phases (see TraceSpan)
   /// Serialized schedule trace when the job recorded or perturbed.
   std::string schedule_trace;
+  /// Auto-tuned knobs the service applied on this run, as
+  /// "knob=value" pairs ("barrier_radix=4 executor=fiber"); empty when
+  /// no tuner store is configured, the store has no entry for this
+  /// (program, n_pes), or the job pinned every knob itself.
+  std::string tuned;
 
   [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };

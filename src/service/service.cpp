@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "opt/opt.hpp"
+#include "opt/tuner.hpp"
 
 namespace lol::service {
 
@@ -30,6 +32,7 @@ struct SvcMetrics {
   obs::Histogram& total_ms;
   obs::CounterFamily& deadline_by_tenant;
   obs::CounterFamily& quota_by_tenant;
+  obs::Counter& tuner_applied;
   SvcMetrics()
       : submitted(obs::Registry::global().counter(
             "lol_jobs_submitted_total", "Jobs accepted by submit_job")),
@@ -55,7 +58,10 @@ struct SvcMetrics {
             "lol_quota_rejected_total",
             "Submissions refused by the per-tenant queued-job quota, "
             "by tenant",
-            "tenant")) {}
+            "tenant")),
+        tuner_applied(obs::Registry::global().counter(
+            "lol_tuner_applied_total",
+            "Jobs that ran with persisted auto-tuned knobs applied")) {}
 };
 
 SvcMetrics& svc_metrics() {
@@ -68,6 +74,9 @@ SvcMetrics& svc_metrics() {
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
       cache_(opts_.cache_capacity, opts_.cache_bytes) {
+  if (!opts_.tuner_cache_path.empty()) {
+    tuner_ = std::make_unique<opt::TunerStore>(opts_.tuner_cache_path);
+  }
   opts_.workers = std::max(1, opts_.workers);
   opts_.queue_capacity = std::max<std::size_t>(1, opts_.queue_capacity);
   opts_.default_tenant_weight = std::max(1, opts_.default_tenant_weight);
@@ -315,8 +324,13 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   // attributable to a phase at a glance.
   r.trace.push_back({"queued", 0.0, queue_ms});
 
-  CachedCompile compiled = cache_.get_or_compile(job.source,
-                                                 &r.compile_cache_hit);
+  // Optimization happens once, at cache-insert time: every later job
+  // for this (source, level) — on any backend — runs the same
+  // already-optimized program.
+  CompileOptions copts;
+  copts.opt_level = std::clamp(job.opt_level, 0, 2);
+  CachedCompile compiled =
+      cache_.get_or_compile(job.source, copts, &r.compile_cache_hit);
   double compile_ms = ms_since(t0);
   r.trace.push_back({r.compile_cache_hit ? "compile[cached]" : "compile",
                      queue_ms, compile_ms});
@@ -351,11 +365,49 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   cfg.pes_per_thread = job.pes_per_thread;
   cfg.barrier_radix = job.barrier_radix;  // Runtime clamps hostile fan-ins
 
+  // Warm-hit auto-tuning: apply the persisted calibration winner for
+  // this (program, n_pes), but only the knobs the job left at their
+  // defaults — an explicit request always wins — and never under
+  // record/replay, whose traces are schedule-shape-sensitive. Outputs
+  // are knob-invariant by construction; this trades wall-clock only.
+  if (tuner_ != nullptr && job.schedule == replay::ScheduleMode::kNone) {
+    if (auto k = tuner_->lookup(replay::fnv1a(job.source), cfg.n_pes)) {
+      std::string applied;
+      auto note = [&applied](const std::string& kv) {
+        if (!applied.empty()) applied += ' ';
+        applied += kv;
+      };
+      if (k->barrier_radix != 0 && job.barrier_radix < 2) {
+        cfg.barrier_radix = k->barrier_radix;
+        note("barrier_radix=" + std::to_string(k->barrier_radix));
+      }
+      if (!k->executor.empty() &&
+          job.executor == shmem::ExecutorKind::kPool) {
+        if (auto e = shmem::executor_from_name(k->executor)) {
+          cfg.executor = *e;
+          note("executor=" + k->executor);
+        }
+      }
+      if (k->pes_per_thread != 0 && job.pes_per_thread == 0 &&
+          cfg.executor == shmem::ExecutorKind::kFiber) {
+        cfg.pes_per_thread = k->pes_per_thread;
+        note("pes_per_thread=" + std::to_string(k->pes_per_thread));
+      }
+      if (!applied.empty()) {
+        r.tuned = std::move(applied);
+        svc_metrics().tuner_applied.inc();
+      }
+    }
+  }
+
   // Deterministic scheduling + fault injection. Traces are keyed on the
-  // source hash so a stale trace against edited code is refused up front.
+  // source hash mixed with the optimization config (the optimized
+  // program has different step counts), so a stale trace against edited
+  // code or a different opt level is refused up front.
   cfg.schedule = job.schedule;
   cfg.perturb_seed = job.perturb_seed;
-  cfg.program_hash = replay::fnv1a(job.source);
+  cfg.program_hash = opt::mix_hash(replay::fnv1a(job.source),
+                                   copts.opt_level, copts.unroll_max_trip);
   std::shared_ptr<replay::Trace> trace;
   if (job.schedule == replay::ScheduleMode::kReplay) {
     std::string terr;
@@ -383,7 +435,7 @@ JobResult Service::execute(Pending& p, Inflight& inflight, double queue_ms) {
   if (job.backend == Backend::kJit) {
     // A first JIT run memoized sealed machine code on the cached
     // program; fold those bytes into the compile cache's byte budget.
-    cache_.recharge(job.source);
+    cache_.recharge(job.source, copts);
   }
   const double claim_start = queue_ms + compile_ms;
   r.trace.push_back({"claim", claim_start, run.claim_ms});

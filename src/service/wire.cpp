@@ -325,6 +325,23 @@ std::optional<Request> parse_request(const std::string& line,
     // Combining-tree fan-in; < 2 means auto, results are radix-invariant.
     req.job.barrier_radix = static_cast<int>(
         std::min<std::uint64_t>(u64_or(*doc, "barrier_radix", 0), 4096));
+    // Optimization level. Unlike the lenient numeric knobs above, a
+    // malformed value is a protocol error: silently compiling at a
+    // different level than the client asked for would change step
+    // counts under it (unrolling re-shapes loops), so "opt_level":-1
+    // or "opt_level":"max" must be refused, not defaulted.
+    if (const Json* lvl = doc->find("opt_level"); lvl != nullptr) {
+      bool valid = lvl->is(Json::Kind::kNumber) && std::isfinite(lvl->num) &&
+                   lvl->num == std::floor(lvl->num) && lvl->num >= 0.0 &&
+                   lvl->num <= 2.0;
+      if (!valid) {
+        if (error != nullptr) {
+          *error = "opt_level must be an integer in 0..2";
+        }
+        return std::nullopt;
+      }
+      req.job.opt_level = static_cast<int>(lvl->num);
+    }
     if (const Json* lines = doc->find("stdin");
         lines != nullptr && lines->is(Json::Kind::kArray)) {
       for (const Json& l : lines->arr) {
@@ -432,6 +449,7 @@ std::string submit_line(const Job& job) {
          ",\"executor\":\"" + shmem::to_string(job.executor) + "\"" +
          ",\"pes_per_thread\":" + std::to_string(job.pes_per_thread) +
          ",\"barrier_radix\":" + std::to_string(job.barrier_radix) +
+         ",\"opt_level\":" + std::to_string(job.opt_level) +
          ",\"seed\":" + n(job.seed) + ",\"max_steps\":" + n(job.max_steps) +
          ",\"deadline_ms\":" + n(job.deadline_ms) +
          ",\"heap_bytes\":" + n(job.heap_bytes) +
@@ -483,6 +501,9 @@ std::string result_line(const JobResult& r) {
          ",\"errout\":" + json_array(r.pe_errout);
   if (!r.schedule_trace.empty()) {
     out += ",\"sched_trace\":" + quote(r.schedule_trace);
+  }
+  if (!r.tuned.empty()) {
+    out += ",\"tuned\":" + quote(r.tuned);
   }
   out += "}";
   return out;

@@ -11,10 +11,13 @@
 //   {"op":"submit","source":"HAI ...","name":"lab1","n_pes":4,
 //    "tenant":"alice","deadline_ms":200,"max_steps":100000,
 //    "heap_bytes":1048576,"backend":"vm","seed":7,"stdin":["line1"],
-//    "executor":"pool","pes_per_thread":0,"barrier_radix":0}
+//    "executor":"pool","pes_per_thread":0,"barrier_radix":0,
+//    "opt_level":2}
 //   ("executor" picks the PE mapping: pool (default), thread, or fiber
 //    for n_pes far beyond the host's cores; "barrier_radix" tunes the
-//    combining-tree fan-in, < 2 = auto, results are radix-invariant)
+//    combining-tree fan-in, < 2 = auto, results are radix-invariant;
+//    "opt_level" is the optimizing middle-end level 0..2, default 2 —
+//    a non-integer or out-of-range value is a protocol error)
 //   {"op":"cancel","id":7}
 //   {"op":"stats"}   {"op":"metrics"}   {"op":"ping"}   {"op":"shutdown"}
 //
@@ -24,6 +27,8 @@
 //    "error":"","cached":true,"queue_ms":0.1,"run_ms":1.9,
 //    "trace":[{"span":"queued","start_ms":0.0,"dur_ms":0.1},...],
 //    "output":["..."],"errout":["..."]}
+//   (done events add "tuned":"executor=fiber ..." when the service
+//    applied persisted auto-tuner knobs to the run)
 //   {"event":"cancel","id":7,"ok":true}
 //   {"event":"stats",...}   {"event":"pong"}   {"event":"bye"}
 //   {"event":"metrics","text":"# HELP ...\n..."}  (Prometheus exposition)

@@ -363,6 +363,30 @@ void Vm::op_binary(std::int32_t a) {
   push(rt::op_binary(static_cast<ast::BinOp>(a), lhs, rhs));
 }
 
+BinFastI Vm::binfast_prep_numbr() {
+  std::size_t n = stack_.size();
+  if (n < 2 || !stack_[n - 1].is_numbr() || !stack_[n - 2].is_numbr()) {
+    return {};
+  }
+  ctx_.count_step();
+  std::int64_t rhs = stack_[n - 1].numbr_raw();
+  stack_.pop_back();
+  // pop_back never reallocates, so the payload pointer stays valid for
+  // the emitted read-modify-write that follows.
+  return {stack_.back().numbr_ptr(), rhs};
+}
+
+BinFastD Vm::binfast_prep_numbar() {
+  std::size_t n = stack_.size();
+  if (n < 2 || !stack_[n - 1].is_numbar() || !stack_[n - 2].is_numbar()) {
+    return {};
+  }
+  ctx_.count_step();
+  double rhs = stack_[n - 1].numbar_raw();
+  stack_.pop_back();
+  return {stack_.back().numbar_ptr(), rhs};
+}
+
 void Vm::op_unary(std::int32_t a) {
   Value v = pop();
   push(rt::op_unary(static_cast<ast::UnOp>(a), v));

@@ -14,6 +14,20 @@
 
 namespace lol::vm {
 
+/// In-place operand views for the JIT's typed kBinary fast path
+/// (codegen/jit_emitter.cpp). `lhs` points at the left operand's payload
+/// inside the VM value stack — after the prep pops the right operand,
+/// that slot is exactly where kBinary would push its result, so emitted
+/// code computes `*lhs op= rhs` and the stack is already correct.
+struct BinFastI {
+  std::int64_t* lhs = nullptr;
+  std::int64_t rhs = 0;
+};
+struct BinFastD {
+  double* lhs = nullptr;
+  double rhs = 0.0;
+};
+
 class Vm {
  public:
   Vm(const Chunk& chunk, rt::ExecContext& ctx) : chunk_(chunk), ctx_(ctx) {}
@@ -59,6 +73,16 @@ class Vm {
   void op_bff_pop(std::int32_t a);
   void op_visible(std::int32_t a, std::int32_t b);
   void op_gimmeh();
+
+  /// JIT fast-path preps. When the top two stack slots are both NUMBR
+  /// (resp. NUMBAR): charge the step — exactly what the generic kBinary
+  /// helper would charge — pop the right operand, and return the left
+  /// operand in place plus the popped right value. On a type mismatch
+  /// return a null lhs *without* charging: the caller falls back to the
+  /// generic helper, which charges and runs the full rt::op_binary
+  /// coercion path. May throw (step budget, abort), like any op.
+  BinFastI binfast_prep_numbr();
+  BinFastD binfast_prep_numbar();
 
  private:
   /// One variable slot: scalar value, private array, or symmetric handle.

@@ -89,16 +89,36 @@ TEST(LolrunCli, MachineSimReportsModeledTime) {
 TEST(LolrunCli, DumpAstPrintsStructure) {
   std::string path =
       write_program("ast", "HAI 1.2\nVISIBLE SUM OF 1 AN 2\nKTHXBYE\n");
-  auto r = run_cmd(std::string(LOLRUN_BIN) + " --dump-ast " + path);
+  auto r =
+      run_cmd(std::string(LOLRUN_BIN) + " --dump-ast --opt-level 0 " + path);
   EXPECT_EQ(r.status, 0);
   EXPECT_NE(r.output.find("(program"), std::string::npos);
   EXPECT_NE(r.output.find("(sum (numbr 1) (numbr 2))"), std::string::npos);
 }
 
+TEST(LolrunCli, DumpAstShowsOptimizedTreeByDefault) {
+  std::string path =
+      write_program("ast_opt", "HAI 1.2\nVISIBLE SUM OF 1 AN 2\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --dump-ast " + path);
+  EXPECT_EQ(r.status, 0);
+  // The default -O2 pipeline folds the constant expression.
+  EXPECT_NE(r.output.find("(numbr 3)"), std::string::npos);
+  EXPECT_EQ(r.output.find("(sum"), std::string::npos);
+}
+
+TEST(LolrunCli, BadOptLevelIsRejected) {
+  std::string path =
+      write_program("ast_bad", "HAI 1.2\nVISIBLE 1\nKTHXBYE\n");
+  auto r = run_cmd(std::string(LOLRUN_BIN) + " --opt-level 3 " + path);
+  EXPECT_NE(r.status, 0);
+  EXPECT_NE(r.output.find("opt-level"), std::string::npos);
+}
+
 TEST(LolrunCli, DumpBytecodePrintsDisassembly) {
   std::string path =
       write_program("bc", "HAI 1.2\nI HAS A x ITZ 5\nVISIBLE x\nKTHXBYE\n");
-  auto r = run_cmd(std::string(LOLRUN_BIN) + " --dump-bytecode " + path);
+  auto r = run_cmd(std::string(LOLRUN_BIN) +
+                   " --dump-bytecode --opt-level 0 " + path);
   EXPECT_EQ(r.status, 0);
   EXPECT_NE(r.output.find("DECLARE x"), std::string::npos);
   EXPECT_NE(r.output.find("HALT"), std::string::npos);

@@ -8,7 +8,12 @@
 namespace {
 
 std::string emit(const std::string& body) {
-  lol::CompiledProgram prog = lol::compile("HAI 1.2\n" + body + "KTHXBYE\n");
+  // -O0: these tests pin the lowering of specific source shapes, which
+  // the optimizer would otherwise fold away.
+  lol::CompileOptions copts;
+  copts.opt_level = 0;
+  lol::CompiledProgram prog =
+      lol::compile("HAI 1.2\n" + body + "KTHXBYE\n", copts);
   return lol::codegen::emit_c(prog.program, prog.analysis);
 }
 

@@ -457,7 +457,7 @@ TEST(Wire, RequestRoundTripsJobFields) {
   auto req = wire::parse_request(
       R"({"op":"submit","source":"HAI","name":"n","tenant":"t",)"
       R"("n_pes":4,"deadline_ms":250,"max_steps":1000,"backend":"interp",)"
-      R"("stdin":["a","b"]})",
+      R"("opt_level":1,"stdin":["a","b"]})",
       &err);
   ASSERT_TRUE(req.has_value()) << err;
   EXPECT_EQ(req->job.source, "HAI");
@@ -467,8 +467,35 @@ TEST(Wire, RequestRoundTripsJobFields) {
   EXPECT_EQ(req->job.deadline_ms, 250u);
   EXPECT_EQ(req->job.max_steps, 1000u);
   EXPECT_EQ(req->job.backend, lol::Backend::kInterp);
+  EXPECT_EQ(req->job.opt_level, 1);
   ASSERT_EQ(req->job.stdin_lines.size(), 2u);
   EXPECT_EQ(req->job.stdin_lines[1], "b");
+}
+
+TEST(Wire, OptLevelDefaultsAndRejectsMalformedValues) {
+  // Absent field: the default -O2 applies.
+  std::string err;
+  auto req =
+      wire::parse_request(R"({"op":"submit","source":"HAI"})", &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->job.opt_level, 2);
+
+  // opt_level changes what a job computes per step budget, so unlike
+  // the lenient numeric knobs it is validated strictly: anything but an
+  // integer 0..2 is a protocol error, never silently clamped.
+  const char* bad[] = {
+      R"({"op":"submit","source":"HAI","opt_level":3})",
+      R"({"op":"submit","source":"HAI","opt_level":-1})",
+      R"({"op":"submit","source":"HAI","opt_level":1.5})",
+      R"({"op":"submit","source":"HAI","opt_level":"max"})",
+      R"({"op":"submit","source":"HAI","opt_level":1e400})",
+  };
+  for (const char* line : bad) {
+    std::string e;
+    auto r = wire::parse_request(line, &e);
+    EXPECT_FALSE(r.has_value()) << "accepted: " << line;
+    EXPECT_NE(e.find("opt_level"), std::string::npos) << e;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +549,7 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
                                    : lol::shmem::ExecutorKind::kFiber;
     job.pes_per_thread = static_cast<int>(rng() % 256);
     job.barrier_radix = static_cast<int>(rng() % 64);
+    job.opt_level = static_cast<int>(rng() % 3);
     for (std::size_t i = 0, n = rng() % 4; i < n; ++i) {
       job.stdin_lines.push_back(random_text(rng, 16));
     }
@@ -544,6 +572,7 @@ TEST(Wire, SubmitRoundTripsRandomJobs) {
     EXPECT_EQ(req->job.executor, job.executor);
     EXPECT_EQ(req->job.pes_per_thread, job.pes_per_thread);
     EXPECT_EQ(req->job.barrier_radix, job.barrier_radix);
+    EXPECT_EQ(req->job.opt_level, job.opt_level);
     EXPECT_EQ(req->job.stdin_lines, job.stdin_lines);
   }
 }
@@ -585,6 +614,7 @@ TEST(Wire, ResultEventsRoundTripThroughTheJsonParser) {
     r.status = statuses[rng() % std::size(statuses)];
     r.error = random_text(rng, 20);
     r.compile_cache_hit = rng() % 2 == 0;
+    if (rng() % 2 == 0) r.tuned = "barrier_radix=4 executor=fiber";
     r.queue_ms = static_cast<double>(rng() % 100000) / 1000.0;
     r.run_ms = static_cast<double>(rng() % 100000) / 1000.0;
     for (std::size_t i = 0, n = rng() % 3; i < n; ++i) {
@@ -604,6 +634,14 @@ TEST(Wire, ResultEventsRoundTripThroughTheJsonParser) {
     EXPECT_EQ(doc->find("cached")->b, r.compile_cache_hit);
     EXPECT_NEAR(doc->find("queue_ms")->num, r.queue_ms, 0.0005);
     EXPECT_NEAR(doc->find("run_ms")->num, r.run_ms, 0.0005);
+    // "tuned" is only on the wire when knobs were actually applied.
+    const wire::Json* tuned = doc->find("tuned");
+    if (r.tuned.empty()) {
+      EXPECT_EQ(tuned, nullptr);
+    } else {
+      ASSERT_NE(tuned, nullptr);
+      EXPECT_EQ(tuned->str, r.tuned);
+    }
     const wire::Json* out = doc->find("output");
     ASSERT_EQ(out->arr.size(), r.pe_output.size());
     for (std::size_t i = 0; i < r.pe_output.size(); ++i) {

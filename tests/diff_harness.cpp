@@ -58,9 +58,20 @@ BackendRun run_one(const Spec& spec, Backend backend,
   out.label =
       std::string(backend_label(backend)) + "/" + shmem::to_string(executor);
 
+  // Resolve the optimization level: explicit spec value, else the
+  // LOL_OPT_LEVEL environment override (the CI opt-matrix leg), else
+  // the default -O2.
+  CompileOptions copts;
+  if (spec.opt_level >= 0) {
+    copts.opt_level = spec.opt_level;
+  } else if (const char* env = std::getenv("LOL_OPT_LEVEL");
+             env != nullptr && env[0] != '\0') {
+    copts.opt_level = std::atoi(env);
+  }
+
   CompiledProgram prog;
   try {
-    prog = compile(spec.source);
+    prog = compile(spec.source, copts);
   } catch (const support::LolError& e) {
     out.outcome = Outcome::kCompileError;
     out.error = e.what();

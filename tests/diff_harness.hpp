@@ -69,6 +69,14 @@ struct Spec {
   /// Symmetric heap per PE; high-PE specs shrink it so a 512-PE case
   /// does not allocate half a gigabyte of arenas.
   std::size_t heap_bytes = 1 << 20;
+  /// Optimizing middle-end level: -1 (the default) resolves to the
+  /// LOL_OPT_LEVEL environment variable, else 2 — CI uses the variable
+  /// to run the whole suite at -O0 and -O2 and prove the optimizer is
+  /// output-invariant across the full backend x executor matrix. A spec
+  /// naming an explicit level is testing that level and ignores the
+  /// override. Specs with step budgets near the edge must pin a level:
+  /// folding and unrolling legitimately change step counts.
+  int opt_level = -1;
 };
 
 /// What one (backend, executor) cell did with a Spec.

@@ -148,6 +148,58 @@ TEST(Differential, BarrierRadixIsOutputInvariant) {
   }
 }
 
+// The optimizer is a pure performance transform: -O0, -O1 and -O2 must
+// print byte-identical per-PE output on every backend x executor cell.
+// Workloads chosen to actually exercise the passes — heat_1d unrolls
+// both stencil loops and folds the indices, the n-body listing hoists
+// loop invariants, barrier-sum is the straight-line control. (CI also
+// runs the entire suite under LOL_OPT_LEVEL=0 in one matrix leg.)
+TEST(Differential, OptimizedMatchesUnoptimizedAcrossTheMatrix) {
+  std::vector<Spec> workloads;
+  workloads.push_back(
+      lol::difftest::load_lol_dir(LOL_EXAMPLES_DIR, 4).empty()
+          ? make("fallback", "VISIBLE SUM OF 1 AN 2\n")
+          : [] {
+              auto all = lol::difftest::load_lol_dir(LOL_EXAMPLES_DIR, 4);
+              for (auto& s : all) {
+                if (s.name == "heat_1d.lol") return s;
+              }
+              return all.front();
+            }());
+  Spec nbody;
+  nbody.name = "paper-nbody";
+  nbody.source = lol::paper::nbody_program(6, 2, true);
+  nbody.n_pes = 2;
+  workloads.push_back(nbody);
+  Spec bsum;
+  bsum.name = "paper-barrier-sum";
+  bsum.source = lol::paper::barrier_sum_listing();
+  bsum.n_pes = 4;
+  workloads.push_back(bsum);
+
+  for (Spec& spec : workloads) {
+    SCOPED_TRACE(spec.name);
+    spec.opt_level = 0;
+    auto ref = lol::difftest::run_one(spec, lol::Backend::kVm);
+    ASSERT_EQ(ref.outcome, Outcome::kOk) << ref.error;
+    for (int level : {1, 2}) {
+      Spec opt = spec;
+      opt.opt_level = level;
+      for (lol::Backend b : lol::difftest::backends_under_test()) {
+        for (auto e : lol::difftest::executors_under_test()) {
+          SCOPED_TRACE(std::string("-O") + std::to_string(level) + " on " +
+                       lol::difftest::backend_label(b) + "/" +
+                       lol::shmem::to_string(e));
+          auto run = lol::difftest::run_one(opt, b, e);
+          ASSERT_EQ(run.outcome, Outcome::kOk) << run.error;
+          EXPECT_EQ(run.pe_output, ref.pe_output);
+          EXPECT_EQ(run.pe_errout, ref.pe_errout);
+        }
+      }
+    }
+  }
+}
+
 TEST(Differential, ExamplePrograms) {
   std::vector<Spec> specs = lol::difftest::load_lol_dir(LOL_EXAMPLES_DIR, 4);
   ASSERT_FALSE(specs.empty())

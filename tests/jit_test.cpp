@@ -104,7 +104,13 @@ TEST(Jit, ConcurrentColdNativeCompilesInvokeCcExactlyOnce) {
   constexpr int kThreads = 8;
   std::vector<lol::CompiledProgram> programs;
   programs.reserve(kThreads);
-  for (int i = 0; i < kThreads; ++i) programs.push_back(lol::compile(source));
+  // -O0: the salt declaration is dead code the optimizer would remove,
+  // and cold-compile tests depend on per-test-unique compiled shapes.
+  lol::CompileOptions copts;
+  copts.opt_level = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    programs.push_back(lol::compile(source, copts));
+  }
 
   lol::obs::Counter& invocations = lol::obs::Registry::global().counter(
       "lol_native_cc_invocations_total",
@@ -138,7 +144,13 @@ TEST(Jit, ConcurrentColdJitCompilesEmitExactlyOnce) {
   constexpr int kThreads = 8;
   std::vector<lol::CompiledProgram> programs;
   programs.reserve(kThreads);
-  for (int i = 0; i < kThreads; ++i) programs.push_back(lol::compile(source));
+  // -O0: the salt declaration is dead code the optimizer would remove,
+  // and cold-compile tests depend on per-test-unique compiled shapes.
+  lol::CompileOptions copts;
+  copts.opt_level = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    programs.push_back(lol::compile(source, copts));
+  }
 
   lol::obs::Counter& compiles = lol::obs::Registry::global().counter(
       "lol_jit_compiles_total", "Bytecode-to-x86-64 JIT compilations");
@@ -208,7 +220,9 @@ TEST(Jit, CcExitFailureIsReportedWithExitStatus) {
   const char* old_cc = std::getenv("CC");
   std::string saved = old_cc != nullptr ? old_cc : "";
   ::setenv("CC", "/bin/false", 1);
-  auto prog = lol::compile(salted_source("cc-exit-failure"));
+  lol::CompileOptions copts;
+  copts.opt_level = 0;  // keep the salt: this build must be cold
+  auto prog = lol::compile(salted_source("cc-exit-failure"), copts);
   RunResult r = run_backend(prog, Backend::kNative);
   if (old_cc != nullptr) {
     ::setenv("CC", saved.c_str(), 1);
@@ -247,6 +261,51 @@ TEST(Jit, CompileCacheRechargesJitCodeBytes) {
   cache.recharge(source);
   EXPECT_EQ(cache.resident_bytes(),
             charged + compiled.program->jit_code_bytes());
+}
+
+// The typed kBinary fast path inlines integer/double arithmetic when the
+// emitter proves both operands' types from SRSLY declarations. Parity
+// must hold not just on output but on step *accounting*: the prep
+// charges exactly the one step the generic helper would, so at every
+// budget the two backends agree on whether the run step-limits.
+TEST(Jit, TypedArithmeticFastPathMatchesVmStepsExactly) {
+  if (!lol::codegen::jit_available()) GTEST_SKIP() << "jit unavailable";
+  const std::string src =
+      "HAI 1.2\n"
+      "I HAS A salt ITZ \"binfast\"\n"
+      "I HAS A s ITZ SRSLY A NUMBR AN ITZ 1\n"
+      "I HAS A f ITZ SRSLY A NUMBAR AN ITZ 1.5\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 20\n"
+      "  s R SUM OF s AN 3\n"
+      "  s R PRODUKT OF s AN 2\n"
+      "  s R SMALLR OF s AN 100000\n"
+      "  s R BIGGR OF s AN 7\n"
+      "  s R DIFF OF s AN 1\n"
+      "  f R SUM OF f AN 0.25\n"
+      "  f R PRODUKT OF f AN 1.01\n"
+      "  f R DIFF OF f AN 0.125\n"
+      "IM OUTTA YR lp\n"
+      "VISIBLE SMOOSH s AN \" \" AN f MKAY\n"
+      "KTHXBYE\n";
+  // Level 0 keeps the loop (and its typed kBinary ops) in the bytecode
+  // instead of letting the optimizer fold the whole thing.
+  lol::CompileOptions copts;
+  copts.opt_level = 0;
+  auto prog = lol::compile(src, copts);
+
+  for (std::uint64_t budget : {40u, 120u, 400u, 0u}) {
+    RunConfig cfg;
+    cfg.n_pes = 2;
+    cfg.max_steps = budget;
+    cfg.backend = Backend::kVm;
+    RunResult vm = lol::run(prog, cfg);
+    cfg.backend = Backend::kJit;
+    RunResult jit = lol::run(prog, cfg);
+    EXPECT_EQ(jit.ok, vm.ok) << "budget " << budget;
+    EXPECT_EQ(jit.step_limited, vm.step_limited) << "budget " << budget;
+    EXPECT_EQ(jit.pe_output, vm.pe_output) << "budget " << budget;
+    EXPECT_EQ(jit.pe_errout, vm.pe_errout) << "budget " << budget;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,420 @@
+// Unit tests for the optimizing middle-end (src/opt): golden
+// before/after AST dumps per pass, level gating, and the cache-key hash
+// mixing. Each case parses + analyzes a small program, runs the
+// pipeline, and asserts on the structural dump — the same s-expression
+// shape the parser golden tests use — plus the Stats counters, so a
+// pass silently not firing fails loudly rather than vacuously passing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "ast/printer.hpp"
+#include "opt/opt.hpp"
+#include "parse/parser.hpp"
+#include "sema/analyzer.hpp"
+
+namespace {
+
+using lol::opt::Options;
+using lol::opt::Stats;
+
+/// Wraps `body` in HAI/KTHXBYE, analyzes, optimizes at `level`, and
+/// returns the structural dump of the whole program. Stats land in
+/// *stats when given.
+std::string opt_dump(std::string_view body, int level = 2,
+                     Stats* stats = nullptr) {
+  std::string src = "HAI 1.2\n" + std::string(body) + "\nKTHXBYE\n";
+  lol::ast::Program p = lol::parse::parse_program(src);
+  (void)lol::sema::analyze(p);
+  Options opts;
+  opts.level = level;
+  lol::opt::optimize(p, opts, stats);
+  return lol::ast::dump(p);
+}
+
+bool contains(const std::string& hay, std::string_view needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+// -- fold ---------------------------------------------------------------------
+
+TEST(OptFold, FoldsNestedConstantArithmetic) {
+  Stats st;
+  std::string d = opt_dump("VISIBLE SUM OF 3 AN SUM OF 2 AN 2", 2, &st);
+  EXPECT_EQ(d, "(program\n  (visible (numbr 7)))");
+  EXPECT_GT(st.folded, 0u);
+}
+
+TEST(OptFold, FoldsCastChains) {
+  // MAEK over a literal folds through the runtime's own cast ops, so
+  // the folded YARN is bit-identical to what run time would print.
+  std::string d = opt_dump("VISIBLE MAEK 2 A YARN");
+  EXPECT_EQ(d, "(program\n  (visible (yarn \"2\")))");
+}
+
+TEST(OptFold, NeverFoldsThrowingExpressions) {
+  // Division by zero throws at run time; folding it would turn a
+  // runtime error into a compile-time one (or worse, a wrong value).
+  std::string d = opt_dump("VISIBLE QUOSHUNT OF 1 AN 0");
+  EXPECT_TRUE(contains(d, "(quoshunt (numbr 1) (numbr 0))")) << d;
+}
+
+// -- prop + dce ---------------------------------------------------------------
+
+TEST(OptProp, PropagatesAndRemovesDeadScalar) {
+  Stats st;
+  std::string d = opt_dump("I HAS A x ITZ 5\nVISIBLE SUM OF x AN 1", 2, &st);
+  EXPECT_EQ(d, "(program\n  (visible (numbr 6)))");
+  EXPECT_GT(st.propagated, 0u);
+  EXPECT_GT(st.dead, 0u);
+}
+
+TEST(OptProp, InterpolationKeepsDeclarationAlive) {
+  // `:{x}` reads the environment by name at print time, so the
+  // declaration must survive even though every expression read of x
+  // was propagated away.
+  std::string d = opt_dump("I HAS A x ITZ 5\nVISIBLE \":{x}\"");
+  EXPECT_TRUE(contains(d, "(decl i x")) << d;
+}
+
+// -- unroll -------------------------------------------------------------------
+
+TEST(OptUnroll, UnrollsSmallCountingLoop) {
+  Stats st;
+  std::string d = opt_dump(
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 3\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR lp",
+      2, &st);
+  EXPECT_EQ(d,
+            "(program\n"
+            "  (visible (numbr 0))\n"
+            "  (visible (numbr 1))\n"
+            "  (visible (numbr 2)))");
+  EXPECT_EQ(st.unrolled, 1u);
+}
+
+TEST(OptUnroll, LeavesLargeTripCountAlone) {
+  // Trip count above unroll_max_trip (default 16) stays a loop.
+  Stats st;
+  std::string d = opt_dump(
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 100\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR lp",
+      2, &st);
+  EXPECT_TRUE(contains(d, "(loop lp uppin:i")) << d;
+  EXPECT_EQ(st.unrolled, 0u);
+}
+
+TEST(OptUnroll, RenamesBodyDeclarationsPerCopy) {
+  // Sibling unrolled copies share one VM scope, so a declaration in the
+  // body must get a fresh name per copy. WHATEVR keeps prop from
+  // erasing the declarations (rng is never propagated).
+  std::string d = opt_dump(
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 2\n"
+      "  I HAS A t ITZ WHATEVR\n"
+      "  VISIBLE t\n"
+      "IM OUTTA YR lp");
+  EXPECT_FALSE(contains(d, "(loop")) << d;
+  EXPECT_TRUE(contains(d, "t_u0")) << d;
+  EXPECT_TRUE(contains(d, "t_u1")) << d;
+}
+
+// -- select -------------------------------------------------------------------
+
+TEST(OptSelect, SelectsTakenBranchOfLiteralORly) {
+  Stats st;
+  std::string d = opt_dump(
+      "WIN\n"
+      "O RLY?\n"
+      "  YA RLY\n"
+      "    VISIBLE \"yes\"\n"
+      "  NO WAI\n"
+      "    VISIBLE \"no\"\n"
+      "OIC",
+      2, &st);
+  // The condition expression statement survives (it sets IT); only the
+  // dead branch is dropped.
+  EXPECT_EQ(d,
+            "(program\n"
+            "  (expr (troof WIN))\n"
+            "  (visible (yarn \"yes\")))");
+  EXPECT_EQ(st.selected, 1u);
+  EXPECT_FALSE(contains(d, "no")) << d;
+}
+
+TEST(OptSelect, NonLiteralConditionKeepsBranch) {
+  std::string d = opt_dump(
+      "I HAS A x ITZ WHATEVR\n"
+      "BOTH SAEM x AN 1\n"
+      "O RLY?\n"
+      "  YA RLY\n"
+      "    VISIBLE \"yes\"\n"
+      "OIC");
+  EXPECT_TRUE(contains(d, "(orly")) << d;
+}
+
+// -- licm ---------------------------------------------------------------------
+
+TEST(OptLicm, HoistsInvariantProduct) {
+  // a and b are mutated before the loop, so prop cannot erase them —
+  // but SRSLY typing proves them NUMBR, making PRODUKT total and
+  // hoistable.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A a ITZ SRSLY A NUMBR AN ITZ 5\n"
+      "I HAS A b ITZ SRSLY A NUMBR AN ITZ 7\n"
+      "a R SUM OF a AN 2\n"
+      "b R SUM OF b AN 1\n"
+      "I HAS A s ITZ A NUMBR AN ITZ 0\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 20\n"
+      "  s R SUM OF s AN PRODUKT OF a AN b\n"
+      "IM OUTTA YR lp\n"
+      "VISIBLE s",
+      2, &st);
+  EXPECT_TRUE(contains(d, "(decl i licm_t0 init=(produkt (var a) (var b)))"))
+      << d;
+  EXPECT_TRUE(contains(d, "(sum (var s) (var licm_t0))")) << d;
+  EXPECT_GT(st.hoisted, 0u);
+}
+
+TEST(OptLicm, NeverHoistsCounterDependentExpressions) {
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A a ITZ SRSLY A NUMBR AN ITZ 5\n"
+      "a R SUM OF a AN 2\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 20\n"
+      "  VISIBLE SUM OF i AN a\n"
+      "IM OUTTA YR lp",
+      2, &st);
+  EXPECT_FALSE(contains(d, "licm_t")) << d;
+  EXPECT_EQ(st.hoisted, 0u);
+}
+
+// -- strength -----------------------------------------------------------------
+
+TEST(OptStrength, ReducesCounterTimesConstant) {
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A s ITZ A NUMBR AN ITZ 0\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 100\n"
+      "  s R SUM OF s AN PRODUKT OF i AN 3\n"
+      "IM OUTTA YR lp\n"
+      "VISIBLE s",
+      2, &st);
+  EXPECT_TRUE(contains(d, "(decl i sr_acc0 init=(numbr 0))")) << d;
+  EXPECT_TRUE(contains(d, "(assign (var sr_acc0) (sum (var sr_acc0) "
+                          "(numbr 3)))"))
+      << d;
+  EXPECT_GT(st.reduced, 0u);
+}
+
+// -- SRS gating ---------------------------------------------------------------
+
+TEST(OptSrs, DynamicNamesDisableNameSensitivePasses) {
+  // SRS can read or write any variable by computed name, so prop/dce/
+  // licm must all stand down; only the never-mutated literal fold of
+  // pure arithmetic could still fire, and x's declaration must stay.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A x ITZ 5\n"
+      "I HAS A n ITZ \"x\"\n"
+      "SRS n R 9\n"
+      "VISIBLE x",
+      2, &st);
+  EXPECT_TRUE(contains(d, "(decl i x")) << d;
+  EXPECT_EQ(st.propagated, 0u);
+  EXPECT_EQ(st.dead, 0u);
+}
+
+// -- squaring rewrite ---------------------------------------------------------
+
+TEST(OptFold, RewritesSelfProductOfTypedScalarToSquar) {
+  // PRODUKT OF x AN x reads x twice; SQUAR OF x squares through the same
+  // rt::to_num coercion, so on a provably numeric scalar the value is
+  // bit-identical and one of the two name lookups disappears.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A x ITZ SRSLY A NUMBAR AN ITZ 1.5\n"
+      "x R WHATEVAR\n"
+      "VISIBLE PRODUKT OF x AN x",
+      2, &st);
+  EXPECT_TRUE(contains(d, "(visible (squar (var x)))")) << d;
+}
+
+TEST(OptFold, KeepsSelfProductOfUntypedScalar) {
+  // An untyped x could hold a YARN at run time, and the PRODUKT and
+  // SQUAR type errors carry different messages — no rewrite.
+  std::string d = opt_dump(
+      "I HAS A y\n"
+      "y R WHATEVR\n"
+      "VISIBLE PRODUKT OF y AN y");
+  EXPECT_TRUE(contains(d, "(produkt (var y) (var y))")) << d;
+}
+
+// -- dead IT writes -----------------------------------------------------------
+
+TEST(OptDce, RemovesLiteralItWriteOverwrittenBeforeRead) {
+  // Branch selection leaves the literal condition as an ExprStmt so IT
+  // still holds its value; when a later selection residue overwrites IT
+  // before anything reads it, the earlier write is dead.
+  Stats st;
+  std::string d = opt_dump(
+      "WIN, O RLY?\n  YA RLY, VISIBLE \"a\"\nOIC\n"
+      "FAIL, O RLY?\n  YA RLY, VISIBLE \"b\"\n  NO WAI, VISIBLE \"c\"\nOIC\n"
+      "VISIBLE IT",
+      2, &st);
+  EXPECT_FALSE(contains(d, "(expr (troof WIN))")) << d;
+  EXPECT_TRUE(contains(d, "(expr (troof FAIL))")) << d;  // read by VISIBLE IT
+  EXPECT_EQ(st.dead, 1u);
+}
+
+// -- region merging -----------------------------------------------------------
+
+TEST(OptRegions, MergesBackToBackRegionsWithSameTarget) {
+  // Two predications of the same literal target, separated only by a
+  // private-scalar assignment, become one region: one target eval and
+  // one entry instead of two. The rng keeps prop from erasing t.
+  Stats st;
+  std::string d = opt_dump(
+      "WE HAS A s ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "I HAS A t ITZ 0\n"
+      "TXT MAH BFF 0 AN STUFF,\n  UR s R 1\nTTYL\n"
+      "t R WHATEVR\n"
+      "TXT MAH BFF 0 AN STUFF,\n  UR s R t\nTTYL",
+      2, &st);
+  EXPECT_EQ(st.merged, 1u);
+  EXPECT_TRUE(contains(
+      d,
+      "(txt block (numbr 0) (assign (var ur s) (numbr 1)) "
+      "(assign (var t) (whatevr)) (assign (var ur s) (var t))))"))
+      << d;
+}
+
+TEST(OptRegions, KeepsRegionsWithDifferentTargets) {
+  Stats st;
+  std::string d = opt_dump(
+      "WE HAS A s ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "TXT MAH BFF 0 AN STUFF,\n  UR s R 1\nTTYL\n"
+      "TXT MAH BFF 1 AN STUFF,\n  UR s R 2\nTTYL",
+      2, &st);
+  EXPECT_EQ(st.merged, 0u);
+  EXPECT_TRUE(contains(d, "(txt block (numbr 0)")) << d;
+  EXPECT_TRUE(contains(d, "(txt block (numbr 1)")) << d;
+}
+
+// -- forward substitution -----------------------------------------------------
+
+TEST(OptFuse, FusesDefsIntoSelfUpdatesAcrossEachOther) {
+  // The nbody interaction shape: two defs from typed-array reads, then
+  // the self-squarings. b's def crosses a's (local-pure) square to reach
+  // its use; that leaves a's def adjacent to its own. Both fuse, so each
+  // pair costs one statement, one store and one lookup instead of two.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A a ITZ SRSLY A NUMBAR AN ITZ 0.0\n"
+      "I HAS A b ITZ SRSLY A NUMBAR AN ITZ 0.0\n"
+      "I HAS A p ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4\n"
+      "a R DIFF OF p'Z 0 AN p'Z 1\n"
+      "b R DIFF OF p'Z 2 AN p'Z 3\n"
+      "a R PRODUKT OF a AN a\n"
+      "b R PRODUKT OF b AN b\n"
+      "VISIBLE SUM OF a AN b",
+      2, &st);
+  EXPECT_EQ(st.fused, 2u);
+  EXPECT_TRUE(contains(d,
+                       "(assign (var a) (squar (diff (index (var p) "
+                       "(numbr 0)) (index (var p) (numbr 1)))))"))
+      << d;
+  EXPECT_TRUE(contains(d,
+                       "(assign (var b) (squar (diff (index (var p) "
+                       "(numbr 2)) (index (var p) (numbr 3)))))"))
+      << d;
+}
+
+TEST(OptFuse, InterveningReadBlocksFusion) {
+  // c reads a between a's def and a's self-update: fusing would hand c
+  // the stale value.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A a ITZ SRSLY A NUMBR AN ITZ 0\n"
+      "I HAS A c ITZ SRSLY A NUMBR AN ITZ 0\n"
+      "a R SUM OF 2 AN 2\n"
+      "c R SUM OF a AN 1\n"
+      "a R SUM OF a AN 1\n"
+      "VISIBLE SMOOSH a AN c MKAY",
+      2, &st);
+  EXPECT_EQ(st.fused, 0u);
+  EXPECT_TRUE(contains(d, "(assign (var a) (numbr 4))")) << d;
+}
+
+TEST(OptFuse, OutOfBoundsIndexBlocksFusion) {
+  // p'Z 9 throws at the def's location; moving the read to the use site
+  // would move the reported error. The def must stay put.
+  Stats st;
+  std::string d = opt_dump(
+      "I HAS A a ITZ SRSLY A NUMBAR AN ITZ 0.0\n"
+      "I HAS A p ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4\n"
+      "a R DIFF OF p'Z 0 AN p'Z 9\n"
+      "a R PRODUKT OF a AN a\n"
+      "VISIBLE a",
+      2, &st);
+  EXPECT_EQ(st.fused, 0u);
+}
+
+TEST(OptFuse, SymmetricTargetBlocksFusion) {
+  // A symmetric scalar's store is observable by other PEs; dropping it
+  // is never sound.
+  Stats st;
+  std::string d = opt_dump(
+      "WE HAS A g ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+      "g R 4\n"
+      "g R SUM OF g AN 1\n"
+      "VISIBLE g",
+      2, &st);
+  EXPECT_EQ(st.fused, 0u);
+}
+
+// -- level gating -------------------------------------------------------------
+
+TEST(OptLevels, LevelZeroIsANoOp) {
+  Stats st;
+  std::string d = opt_dump("VISIBLE SUM OF 3 AN 4", 0, &st);
+  EXPECT_TRUE(contains(d, "(sum (numbr 3) (numbr 4))")) << d;
+  EXPECT_EQ(st.total(), 0u);
+}
+
+TEST(OptLevels, LevelOneFoldsButDoesNotUnroll) {
+  Stats st;
+  std::string d = opt_dump(
+      "VISIBLE SUM OF 3 AN 4\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 3\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR lp",
+      1, &st);
+  EXPECT_TRUE(contains(d, "(visible (numbr 7))")) << d;
+  EXPECT_TRUE(contains(d, "(loop lp uppin:i")) << d;
+  EXPECT_GT(st.folded, 0u);
+  EXPECT_EQ(st.unrolled, 0u);
+}
+
+// -- hash mixing --------------------------------------------------------------
+
+TEST(OptHash, LevelZeroLeavesHashUntouched) {
+  EXPECT_EQ(lol::opt::mix_hash(0x1234u, 0, 16), 0x1234u);
+}
+
+TEST(OptHash, DistinguishesLevelsAndTripLimits) {
+  std::uint64_t h = 0xdeadbeefu;
+  std::uint64_t h1 = lol::opt::mix_hash(h, 1, 16);
+  std::uint64_t h2 = lol::opt::mix_hash(h, 2, 16);
+  std::uint64_t h2b = lol::opt::mix_hash(h, 2, 8);
+  EXPECT_NE(h1, h);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h2, h2b);
+  // Deterministic: same inputs, same key.
+  EXPECT_EQ(h2, lol::opt::mix_hash(h, 2, 16));
+}
+
+}  // namespace

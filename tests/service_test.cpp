@@ -5,10 +5,13 @@
 // cancellation of queued and in-flight jobs, and two-tenant DRR fairness.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <future>
 #include <mutex>
 #include <random>
@@ -19,8 +22,12 @@
 #include "codegen/native_backend.hpp"
 #include "core/engine.hpp"
 #include "core/paper_programs.hpp"
+#include "obs/metrics.hpp"
+#include "opt/tuner.hpp"
+#include "replay/trace.hpp"
 #include "service/compile_cache.hpp"
 #include "service/service.hpp"
+#include "shmem/executor.hpp"
 
 namespace {
 
@@ -182,6 +189,36 @@ TEST(CompileCache, ZeroByteBudgetDisablesByteEviction) {
   }
   EXPECT_EQ(cache.size(), 8u);
   EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CompileCache, OptLevelsGetDistinctEntries) {
+  // Optimization levels produce different compiled shapes (and
+  // different step counts), so the same source at -O0 and -O2 must be
+  // two cache entries, never an aliased hit.
+  CompileCache cache(8);
+  lol::CompileOptions o0;
+  o0.opt_level = 0;
+  lol::CompileOptions o2;  // default: -O2
+
+  EXPECT_NE(lol::service::cache_key(kSum, o0),
+            lol::service::cache_key(kSum, o2));
+
+  bool hit = true;
+  auto a = cache.get_or_compile(kSum, o0, &hit);
+  EXPECT_FALSE(hit);
+  auto b = cache.get_or_compile(kSum, o2, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a.program.get(), b.program.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Re-requesting each level hits its own entry.
+  auto a2 = cache.get_or_compile(kSum, o0, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a2.program.get(), a.program.get());
+  auto b2 = cache.get_or_compile(kSum, o2, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(b2.program.get(), b.program.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +422,89 @@ TEST(Service, PerJobMaxStepsOverridesTheDefault) {
   j.max_steps = 5'000;  // ...but this job brings its own budget
   JobResult r = svc.submit(std::move(j)).get();
   EXPECT_EQ(r.status, JobStatus::kStepLimit);
+}
+
+TEST(Service, OptLevelChangesStepAccountingAsDocumented) {
+  // The optimizer preserves output but not step counts: a fully
+  // unrolled loop no longer pays per-iteration condition checks. A
+  // budget sized between the two costs classifies differently by
+  // level — the documented divergence the per-level cache keying
+  // exists to keep honest.
+  const char* kSmallLoop =
+      "HAI 1.2\n"
+      "IM IN YR lp UPPIN YR i TIL BOTH SAEM i AN 4\n"
+      "  VISIBLE i\n"
+      "IM OUTTA YR lp\n"
+      "KTHXBYE\n";
+  ServiceOptions opts;
+  opts.workers = 1;
+  Service svc(opts);
+
+  Job fast = make_job("o2", kSmallLoop, 1);
+  fast.opt_level = 2;
+  fast.max_steps = 20;
+  JobResult r2 = svc.submit(std::move(fast)).get();
+  ASSERT_EQ(r2.status, JobStatus::kOk) << r2.error;
+  ASSERT_EQ(r2.pe_output.size(), 1u);
+  EXPECT_EQ(r2.pe_output[0], "0\n1\n2\n3\n");
+
+  Job slow = make_job("o0", kSmallLoop, 1);
+  slow.opt_level = 0;
+  slow.max_steps = 20;
+  JobResult r0 = svc.submit(std::move(slow)).get();
+  EXPECT_EQ(r0.status, JobStatus::kStepLimit);
+
+  // Two distinct compiles, no cross-level cache aliasing.
+  EXPECT_EQ(svc.stats().cache.misses, 2u);
+}
+
+TEST(Service, TunerAppliesPersistedKnobsOnWarmRuns) {
+  // Seed a tuner store with a fiber-executor choice for kSum, then
+  // submit a job that leaves every knob at default. The service must
+  // actually run it on fibers (pinned by the fiber-switch counter, not
+  // just the report string) and say so in JobResult::tuned.
+  if (!lol::shmem::fiber_executor_available()) {
+    GTEST_SKIP() << "no fiber executor on this host";
+  }
+  std::string path =
+      "/tmp/lol_tuner_test_" + std::to_string(::getpid()) + ".knobs";
+  std::remove(path.c_str());
+  {
+    lol::opt::TunerStore store(path);
+    lol::opt::TunedKnobs k;
+    k.executor = "fiber";
+    k.pes_per_thread = 2;
+    store.store(lol::replay::fnv1a(kSum), 4, k);
+  }
+
+  auto& fiber_switches = lol::obs::Registry::global().counter(
+      "lol_fiber_switches_total",
+      "Fiber context switches performed by the fiber executor");
+  std::uint64_t before = fiber_switches.value();
+
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.tuner_cache_path = path;
+  Service svc(opts);
+
+  Job j = make_job("tuned", kSum, 4);  // defaults: pool executor
+  JobResult r = svc.submit(std::move(j)).get();
+  ASSERT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_NE(r.tuned.find("executor=fiber"), std::string::npos) << r.tuned;
+  EXPECT_NE(r.tuned.find("pes_per_thread=2"), std::string::npos) << r.tuned;
+  EXPECT_GT(fiber_switches.value(), before)
+      << "tuned executor was reported but not actually used";
+
+  // A job that names its own executor keeps it: tuning never overrides
+  // an explicit request.
+  Job explicit_job = make_job("explicit", kSum, 4);
+  explicit_job.executor = lol::shmem::ExecutorKind::kThread;
+  JobResult r2 = svc.submit(std::move(explicit_job)).get();
+  ASSERT_EQ(r2.status, JobStatus::kOk) << r2.error;
+  EXPECT_EQ(r2.tuned.find("executor="), std::string::npos) << r2.tuned;
+  EXPECT_EQ(r.pe_output, r2.pe_output);
+
+  std::remove(path.c_str());
 }
 
 TEST(Service, MaxStepsCapClampsGreedyJobs) {

@@ -35,7 +35,10 @@ int usage(const char* prog) {
                "  -o <file>    output executable (default: a.out) or C file "
                "with --emit-c\n"
                "  --emit-c     write the generated C instead of compiling\n"
-               "  --cc <cc>    host C compiler (default: $CC or cc)\n",
+               "  --cc <cc>    host C compiler (default: $CC or cc)\n"
+               "  --opt-level <L>  middle-end optimization level 0..2\n"
+               "               (default 2; runs before C emission, so the\n"
+               "               host cc compiles the folded/unrolled tree)\n",
                prog);
   return 2;
 }
@@ -62,6 +65,15 @@ int main(int argc, char** argv) {
                            .value_or(emit_c_only ? "out.c" : "a.out");
   std::string cc = cli.option("--cc").value_or(
       std::getenv("CC") != nullptr ? std::getenv("CC") : "cc");
+  lol::CompileOptions copts;
+  if (auto lvl = cli.option("--opt-level")) {
+    if (lvl->size() != 1 || (*lvl)[0] < '0' || (*lvl)[0] > '2') {
+      std::fprintf(stderr, "lcc: bad --opt-level '%s' (want 0, 1 or 2)\n",
+                   lvl->c_str());
+      return 2;
+    }
+    copts.opt_level = (*lvl)[0] - '0';
+  }
   const auto& pos = cli.positional();
   if (pos.size() != 1) return usage(argv[0]);
   const std::string& input = pos[0];
@@ -74,7 +86,7 @@ int main(int argc, char** argv) {
 
   std::string c_code;
   try {
-    lol::CompiledProgram prog = lol::compile(*source);
+    lol::CompiledProgram prog = lol::compile(*source, copts);
     lol::codegen::EmitOptions opts;
     opts.source_name = input;
     c_code = lol::codegen::emit_c(prog.program, prog.analysis, opts);

@@ -14,6 +14,8 @@
 #include "ast/printer.hpp"
 #include "driver/cli.hpp"
 #include "noc/machines.hpp"
+#include "opt/opt.hpp"
+#include "opt/tuner.hpp"
 #include "parse/parser.hpp"
 #include "rt/io.hpp"
 #include "support/error.hpp"
@@ -59,7 +61,13 @@ int usage(const char* prog) {
       "                     and lock waits, GIMMEH blocks) to stderr\n"
       "  --tag              prefix output lines with [peN]\n"
       "  --no-stdin         do not feed piped stdin to GIMMEH\n"
-      "  --dump-ast         print the parsed AST and exit\n"
+      "  --opt-level <L>    optimizer level 0 (off), 1 (folding), or\n"
+      "                     2 (full loop pipeline; default)\n"
+      "  --tune             run short calibration runs, print the chosen\n"
+      "                     runtime knobs, and persist them (--tuner-cache)\n"
+      "  --tuner-cache <f>  tuned-knob store for --tune (default\n"
+      "                     .lol_tuner_cache)\n"
+      "  --dump-ast         print the (optimized) AST and exit\n"
       "  --dump-bytecode    print compiled bytecode and exit\n",
       prog);
   return 2;
@@ -166,6 +174,18 @@ int main(int argc, char** argv) {
   bool no_stdin = cli.has_flag("--no-stdin");
   bool dump_ast = cli.has_flag("--dump-ast");
   bool dump_bc = cli.has_flag("--dump-bytecode");
+  lol::CompileOptions copts;
+  if (auto lvl = cli.option("--opt-level")) {
+    if (lvl->size() != 1 || (*lvl)[0] < '0' || (*lvl)[0] > '2') {
+      std::fprintf(stderr, "lolrun: bad --opt-level '%s' (want 0, 1 or 2)\n",
+                   lvl->c_str());
+      return 2;
+    }
+    copts.opt_level = (*lvl)[0] - '0';
+  }
+  bool tune = cli.has_flag("--tune");
+  std::string tuner_cache =
+      cli.option("--tuner-cache").value_or(".lol_tuner_cache");
 
   // GIMMEH reads the real stdin whenever input is piped/redirected, the
   // same behavior lcc-compiled executables always had (an interactive
@@ -187,10 +207,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  cfg.program_hash = lol::replay::fnv1a(*source);
+  // Replay traces must distinguish the optimized shape that actually ran
+  // (unrolling changes step-count footers); -O0 keeps the historical
+  // plain source hash.
+  cfg.program_hash = lol::opt::mix_hash(lol::replay::fnv1a(*source),
+                                        copts.opt_level,
+                                        copts.unroll_max_trip);
 
   try {
-    lol::CompiledProgram prog = lol::compile(*source);
+    lol::CompiledProgram prog = lol::compile(*source, copts);
+    if (tune) {
+      lol::opt::TunerStore store(tuner_cache);
+      lol::opt::TunedKnobs knobs =
+          lol::opt::calibrate(prog, *source, cfg.n_pes, &store);
+      std::printf(
+          "tuned: barrier_radix=%d executor=%s pes_per_thread=%d\n",
+          knobs.barrier_radix,
+          knobs.executor.empty() ? "-" : knobs.executor.c_str(),
+          knobs.pes_per_thread);
+      return 0;
+    }
     if (dump_ast) {
       std::cout << lol::ast::dump(prog.program) << "\n";
       return 0;

@@ -69,6 +69,12 @@ int usage(const char* prog) {
       "                     client jobs (default auto; results are radix-\n"
       "                     invariant; daemon jobs set \"barrier_radix\"\n"
       "                     per submission on the wire)\n"
+      "  --opt-level <L>    optimizing middle-end level 0..2 for batch/\n"
+      "                     client jobs (default 2; daemon jobs set\n"
+      "                     \"opt_level\" per submission on the wire)\n"
+      "  --tuner-cache <file>  durable auto-tuner store; warm jobs get\n"
+      "                     the persisted knob winners applied (see\n"
+      "                     lolrun --tune)\n"
       "  --max-pes <N>      clamp on per-job n_pes (default 64)\n"
       "  --max-queued-per-tenant <N>  per-tenant queued-job quota; over-\n"
       "                     quota submissions get status quota-exceeded\n"
@@ -567,6 +573,17 @@ int main(int argc, char** argv) {
     opts.max_queued_per_tenant = static_cast<std::size_t>(
         std::strtoull(quota->c_str(), nullptr, 10));
   }
+  opts.tuner_cache_path = cli.option("--tuner-cache").value_or("");
+  int opt_level = 2;
+  if (auto lvl = cli.option("--opt-level")) {
+    if (lvl->size() != 1 || (*lvl)[0] < '0' || (*lvl)[0] > '2') {
+      std::fprintf(stderr,
+                   "lolserve: bad --opt-level '%s' (want 0, 1 or 2)\n",
+                   lvl->c_str());
+      return 2;
+    }
+    opt_level = (*lvl)[0] - '0';
+  }
   if (opts.workers < 1) return usage(argv[0]);
 
   if (cli.has_flag("--daemon")) {
@@ -707,6 +724,7 @@ int main(int argc, char** argv) {
     job.perturb_seed = perturb_seed;
     job.replay_trace = replay_trace_text;
     job.fault_spec = fault_spec;
+    job.opt_level = opt_level;
     jobs.push_back(std::move(job));
   }
 
@@ -734,12 +752,13 @@ int main(int argc, char** argv) {
                     trace.empty() ? "" : " > ", sp.name.c_str(), sp.dur_ms);
       trace += buf;
     }
+    std::string tuned = r.tuned.empty() ? "" : " [tuned " + r.tuned + "]";
     std::lock_guard<std::mutex> g(print_m);
-    std::printf("[%s] %s%s (queue %.2f ms, run %.2f ms) [trace: %s]%s%s\n",
+    std::printf("[%s] %s%s%s (queue %.2f ms, run %.2f ms) [trace: %s]%s%s\n",
                 lol::service::to_string(r.status), r.name.c_str(),
-                r.compile_cache_hit ? " [cached]" : "", r.queue_ms,
-                r.run_ms, trace.c_str(), r.error.empty() ? "" : " — ",
-                r.error.c_str());
+                r.compile_cache_hit ? " [cached]" : "", tuned.c_str(),
+                r.queue_ms, r.run_ms, trace.c_str(),
+                r.error.empty() ? "" : " — ", r.error.c_str());
     std::fflush(stdout);
   };
 
