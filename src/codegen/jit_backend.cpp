@@ -1,6 +1,8 @@
 #include "codegen/jit_backend.hpp"
 
 #include <chrono>
+#include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 
 #include "codegen/jit_emitter.hpp"
@@ -31,13 +33,22 @@ SingleFlight<JitBuild>& jit_cache() {
 struct JitMetrics {
   obs::Counter& compiles;
   obs::Histogram& compile_ms;
+  obs::Counter& spec_ops;
+  obs::Counter& deopts;
   JitMetrics()
       : compiles(obs::Registry::global().counter(
             "lol_jit_compiles_total",
             "Bytecode-to-x86-64 JIT compilations (cache misses)")),
         compile_ms(obs::Registry::global().histogram(
             "lol_jit_compile_ms", "JIT compile latency (emit + map), ms",
-            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 25.0, 100.0})) {}
+            {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 25.0, 100.0})),
+        spec_ops(obs::Registry::global().counter(
+            "lol_jit_specialized_ops_total",
+            "Bytecode ops retired by the type-specialized JIT tier")),
+        deopts(obs::Registry::global().counter(
+            "lol_jit_deopts_total",
+            "Specialized-region guard failures (fell back to the generic "
+            "call-threaded tier)")) {}
 };
 
 JitMetrics& jit_metrics() {
@@ -60,8 +71,26 @@ bool jit_available() {
 #endif
 }
 
+bool jit_spec_enabled() {
+  static const bool on = [] {
+    const char* env = std::getenv("LOL_JIT_SPEC");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return on;
+}
+
+namespace {
+
+bool jit_dump_enabled() {
+  const char* env = std::getenv("LOL_JIT_DUMP");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+}  // namespace
+
 std::shared_ptr<const JitProgram> JitProgram::get_or_build(
-    std::shared_ptr<const vm::Chunk> chunk, std::string* error) {
+    std::shared_ptr<const vm::Chunk> chunk, std::string* error,
+    std::optional<bool> specialize) {
   if (!jit_available()) {
     if (error != nullptr) {
       *error = "JIT backend unavailable on this host (needs x86-64, mmap "
@@ -69,18 +98,31 @@ std::shared_ptr<const JitProgram> JitProgram::get_or_build(
     }
     return nullptr;
   }
+  JitEmitOptions opts;
+  opts.specialize = specialize.value_or(jit_spec_enabled());
   std::string key = chunk_cache_key(*chunk);
+  key.push_back(opts.specialize ? 1 : 0);
   JitBuild built = jit_cache().get_or_build(
       key,
       [&]() -> JitBuild {
         JitBuild b;
         const auto t0 = std::chrono::steady_clock::now();
+        std::string dump;
+        if (jit_dump_enabled()) opts.dump = &dump;
         std::vector<std::uint8_t> code;
-        if (!emit_chunk_x86_64(*chunk, &code, &b.error)) return b;
+        JitEmitInfo info;
+        if (!emit_chunk_x86_64(*chunk, opts, &code, &b.error, &info)) {
+          return b;
+        }
         auto prog = std::shared_ptr<JitProgram>(new JitProgram());
         prog->chunk_ = chunk;
+        prog->info_ = info;
         if (!prog->mem_.map_and_seal(code.data(), code.size(), &b.error)) {
           return b;
+        }
+        if (opts.dump != nullptr) {
+          std::fprintf(stderr, "%s", dump.c_str());
+          std::fflush(stderr);
         }
         b.prog = std::move(prog);
         jit_metrics().compiles.inc();
@@ -97,13 +139,31 @@ std::shared_ptr<const JitProgram> JitProgram::get_or_build(
   return built.prog;
 }
 
+namespace {
+
+/// The r13 block emitted code addresses: header plus the spill bank,
+/// contiguous so bank displacements are env-relative constants.
+struct SpecFrame {
+  JitSpecEnv env;
+  std::uint64_t bank[kJitSpecMaxBank] = {};
+};
+static_assert(offsetof(SpecFrame, bank) == kJitEnvBankOffset);
+
+}  // namespace
+
 void JitProgram::run_pe(rt::ExecContext& ctx) const {
   vm::Vm vm(*chunk_, ctx);
   vm.reset_for_run();
   detail::jit_pending() = nullptr;
-  auto entry = reinterpret_cast<void (*)(vm::Vm*)>(
-      const_cast<void*>(mem_.base()));
-  entry(&vm);
+  SpecFrame frame;
+  frame.env.ctx = &ctx;
+  frame.env.me = ctx.pe->id();
+  frame.env.n_pes = ctx.pe->n_pes();
+  auto entry =
+      reinterpret_cast<JitEntryFn>(const_cast<void*>(mem_.base()));
+  entry(&vm, &frame.env);
+  if (frame.env.spec_ops != 0) jit_metrics().spec_ops.inc(frame.env.spec_ops);
+  if (frame.env.deopts != 0) jit_metrics().deopts.inc(frame.env.deopts);
   if (detail::jit_pending() != nullptr) {
     std::exception_ptr e = detail::jit_pending();
     detail::jit_pending() = nullptr;

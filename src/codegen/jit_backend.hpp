@@ -17,8 +17,10 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "codegen/jit_emitter.hpp"
 #include "codegen/jit_memory.hpp"
 #include "vm/chunk.hpp"
 
@@ -31,6 +33,11 @@ namespace lol::codegen {
 /// True when Backend::kJit can execute here. Memoized after first call.
 bool jit_available();
 
+/// True when the type-specialized tier is enabled (LOL_JIT_SPEC != 0).
+/// Memoized after first call; part of the code-cache key so flipping it
+/// between runs of one process rebuilds rather than mixing tiers.
+bool jit_spec_enabled();
+
 /// One program's emitted machine code plus the chunk it interprets.
 /// Immutable and shareable across concurrent runs — all mutable state
 /// lives in the per-PE Vm handed to run_pe.
@@ -40,12 +47,15 @@ class JitProgram {
   JitProgram& operator=(const JitProgram&) = delete;
 
   /// Emits (or fetches from the process-wide single-flight cache) the
-  /// machine code for `chunk`. Keyed by the chunk's serialized bytes, so
-  /// N concurrent cold misses on one program emit exactly once. Returns
-  /// null and fills `error` when the JIT is unavailable or emission
-  /// fails.
+  /// machine code for `chunk`. Keyed by the chunk's serialized bytes
+  /// plus the specialization flag, so N concurrent cold misses on one
+  /// program emit exactly once and both tiers can coexist. `specialize`
+  /// overrides jit_spec_enabled() when set (RunConfig::jit_spec).
+  /// Returns null and fills `error` when the JIT is unavailable or
+  /// emission fails.
   static std::shared_ptr<const JitProgram> get_or_build(
-      std::shared_ptr<const vm::Chunk> chunk, std::string* error);
+      std::shared_ptr<const vm::Chunk> chunk, std::string* error,
+      std::optional<bool> specialize = std::nullopt);
 
   /// Runs one PE: resets a Vm over the chunk, enters the emitted code,
   /// and rethrows any exception a helper parked (StepLimitError,
@@ -55,11 +65,15 @@ class JitProgram {
   /// Bytes of sealed executable code (compile-cache accounting).
   [[nodiscard]] std::size_t code_bytes() const { return mem_.size(); }
 
+  /// What the emitter produced (specialized-region coverage).
+  [[nodiscard]] const JitEmitInfo& emit_info() const { return info_; }
+
  private:
   JitProgram() = default;
 
   std::shared_ptr<const vm::Chunk> chunk_;
   ExecMem mem_;
+  JitEmitInfo info_;
 };
 
 /// Per-CompiledProgram memo mirroring NativeSlot/VmSlot: filled under its

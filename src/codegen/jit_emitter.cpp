@@ -1,12 +1,27 @@
 #include "codegen/jit_emitter.hpp"
 
+#include <cstddef>
+#include <cstdio>
 #include <cstring>
+#include <map>
+
+#include "codegen/jit_analysis.hpp"
+#include "rt/exec_context.hpp"
 
 namespace lol::codegen {
 
 namespace {
 
 using vm::Op;
+
+// ExecContext counter offsets baked into the step-batch code. The struct
+// is standard-layout (all public, no virtuals), so offsetof is defined.
+constexpr std::int32_t kCtxStepsLeft =
+    static_cast<std::int32_t>(offsetof(rt::ExecContext, steps_left));
+constexpr std::int32_t kCtxAbortCountdown =
+    static_cast<std::int32_t>(offsetof(rt::ExecContext, abort_countdown));
+constexpr std::int32_t kCtxStepsDone =
+    static_cast<std::int32_t>(offsetof(rt::ExecContext, steps_done));
 
 /// Append-only byte buffer with little-endian immediates and rel32
 /// back-patching.
@@ -27,12 +42,15 @@ struct CodeBuf {
 };
 
 /// A rel32 whose target is only known after layout: the byte offset of a
-/// bytecode block, the epilogue, or a function-call stub.
+/// bytecode block, the epilogue, a function-call stub, a specialized
+/// region's entry, or the generic translation past a region's redirect
+/// jump (kBlockPlus5 — the deopt resume point).
 struct Fixup {
-  enum class Kind { kBlock, kEpilogue, kStub };
+  enum class Kind { kBlock, kEpilogue, kStub, kSpecEntry, kBlockPlus5 };
   std::size_t at;  // offset of the rel32 immediate
   Kind kind;
-  std::size_t target = 0;  // pc (kBlock) or function index (kStub)
+  std::size_t target = 0;  // pc (kBlock/kBlockPlus5), function index
+                           // (kStub) or region index (kSpecEntry)
 };
 
 /// Abstract operand type for the inline-arithmetic analysis: what the
@@ -44,24 +62,56 @@ enum class Tag : std::uint8_t { kOther, kInt, kDbl };
 
 class Emitter {
  public:
-  explicit Emitter(const vm::Chunk& chunk) : chunk_(chunk) {}
+  Emitter(const vm::Chunk& chunk, const JitEmitOptions& opts)
+      : chunk_(chunk), opts_(opts) {}
 
-  bool emit(std::vector<std::uint8_t>* out, std::string* error) {
+  bool emit(std::vector<std::uint8_t>* out, std::string* error,
+            JitEmitInfo* info) {
     const JitHelperFn* table = jit_helper_table();
     build_type_facts();
+    if (opts_.specialize) {
+      plan_ = analyze_chunk(chunk_);
+      // Defensive: the analysis caps its bank well under the env
+      // allocation, but never emit displacements past it.
+      std::erase_if(plan_.regions, [](const RegionPlan& r) {
+        return r.bank_slots > static_cast<std::int32_t>(kJitSpecMaxBank);
+      });
+      for (std::size_t ri = 0; ri < plan_.regions.size(); ++ri) {
+        region_at_[plan_.regions[ri].lo] = ri;
+      }
+      spec_entry_off_.assign(plan_.regions.size(), 0);
+    }
 
     // Prologue: save callee-saved regs, align rsp to 16 (entry has
-    // rsp % 16 == 8 from the caller's call), park Vm* in rbx and the
-    // aligned rsp in r12 for the unwind path.
+    // rsp % 16 == 8 from the caller's call; six pushes keep it at 8),
+    // park Vm* in rbx, the JitSpecEnv* in r13 and the aligned rsp in
+    // r12 for the unwind path. Specialized fuel (r14) starts at zero so
+    // the first segment check re-derives a budget.
     buf_.u8(0x53);                            // push rbx
     buf_.u8(0x41); buf_.u8(0x54);             // push r12
+    buf_.u8(0x41); buf_.u8(0x55);             // push r13
+    buf_.u8(0x41); buf_.u8(0x56);             // push r14
+    buf_.u8(0x41); buf_.u8(0x57);             // push r15
+    buf_.u8(0x55);                            // push rbp
     buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xEC); buf_.u8(0x08);  // sub rsp,8
     buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xFB);                 // mov rbx,rdi
+    buf_.u8(0x49); buf_.u8(0x89); buf_.u8(0xF5);                 // mov r13,rsi
     buf_.u8(0x49); buf_.u8(0x89); buf_.u8(0xE4);                 // mov r12,rsp
+    buf_.u8(0x45); buf_.u8(0x31); buf_.u8(0xF6);                 // xor r14d,r14d
 
     block_off_.resize(chunk_.code.size());
     for (std::size_t pc = 0; pc < chunk_.code.size(); ++pc) {
       block_off_[pc] = buf_.size();
+      // A specialized region starts here: the generic block leads with
+      // a 5-byte jump into the region's guarded entry, so every path
+      // that lands on this pc — fallthrough, loop back-edge, exit-stub
+      // resume — re-attempts specialization. Deopt resumes at +5.
+      if (auto it = region_at_.find(pc); it != region_at_.end()) {
+        buf_.u8(0xE9);  // jmp rel32 -> spec entry
+        fixups_.push_back({buf_.size(), Fixup::Kind::kSpecEntry,
+                           it->second});
+        buf_.u32(0);
+      }
       // Control flow can land here from elsewhere with an unknown
       // stack shape: forget everything the straight line proved.
       if (pc < jump_target_.size() && jump_target_[pc]) astack_.clear();
@@ -145,6 +195,10 @@ class Emitter {
     epilogue_off_ = buf_.size();
     buf_.u8(0x4C); buf_.u8(0x89); buf_.u8(0xE4);                 // mov rsp,r12
     buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xC4); buf_.u8(0x08);  // add rsp,8
+    buf_.u8(0x5D);                                               // pop rbp
+    buf_.u8(0x41); buf_.u8(0x5F);                                // pop r15
+    buf_.u8(0x41); buf_.u8(0x5E);                                // pop r14
+    buf_.u8(0x41); buf_.u8(0x5D);                                // pop r13
     buf_.u8(0x41); buf_.u8(0x5C);                                // pop r12
     buf_.u8(0x5B);                                               // pop rbx
     buf_.u8(0xC3);                                               // ret
@@ -159,15 +213,29 @@ class Emitter {
       jmp_to_block(static_cast<std::size_t>(chunk_.funcs[f].entry));
     }
 
+    // Specialized tier: the shared slow-path thunk, then every region's
+    // entry + body + exit stubs.
+    region_code_.assign(plan_.regions.size(), {0, 0});
+    if (!plan_.regions.empty()) {
+      emit_thunk();
+      for (std::size_t ri = 0; ri < plan_.regions.size(); ++ri) {
+        region_code_[ri].first = buf_.size();
+        emit_region(plan_.regions[ri], ri);
+        region_code_[ri].second = buf_.size();
+      }
+    }
+
     for (const Fixup& fx : fixups_) {
       std::size_t target = 0;
       switch (fx.kind) {
         case Fixup::Kind::kBlock:
+        case Fixup::Kind::kBlockPlus5:
           if (fx.target >= block_off_.size()) {
             if (error != nullptr) *error = "JIT: jump target out of range";
             return false;
           }
           target = block_off_[fx.target];
+          if (fx.kind == Fixup::Kind::kBlockPlus5) target += 5;
           break;
         case Fixup::Kind::kEpilogue:
           target = epilogue_off_;
@@ -175,12 +243,24 @@ class Emitter {
         case Fixup::Kind::kStub:
           target = stub_off_[fx.target];
           break;
+        case Fixup::Kind::kSpecEntry:
+          target = spec_entry_off_[fx.target];
+          break;
       }
       // rel32 is relative to the end of the 4-byte immediate.
       std::int64_t rel = static_cast<std::int64_t>(target) -
                          static_cast<std::int64_t>(fx.at + 4);
       buf_.patch32(fx.at, static_cast<std::uint32_t>(rel));
     }
+
+    if (info != nullptr) {
+      info->bank_slots = plan_.bank_slots;
+      info->regions = plan_.regions.size();
+      for (const RegionPlan& r : plan_.regions) {
+        info->spec_pcs += r.hi - r.lo;
+      }
+    }
+    if (opts_.dump != nullptr) append_dump();
 
     *out = std::move(buf_.b);
     return true;
@@ -414,7 +494,835 @@ class Emitter {
     buf_.u32(0);
   }
 
+  // ---- specialized-tier encoding primitives -----------------------------
+  //
+  // Register numbering is the x86 one: rax=0 rcx=1 rdx=2 rbx=3 rsp=4
+  // rbp=5 rsi=6 rdi=7 r8..r15=8..15. Virtual-stack homes are r8+d /
+  // xmm-d for relative depth d < kVstackRegDepth, bank quad d beyond.
+
+  [[nodiscard]] static std::int32_t bank_disp(std::int32_t slot) {
+    return static_cast<std::int32_t>(kJitEnvBankOffset) + 8 * slot;
+  }
+
+  /// ModRM (+disp) for [r13 + disp] with the given /reg field. r13's
+  /// rm encoding (101) mandates an explicit displacement.
+  void modrm_r13(int reg3, std::int32_t disp) {
+    if (disp >= -128 && disp <= 127) {
+      buf_.u8(static_cast<std::uint8_t>(0x40 | (reg3 << 3) | 5));
+      buf_.u8(static_cast<std::uint8_t>(disp));
+    } else {
+      buf_.u8(static_cast<std::uint8_t>(0x80 | (reg3 << 3) | 5));
+      buf_.u32(static_cast<std::uint32_t>(disp));
+    }
+  }
+
+  void mov_r_m13(int reg, std::int32_t disp) {  // mov reg64, [r13+disp]
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (reg >= 8 ? 4 : 0) | 1));
+    buf_.u8(0x8B);
+    modrm_r13(reg & 7, disp);
+  }
+
+  void mov_m13_r(int reg, std::int32_t disp) {  // mov [r13+disp], reg64
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (reg >= 8 ? 4 : 0) | 1));
+    buf_.u8(0x89);
+    modrm_r13(reg & 7, disp);
+  }
+
+  void movsd_x_m13(int x, std::int32_t disp) {  // movsd xmm, [r13+disp]
+    buf_.u8(0xF2); buf_.u8(0x41); buf_.u8(0x0F); buf_.u8(0x10);
+    modrm_r13(x, disp);
+  }
+
+  void movsd_m13_x(int x, std::int32_t disp) {  // movsd [r13+disp], xmm
+    buf_.u8(0xF2); buf_.u8(0x41); buf_.u8(0x0F); buf_.u8(0x11);
+    modrm_r13(x, disp);
+  }
+
+  void mov_rr(int dst, int src) {  // mov dst64, src64
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (src >= 8 ? 4 : 0) |
+                                      (dst >= 8 ? 1 : 0)));
+    buf_.u8(0x89);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+  }
+
+  void movsd_xx(int dst, int src) {  // movsd xmm_dst, xmm_src (both < 8)
+    buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0x10);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (dst << 3) | src));
+  }
+
+  /// Classic /r ALU op, reg=src rm=dst: 01 add, 29 sub, 21 and, 09 or,
+  /// 31 xor, 39 cmp, 85 test.
+  void alu_rr(std::uint8_t opc, int dst, int src) {
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (src >= 8 ? 4 : 0) |
+                                      (dst >= 8 ? 1 : 0)));
+    buf_.u8(opc);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+  }
+
+  void test_rr(int reg) { alu_rr(0x85, reg, reg); }
+
+  void imul_rr(int dst, int src) {  // imul dst64, src64 (reg=dst rm=src)
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (dst >= 8 ? 4 : 0) |
+                                      (src >= 8 ? 1 : 0)));
+    buf_.u8(0x0F); buf_.u8(0xAF);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | ((dst & 7) << 3) | (src & 7)));
+  }
+
+  void cmov_rr(std::uint8_t cc, int dst, int src) {  // cmovcc dst, src
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (dst >= 8 ? 4 : 0) |
+                                      (src >= 8 ? 1 : 0)));
+    buf_.u8(0x0F); buf_.u8(cc);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | ((dst & 7) << 3) | (src & 7)));
+  }
+
+  /// setcc reg8 then zero-extend to 64 bits. Only rax/rcx and r8-r11
+  /// ever receive flags (never rbp/rsi/rdi, whose no-REX byte forms
+  /// would alias ah/ch).
+  void setcc_movzx(std::uint8_t cc, int reg) {
+    if (reg >= 8) buf_.u8(0x41);
+    buf_.u8(0x0F); buf_.u8(cc);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (reg & 7)));
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (reg >= 8 ? 5 : 0)));
+    buf_.u8(0x0F); buf_.u8(0xB6);  // movzx reg64, reg8
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | ((reg & 7) << 3) | (reg & 7)));
+  }
+
+  void alu_imm8(std::uint8_t regfield, int reg, std::int8_t imm) {
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (reg >= 8 ? 1 : 0)));
+    buf_.u8(0x83);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (regfield << 3) | (reg & 7)));
+    buf_.u8(static_cast<std::uint8_t>(imm));
+  }
+
+  void movabs(int reg, std::uint64_t imm) {
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (reg >= 8 ? 1 : 0)));
+    buf_.u8(static_cast<std::uint8_t>(0xB8 + (reg & 7)));
+    buf_.u64(imm);
+  }
+
+  void sse_rr(std::uint8_t opc, int dst, int src) {  // F2 0F <opc> (xmm<8)
+    buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(opc);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (dst << 3) | src));
+  }
+
+  void ucomisd(int a, int b) {  // sets CF/ZF from xmm_a ? xmm_b
+    buf_.u8(0x66); buf_.u8(0x0F); buf_.u8(0x2E);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (a << 3) | b));
+  }
+
+  void cmpeqsd(int dst, int src) {  // all-ones/zero mask into dst
+    buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0xC2);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (dst << 3) | src));
+    buf_.u8(0x00);
+  }
+
+  void cvtsi2sd(int x, int r) {  // cvtsi2sd xmm, r64
+    buf_.u8(0xF2);
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (r >= 8 ? 1 : 0)));
+    buf_.u8(0x0F); buf_.u8(0x2A);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (x << 3) | (r & 7)));
+  }
+
+  void movq_x_r(int x, int r) {  // movq xmm, r64
+    buf_.u8(0x66);
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (r >= 8 ? 1 : 0)));
+    buf_.u8(0x0F); buf_.u8(0x6E);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (x << 3) | (r & 7)));
+  }
+
+  void movq_r_x(int r, int x) {  // movq r64, xmm
+    buf_.u8(0x66);
+    buf_.u8(static_cast<std::uint8_t>(0x48 | (r >= 8 ? 1 : 0)));
+    buf_.u8(0x0F); buf_.u8(0x7E);
+    buf_.u8(static_cast<std::uint8_t>(0xC0 | (x << 3) | (r & 7)));
+  }
+
+  /// add (regfield 0) / sub (regfield 5) an immediate to qword
+  /// [rax + disp] — the inline step-counter updates.
+  void rax_mem_imm(std::uint8_t regfield, std::int32_t disp,
+                   std::int32_t k) {
+    bool k8 = k >= -128 && k <= 127;
+    buf_.u8(0x48);
+    buf_.u8(k8 ? 0x83 : 0x81);
+    if (disp >= -128 && disp <= 127) {
+      buf_.u8(static_cast<std::uint8_t>(0x40 | (regfield << 3)));
+      buf_.u8(static_cast<std::uint8_t>(disp));
+    } else {
+      buf_.u8(static_cast<std::uint8_t>(0x80 | (regfield << 3)));
+      buf_.u32(static_cast<std::uint32_t>(disp));
+    }
+    if (k8) buf_.u8(static_cast<std::uint8_t>(k));
+    else buf_.u32(static_cast<std::uint32_t>(k));
+  }
+
+  void r13_mem_imm(std::uint8_t regfield, std::int32_t disp,
+                   std::int32_t k) {
+    bool k8 = k >= -128 && k <= 127;
+    buf_.u8(0x49);
+    buf_.u8(k8 ? 0x83 : 0x81);
+    modrm_r13(regfield, disp);
+    if (k8) buf_.u8(static_cast<std::uint8_t>(k));
+    else buf_.u32(static_cast<std::uint32_t>(k));
+  }
+
+  void spec_call(std::uint64_t addr) {
+    movabs(0, addr);               // movabs rax, fn
+    buf_.u8(0xFF); buf_.u8(0xD0);  // call rax
+  }
+
+  void js_epilogue() {
+    buf_.u8(0x0F); buf_.u8(0x88);  // js rel32 -> epilogue
+    fixups_.push_back({buf_.size(), Fixup::Kind::kEpilogue, 0});
+    buf_.u32(0);
+  }
+
+  void patch_rel32(std::size_t at, std::size_t target) {
+    buf_.patch32(at, static_cast<std::uint32_t>(
+                         static_cast<std::int64_t>(target) -
+                         static_cast<std::int64_t>(at + 4)));
+  }
+
+  /// Operand fetch: the GPR holding virtual-stack depth d, loading a
+  /// bank-resident entry into `scratch` (rax/rcx) first.
+  int gpr_operand(std::size_t d, int scratch) {
+    if (d < kVstackRegDepth) return 8 + static_cast<int>(d);
+    mov_r_m13(scratch, bank_disp(static_cast<std::int32_t>(d)));
+    return scratch;
+  }
+
+  void gpr_store_back(std::size_t d, int reg) {
+    if (d >= kVstackRegDepth) {
+      mov_m13_r(reg, bank_disp(static_cast<std::int32_t>(d)));
+    }
+  }
+
+  int xmm_operand(std::size_t d, int scratch) {
+    if (d < kVstackRegDepth) return static_cast<int>(d);
+    movsd_x_m13(scratch, bank_disp(static_cast<std::int32_t>(d)));
+    return scratch;
+  }
+
+  void xmm_store_back(std::size_t d, int x) {
+    if (d >= kVstackRegDepth) {
+      movsd_m13_x(x, bank_disp(static_cast<std::int32_t>(d)));
+    }
+  }
+
+  // ---- specialized-tier layout ------------------------------------------
+
+  /// The shared slow-path thunk behind every segment check. Caller-saved
+  /// virtual-stack registers are preserved around jit_spec_slow (the
+  /// callee-saved local homes survive on their own); eax carries the
+  /// segment's step count in, rax the fresh fuel out. Entered by a call
+  /// at block level (rsp % 16 == 0): ret addr + 4 pushes leave rsp at 8,
+  /// sub 40 re-aligns for the C call.
+  void emit_thunk() {
+    const JitSpecHelpers& h = jit_spec_helpers();
+    thunk_off_ = buf_.size();
+    buf_.u8(0x41); buf_.u8(0x50);  // push r8
+    buf_.u8(0x41); buf_.u8(0x51);  // push r9
+    buf_.u8(0x41); buf_.u8(0x52);  // push r10
+    buf_.u8(0x41); buf_.u8(0x53);  // push r11
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xEC); buf_.u8(0x28);  // sub rsp,40
+    for (int x = 0; x < 4; ++x) {  // movsd [rsp+8x], xmm_x
+      buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0x11);
+      if (x == 0) {
+        buf_.u8(0x04); buf_.u8(0x24);
+      } else {
+        buf_.u8(static_cast<std::uint8_t>(0x44 | (x << 3)));
+        buf_.u8(0x24);
+        buf_.u8(static_cast<std::uint8_t>(8 * x));
+      }
+    }
+    buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+    buf_.u8(0x4C); buf_.u8(0x89); buf_.u8(0xEE);  // mov rsi,r13
+    buf_.u8(0x89); buf_.u8(0xC2);                 // mov edx,eax
+    spec_call(h.slow);
+    buf_.u8(0x48); buf_.u8(0x85); buf_.u8(0xC0);  // test rax,rax
+    js_epilogue();                 // parked exception: bail (epilogue
+                                   // discards this frame via r12)
+    buf_.u8(0x49); buf_.u8(0x89); buf_.u8(0xC6);  // mov r14,rax
+    for (int x = 0; x < 4; ++x) {  // movsd xmm_x, [rsp+8x]
+      buf_.u8(0xF2); buf_.u8(0x0F); buf_.u8(0x10);
+      if (x == 0) {
+        buf_.u8(0x04); buf_.u8(0x24);
+      } else {
+        buf_.u8(static_cast<std::uint8_t>(0x44 | (x << 3)));
+        buf_.u8(0x24);
+        buf_.u8(static_cast<std::uint8_t>(8 * x));
+      }
+    }
+    buf_.u8(0x48); buf_.u8(0x83); buf_.u8(0xC4); buf_.u8(0x28);  // add rsp,40
+    buf_.u8(0x41); buf_.u8(0x5B);  // pop r11
+    buf_.u8(0x41); buf_.u8(0x5A);  // pop r10
+    buf_.u8(0x41); buf_.u8(0x59);  // pop r9
+    buf_.u8(0x41); buf_.u8(0x58);  // pop r8
+    buf_.u8(0xC3);                 // ret
+  }
+
+  /// One basic block's batched step charge: decrement the fuel by the
+  /// block's op count; on underflow the slow stub re-derives the budget
+  /// through ctx.count_step() (exact throw indices, abort polls, fiber
+  /// preemption); otherwise bump the context counters inline. steps_left
+  /// is adjusted unconditionally — the VM only reads it when max_steps
+  /// is set, and jit_spec_slow caps fuel by it in that case, so the
+  /// inline path can never drive it negative when it matters.
+  void emit_seg_check(std::int32_t k) {
+    bool k8 = k <= 127;
+    buf_.u8(0x49);
+    buf_.u8(k8 ? 0x83 : 0x81);
+    buf_.u8(0xEE);  // sub r14, k
+    if (k8) buf_.u8(static_cast<std::uint8_t>(k));
+    else buf_.u32(static_cast<std::uint32_t>(k));
+    buf_.u8(0x0F); buf_.u8(0x8C);  // jl rel32 -> slow stub
+    std::size_t jl_at = buf_.size();
+    buf_.u32(0);
+    buf_.u8(0x49); buf_.u8(0x8B); buf_.u8(0x45); buf_.u8(0x00);  // mov rax,[r13]
+    rax_mem_imm(0, kCtxStepsDone, k);
+    rax_mem_imm(5, kCtxStepsLeft, k);
+    rax_mem_imm(5, kCtxAbortCountdown, k);
+    r13_mem_imm(0, 24, k);  // env->spec_ops += k
+    seg_recs_.push_back({jl_at, buf_.size(), k});
+  }
+
+  /// The rel32 of an in-region jump: to another specialized pc, or to
+  /// this op's exit stub when the analysis routed the edge out.
+  void route_spec_jump(const RegionPlan& r, std::size_t pc,
+                       std::size_t target) {
+    std::size_t at = buf_.size();
+    buf_.u32(0);
+    if (const SpecExit* e = r.exit_at(pc)) {
+      exit_fix_.push_back(
+          {at, static_cast<std::size_t>(e - r.exits.data())});
+    } else if (target >= r.hi || target < r.lo) {
+      // The walk resolved this edge "internal" by adopting its state at
+      // the target pc, but the region then ended exactly there — so the
+      // edge's state is the fallthrough exit's snapshot (adopted or
+      // snaps_equal-verified) and its stub materializes it exactly.
+      const SpecExit* f = r.exit_at(r.hi);
+      exit_fix_.push_back(
+          {at, static_cast<std::size_t>(f - r.exits.data())});
+    } else {
+      reg_fix_.push_back({at, target});
+    }
+  }
+
+  void emit_region(const RegionPlan& r, std::size_t ri) {
+    const JitSpecHelpers& h = jit_spec_helpers();
+    reg_fix_.clear();
+    exit_fix_.clear();
+    seg_recs_.clear();
+
+    // Deopt trampoline: count it, resume at the generic translation of
+    // lo (+5 skips the redirect back into this entry).
+    std::size_t deopt_off = buf_.size();
+    buf_.u8(0x49); buf_.u8(0xFF); buf_.u8(0x45); buf_.u8(0x20);  // inc [r13+32]
+    buf_.u8(0xE9);
+    fixups_.push_back({buf_.size(), Fixup::Kind::kBlockPlus5, r.lo});
+    buf_.u32(0);
+
+    // Entry: stale fuel from whatever ran since the last region is
+    // discarded, then the guards prove every tracked slot's shape and
+    // payload type (read-only: a failed guard deopts with zero state
+    // to undo). Scalar guards also park the payload in the bank, so
+    // passing them doubles as the first-touch load.
+    spec_entry_off_[ri] = buf_.size();
+    buf_.u8(0x45); buf_.u8(0x31); buf_.u8(0xF6);  // xor r14d,r14d
+    for (const SpecGuard& g : r.guards) {
+      buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+      buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(g.slot));
+      buf_.u8(0xBA); buf_.u32(static_cast<std::uint32_t>(g.kind));
+      // lea rcx, [r13 + bank] (the reserved quad when no payload loads)
+      buf_.u8(0x49); buf_.u8(0x8D);
+      modrm_r13(1, g.bank >= 0 ? bank_disp(g.bank) : 40);
+      spec_call(h.guard);
+      buf_.u8(0x85); buf_.u8(0xC0);  // test eax,eax
+      buf_.u8(0x0F); buf_.u8(0x84);  // jz rel32 -> deopt
+      std::size_t at = buf_.size();
+      buf_.u32(0);
+      patch_rel32(at, deopt_off);
+    }
+    for (const SpecLocal& l : r.locals) {
+      if (l.reg >= 0) mov_r_m13(l.reg, bank_disp(l.bank));
+    }
+
+    // Body. Internal edges land on spec_off (before the pc's segment
+    // check, so back-edges recharge their batch every iteration).
+    std::vector<std::size_t> spec_off(r.hi - r.lo, 0);
+    std::size_t seg_ix = 0;
+    for (std::size_t pc = r.lo; pc < r.hi; ++pc) {
+      spec_off[pc - r.lo] = buf_.size();
+      if (seg_ix < r.segments.size() &&
+          r.segments[seg_ix].first_pc == pc) {
+        emit_seg_check(r.segments[seg_ix].steps);
+        ++seg_ix;
+      }
+      emit_act(r, pc);
+    }
+    if (const SpecExit* e = r.exit_at(r.hi)) {
+      buf_.u8(0xE9);  // fallthrough exit
+      exit_fix_.push_back(
+          {buf_.size(), static_cast<std::size_t>(e - r.exits.data())});
+      buf_.u32(0);
+    }
+
+    // Exit stubs, then the per-segment slow stubs, then the in-region
+    // patches now that every local label has an offset.
+    std::vector<std::size_t> exit_off(r.exits.size(), 0);
+    for (std::size_t ei = 0; ei < r.exits.size(); ++ei) {
+      exit_off[ei] = buf_.size();
+      emit_exit_stub(r, r.exits[ei]);
+    }
+    for (const SegRec& s : seg_recs_) {
+      patch_rel32(s.jl_at, buf_.size());
+      buf_.u8(0xB8); buf_.u32(static_cast<std::uint32_t>(s.steps));
+      buf_.u8(0xE8);  // call thunk
+      std::size_t at = buf_.size();
+      buf_.u32(0);
+      patch_rel32(at, thunk_off_);
+      buf_.u8(0xE9);  // jmp back past the inline counter updates
+      at = buf_.size();
+      buf_.u32(0);
+      patch_rel32(at, s.cont);
+    }
+    for (const RegFix& f : reg_fix_) {
+      patch_rel32(f.at, spec_off[f.target_pc - r.lo]);
+    }
+    for (const ExitFix& f : exit_fix_) {
+      patch_rel32(f.at, exit_off[f.exit_ix]);
+    }
+  }
+
+  void emit_act(const RegionPlan& r, std::size_t pc) {
+    using K = SpecAct::Kind;
+    const SpecAct& a = r.acts[pc - r.lo];
+    const std::size_t n = r.vstack_at[pc - r.lo].size();
+    switch (a.kind) {
+      case K::kConst: {
+        std::size_t d = n;
+        if (a.out == SpecType::kDbl) {
+          movabs(0, static_cast<std::uint64_t>(a.imm));
+          if (d < kVstackRegDepth) {
+            movq_x_r(static_cast<int>(d), 0);
+          } else {
+            mov_m13_r(0, bank_disp(static_cast<std::int32_t>(d)));
+          }
+        } else if (d < kVstackRegDepth) {
+          movabs(8 + static_cast<int>(d), static_cast<std::uint64_t>(a.imm));
+        } else {
+          movabs(0, static_cast<std::uint64_t>(a.imm));
+          mov_m13_r(0, bank_disp(static_cast<std::int32_t>(d)));
+        }
+        break;
+      }
+      case K::kLoadLocal: {
+        const SpecLocal& l = r.locals[static_cast<std::size_t>(a.local)];
+        std::size_t d = n;
+        if (a.out == SpecType::kDbl) {
+          if (d < kVstackRegDepth) {
+            movsd_x_m13(static_cast<int>(d), bank_disp(l.bank));
+          } else {
+            mov_r_m13(0, bank_disp(l.bank));
+            mov_m13_r(0, bank_disp(static_cast<std::int32_t>(d)));
+          }
+        } else if (l.reg >= 0) {
+          if (d < kVstackRegDepth) {
+            mov_rr(8 + static_cast<int>(d), l.reg);
+          } else {
+            mov_m13_r(l.reg, bank_disp(static_cast<std::int32_t>(d)));
+          }
+        } else if (d < kVstackRegDepth) {
+          mov_r_m13(8 + static_cast<int>(d), bank_disp(l.bank));
+        } else {
+          mov_r_m13(0, bank_disp(l.bank));
+          mov_m13_r(0, bank_disp(static_cast<std::int32_t>(d)));
+        }
+        break;
+      }
+      case K::kStoreLocal:
+      case K::kDeclare: {
+        // A declare's only machine work is moving the init value into
+        // the local's home: the bind itself is virtual until an exit's
+        // kDeclare writeback replays op_declare on the real cell.
+        const SpecLocal& l = r.locals[static_cast<std::size_t>(a.local)];
+        std::size_t d = n - 1;
+        if (a.in == SpecType::kDbl) {
+          if (d < kVstackRegDepth) {
+            movsd_m13_x(static_cast<int>(d), bank_disp(l.bank));
+          } else {
+            mov_r_m13(0, bank_disp(static_cast<std::int32_t>(d)));
+            mov_m13_r(0, bank_disp(l.bank));
+          }
+        } else if (l.reg >= 0) {
+          if (d < kVstackRegDepth) {
+            mov_rr(l.reg, 8 + static_cast<int>(d));
+          } else {
+            mov_r_m13(l.reg, bank_disp(static_cast<std::int32_t>(d)));
+          }
+        } else if (d < kVstackRegDepth) {
+          mov_m13_r(8 + static_cast<int>(d), bank_disp(l.bank));
+        } else {
+          mov_r_m13(0, bank_disp(static_cast<std::int32_t>(d)));
+          mov_m13_r(0, bank_disp(l.bank));
+        }
+        break;
+      }
+      case K::kDeclareZero: {
+        const SpecLocal& l = r.locals[static_cast<std::size_t>(a.local)];
+        if (l.reg >= 0) {
+          movabs(l.reg, 0);
+        } else {
+          // mov qword [r13+bank], 0 (0 bits is also NUMBAR +0.0)
+          buf_.u8(0x49); buf_.u8(0xC7);
+          modrm_r13(0, bank_disp(l.bank));
+          buf_.u32(0);
+        }
+        break;
+      }
+      case K::kUnbind:
+      case K::kCastNop:
+      case K::kPop:
+        break;  // bookkeeping only; exits carry the consequences
+      case K::kMe:
+      case K::kMahFrenz: {
+        std::size_t d = n;
+        std::int32_t src = a.kind == K::kMe ? 8 : 16;
+        if (d < kVstackRegDepth) {
+          mov_r_m13(8 + static_cast<int>(d), src);
+        } else {
+          mov_r_m13(0, src);
+          mov_m13_r(0, bank_disp(static_cast<std::int32_t>(d)));
+        }
+        break;
+      }
+      case K::kBin:
+        emit_bin(a, n);
+        break;
+      case K::kNot: {
+        int reg = gpr_operand(n - 1, 0);
+        if (a.in == SpecType::kBool) {
+          alu_imm8(6, reg, 1);  // xor reg, 1
+        } else {
+          test_rr(reg);
+          setcc_movzx(0x94, reg);  // sete: NOT numbr is v == 0
+        }
+        gpr_store_back(n - 1, reg);
+        break;
+      }
+      case K::kSquar: {
+        if (a.in == SpecType::kDbl) {
+          int x = xmm_operand(n - 1, 4);
+          sse_rr(0x59, x, x);  // mulsd x, x
+          xmm_store_back(n - 1, x);
+        } else {
+          int reg = gpr_operand(n - 1, 0);
+          imul_rr(reg, reg);
+          gpr_store_back(n - 1, reg);
+        }
+        break;
+      }
+      case K::kCastIntToDbl:
+        promote_int_depth(n - 1);
+        break;
+      case K::kArrLoad:
+        emit_arr(r, pc, a, /*store=*/false);
+        break;
+      case K::kArrStore:
+        emit_arr(r, pc, a, /*store=*/true);
+        break;
+      case K::kJmp:
+        buf_.u8(0xE9);
+        route_spec_jump(r, pc, static_cast<std::size_t>(a.aux));
+        break;
+      case K::kBranch: {
+        std::size_t d = n - 1;
+        if (d < kVstackRegDepth) {
+          test_rr(8 + static_cast<int>(d));
+        } else {
+          mov_r_m13(0, bank_disp(static_cast<std::int32_t>(d)));
+          test_rr(0);
+        }
+        buf_.u8(0x0F); buf_.u8(0x84);  // jz: branch taken when FAIL/zero
+        route_spec_jump(r, pc, static_cast<std::size_t>(a.aux));
+        break;
+      }
+    }
+  }
+
+  /// Converts the int at vstack depth `d` to a double in place (the
+  /// depth's XMM home, or its bank quad when spilled).
+  void promote_int_depth(std::size_t d) {
+    if (d < kVstackRegDepth) {
+      cvtsi2sd(static_cast<int>(d), 8 + static_cast<int>(d));
+    } else {
+      mov_r_m13(0, bank_disp(static_cast<std::int32_t>(d)));
+      cvtsi2sd(4, 0);
+      movsd_m13_x(4, bank_disp(static_cast<std::int32_t>(d)));
+    }
+  }
+
+  void emit_bin(const SpecAct& a, std::size_t n) {
+    using B = ast::BinOp;
+    auto op = static_cast<B>(a.aux & kSpecBinOpMask);
+    std::size_t dl = n - 2, dr = n - 1;
+    if (a.in == SpecType::kDbl) {
+      if ((a.aux & kSpecBinPromoteLhs) != 0) promote_int_depth(dl);
+      if ((a.aux & kSpecBinPromoteRhs) != 0) promote_int_depth(dr);
+      int xl = xmm_operand(dl, 4);
+      int xr = xmm_operand(dr, 5);
+      if (a.out == SpecType::kDbl) {
+        std::uint8_t opc = op == B::kSum       ? 0x58   // addsd
+                           : op == B::kDiff    ? 0x5C   // subsd
+                           : op == B::kProdukt ? 0x59   // mulsd
+                           : op == B::kBiggr   ? 0x5F   // maxsd
+                                               : 0x5D;  // minsd
+        sse_rr(opc, xl, xr);
+        xmm_store_back(dl, xl);
+      } else {
+        // Compare: the result home flips to the integer bank/register.
+        int out = dl < kVstackRegDepth ? 8 + static_cast<int>(dl) : 0;
+        switch (op) {
+          case B::kBigger:  // x > y, NaN => FAIL (unordered sets CF)
+            ucomisd(xl, xr);
+            setcc_movzx(0x97, out);  // seta
+            break;
+          case B::kSmallrCmp:
+            ucomisd(xr, xl);
+            setcc_movzx(0x97, out);
+            break;
+          case B::kBothSaem:
+          case B::kDiffrint:
+            cmpeqsd(xl, xr);  // IEEE ==, exactly Value::saem on NUMBARs
+            movq_r_x(out, xl);
+            alu_imm8(4, out, 1);  // and out, 1
+            if (op == B::kDiffrint) alu_imm8(6, out, 1);  // xor out, 1
+            break;
+          default:
+            break;  // unreachable: bin_result filtered
+        }
+        gpr_store_back(dl, out);
+      }
+      return;
+    }
+    int rl = gpr_operand(dl, 0);
+    int rr = gpr_operand(dr, 1);
+    if (op == B::kBothSaem || op == B::kDiffrint || op == B::kBigger ||
+        op == B::kSmallrCmp) {
+      alu_rr(0x39, rl, rr);  // cmp rl, rr
+      std::uint8_t cc = op == B::kBothSaem   ? 0x94   // sete
+                        : op == B::kDiffrint ? 0x95   // setne
+                        : op == B::kBigger   ? 0x9F   // setg
+                                             : 0x9C;  // setl
+      setcc_movzx(cc, rl);
+    } else {
+      switch (op) {
+        case B::kSum:      alu_rr(0x01, rl, rr); break;
+        case B::kDiff:     alu_rr(0x29, rl, rr); break;
+        case B::kProdukt:  imul_rr(rl, rr); break;
+        case B::kBiggr:    // x > y ? x : y == keep lhs unless smaller
+          alu_rr(0x39, rl, rr);
+          cmov_rr(0x4C, rl, rr);  // cmovl
+          break;
+        case B::kSmallr:
+          alu_rr(0x39, rl, rr);
+          cmov_rr(0x4F, rl, rr);  // cmovg
+          break;
+        case B::kBothOf:   alu_rr(0x21, rl, rr); break;  // and (0/1)
+        case B::kEitherOf: alu_rr(0x09, rl, rr); break;  // or
+        case B::kWonOf:    alu_rr(0x31, rl, rr); break;  // xor
+        default:           break;  // unreachable
+      }
+    }
+    gpr_store_back(dl, rl);
+  }
+
+  /// Indexed array access through the bounds-checking helper. The call
+  /// clobbers every caller-saved register, so live virtual-stack entries
+  /// below the operands round-trip through their bank slots.
+  void emit_arr(const RegionPlan& r, std::size_t pc, const SpecAct& a,
+                bool store) {
+    const JitSpecHelpers& h = jit_spec_helpers();
+    const std::vector<SpecType>& vs = r.vstack_at[pc - r.lo];
+    const std::size_t n = vs.size();
+    const std::size_t live = n - (store ? 2 : 1);
+    for (std::size_t d = 0; d < live && d < kVstackRegDepth; ++d) {
+      if (vs[d] == SpecType::kDbl) {
+        movsd_m13_x(static_cast<int>(d),
+                    bank_disp(static_cast<std::int32_t>(d)));
+      } else {
+        mov_m13_r(8 + static_cast<int>(d),
+                  bank_disp(static_cast<std::int32_t>(d)));
+      }
+    }
+    std::size_t di = store ? n - 2 : n - 1;  // index operand depth
+    if (di < kVstackRegDepth) {
+      mov_rr(2, 8 + static_cast<int>(di));  // rdx = index
+    } else {
+      mov_r_m13(2, bank_disp(static_cast<std::int32_t>(di)));
+    }
+    if (store) {
+      std::size_t dv = n - 1;  // value operand depth
+      if (a.in == SpecType::kDbl) {
+        if (dv < kVstackRegDepth) {
+          if (dv != 0) movsd_xx(0, static_cast<int>(dv));
+        } else {
+          movsd_x_m13(0, bank_disp(static_cast<std::int32_t>(dv)));
+        }
+      } else if (dv < kVstackRegDepth) {
+        mov_rr(1, 8 + static_cast<int>(dv));  // rcx = value
+      } else {
+        mov_r_m13(1, bank_disp(static_cast<std::int32_t>(dv)));
+      }
+    }
+    buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+    buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(a.aux));
+    std::uint64_t fn =
+        store ? (a.in == SpecType::kDbl ? h.arr_store_d : h.arr_store_i)
+              : (a.out == SpecType::kDbl ? h.arr_load_d : h.arr_load_i);
+    spec_call(fn);
+    if (store) {
+      buf_.u8(0x85); buf_.u8(0xC0);  // test eax,eax
+    } else {
+      buf_.u8(0x48); buf_.u8(0x85); buf_.u8(0xC0);  // test rax,rax (status)
+    }
+    js_epilogue();
+    if (!store) {
+      std::size_t d = n - 1;  // result replaces the index operand
+      if (a.out == SpecType::kDbl) {
+        if (d < kVstackRegDepth) {
+          if (d != 0) movsd_xx(static_cast<int>(d), 0);
+        } else {
+          movsd_m13_x(0, bank_disp(static_cast<std::int32_t>(d)));
+        }
+      } else if (d < kVstackRegDepth) {
+        mov_rr(8 + static_cast<int>(d), 2);  // value arrives in rdx
+      } else {
+        mov_m13_r(2, bank_disp(static_cast<std::int32_t>(d)));
+      }
+    }
+    for (std::size_t d = 0; d < live && d < kVstackRegDepth; ++d) {
+      if (vs[d] == SpecType::kDbl) {
+        movsd_x_m13(static_cast<int>(d),
+                    bank_disp(static_cast<std::int32_t>(d)));
+      } else {
+        mov_r_m13(8 + static_cast<int>(d),
+                  bank_disp(static_cast<std::int32_t>(d)));
+      }
+    }
+  }
+
+  /// Materialize a region state for the generic tier: push live virtual
+  /// stack entries (bottom first), write every touched local back to its
+  /// cell, then resume at the generic block. Helper statuses bail to the
+  /// epilogue — only allocation can throw here, and then the program is
+  /// dying anyway.
+  void emit_exit_stub(const RegionPlan& r, const SpecExit& e) {
+    const JitSpecHelpers& h = jit_spec_helpers();
+    for (std::size_t d = 0; d < e.vstack.size() && d < kVstackRegDepth;
+         ++d) {
+      if (e.vstack[d] == SpecType::kDbl) {
+        movsd_m13_x(static_cast<int>(d),
+                    bank_disp(static_cast<std::int32_t>(d)));
+      } else {
+        mov_m13_r(8 + static_cast<int>(d),
+                  bank_disp(static_cast<std::int32_t>(d)));
+      }
+    }
+    for (std::size_t d = 0; d < e.vstack.size(); ++d) {
+      buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+      mov_r_m13(6, bank_disp(static_cast<std::int32_t>(d)));  // rsi = bits
+      buf_.u8(0xBA);
+      buf_.u32(static_cast<std::uint32_t>(e.vstack[d]));  // edx = type
+      spec_call(h.push);
+      buf_.u8(0x85); buf_.u8(0xC0);
+      js_epilogue();
+    }
+    for (const SpecWriteback& wb : e.writebacks) {
+      const SpecLocal* l =
+          wb.local >= 0 ? &r.locals[static_cast<std::size_t>(wb.local)]
+                        : nullptr;
+      auto load_val = [&](int dst) {
+        if (l->reg >= 0) mov_rr(dst, l->reg);
+        else mov_r_m13(dst, bank_disp(l->bank));
+      };
+      buf_.u8(0x48); buf_.u8(0x89); buf_.u8(0xDF);  // mov rdi,rbx
+      switch (wb.kind) {
+        case SpecWriteback::Kind::kStore:
+          buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(wb.slot));
+          load_val(2);  // rdx = bits
+          buf_.u8(0xB9); buf_.u32(static_cast<std::uint32_t>(wb.type));
+          spec_call(h.wb_store);
+          buf_.u8(0x85); buf_.u8(0xC0);
+          js_epilogue();
+          break;
+        case SpecWriteback::Kind::kDeclare:
+          buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(wb.decl));
+          load_val(2);
+          buf_.u8(0xB9); buf_.u32(static_cast<std::uint32_t>(wb.type));
+          spec_call(h.wb_decl);
+          buf_.u8(0x85); buf_.u8(0xC0);
+          js_epilogue();
+          break;
+        case SpecWriteback::Kind::kUnbind:
+          buf_.u8(0xBE); buf_.u32(static_cast<std::uint32_t>(wb.slot));
+          spec_call(h.wb_unbind);  // cannot throw
+          break;
+        case SpecWriteback::Kind::kIt:
+          load_val(6);  // rsi = bits
+          buf_.u8(0xBA); buf_.u32(static_cast<std::uint32_t>(wb.type));
+          spec_call(h.wb_it);  // cannot throw
+          break;
+      }
+    }
+    buf_.u8(0xE9);  // resume generic (a region lo re-enters via redirect)
+    fixups_.push_back({buf_.size(), Fixup::Kind::kBlock, e.target});
+    buf_.u32(0);
+  }
+
+  /// LOL_JIT_DUMP / --jit-dump: the analysis listing plus a hex dump of
+  /// each emitted region (entry, body, stubs).
+  void append_dump() {
+    std::string& d = *opts_.dump;
+    d += describe_plan(chunk_, plan_);
+    char line[80];
+    for (std::size_t ri = 0; ri < plan_.regions.size(); ++ri) {
+      const RegionPlan& r = plan_.regions[ri];
+      auto [begin, end] = region_code_[ri];
+      std::snprintf(line, sizeof line,
+                    "region [%zu, %zu) code @%zx..%zx (%zu bytes)\n", r.lo,
+                    r.hi, begin, end, end - begin);
+      d += line;
+      for (std::size_t off = begin; off < end; off += 16) {
+        std::snprintf(line, sizeof line, "  %06zx:", off);
+        d += line;
+        for (std::size_t i = off; i < end && i < off + 16; ++i) {
+          std::snprintf(line, sizeof line, " %02x", buf_.b[i]);
+          d += line;
+        }
+        d += '\n';
+      }
+    }
+  }
+
+  // Region-internal jump whose landing offset isn't known yet.
+  struct RegFix {
+    std::size_t at = 0;         // rel32 placeholder position
+    std::size_t target_pc = 0;  // in-region bytecode target
+  };
+  // Jump to an exit stub emitted after the region body.
+  struct ExitFix {
+    std::size_t at = 0;
+    std::size_t exit_ix = 0;
+  };
+  // One step-batch check awaiting its out-of-line slow stub.
+  struct SegRec {
+    std::size_t jl_at = 0;  // `jl` rel32 placeholder position
+    std::size_t cont = 0;   // offset the slow stub jumps back to
+    std::int32_t steps = 0;
+  };
+
   const vm::Chunk& chunk_;
+  JitEmitOptions opts_;
   CodeBuf buf_;
   std::vector<std::size_t> block_off_;
   std::vector<std::size_t> stub_off_;
@@ -425,6 +1333,15 @@ class Emitter {
   std::vector<Tag> slot_tag_;
   std::vector<bool> slot_seen_;
   std::vector<Tag> astack_;
+  // Specialized-tier state.
+  SpecPlan plan_;
+  std::map<std::size_t, std::size_t> region_at_;  // region lo pc -> index
+  std::vector<std::size_t> spec_entry_off_;       // per region index
+  std::size_t thunk_off_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> region_code_;
+  std::vector<RegFix> reg_fix_;
+  std::vector<ExitFix> exit_fix_;
+  std::vector<SegRec> seg_recs_;
 };
 
 void key_u32(std::string& k, std::uint32_t x) {
@@ -463,9 +1380,10 @@ void key_value(std::string& k, const rt::Value& v) {
 
 }  // namespace
 
-bool emit_chunk_x86_64(const vm::Chunk& chunk, std::vector<std::uint8_t>* out,
-                       std::string* error) {
-  return Emitter(chunk).emit(out, error);
+bool emit_chunk_x86_64(const vm::Chunk& chunk, const JitEmitOptions& opts,
+                       std::vector<std::uint8_t>* out, std::string* error,
+                       JitEmitInfo* info) {
+  return Emitter(chunk, opts).emit(out, error, info);
 }
 
 std::string chunk_cache_key(const vm::Chunk& chunk) {
@@ -493,6 +1411,8 @@ std::string chunk_cache_key(const vm::Chunk& chunk) {
     key_u32(k, static_cast<std::uint32_t>(d.sym_slot));
     key_u32(k, static_cast<std::uint32_t>(d.lock_id));
     k.push_back(static_cast<char>(d.elem));
+    k.push_back(d.hint ? static_cast<char>(1 + static_cast<int>(*d.hint))
+                       : 0);
   }
   key_u64(k, chunk.funcs.size());
   for (const vm::FuncMeta& f : chunk.funcs) {

@@ -1,6 +1,7 @@
-// Lowers VM bytecode to x86-64 machine code.
+// Lowers VM bytecode to x86-64 machine code. Two tiers share one code
+// object:
 //
-// The scheme is call-threading: each bytecode instruction becomes a short
+// Tier 1 — call-threading: each bytecode instruction becomes a short
 // machine-code block that calls the per-opcode helper (jit_runtime.cpp)
 // with its operands baked in as immediates, so every op executes the exact
 // same C++ the VM's dispatch loop runs — byte-identical output, step
@@ -9,11 +10,28 @@
 // jumps, LOLCODE calls become machine calls, and a cold "compile" is just
 // this emitter plus an mmap — no fork/exec of a host toolchain.
 //
+// Tier 2 — type-specialized regions (jit_analysis.hpp): pc ranges whose
+// ops provably work on NUMBR/NUMBAR/TROOF payloads compile to raw machine
+// arithmetic with the virtual stack and hot locals held in registers — no
+// Value boxing, no helper call. The generic block at a region's entry pc
+// starts with a jump into the specialized body; runtime type guards
+// deopt back to the generic blocks (entry + 5, skipping that jump), and
+// region exits materialize live registers onto the VM stack before
+// falling into the generic tier. Step accounting runs in per-basic-block
+// batches against a fuel counter so budgets, abort polls, fault steps
+// and replay schedules stay VM-exact (see emit_spec_segment_check).
+//
 // ABI and register plan (SysV x86-64):
 //   rbx — the vm::Vm* for this PE (callee-saved, survives helper calls)
 //   r12 — rsp snapshot from the prologue; the epilogue restores it, which
 //         safely discards any nested JIT frames when a helper threw
-//   entry signature: void (*)(vm::Vm*)
+//   r13 — the JitSpecEnv* (step counters, PE identity, spill bank)
+//   r14 — specialized-tier step fuel: inline-chargeable steps left before
+//         the next jit_spec_slow() call must re-derive the budget
+//   r15/rbp — register homes for the two hottest integer locals in a
+//         specialized region (assigned by the linear scan)
+//   r8-r11 / xmm0-xmm3 — virtual-stack registers, relative depth 0-3
+//   entry signature: void (*)(vm::Vm*, JitSpecEnv*)
 //
 // Helpers return <0 after catching a C++ exception (stashed in a
 // thread-local, rethrown by the wrapper in jit_backend.cpp); every call
@@ -21,6 +39,7 @@
 // destructors, so skipping them is sanitizer-clean.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <string>
@@ -30,6 +49,9 @@
 
 namespace lol::vm {
 class Vm;
+}
+namespace lol::rt {
+struct ExecContext;
 }
 
 namespace lol::codegen {
@@ -59,11 +81,66 @@ namespace detail {
 std::exception_ptr& jit_pending();
 }  // namespace detail
 
+/// Per-run environment the emitted code keeps in r13. The backend fills
+/// one per PE entry; the spill bank (one quad per virtual-stack slot and
+/// per tracked local, jit_analysis.hpp) follows the struct in the same
+/// allocation at kJitEnvBankOffset. Field offsets are baked into emitted
+/// displacements — append-only.
+struct JitSpecEnv {
+  rt::ExecContext* ctx = nullptr;  // @0  step/abort/fault counters
+  std::int64_t me = 0;             // @8  PE id (kMe without a helper)
+  std::int64_t n_pes = 0;          // @16 gang size (kMahFrenz)
+  std::uint64_t spec_ops = 0;      // @24 ops retired by specialized code
+  std::uint64_t deopts = 0;        // @32 region-entry guard failures
+  std::uint64_t reserved = 0;      // @40 keeps the bank 16-byte aligned
+};
+inline constexpr std::size_t kJitEnvBankOffset = 48;
+static_assert(sizeof(JitSpecEnv) == kJitEnvBankOffset);
+
+/// Upper bound on bank quads any region may need (8 virtual-stack slots
+/// + tracked locals, capped in jit_analysis.cpp). The backend sizes the
+/// env allocation with this so emitted displacements can never overrun.
+inline constexpr std::size_t kJitSpecMaxBank = 40;
+
+/// Entry-point signature at offset 0 of the emitted code.
+using JitEntryFn = void (*)(vm::Vm*, JitSpecEnv*);
+
+/// Addresses of the specialized tier's runtime calls (jit_runtime.cpp),
+/// embedded as movabs immediates. Same exception discipline as the
+/// per-opcode helpers: a negative status (or, for jit_spec_slow, a
+/// negative fuel) means "parked, bail to the epilogue".
+struct JitSpecHelpers {
+  std::uint64_t slow = 0;       // i64(Vm*, JitSpecEnv*, i64 k) -> fuel
+  std::uint64_t guard = 0;      // i32(Vm*, i32 slot, i32 kind, i64* bank)
+  std::uint64_t arr_load_i = 0; // {i64 status, i64 v}(Vm*, i32, i64)
+  std::uint64_t arr_load_d = 0; // {i64 status, f64 v}(Vm*, i32, i64)
+  std::uint64_t arr_store_i = 0;// i32(Vm*, i32 slot, i64 idx, i64 v)
+  std::uint64_t arr_store_d = 0;// i32(Vm*, i32 slot, i64 idx, f64 v)
+  std::uint64_t push = 0;       // i32(Vm*, i64 bits, i32 type)
+  std::uint64_t wb_store = 0;   // i32(Vm*, i32 slot, i64 bits, i32 type)
+  std::uint64_t wb_decl = 0;    // i32(Vm*, i32 decl, i64 bits, i32 type)
+  std::uint64_t wb_unbind = 0;  // i32(Vm*, i32 slot)
+  std::uint64_t wb_it = 0;      // i32(Vm*, i64 bits, i32 type)
+};
+const JitSpecHelpers& jit_spec_helpers();
+
+struct JitEmitOptions {
+  bool specialize = true;    // build tier-2 regions (LOL_JIT_SPEC)
+  std::string* dump = nullptr;  // receives the annotated region listing
+};
+
+struct JitEmitInfo {
+  std::int32_t bank_slots = 0;   // env bank quads the code needs
+  std::uint64_t regions = 0;     // specialized regions emitted
+  std::uint64_t spec_pcs = 0;    // bytecode pcs covered by those regions
+};
+
 /// Emits position-independent x86-64 for `chunk` into `out`. The code's
-/// entry point is offset 0 with signature void(vm::Vm*). Returns false
+/// entry point is offset 0 with signature JitEntryFn. Returns false
 /// with `error` set when the chunk cannot be lowered.
-bool emit_chunk_x86_64(const vm::Chunk& chunk, std::vector<std::uint8_t>* out,
-                       std::string* error);
+bool emit_chunk_x86_64(const vm::Chunk& chunk, const JitEmitOptions& opts,
+                       std::vector<std::uint8_t>* out, std::string* error,
+                       JitEmitInfo* info);
 
 /// Deterministic binary serialization of a chunk, used as the JIT code
 /// cache key: identical bytecode => identical key => one emitted program.

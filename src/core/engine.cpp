@@ -246,14 +246,16 @@ RunResult run(const CompiledProgram& prog, const RunConfig& cfg) {
   std::shared_ptr<const codegen::JitProgram> jit;
   if (backend == Backend::kJit) {
     std::string jerr;
-    if (prog.jit_slot != nullptr) {
+    if (prog.jit_slot != nullptr && !cfg.jit_spec.has_value()) {
       std::lock_guard<std::mutex> g(prog.jit_slot->m);
       if (prog.jit_slot->prog == nullptr) {
         prog.jit_slot->prog = codegen::JitProgram::get_or_build(chunk, &jerr);
       }
       jit = prog.jit_slot->prog;
     } else {
-      jit = codegen::JitProgram::get_or_build(chunk, &jerr);
+      // A per-run tier override skips the per-program memo: the global
+      // cache keys on the flag, so both variants coexist.
+      jit = codegen::JitProgram::get_or_build(chunk, &jerr, cfg.jit_spec);
     }
     if (jit == nullptr) {
       return error_result(cfg.n_pes, "jit backend: " + jerr);

@@ -155,6 +155,12 @@ struct RunConfig {
   /// that want their own pool lifetime instead of the shared one).
   shmem::ExecutorPtr executor_impl;
 
+  /// Backend::kJit only: force the type-specialized tier on/off for
+  /// this run, overriding LOL_JIT_SPEC (benchmarks and tests compare
+  /// the tiers in one process; both variants coexist in the code
+  /// cache). nullopt = follow the environment.
+  std::optional<bool> jit_spec;
+
   /// Sample wall-clock wait times (barrier park, lock spin) into the
   /// per-PE profiles returned in RunResult::pe_profiles. Event counts
   /// (steps, crossings, acquisitions, GIMMEH blocks) are collected

@@ -85,6 +85,13 @@ struct DeclMeta {
   int sym_slot = -1;
   int lock_id = -1;
   ast::TypeKind elem = ast::TypeKind::kNumbr;
+  /// Payload type this scalar provably holds right after declaration
+  /// (initializer literal type, or NUMBR for loop counters). The JIT's
+  /// specialized tier seeds its region-entry type guards from this; the
+  /// opt pipeline sharpens it by constant-folding initializers down to
+  /// literals before the chunk compiler runs. Advisory only — a wrong
+  /// hint costs a deopt, never correctness.
+  std::optional<ast::TypeKind> hint;
 };
 
 /// Compiled user function.
@@ -107,6 +114,9 @@ struct Chunk {
   std::vector<std::vector<std::pair<std::string, std::int32_t>>> name_maps;
   int lock_count = 0;
 };
+
+/// Opcode mnemonic ("CONST", "LOAD_VAR", ...).
+const char* op_name(Op op);
 
 /// Human-readable disassembly (tests and `lolrun --dump-bytecode`).
 std::string disassemble(const Chunk& chunk);

@@ -228,6 +228,65 @@ class Compiler {
     throw SemaError("internal: unhandled statement in VM compiler", s.loc);
   }
 
+  /// Best-effort payload type of `e`, for DeclMeta::hint. Conservative:
+  /// only shapes whose runtime type is a function of the operand types
+  /// alone. The opt pipeline's fold/prop passes turn many computed
+  /// initializers into literals before we get here, which is what makes
+  /// this one-level-deep walk effective at -O1/-O2.
+  static std::optional<ast::TypeKind> infer_expr_hint(const ast::Expr& e) {
+    using K = ast::ExprKind;
+    using T = ast::TypeKind;
+    switch (e.kind) {
+      case K::kNumbrLit: return T::kNumbr;
+      case K::kNumbarLit: return T::kNumbar;
+      case K::kTroofLit: return T::kTroof;
+      case K::kYarnLit: return T::kYarn;
+      case K::kMe:
+      case K::kMahFrenz:
+      case K::kWhatevr: return T::kNumbr;
+      case K::kWhatevar: return T::kNumbar;
+      case K::kCast:
+        return static_cast<const ast::CastExpr&>(e).type;
+      case K::kUnary: {
+        const auto& u = static_cast<const ast::UnaryExpr&>(e);
+        if (u.op == ast::UnOp::kNot) return T::kTroof;
+        if (u.op == ast::UnOp::kSquar) return infer_expr_hint(*u.operand);
+        return std::nullopt;
+      }
+      case K::kBinary: {
+        const auto& b = static_cast<const ast::BinaryExpr&>(e);
+        using B = ast::BinOp;
+        switch (b.op) {
+          case B::kBothSaem:
+          case B::kDiffrint:
+          case B::kBigger:
+          case B::kSmallrCmp:
+          case B::kBothOf:
+          case B::kEitherOf:
+          case B::kWonOf:
+            return T::kTroof;
+          case B::kSum:
+          case B::kDiff:
+          case B::kProdukt:
+          case B::kBiggr:
+          case B::kSmallr: {
+            auto l = infer_expr_hint(*b.lhs);
+            auto r = infer_expr_hint(*b.rhs);
+            if (l == T::kNumbr && r == T::kNumbr) return T::kNumbr;
+            bool l_num = l == T::kNumbr || l == T::kNumbar;
+            bool r_num = r == T::kNumbr || r == T::kNumbar;
+            if (l_num && r_num) return T::kNumbar;
+            return std::nullopt;
+          }
+          default:
+            return std::nullopt;
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
   void compile_decl(const ast::VarDeclStmt& d) {
     std::int32_t slot = declare_name(d.name, d.loc);
     DeclMeta meta;
@@ -250,6 +309,16 @@ class Compiler {
       meta.elem = d.declared_type.value_or(ast::TypeKind::kNumbr);
     } else if (d.is_array) {
       meta.elem = d.declared_type.value_or(ast::TypeKind::kNumbr);
+    }
+    if (!meta.symmetric && !meta.is_array) {
+      if (meta.srsly && meta.static_type) {
+        // SRSLY stores coerce to the declared type, initializer included.
+        meta.hint = meta.static_type;
+      } else if (d.init) {
+        meta.hint = infer_expr_hint(*d.init);
+      } else if (meta.static_type) {
+        meta.hint = meta.static_type;  // zero_of(declared type)
+      }
     }
     // Push size then init so the VM pops init first.
     if (d.array_size) compile_expr(*d.array_size);
@@ -398,6 +467,7 @@ class Compiler {
       meta.name = s.var;
       meta.slot = var_slot;
       meta.has_init = true;
+      meta.hint = ast::TypeKind::kNumbr;  // counters start at NUMBR 0
       std::int32_t meta_idx = static_cast<std::int32_t>(chunk_.decls.size());
       chunk_.decls.push_back(std::move(meta));
       emit(Op::kConst, add_const(rt::Value::numbr(0)));

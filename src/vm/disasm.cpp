@@ -4,8 +4,6 @@
 
 namespace lol::vm {
 
-namespace {
-
 const char* op_name(Op op) {
   switch (op) {
     case Op::kConst:
@@ -67,8 +65,6 @@ const char* op_name(Op op) {
   }
   return "?";
 }
-
-}  // namespace
 
 std::string disassemble(const Chunk& chunk) {
   std::ostringstream os;

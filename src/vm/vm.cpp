@@ -157,6 +157,12 @@ void Vm::reset_for_run() {
   frames_.clear();
   stack_.clear();
   bff_.clear();
+  // Spill contract with the JIT's specialized tier: region exits
+  // materialize up to codegen::kMaxVstack virtual entries back onto this
+  // stack through JitSpecAccess::push (same bad_alloc discipline as any
+  // op). Reserving here keeps the common materialization re-entrant
+  // without a grow in emitted-code context.
+  stack_.reserve(64);
   Frame main;
   main.slots.resize(static_cast<std::size_t>(chunk_.main_slots));
   main.name_map = 0;

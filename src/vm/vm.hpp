@@ -85,6 +85,14 @@ class Vm {
   BinFastD binfast_prep_numbar();
 
  private:
+  /// The JIT's specialized tier (codegen/jit_runtime.cpp) reads and
+  /// writes frame cells and the value stack directly when a region deopts
+  /// or exits: it re-creates exactly the state the call-threaded ops
+  /// would have produced (same Cell fields, same stack order), so the
+  /// generic tier can resume mid-program. Keeping the accessor a friend
+  /// (instead of widening the public surface) documents that contract.
+  friend struct JitSpecAccess;
+
   /// One variable slot: scalar value, private array, or symmetric handle.
   struct Cell {
     rt::Value v;

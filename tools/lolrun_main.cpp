@@ -65,8 +65,12 @@ int usage(const char* prog) {
       "                     2 (full loop pipeline; default)\n"
       "  --tune             run short calibration runs, print the chosen\n"
       "                     runtime knobs, and persist them (--tuner-cache)\n"
-      "  --tuner-cache <f>  tuned-knob store for --tune (default\n"
-      "                     .lol_tuner_cache)\n"
+      "  --tuner-cache <f>  tuned-knob store: with --tune, where to\n"
+      "                     persist the winner (default .lol_tuner_cache);\n"
+      "                     without it, apply the stored knobs — incl. the\n"
+      "                     tuned unroll budget — to this run\n"
+      "  --jit-dump         --backend jit: hex + annotated dump of emitted\n"
+      "                     regions to stderr (same as LOL_JIT_DUMP=1)\n"
       "  --dump-ast         print the (optimized) AST and exit\n"
       "  --dump-bytecode    print compiled bytecode and exit\n",
       prog);
@@ -95,21 +99,23 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (auto executor = cli.option("--executor")) {
-    if (auto e = lol::shmem::executor_from_name(*executor)) {
+  // Cli::option consumes its match, so presence must be captured at the
+  // parse site — a later re-query would always come back empty (and the
+  // tuner apply path below needs to know which flags were explicit).
+  auto executor_flag = cli.option("--executor");
+  if (executor_flag) {
+    if (auto e = lol::shmem::executor_from_name(*executor_flag)) {
       cfg.executor = *e;
     } else {
       std::fprintf(stderr, "lolrun: unknown executor '%s'\n",
-                   executor->c_str());
+                   executor_flag->c_str());
       return 2;
     }
   }
-  if (auto per = cli.option("--pes-per-thread")) {
-    cfg.pes_per_thread = std::atoi(per->c_str());
-  }
-  if (auto radix = cli.option("--barrier-radix")) {
-    cfg.barrier_radix = std::atoi(radix->c_str());
-  }
+  auto ppt_flag = cli.option("--pes-per-thread");
+  if (ppt_flag) cfg.pes_per_thread = std::atoi(ppt_flag->c_str());
+  auto radix_flag = cli.option("--barrier-radix");
+  if (radix_flag) cfg.barrier_radix = std::atoi(radix_flag->c_str());
   if (auto heap = cli.option("--heap-bytes")) {
     cfg.heap_bytes = static_cast<std::size_t>(
         std::strtoull(heap->c_str(), nullptr, 10));
@@ -184,8 +190,14 @@ int main(int argc, char** argv) {
     copts.opt_level = (*lvl)[0] - '0';
   }
   bool tune = cli.has_flag("--tune");
-  std::string tuner_cache =
-      cli.option("--tuner-cache").value_or(".lol_tuner_cache");
+  auto tuner_cache_flag = cli.option("--tuner-cache");
+  bool have_tuner_cache = tuner_cache_flag.has_value();
+  std::string tuner_cache = tuner_cache_flag.value_or(".lol_tuner_cache");
+  if (cli.has_flag("--jit-dump")) {
+#if !defined(_WIN32)
+    ::setenv("LOL_JIT_DUMP", "1", 1);  // read by the JIT build path
+#endif
+  }
 
   // GIMMEH reads the real stdin whenever input is piped/redirected, the
   // same behavior lcc-compiled executables always had (an interactive
@@ -207,6 +219,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // An explicit --tuner-cache without --tune applies a persisted
+  // calibration winner, mirroring the service's warm-hit path: explicit
+  // flags always win, record/replay never tunes (traces are
+  // schedule-shape-sensitive). The unroll budget is a compile knob and
+  // must land before the program (and its replay hash) is built.
+  if (have_tuner_cache && !tune &&
+      cfg.schedule == lol::replay::ScheduleMode::kNone) {
+    lol::opt::TunerStore store(tuner_cache);
+    if (auto k = store.lookup(lol::replay::fnv1a(*source), cfg.n_pes)) {
+      if (k->barrier_radix != 0 && !radix_flag) {
+        cfg.barrier_radix = k->barrier_radix;
+      }
+      if (!k->executor.empty() && !executor_flag) {
+        if (auto e = lol::shmem::executor_from_name(k->executor)) {
+          cfg.executor = *e;
+        }
+      }
+      if (k->pes_per_thread != 0 && !ppt_flag) {
+        cfg.pes_per_thread = k->pes_per_thread;
+      }
+      if (k->unroll_max_trip != 0 && copts.opt_level >= 2) {
+        copts.unroll_max_trip = k->unroll_value();
+      }
+    }
+  }
+
   // Replay traces must distinguish the optimized shape that actually ran
   // (unrolling changes step-count footers); -O0 keeps the historical
   // plain source hash.
@@ -221,10 +259,11 @@ int main(int argc, char** argv) {
       lol::opt::TunedKnobs knobs =
           lol::opt::calibrate(prog, *source, cfg.n_pes, &store);
       std::printf(
-          "tuned: barrier_radix=%d executor=%s pes_per_thread=%d\n",
+          "tuned: barrier_radix=%d executor=%s pes_per_thread=%d "
+          "unroll_max_trip=%d\n",
           knobs.barrier_radix,
           knobs.executor.empty() ? "-" : knobs.executor.c_str(),
-          knobs.pes_per_thread);
+          knobs.pes_per_thread, knobs.unroll_max_trip);
       return 0;
     }
     if (dump_ast) {
